@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+One fully trained world is built per session and reused by every
+table/figure benchmark; individual benches only generate trials.
+"""
+
+import pytest
+
+from repro.experiments import build_world
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(
+        seed=7, n_users=3, enrol_repetitions=10, background_speakers=6
+    )
+
+
+def emit(title: str, lines) -> None:
+    """Print a result block so `pytest -s` / tee'd output shows the rows."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

@@ -1,0 +1,83 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Joint (Mt, βt) thresholding vs magnitude-only vs rate-only.
+2. Phase+IMU fusion vs single-sensor distance estimation.
+3. Cascade composition: which attack each component uniquely blocks.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablation import (
+    run_cascade_ablation,
+    run_detector_ablation,
+    run_ranging_ablation,
+)
+
+
+def test_detector_threshold_ablation(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_detector_ablation,
+        args=(bench_world,),
+        kwargs={"genuine_trials": 6, "attack_trials": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation — detector variants at 8 cm (weak laptop magnet)",
+        [
+            f"{r.variant:15s}: detection {r.detection_rate:.0%}, "
+            f"false alarms {r.false_alarm_rate:.0%}"
+            for r in rows
+        ],
+    )
+    by_variant = {r.variant: r for r in rows}
+    # The joint detector dominates each single-threshold variant.
+    assert by_variant["joint"].detection_rate >= by_variant["magnitude_only"].detection_rate
+    assert by_variant["joint"].detection_rate >= by_variant["rate_only"].detection_rate
+    assert by_variant["joint"].false_alarm_rate == 0.0
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+
+
+def test_ranging_fusion_ablation(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_ranging_ablation,
+        args=(bench_world,),
+        kwargs={"trials_per_distance": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation — distance estimation variants",
+        [f"{r.variant:12s}: mean |error| {r.mean_abs_error_cm:.2f} cm" for r in rows],
+    )
+    by_variant = {r.variant: r for r in rows}
+    # Phase alone cannot supply the absolute scale.
+    assert (
+        by_variant["fusion"].mean_abs_error_cm
+        < by_variant["phase_only"].mean_abs_error_cm
+    )
+    assert by_variant["fusion"].mean_abs_error_cm < 3.5
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+
+
+def test_cascade_composition_ablation(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_cascade_ablation, args=(bench_world,), kwargs={"trials": 4},
+        rounds=1, iterations=1,
+    )
+    emit(
+        "Ablation — dropping cascade components",
+        [
+            f"drop {r.dropped_component:11s} vs {r.attack_type:12s}: "
+            f"attack success {r.attack_success_rate:.0%}"
+            for r in rows
+        ],
+    )
+    by_drop = {r.dropped_component: r for r in rows}
+    # Without the sound-field component, earphone replays sail through —
+    # nothing else sees them.  (The magnetometer-drop and identity-drop
+    # rows are reported for the record: the per-user sound-field model
+    # often covers conventional replays and off-voice mimics redundantly
+    # in the quiet room, so those rows vary with the speaker/voice pair.)
+    assert by_drop["soundfield"].attack_success_rate >= 0.5
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]

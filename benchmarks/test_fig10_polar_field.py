@@ -1,0 +1,26 @@
+"""Fig. 10 — polar magnetic field of a conventional loudspeaker.
+
+Paper's caption: loudspeaker fields typically range 30-210 µT.  Expected
+reproduction: the LS21 ring sample falls inside that window with the
+dipole's 2:1 axial/broadside asymmetry.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_polar_field(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit(
+        "Fig. 10 — LS21 polar field (paper: 30-210 µT)",
+        [
+            f"radius {result.radius_m * 100:.0f} cm",
+            f"|B| range {result.min_ut:.0f}-{result.max_ut:.0f} µT",
+            f"axial/broadside ratio {result.axial_ratio:.2f}",
+        ],
+    )
+    assert 30.0 <= result.max_ut <= 210.0
+    assert result.min_ut > 10.0
+    assert abs(result.axial_ratio - 2.0) < 0.1
+    benchmark.extra_info["max_ut"] = result.max_ut

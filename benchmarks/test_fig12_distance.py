@@ -1,0 +1,68 @@
+"""Fig. 12 — impact of sound source distance (unshielded and shielded).
+
+Paper's shape: FAR = FRR = EER = 0 at ≤ 6 cm in both variants; FAR rises
+with distance as the magnet's near field decays, and the Mu-metal shield
+accelerates that rise (FAR already climbing at 8 cm when shielded).
+Known divergence (see EXPERIMENTS.md): our FRR beyond 8 cm grows more
+steeply than the paper's because the sound-field model is enrolled at
+5 cm and generalises worse with range in the simulator.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig12 import run_distance_experiment
+from repro.physics.magnetics import MuMetalShield
+
+
+def _format(rows):
+    return [
+        f"{r.distance_cm:4.0f} cm: FAR {r.far_pct:5.1f}%  FRR {r.frr_pct:5.1f}%  "
+        f"EER {r.eer_pct:5.1f}%"
+        for r in rows
+    ]
+
+
+def test_fig12a_no_shielding(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_distance_experiment,
+        args=(bench_world,),
+        kwargs={"genuine_per_distance": 10, "attacks_per_speaker": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 12a — distance, no shielding (paper: 0/0/0 at ≤6 cm)", _format(rows))
+    close = [r for r in rows if r.distance_cm <= 6.0]
+    for row in close:
+        # The paper reports exact zeros on similarly small trial counts;
+        # our per-trial error rates are a few percent, so allow one miss
+        # per cell (typical runs do produce exact zeros).
+        assert row.far_pct <= 17.0
+        assert row.frr_pct <= 20.0
+        assert row.eer_pct <= 15.0
+    # FAR grows with distance.
+    assert max(r.far_pct for r in rows[2:]) >= rows[0].far_pct
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+
+
+def test_fig12b_mu_metal_shielding(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_distance_experiment,
+        args=(bench_world,),
+        kwargs={
+            "genuine_per_distance": 10,
+            "attacks_per_speaker": 1,
+            "shield": MuMetalShield(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 12b — distance, Mu-metal shield (paper: 0/0/0 at ≤6 cm)", _format(rows))
+    close = [r for r in rows if r.distance_cm <= 6.0]
+    for row in close:
+        assert row.far_pct <= 17.0
+        assert row.frr_pct <= 20.0
+        assert row.eer_pct <= 15.0
+    # Shielding pushes FAR up at mid distances relative to close range.
+    mid_far = max(r.far_pct for r in rows if r.distance_cm >= 8.0)
+    assert mid_far > 0.0
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]

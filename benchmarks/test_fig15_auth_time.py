@@ -1,0 +1,31 @@
+"""Fig. 15 — authentication time comparison.
+
+Paper's result: the full system is less than a second slower than the
+WeChat-voice-print-style ASV-only scheme, and both are comparable to a
+typed password once interaction time is counted.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig15 import run_fig15
+
+
+def test_fig15_authentication_time(benchmark, bench_world):
+    rows = benchmark.pedantic(
+        run_fig15, args=(bench_world,), kwargs={"trials": 6}, rounds=1, iterations=1
+    )
+    emit(
+        "Fig. 15 — authentication time (paper: ours < 1 s slower than voiceprint)",
+        [
+            f"{r.scheme:10s}: total {r.mean_total_s:5.2f} s "
+            f"(server {r.mean_server_s:6.3f} s, success {r.success_rate:.0%})"
+            for r in rows
+        ],
+    )
+    by_scheme = {r.scheme: r for r in rows}
+    ours = by_scheme["ours"].mean_total_s
+    voiceprint = by_scheme["voiceprint"].mean_total_s
+    password = by_scheme["password"].mean_total_s
+    assert ours - voiceprint < 1.0
+    assert abs(ours - password) < 2.0
+    benchmark.extra_info["rows"] = [r.__dict__ for r in rows]

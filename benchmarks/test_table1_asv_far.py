@@ -1,0 +1,31 @@
+"""Table I — ASV FAR against human impersonation (UBM and ISV).
+
+Paper's numbers: Test 1 (pass-phrase mimicry) FAR 0.0% for both
+back-ends; Test 2 (cross-corpus, same utterances) 0.5% (UBM) and 1.3%
+(ISV).  Expected reproduction shape: Test 1 at/near zero; Test 2 small
+but possibly non-zero.
+"""
+
+from conftest import emit
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_asv_far(benchmark):
+    rows = benchmark.pedantic(run_table1, kwargs={"seed": 5}, rounds=1, iterations=1)
+    lines = [
+        f"{r.backend}: Test1 FAR {r.test1_far_pct:.1f}%  Test2 FAR {r.test2_far_pct:.1f}%"
+        for r in rows
+    ]
+    emit("Table I — ASV FAR (paper: UBM 0.0/0.5, ISV 0.0/1.3)", lines)
+    for row in rows:
+        assert row.test1_far_pct <= 10.0
+        assert row.test2_far_pct <= 15.0
+    benchmark.extra_info["rows"] = [
+        {
+            "backend": r.backend,
+            "test1_far_pct": r.test1_far_pct,
+            "test2_far_pct": r.test2_far_pct,
+        }
+        for r in rows
+    ]

@@ -1,0 +1,36 @@
+"""Reproduction of "You Can Hear But You Cannot Steal" (ICDCS 2017).
+
+A software-only defense against voice impersonation attacks on
+smartphones, rebuilt end-to-end in Python: the four-component
+verification cascade (:mod:`repro.core`), the signal-processing, sensing
+and machine-learning substrates it stands on, the full adversary model
+(:mod:`repro.attacks`), a physics-grounded scene simulator standing in
+for the paper's hardware testbed (:mod:`repro.world`), and the
+experiment harness that regenerates every table and figure
+(:mod:`repro.experiments`).
+
+Entry points:
+
+- :func:`repro.experiments.build_world` — a fully trained system plus
+  enrolled users in one call;
+- :class:`repro.core.DefenseSystem` — the enrol/verify API;
+- :class:`repro.asv.SpeakerVerifier` — the standalone ASV toolkit.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asv",
+    "attacks",
+    "core",
+    "devices",
+    "dsp",
+    "errors",
+    "experiments",
+    "ml",
+    "physics",
+    "sensors",
+    "server",
+    "voice",
+    "world",
+]

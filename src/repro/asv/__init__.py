@@ -1,0 +1,34 @@
+"""Automatic speaker verification back-end (Spear-style).
+
+Reimplements the components the paper takes from the Bob/Spear toolbox
+[21]: a diagonal-covariance GMM trained with EM, a universal background
+model (UBM) with MAP adaptation for enrolment ("UBM" rows of Table I), an
+inter-session variability (ISV) model ("ISV" rows), log-likelihood-ratio
+scoring, and the FAR/FRR/EER metrics used throughout the evaluation.
+"""
+
+from repro.asv.gmm import DiagonalGMM
+from repro.asv.ubm import UniversalBackgroundModel, map_adapt
+from repro.asv.isv import ISVModel
+from repro.asv.scoring import llr_score
+from repro.asv.metrics import (
+    DETCurve,
+    equal_error_rate,
+    far_frr_at_threshold,
+    roc_points,
+)
+from repro.asv.verifier import SpeakerVerifier, VerifierBackend
+
+__all__ = [
+    "DiagonalGMM",
+    "UniversalBackgroundModel",
+    "map_adapt",
+    "ISVModel",
+    "llr_score",
+    "DETCurve",
+    "equal_error_rate",
+    "far_frr_at_threshold",
+    "roc_points",
+    "SpeakerVerifier",
+    "VerifierBackend",
+]

@@ -1,0 +1,172 @@
+"""Diagonal-covariance Gaussian mixture model with EM training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+#: Floor applied to variances to keep log-densities finite.
+VARIANCE_FLOOR = 1e-4
+
+
+class DiagonalGMM:
+    """GMM with diagonal covariances — the standard ASV density model.
+
+    Training runs k-means++ for initial means, then EM to convergence.
+    All responsibilities/likelihood math is done in log space.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ):
+        if n_components <= 0:
+            raise ConfigurationError("n_components must be positive")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.means_ is not None
+
+    def set_parameters(
+        self, weights: np.ndarray, means: np.ndarray, variances: np.ndarray
+    ) -> "DiagonalGMM":
+        """Install parameters directly (used by MAP adaptation and ISV)."""
+        weights = np.asarray(weights, dtype=float)
+        means = np.asarray(means, dtype=float)
+        variances = np.asarray(variances, dtype=float)
+        if means.ndim != 2 or means.shape[0] != self.n_components:
+            raise ConfigurationError("means must be (n_components, d)")
+        if variances.shape != means.shape:
+            raise ConfigurationError("variances must match means shape")
+        if weights.shape != (self.n_components,):
+            raise ConfigurationError("weights must be (n_components,)")
+        if not np.isclose(weights.sum(), 1.0, atol=1e-6):
+            raise ConfigurationError("weights must sum to 1")
+        self.weights_ = weights / weights.sum()
+        self.means_ = means
+        self.variances_ = np.maximum(variances, VARIANCE_FLOOR)
+        return self
+
+    def copy(self) -> "DiagonalGMM":
+        """Deep copy (parameters included)."""
+        clone = DiagonalGMM(self.n_components, self.max_iter, self.tol, self.seed)
+        if self.is_fitted:
+            clone.set_parameters(
+                self.weights_.copy(), self.means_.copy(), self.variances_.copy()
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "DiagonalGMM":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError("fit expects a (n, d) matrix")
+        if x.shape[0] < self.n_components * 2:
+            raise ConfigurationError(
+                f"{x.shape[0]} frames are too few for {self.n_components} components"
+            )
+        km = KMeans(self.n_components, seed=self.seed).fit(x)
+        labels = km.predict(x)
+        d = x.shape[1]
+        weights = np.empty(self.n_components)
+        means = km.centers_.copy()
+        variances = np.empty((self.n_components, d))
+        global_var = np.maximum(x.var(axis=0), VARIANCE_FLOOR)
+        for k in range(self.n_components):
+            members = x[labels == k]
+            weights[k] = max(len(members), 1)
+            variances[k] = members.var(axis=0) if len(members) > 1 else global_var
+        self.weights_ = weights / weights.sum()
+        self.means_ = means
+        self.variances_ = np.maximum(variances, VARIANCE_FLOOR)
+
+        prev_ll = -np.inf
+        for _ in range(self.max_iter):
+            log_resp, ll = self._e_step(x)
+            self._m_step(x, log_resp)
+            if ll - prev_ll < self.tol * max(abs(prev_ll), 1.0):
+                break
+            prev_ll = ll
+        return self
+
+    def _e_step(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        log_prob = self.component_log_likelihoods(x)
+        log_norm = _logsumexp(log_prob, axis=1)
+        log_resp = log_prob - log_norm[:, None]
+        return log_resp, float(log_norm.mean())
+
+    def _m_step(self, x: np.ndarray, log_resp: np.ndarray) -> None:
+        resp = np.exp(log_resp)
+        nk = resp.sum(axis=0) + 1e-10
+        self.weights_ = nk / nk.sum()
+        self.means_ = (resp.T @ x) / nk[:, None]
+        sq = (resp.T @ (x**2)) / nk[:, None]
+        self.variances_ = np.maximum(sq - self.means_**2, VARIANCE_FLOOR)
+
+    # ------------------------------------------------------------------
+    # Likelihood evaluation
+    # ------------------------------------------------------------------
+    def component_log_likelihoods(self, x: np.ndarray) -> np.ndarray:
+        """``log(w_k · N(x | µ_k, Σ_k))`` for every frame/component pair."""
+        if not self.is_fitted:
+            raise NotFittedError("GMM used before fit/set_parameters")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.means_.shape[1]:
+            raise ConfigurationError(
+                f"expected frames of dimension {self.means_.shape[1]}"
+            )
+        d = x.shape[1]
+        log_det = np.sum(np.log(self.variances_), axis=1)
+        const = -0.5 * (d * np.log(2.0 * np.pi) + log_det)
+        diff = x[:, None, :] - self.means_[None, :, :]
+        mahal = np.sum(diff**2 / self.variances_[None, :, :], axis=2)
+        return np.log(self.weights_)[None, :] + const[None, :] - 0.5 * mahal
+
+    def log_likelihood(self, x: np.ndarray) -> float:
+        """Mean per-frame log-likelihood of ``x`` under the mixture."""
+        log_prob = self.component_log_likelihoods(x)
+        return float(_logsumexp(log_prob, axis=1).mean())
+
+    def responsibilities(self, x: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities per frame, shape ``(n, C)``."""
+        log_resp, _ = self._e_step(np.asarray(x, dtype=float))
+        return np.exp(log_resp)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` frames from the mixture (used in tests)."""
+        if not self.is_fitted:
+            raise NotFittedError("GMM used before fit/set_parameters")
+        counts = rng.multinomial(n, self.weights_)
+        chunks = []
+        for k, c in enumerate(counts):
+            if c:
+                chunks.append(
+                    rng.normal(
+                        self.means_[k], np.sqrt(self.variances_[k]), (c, self.means_.shape[1])
+                    )
+                )
+        out = np.vstack(chunks)
+        rng.shuffle(out)
+        return out
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    m = np.max(a, axis=axis, keepdims=True)
+    return (m + np.log(np.sum(np.exp(a - m), axis=axis, keepdims=True))).squeeze(axis)

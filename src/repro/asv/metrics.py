@@ -1,0 +1,92 @@
+"""Verification metrics: FAR, FRR, EER and DET curves.
+
+Terminology follows the paper's Table III: a *false acceptance* is an
+impostor scored above threshold; a *false rejection* is a genuine trial
+scored below it.  The equal error rate is where the two curves cross as
+the threshold sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def far_frr_at_threshold(
+    genuine_scores: np.ndarray,
+    impostor_scores: np.ndarray,
+    threshold: float,
+) -> tuple[float, float]:
+    """(FAR, FRR) at a fixed decision threshold (accept when ≥ threshold)."""
+    genuine = np.asarray(genuine_scores, dtype=float)
+    impostor = np.asarray(impostor_scores, dtype=float)
+    far = float(np.mean(impostor >= threshold)) if impostor.size else 0.0
+    frr = float(np.mean(genuine < threshold)) if genuine.size else 0.0
+    return far, frr
+
+
+@dataclass(frozen=True)
+class DETCurve:
+    """FAR/FRR as a function of threshold."""
+
+    thresholds: np.ndarray
+    far: np.ndarray
+    frr: np.ndarray
+
+
+def roc_points(
+    genuine_scores: np.ndarray,
+    impostor_scores: np.ndarray,
+    n_thresholds: int = 512,
+) -> DETCurve:
+    """Sweep thresholds across the observed score range."""
+    genuine = np.asarray(genuine_scores, dtype=float)
+    impostor = np.asarray(impostor_scores, dtype=float)
+    if genuine.size == 0 and impostor.size == 0:
+        raise ConfigurationError("need at least one score")
+    pooled = np.concatenate([genuine, impostor])
+    lo, hi = float(pooled.min()), float(pooled.max())
+    pad = max(1e-9, 0.01 * (hi - lo))
+    thresholds = np.linspace(lo - pad, hi + pad, n_thresholds)
+    far = np.empty(n_thresholds)
+    frr = np.empty(n_thresholds)
+    for i, th in enumerate(thresholds):
+        far[i], frr[i] = far_frr_at_threshold(genuine, impostor, th)
+    return DETCurve(thresholds=thresholds, far=far, frr=frr)
+
+
+def equal_error_rate(
+    genuine_scores: np.ndarray, impostor_scores: np.ndarray
+) -> tuple[float, float]:
+    """(EER, threshold) where FAR and FRR cross.
+
+    Returns the midpoint of FAR and FRR at the threshold minimising their
+    gap — the standard finite-sample EER estimate.
+    """
+    curve = roc_points(genuine_scores, impostor_scores)
+    gap = np.abs(curve.far - curve.frr)
+    # With separable scores a whole threshold range achieves the minimum
+    # gap; take its midpoint so the operating point sits centred between
+    # the score distributions rather than hugging the impostor tail.
+    ties = np.nonzero(gap == gap.min())[0]
+    idx = int(ties[len(ties) // 2])
+    eer = float((curve.far[idx] + curve.frr[idx]) / 2.0)
+    return eer, float(curve.thresholds[idx])
+
+
+def accuracy_at_threshold(
+    genuine_scores: np.ndarray,
+    impostor_scores: np.ndarray,
+    threshold: float,
+) -> float:
+    """Overall correct-decision rate at a threshold."""
+    genuine = np.asarray(genuine_scores, dtype=float)
+    impostor = np.asarray(impostor_scores, dtype=float)
+    total = genuine.size + impostor.size
+    if total == 0:
+        raise ConfigurationError("need at least one score")
+    correct = int(np.sum(genuine >= threshold)) + int(np.sum(impostor < threshold))
+    return correct / total

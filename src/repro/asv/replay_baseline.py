@@ -1,0 +1,106 @@
+"""Audio-only replay detection baseline.
+
+The countermeasure class the paper's related work surveys ([30], [38],
+[46], [47], [50]) and dismisses: classifiers over acoustic features of
+the *recording itself* — channel colouration, band limits, long-term
+spectral statistics.  They work against the devices they were trained on
+and degrade on unseen loudspeakers ("all these systems suffer from high
+false acceptance rate"), which is exactly the motivation for the
+magnetometer approach.
+
+This implementation uses long-term spectral statistics (per-band mean
+levels and spectral-flatness measures) with a linear SVM; the
+``motivation`` experiment trains it on two factory devices and attacks
+through two unseen ones to reproduce the generalisation gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.dsp.signal import frame_signal
+from repro.dsp.vad import trim_silence
+from repro.errors import NotFittedError, SignalError
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import LinearSVM
+
+#: Log-spaced analysis band edges (Hz).
+_BAND_EDGES = (60.0, 150.0, 400.0, 1000.0, 2500.0, 5000.0, 7800.0)
+
+
+def replay_features(waveform: np.ndarray, sample_rate: int) -> np.ndarray:
+    """Long-term spectral statistics of one utterance.
+
+    Per band: mean log level (relative to the utterance total — captures
+    the playback chain's colouration and band limits) and mean spectral
+    flatness (loudspeaker compression and band-edge roll-offs flatten
+    sub-band structure).
+    """
+    x = trim_silence(np.asarray(waveform, dtype=float), sample_rate)
+    if x.size < sample_rate // 10:
+        raise SignalError("utterance too short for replay analysis")
+    frame_len = int(0.032 * sample_rate)
+    hop = frame_len // 2
+    frames = frame_signal(x, frame_len, hop, pad=True)
+    window = np.hanning(frame_len)
+    spectrum = np.abs(np.fft.rfft(frames * window[None, :], axis=1)) ** 2
+    freqs = np.fft.rfftfreq(frame_len, d=1.0 / sample_rate)
+    total = spectrum.sum(axis=1)
+    keep = total > np.percentile(total, 30.0)
+    spectrum = spectrum[keep]
+
+    features = []
+    total_level = np.log(np.maximum(spectrum.sum(axis=1), 1e-18))
+    for lo, hi in zip(_BAND_EDGES[:-1], _BAND_EDGES[1:]):
+        mask = (freqs >= lo) & (freqs < hi)
+        band_power = spectrum[:, mask]
+        level = np.log(np.maximum(band_power.sum(axis=1), 1e-18))
+        features.append(float(np.mean(level - total_level)))
+        log_p = np.log(np.maximum(band_power, 1e-18))
+        flatness = np.exp(log_p.mean(axis=1)) / np.maximum(
+            band_power.mean(axis=1), 1e-18
+        )
+        features.append(float(np.mean(flatness)))
+    return np.asarray(features)
+
+
+@dataclass
+class AudioReplayDetector:
+    """Train-on-devices, test-on-the-world replay classifier."""
+
+    sample_rate: int = 16000
+    _scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    _svm: LinearSVM = field(default_factory=lambda: LinearSVM(lambda_reg=1e-2), repr=False)
+    _fitted: bool = field(default=False, repr=False)
+
+    def fit(
+        self,
+        genuine_waveforms: Sequence[np.ndarray],
+        replay_waveforms: Sequence[np.ndarray],
+    ) -> "AudioReplayDetector":
+        """Train on genuine recordings vs replays through known devices."""
+        if not genuine_waveforms or not replay_waveforms:
+            raise SignalError("need both genuine and replay training audio")
+        x = np.vstack(
+            [replay_features(w, self.sample_rate) for w in genuine_waveforms]
+            + [replay_features(w, self.sample_rate) for w in replay_waveforms]
+        )
+        y = np.concatenate(
+            [np.ones(len(genuine_waveforms)), -np.ones(len(replay_waveforms))]
+        )
+        self._svm.fit(self._scaler.fit_transform(x), y)
+        self._fitted = True
+        return self
+
+    def score(self, waveform: np.ndarray) -> float:
+        """Higher = more genuine-like; negative = replay-like."""
+        if not self._fitted:
+            raise NotFittedError("AudioReplayDetector used before fit")
+        feats = replay_features(waveform, self.sample_rate)[None, :]
+        return float(self._svm.decision_function(self._scaler.transform(feats))[0])
+
+    def is_replay(self, waveform: np.ndarray) -> bool:
+        return self.score(waveform) < 0.0

@@ -1,0 +1,36 @@
+"""Verification scoring functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asv.gmm import DiagonalGMM
+
+
+def llr_score(
+    speaker_model: DiagonalGMM, ubm: DiagonalGMM, features: np.ndarray
+) -> float:
+    """Average per-frame log-likelihood ratio speaker vs UBM.
+
+    The classical GMM-UBM verification score: positive means the utterance
+    fits the claimed speaker better than the background population.
+    """
+    return speaker_model.log_likelihood(features) - ubm.log_likelihood(features)
+
+
+def zt_normalize(
+    raw_score: float,
+    cohort_scores: np.ndarray,
+) -> float:
+    """Z-norm a raw score against a cohort of impostor scores.
+
+    Score normalisation stabilises thresholds across speakers; the paper's
+    Spear configuration applies it by default.
+    """
+    cohort = np.asarray(cohort_scores, dtype=float)
+    if cohort.size < 2:
+        return raw_score
+    std = float(cohort.std())
+    if std <= 1e-12:
+        return raw_score - float(cohort.mean())
+    return (raw_score - float(cohort.mean())) / std

@@ -1,0 +1,112 @@
+"""Universal background model and MAP adaptation.
+
+The "UBM" system of Table I is the classical GMM-UBM recipe: train one
+speaker-independent GMM on a background population, then derive each
+enrolled speaker's model by maximum-a-posteriori adaptation of the UBM
+means toward the enrolment data (Reynolds-style relevance-factor MAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.asv.gmm import DiagonalGMM
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@dataclass
+class SufficientStatistics:
+    """Baum–Welch statistics of one utterance against a UBM.
+
+    ``n`` — zeroth order (per-component soft counts), shape ``(C,)``;
+    ``f`` — first order, **centred on the UBM means**, shape ``(C, D)``.
+    Centred statistics are what both MAP adaptation and ISV consume.
+    """
+
+    n: np.ndarray
+    f: np.ndarray
+
+    def __add__(self, other: "SufficientStatistics") -> "SufficientStatistics":
+        return SufficientStatistics(self.n + other.n, self.f + other.f)
+
+
+class UniversalBackgroundModel:
+    """A trained UBM plus the statistics/adaptation operations around it."""
+
+    def __init__(self, n_components: int = 32, seed: int = 0, max_iter: int = 40):
+        self.gmm = DiagonalGMM(n_components, max_iter=max_iter, seed=seed)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.gmm.is_fitted
+
+    @property
+    def n_components(self) -> int:
+        return self.gmm.n_components
+
+    @property
+    def dimension(self) -> int:
+        if not self.is_fitted:
+            raise NotFittedError("UBM not trained")
+        return self.gmm.means_.shape[1]
+
+    def fit(self, feature_matrices: Sequence[np.ndarray]) -> "UniversalBackgroundModel":
+        """Train on the pooled frames of a background corpus."""
+        if not feature_matrices:
+            raise ConfigurationError("need at least one feature matrix")
+        pooled = np.vstack([np.asarray(m, dtype=float) for m in feature_matrices])
+        self.gmm.fit(pooled)
+        return self
+
+    def statistics(self, features: np.ndarray) -> SufficientStatistics:
+        """Centred Baum–Welch statistics of one utterance."""
+        if not self.is_fitted:
+            raise NotFittedError("UBM not trained")
+        features = np.asarray(features, dtype=float)
+        resp = self.gmm.responsibilities(features)
+        n = resp.sum(axis=0)
+        f = resp.T @ features - n[:, None] * self.gmm.means_
+        return SufficientStatistics(n=n, f=f)
+
+    def pooled_statistics(
+        self, feature_matrices: Sequence[np.ndarray]
+    ) -> Tuple[List[SufficientStatistics], SufficientStatistics]:
+        """Per-utterance statistics plus their sum."""
+        per_utt = [self.statistics(m) for m in feature_matrices]
+        total = per_utt[0]
+        for s in per_utt[1:]:
+            total = total + s
+        return per_utt, total
+
+
+def map_adapt(
+    ubm: UniversalBackgroundModel,
+    enrolment_features: Sequence[np.ndarray],
+    relevance_factor: float = 4.0,
+) -> DiagonalGMM:
+    """Means-only MAP adaptation (Reynolds et al. 2000).
+
+    ``µ_k ← α_k·E_k(x) + (1−α_k)·µ_k`` with ``α_k = n_k/(n_k + r)``.
+    Weights and variances stay at the UBM values, which keeps the
+    fast linear LLR approximation valid.
+    """
+    if relevance_factor <= 0:
+        raise ConfigurationError("relevance_factor must be positive")
+    if not enrolment_features:
+        raise ConfigurationError("enrolment needs at least one utterance")
+    _, total = ubm.pooled_statistics(enrolment_features)
+    n = total.n
+    # total.f is centred on the UBM means, so E_k(x) − µ_k = f_k / n_k.
+    alpha = n / (n + relevance_factor)
+    safe_n = np.where(n > 1e-8, n, 1.0)
+    mean_shift = alpha[:, None] * (total.f / safe_n[:, None])
+    adapted = ubm.gmm.copy()
+    adapted.set_parameters(
+        ubm.gmm.weights_.copy(),
+        ubm.gmm.means_ + mean_shift,
+        ubm.gmm.variances_.copy(),
+    )
+    return adapted

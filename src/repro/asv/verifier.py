@@ -1,0 +1,140 @@
+"""High-level speaker verification facade (the "Spear system" role).
+
+:class:`SpeakerVerifier` wires the MFCC front-end, UBM, and a selectable
+back-end (GMM-UBM MAP or ISV) into the enrol/verify interface the defense
+pipeline's fourth component consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.asv.gmm import DiagonalGMM
+from repro.asv.isv import ISVModel
+from repro.asv.scoring import llr_score
+from repro.asv.ubm import UniversalBackgroundModel, map_adapt
+from repro.dsp.mel import MFCCExtractor
+from repro.dsp.vad import trim_silence
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class VerifierBackend(enum.Enum):
+    """Back-ends evaluated in Table I."""
+
+    GMM_UBM = "ubm"
+    ISV = "isv"
+
+
+class SpeakerVerifier:
+    """Text-dependent speaker verification with a trainable background.
+
+    Usage::
+
+        verifier = SpeakerVerifier(backend=VerifierBackend.GMM_UBM)
+        verifier.train_background(background_waveforms_by_speaker)
+        verifier.enroll("alice", alice_waveforms)
+        score = verifier.verify("alice", test_waveform)
+
+    Scores are log-likelihood ratios (GMM-UBM) or linear ISV scores; both
+    are "higher is more genuine" and are thresholded by the caller.
+    """
+
+    def __init__(
+        self,
+        backend: VerifierBackend = VerifierBackend.GMM_UBM,
+        sample_rate: int = 16000,
+        n_components: int = 32,
+        isv_rank: int = 10,
+        relevance_factor: float = 4.0,
+        seed: int = 0,
+    ):
+        self.backend = backend
+        self.sample_rate = sample_rate
+        self.extractor = MFCCExtractor(sample_rate=sample_rate)
+        self.ubm = UniversalBackgroundModel(n_components=n_components, seed=seed)
+        self.isv_rank = isv_rank
+        self.relevance_factor = relevance_factor
+        self._isv: ISVModel | None = None
+        self._speaker_models: Dict[str, DiagonalGMM] = {}
+        self._speaker_offsets: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Front-end
+    # ------------------------------------------------------------------
+    def features(self, waveform: np.ndarray) -> np.ndarray:
+        """VAD-trimmed, CMVN-normalised MFCCs for one waveform."""
+        trimmed = trim_silence(np.asarray(waveform, dtype=float), self.sample_rate)
+        return self.extractor.extract_with_cmvn(trimmed)
+
+    # ------------------------------------------------------------------
+    # Training / enrolment
+    # ------------------------------------------------------------------
+    def train_background(
+        self, waveforms_by_speaker: Dict[str, Sequence[np.ndarray]]
+    ) -> "SpeakerVerifier":
+        """Train the UBM (and ISV subspace) on a background corpus."""
+        if not waveforms_by_speaker:
+            raise ConfigurationError("background corpus is empty")
+        features_by_speaker = {
+            sid: [self.features(w) for w in waves]
+            for sid, waves in waveforms_by_speaker.items()
+        }
+        pooled: List[np.ndarray] = [
+            f for feats in features_by_speaker.values() for f in feats
+        ]
+        self.ubm.fit(pooled)
+        if self.backend is VerifierBackend.ISV:
+            self._isv = ISVModel(
+                self.ubm,
+                rank=self.isv_rank,
+                relevance_factor=self.relevance_factor,
+            ).fit(features_by_speaker)
+        return self
+
+    def enroll(
+        self, speaker_id: str, waveforms: Sequence[np.ndarray]
+    ) -> "SpeakerVerifier":
+        """Create (or replace) a speaker model from enrolment utterances."""
+        if not self.ubm.is_fitted:
+            raise NotFittedError("train_background must run before enroll")
+        if not waveforms:
+            raise ConfigurationError("enrolment needs at least one utterance")
+        feats = [self.features(w) for w in waveforms]
+        if self.backend is VerifierBackend.ISV:
+            assert self._isv is not None
+            self._speaker_offsets[speaker_id] = self._isv.enroll(feats)
+        else:
+            self._speaker_models[speaker_id] = map_adapt(
+                self.ubm, feats, self.relevance_factor
+            )
+        return self
+
+    @property
+    def enrolled_speakers(self) -> List[str]:
+        if self.backend is VerifierBackend.ISV:
+            return sorted(self._speaker_offsets)
+        return sorted(self._speaker_models)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, claimed_speaker: str, waveform: np.ndarray) -> float:
+        """Score a claim; higher supports the claimed identity."""
+        feats = self.features(waveform)
+        return self.verify_features(claimed_speaker, feats)
+
+    def verify_features(self, claimed_speaker: str, features: np.ndarray) -> float:
+        """Score pre-extracted features (lets callers cache the front-end)."""
+        if self.backend is VerifierBackend.ISV:
+            if claimed_speaker not in self._speaker_offsets:
+                raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
+            assert self._isv is not None
+            return self._isv.score(self._speaker_offsets[claimed_speaker], features)
+        if claimed_speaker not in self._speaker_models:
+            raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
+        return llr_score(
+            self._speaker_models[claimed_speaker], self.ubm.gmm, features
+        )

@@ -1,0 +1,38 @@
+"""Attack implementations from the paper's adversary model (§III-A).
+
+Machine-based voice impersonation (all require a loudspeaker — the
+defended weakness):
+
+- :mod:`repro.attacks.replay` — Type 1, replaying a stolen recording;
+- :mod:`repro.attacks.morphing` — Type 2, voice conversion toward the
+  victim's analysed profile;
+- :mod:`repro.attacks.synthesis` — Type 3, TTS-style synthesis of
+  arbitrary text in the victim's estimated voice.
+
+Human-based impersonation:
+
+- :mod:`repro.attacks.human_mimic` — a live imitator (no loudspeaker; the
+  ASV component is the defense).
+
+Discussion-section attacks (§VII):
+
+- :mod:`repro.attacks.soundtube` — a plastic tube that distances the
+  loudspeaker from the phone while piping sound to it.
+"""
+
+from repro.attacks.base import AttackAttempt
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.morphing import MorphingAttack
+from repro.attacks.synthesis import SynthesisAttack
+from repro.attacks.human_mimic import HumanMimicAttack
+from repro.attacks.soundtube import SoundTubeAttack, TubeSource
+
+__all__ = [
+    "AttackAttempt",
+    "ReplayAttack",
+    "MorphingAttack",
+    "SynthesisAttack",
+    "HumanMimicAttack",
+    "SoundTubeAttack",
+    "TubeSource",
+]

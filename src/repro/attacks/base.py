@@ -1,0 +1,26 @@
+"""Common attack interface.
+
+Every attack prepares an :class:`AttackAttempt`: a scene source (what the
+phone's sensors physically face) plus the waveform that source plays.
+Feeding the attempt into :func:`repro.world.scene.simulate_capture`
+produces the capture the defense pipeline judges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AttackAttempt:
+    """One prepared impersonation attempt."""
+
+    source: object
+    waveform: np.ndarray
+    sample_rate: int
+    attack_type: str
+    target_speaker: str
+    metadata: Dict[str, str] = field(default_factory=dict)

@@ -1,0 +1,90 @@
+"""Type 2: voice morphing (conversion) attack.
+
+The attacker analyses stolen recordings (honestly — F0 tracking and LPC
+formant estimation, no access to the victim's generative parameters),
+morphs their own voice toward the estimate, and plays the converted speech
+through a loudspeaker.  Per the adversary model the conversion is assumed
+high quality (``fidelity`` defaults near 1), so the ASV component alone
+would frequently be fooled — the loudspeaker is what gives the attack
+away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackAttempt
+from repro.devices.loudspeaker import Loudspeaker
+from repro.errors import ConfigurationError
+from repro.voice.analysis import estimate_profile
+from repro.voice.profiles import SpeakerProfile
+from repro.voice.synthesis import Synthesizer
+
+
+@dataclass
+class MorphingAttack:
+    """Voice conversion toward an analysed victim profile.
+
+    ``fidelity`` — how completely the conversion matches the estimated
+    target (1.0 = perfect match *to the estimate*; residual error against
+    the true victim remains from the analysis step).
+    ``artifact_bandwidth`` — conversion vocoders smooth spectral detail;
+    modelled as widened formant bandwidths.
+    """
+
+    loudspeaker: Loudspeaker
+    attacker_profile: SpeakerProfile
+    fidelity: float = 0.95
+    artifact_bandwidth: float = 1.25
+    sample_rate: int = 16000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fidelity <= 1.0:
+            raise ConfigurationError("fidelity must be in [0, 1]")
+        if self.artifact_bandwidth < 1.0:
+            raise ConfigurationError("artifact_bandwidth must be >= 1")
+
+    def analyse_target(
+        self, stolen_waveforms: Sequence[np.ndarray], target_speaker: str
+    ) -> SpeakerProfile:
+        """The attacker's estimate of the victim's voice."""
+        return estimate_profile(
+            list(stolen_waveforms), self.sample_rate, speaker_id=target_speaker
+        )
+
+    def morphed_profile(self, estimated_target: SpeakerProfile) -> SpeakerProfile:
+        """Attacker's voice morphed toward the estimate, with artifacts."""
+        morphed = self.attacker_profile.morph_toward(estimated_target, self.fidelity)
+        return replace(
+            morphed,
+            bandwidth_scale=min(3.0, morphed.bandwidth_scale * self.artifact_bandwidth),
+        )
+
+    def prepare(
+        self,
+        stolen_waveforms: Sequence[np.ndarray],
+        passphrase_digits: str,
+        target_speaker: str,
+        rng: np.random.Generator,
+    ) -> AttackAttempt:
+        """Analyse, convert, and stage playback of the pass-phrase."""
+        estimated = self.analyse_target(stolen_waveforms, target_speaker)
+        morphed = self.morphed_profile(estimated)
+        synth = Synthesizer(self.sample_rate)
+        utterance = synth.synthesize_digits(morphed, passphrase_digits, rng)
+        played = self.loudspeaker.apply_band(utterance.waveform, self.sample_rate)
+        return AttackAttempt(
+            source=self.loudspeaker,
+            waveform=played,
+            sample_rate=self.sample_rate,
+            attack_type="morphing",
+            target_speaker=target_speaker,
+            metadata={
+                "loudspeaker": self.loudspeaker.spec.name,
+                "estimated_f0": f"{estimated.f0_hz:.1f}",
+                "estimated_scale": f"{estimated.formant_scale:.3f}",
+            },
+        )

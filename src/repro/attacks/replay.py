@@ -1,0 +1,45 @@
+"""Type 1: voice replay attack.
+
+The attacker recorded the victim speaking the pass-phrase and replays the
+recording through a loudspeaker held where the mouth would be.  The replay
+inherits the loudspeaker's passband colouration; against a bare ASV this
+is the paper's motivating threat ("widely known for their inability to
+detect voice replay attacks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import AttackAttempt
+from repro.devices.loudspeaker import Loudspeaker
+from repro.errors import SignalError
+
+
+@dataclass
+class ReplayAttack:
+    """Replays a stolen recording through ``loudspeaker``."""
+
+    loudspeaker: Loudspeaker
+
+    def prepare(
+        self,
+        stolen_waveform: np.ndarray,
+        sample_rate: int,
+        target_speaker: str,
+    ) -> AttackAttempt:
+        """Build the attempt from a stolen recording."""
+        stolen_waveform = np.asarray(stolen_waveform, dtype=float)
+        if stolen_waveform.ndim != 1 or stolen_waveform.size == 0:
+            raise SignalError("stolen recording must be a non-empty 1-D waveform")
+        played = self.loudspeaker.apply_band(stolen_waveform, sample_rate)
+        return AttackAttempt(
+            source=self.loudspeaker,
+            waveform=played,
+            sample_rate=sample_rate,
+            attack_type="replay",
+            target_speaker=target_speaker,
+            metadata={"loudspeaker": self.loudspeaker.spec.name},
+        )

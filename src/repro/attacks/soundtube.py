@@ -1,0 +1,138 @@
+"""Sound-tube attack (paper §VII, Fig. 16).
+
+The attacker pipes loudspeaker output through a plastic CAB tube whose
+opening sits where the mouth would be.  The tube defeats the magnetometer
+(the magnet stays a tube-length away) and presents a mouth-sized opening —
+but it cannot replicate a human sound field: the tube resonates (quarter-
+wave comb for an open-closed pipe), imprinting strong frequency-dependent
+colouration on the radiated intensity profile, and the opening radiates as
+a bare unbaffled piston with none of the head's shadow.  The paper reports
+every tube attempt failed on sound-field verification; this model
+reproduces that failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import AttackAttempt
+from repro.devices.loudspeaker import Loudspeaker
+from repro.errors import ConfigurationError
+from repro.physics.acoustics import SPEED_OF_SOUND, CircularPistonSource
+from repro.physics.geometry import unit
+
+
+@dataclass
+class TubeSource:
+    """Scene source: tube opening at the origin, loudspeaker behind it."""
+
+    loudspeaker: Loudspeaker
+    tube_length_m: float = 0.30
+    tube_radius_m: float = 0.012
+    #: Resonance peak-to-notch depth (linear amplitude ratio).  Rigid
+    #: plastic tubes are nearly undamped; notch depths beyond 10 dB are
+    #: typical.
+    resonance_depth: float = 0.8
+    #: Damping of higher resonance modes.
+    mode_damping: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.tube_length_m <= 0 or self.tube_radius_m <= 0:
+            raise ConfigurationError("tube dimensions must be positive")
+        if not 0.0 <= self.resonance_depth < 1.0:
+            raise ConfigurationError("resonance_depth must be in [0, 1)")
+        # The opening radiates like a piston of the tube's bore.
+        self._opening = CircularPistonSource(
+            position=np.zeros(3),
+            axis=np.array([1.0, 0.0, 0.0]),
+            aperture_radius=self.tube_radius_m,
+            level_db_spl=self.loudspeaker.spec.level_db_spl - 4.0,
+        )
+
+    @property
+    def kind(self) -> str:
+        return "soundtube"
+
+    def resonance_gain(self, frequency_hz: float) -> float:
+        """Quarter-wave comb response of the open-closed tube."""
+        f0 = SPEED_OF_SOUND / (4.0 * self.tube_length_m)
+        phase = np.pi * frequency_hz / (2.0 * f0)
+        comb = abs(np.sin(phase))
+        gain = (1.0 - self.resonance_depth) + self.resonance_depth * comb
+        # Higher modes lose energy to wall damping.
+        mode = frequency_hz / f0
+        return float(gain * np.exp(-self.mode_damping * mode / 10.0))
+
+    def acoustic_source(self) -> "TubeSource":
+        return self
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._opening.position
+
+    @property
+    def reflector_position(self) -> np.ndarray:
+        """The ranging pilot's dominant reflector: the attacker's body.
+
+        A thin tube rim reflects almost nothing; the first substantial
+        surface behind the opening is the attacker holding the rig, a
+        tube-length away.  The phase-ranging geometry therefore no longer
+        matches the sweep geometry — the distance component notices.
+        """
+        return self.position - self.tube_length_m * unit(self._opening.axis)
+
+    def pressure_at(self, position: np.ndarray, frequency_hz: float) -> float:
+        """Opening-piston radiation shaped by the tube comb.
+
+        The opening is a bare piston: unlike a mouth it carries no head
+        shadow, which — together with the comb colouration — is the
+        signature the sound-field classifier rejects.
+        """
+        return self._opening.pressure_at(position, frequency_hz) * self.resonance_gain(
+            frequency_hz
+        )
+
+    def magnetic_sources(self, drive=None):
+        """The loudspeaker's magnet, displaced a tube-length behind."""
+        displaced = self.loudspeaker.with_position(
+            self.position - self.tube_length_m * unit(self._opening.axis)
+        )
+        return displaced.magnetic_sources(drive)
+
+
+@dataclass
+class SoundTubeAttack:
+    """Stage a replay through a sound tube."""
+
+    loudspeaker: Loudspeaker
+    tube_length_m: float = 0.30
+    tube_radius_m: float = 0.012
+
+    def prepare(
+        self,
+        stolen_waveform: np.ndarray,
+        sample_rate: int,
+        target_speaker: str,
+    ) -> AttackAttempt:
+        """Build the attempt: tube source + band-limited replay audio."""
+        source = TubeSource(
+            self.loudspeaker,
+            tube_length_m=self.tube_length_m,
+            tube_radius_m=self.tube_radius_m,
+        )
+        played = self.loudspeaker.apply_band(
+            np.asarray(stolen_waveform, dtype=float), sample_rate
+        )
+        return AttackAttempt(
+            source=source,
+            waveform=played,
+            sample_rate=sample_rate,
+            attack_type="soundtube",
+            target_speaker=target_speaker,
+            metadata={
+                "loudspeaker": self.loudspeaker.spec.name,
+                "tube_length_cm": f"{self.tube_length_m * 100:.0f}",
+            },
+        )

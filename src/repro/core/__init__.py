@@ -1,0 +1,59 @@
+"""The paper's primary contribution: the voice-impersonation defense system.
+
+Four cascaded verification components (paper Fig. 4):
+
+1. :mod:`repro.core.distance` — sound source distance verification
+   (phase-based ranging + inertial reconstruction + circle fitting);
+2. :mod:`repro.core.soundfield` — sound field verification (intensity-vs-
+   angle features, linear SVM);
+3. :mod:`repro.core.magnetic` — loudspeaker detection (magnetometer
+   strength ``Mt`` and changing-rate ``βt`` thresholds);
+4. :mod:`repro.core.identity` — speaker identity verification (ASV).
+
+:class:`repro.core.pipeline.DefenseSystem` wires them into the
+enrol/verify API the prototype server exposes.
+"""
+
+from repro.core.config import DefenseConfig
+from repro.core.decision import (
+    ComponentResult,
+    Decision,
+    DecisionCategory,
+    VerificationReport,
+    categorize,
+)
+from repro.core.trajectory_recovery import RecoveredTrajectory, recover_trajectory
+from repro.core.distance import DistanceVerifier
+from repro.core.soundfield import SoundFieldVerifier, soundfield_features
+from repro.core.magnetic import LoudspeakerDetector, MagneticSignature
+from repro.core.identity import IdentityVerifier, extract_voice
+from repro.core.calibration import AdaptiveCalibrator
+from repro.core.dualmic import (
+    DualMicDistanceVerifier,
+    distance_from_sld,
+    sound_level_difference,
+)
+from repro.core.pipeline import DefenseSystem
+
+__all__ = [
+    "DefenseConfig",
+    "ComponentResult",
+    "Decision",
+    "DecisionCategory",
+    "VerificationReport",
+    "categorize",
+    "RecoveredTrajectory",
+    "recover_trajectory",
+    "DistanceVerifier",
+    "SoundFieldVerifier",
+    "soundfield_features",
+    "LoudspeakerDetector",
+    "MagneticSignature",
+    "IdentityVerifier",
+    "extract_voice",
+    "AdaptiveCalibrator",
+    "DualMicDistanceVerifier",
+    "distance_from_sld",
+    "sound_level_difference",
+    "DefenseSystem",
+]

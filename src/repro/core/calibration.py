@@ -1,0 +1,52 @@
+"""Adaptive thresholding (paper §VII, "Adaptive Thresholding").
+
+In high-EMF environments (near a computer, in a car) the magnetometer's
+ambient fluctuation trips the fixed thresholds and drives FRR up
+(Fig. 14).  The paper proposes monitoring the environment for a few
+seconds before capture and scaling each verification component's
+sensitivity.  :class:`AdaptiveCalibrator` implements exactly that: it
+measures the ambient magnitude variability and widens ``Mt``/``βt``
+proportionally, never below the factory values — which also addresses the
+paper's caution that calibrating *down* in a quiet environment must not
+make the system trickable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DefenseConfig
+from repro.errors import CaptureError
+from repro.world.environments import Environment
+
+
+@dataclass
+class AdaptiveCalibrator:
+    """Environment-aware threshold scaling.
+
+    ``reference_std_ut`` is the ambient |B| standard deviation the factory
+    thresholds were tuned for (a quiet room); ``headroom`` multiplies the
+    measured-vs-reference ratio to keep margin above the ambient peaks.
+    """
+
+    config: DefenseConfig
+    reference_std_ut: float = 0.5
+    headroom: float = 1.6
+    monitor_seconds: float = 3.0
+
+    def scale_from_samples(self, ambient_magnitudes_ut: np.ndarray) -> float:
+        """Sensitivity scale from raw ambient |B| samples (µT)."""
+        mags = np.asarray(ambient_magnitudes_ut, dtype=float)
+        if mags.size < 8:
+            raise CaptureError("need at least 8 ambient samples to calibrate")
+        std = float(np.std(mags))
+        # Never scale below 1: a quiet environment must not sharpen the
+        # thresholds past their factory values (§VII's trickability caveat).
+        return max(1.0, self.headroom * std / self.reference_std_ut)
+
+    def calibrate(self, environment: Environment) -> DefenseConfig:
+        """Monitor the environment and return an adjusted configuration."""
+        ambient = environment.ambient_sample(self.monitor_seconds)
+        return self.config.with_sensitivity(self.scale_from_samples(ambient))

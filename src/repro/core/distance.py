@@ -1,0 +1,52 @@
+"""Component 1: sound source distance verification.
+
+Ensures the phone ended its motion close enough to the sound source for
+the magnetometer check to be meaningful.  The continuous score is the
+negated estimated distance (higher = closer = more genuine-compatible);
+the pass decision compares the estimate against ``Dt`` with the
+configured margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DefenseConfig
+from repro.core.decision import ComponentResult
+from repro.core.trajectory_recovery import RecoveredTrajectory, recover_trajectory
+from repro.errors import CaptureError
+from repro.world.scene import SensorCapture
+
+
+@dataclass
+class DistanceVerifier:
+    """Recovers the trajectory and thresholds the final distance."""
+
+    config: DefenseConfig
+
+    def estimate(self, capture: SensorCapture) -> RecoveredTrajectory:
+        """Expose the full recovery for callers that need the trajectory."""
+        return recover_trajectory(capture)
+
+    def verify(self, capture: SensorCapture) -> ComponentResult:
+        """Pass iff the recovered final distance is within ``Dt``."""
+        try:
+            recovered = self.estimate(capture)
+        except CaptureError as exc:
+            return ComponentResult(
+                name="distance",
+                passed=False,
+                score=float("-inf"),
+                detail=f"trajectory recovery failed: {exc}",
+            )
+        limit = self.config.distance_threshold_m * self.config.distance_margin
+        passed = recovered.end_distance <= limit
+        return ComponentResult(
+            name="distance",
+            passed=passed,
+            score=-recovered.end_distance,
+            detail=(
+                f"estimated {recovered.end_distance * 100:.1f} cm "
+                f"(limit {limit * 100:.1f} cm)"
+            ),
+        )

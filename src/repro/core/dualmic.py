@@ -1,0 +1,115 @@
+"""Dual-microphone sound-level-difference ranging (§VII future work).
+
+"Certain smartphones like Nexus 4 have two microphones... The main idea
+is to measure the sound level difference (SLD) feature between the two
+microphones of the device.  We then use sound volumes information with
+the SLD feature to perform sound field verification" — reducing the
+required moving distance.
+
+The physics: with the source near the primary microphone and the
+secondary microphone a fixed ``separation`` away along the phone body,
+spherical spreading makes the two channels' levels differ by
+``20·log10(r2/r1)`` dB.  Close sources produce a large SLD (r2 ≫ r1);
+beyond a few tens of centimetres the SLD collapses toward 0 dB.  With
+the use-case grip the mics' offset is roughly perpendicular to the
+source direction, so ``r2² ≈ r1² + separation²`` and the SLD inverts in
+closed form to an absolute distance — no motion required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DefenseConfig
+from repro.core.decision import ComponentResult
+from repro.dsp.filters import bandpass
+from repro.dsp.signal import frame_signal
+from repro.errors import CaptureError
+from repro.world.scene import MIC_SEPARATION_M, SensorCapture
+
+#: Speech band used for level measurement (clear of the ranging pilot).
+_BAND_HZ = (200.0, 4000.0)
+_FRAME_S = 0.03
+
+
+def sound_level_difference(
+    capture: SensorCapture, tail_fraction: float = 0.35
+) -> float:
+    """Mean primary-minus-secondary level difference (dB).
+
+    Only the capture's tail is used — the phone has arrived at its final
+    distance there, which is what the verification needs to check.
+    """
+    if capture.audio_secondary is None:
+        raise CaptureError("capture has no secondary microphone channel")
+    sr = capture.audio_sample_rate
+    n_tail = int(tail_fraction * capture.audio.size)
+
+    def tail_levels(audio: np.ndarray) -> np.ndarray:
+        speech = bandpass(audio[-n_tail:], _BAND_HZ[0], _BAND_HZ[1], sr, order=2)
+        frames = frame_signal(speech, int(_FRAME_S * sr), int(_FRAME_S * sr) // 2, pad=True)
+        energy = (frames**2).mean(axis=1)
+        return 10.0 * np.log10(np.maximum(energy, 1e-16))
+
+    primary = tail_levels(capture.audio)
+    secondary = tail_levels(capture.audio_secondary)
+    n = min(primary.size, secondary.size)
+    primary, secondary = primary[:n], secondary[:n]
+    # Keep frames with actual speech on the stronger channel.
+    voiced = primary > primary.max() - 20.0
+    if voiced.sum() < 4:
+        raise CaptureError("not enough voiced frames for SLD measurement")
+    return float(np.mean(primary[voiced] - secondary[voiced]))
+
+
+def distance_from_sld(
+    sld_db: float, separation_m: float = MIC_SEPARATION_M
+) -> float:
+    """Invert the perpendicular-geometry SLD into a source distance (m).
+
+    ``r2/r1 = 10^(SLD/20)`` with ``r2² = r1² + separation²`` gives
+    ``r1 = separation / sqrt(ratio² − 1)``.  SLDs at or below 0 dB mean
+    the source is effectively far away; they map to a large distance.
+    """
+    ratio = 10.0 ** (sld_db / 20.0)
+    if ratio <= 1.0 + 1e-6:
+        return 1.0  # beyond any plausible mouth distance
+    return float(separation_m / np.sqrt(ratio**2 - 1.0))
+
+
+@dataclass
+class DualMicDistanceVerifier:
+    """SLD-based proximity check — no phone motion required.
+
+    A drop-in alternative to the trajectory-based distance component for
+    dual-microphone devices; the ablation bench compares the two.
+    """
+
+    config: DefenseConfig
+    separation_m: float = MIC_SEPARATION_M
+
+    def estimate(self, capture: SensorCapture) -> float:
+        """Estimated source distance (m) from the SLD."""
+        return distance_from_sld(
+            sound_level_difference(capture), self.separation_m
+        )
+
+    def verify(self, capture: SensorCapture) -> ComponentResult:
+        try:
+            estimated = self.estimate(capture)
+        except CaptureError as exc:
+            return ComponentResult(
+                name="dualmic_distance",
+                passed=False,
+                score=float("-inf"),
+                detail=str(exc),
+            )
+        limit = self.config.distance_threshold_m * self.config.distance_margin
+        return ComponentResult(
+            name="dualmic_distance",
+            passed=estimated <= limit,
+            score=-estimated,
+            detail=f"SLD distance {estimated * 100:.1f} cm (limit {limit * 100:.1f} cm)",
+        )

@@ -1,0 +1,112 @@
+"""Component 4: speaker identity verification (the ASV stage).
+
+Wraps :class:`repro.asv.SpeakerVerifier` (the Spear-system stand-in) so it
+consumes raw captures: the voice band is isolated from the ranging pilot,
+downsampled to the ASV rate, and scored against the claimed speaker's
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.asv.verifier import SpeakerVerifier, VerifierBackend
+from repro.core.config import DefenseConfig
+from repro.core.decision import ComponentResult
+from repro.dsp.filters import lowpass
+from repro.errors import CaptureError
+from repro.world.scene import SensorCapture
+
+
+def extract_voice(
+    audio: np.ndarray, audio_sample_rate: int, target_rate: int = 16000
+) -> np.ndarray:
+    """Isolate the speech band of a capture and resample for the ASV.
+
+    Low-passes well below the >16 kHz pilot, then linearly resamples.
+    """
+    if audio_sample_rate <= 0 or target_rate <= 0:
+        raise CaptureError("sample rates must be positive")
+    x = np.asarray(audio, dtype=float)
+    if x.size == 0:
+        raise CaptureError("empty capture audio")
+    cutoff = min(7500.0, target_rate / 2.0 * 0.95)
+    x = lowpass(x, cutoff, audio_sample_rate, order=4)
+    if audio_sample_rate == target_rate:
+        return x
+    n_out = int(round(x.size * target_rate / audio_sample_rate))
+    t_out = np.arange(n_out) / target_rate
+    t_in = np.arange(x.size) / audio_sample_rate
+    return np.interp(t_out, t_in, x)
+
+
+@dataclass
+class IdentityVerifier:
+    """Capture-level facade over the ASV back-end."""
+
+    config: DefenseConfig
+    backend: VerifierBackend = VerifierBackend.GMM_UBM
+    n_components: int = 32
+    seed: int = 0
+    verifier: SpeakerVerifier = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.verifier = SpeakerVerifier(
+            backend=self.backend, n_components=self.n_components, seed=self.seed
+        )
+
+    def train_background(
+        self, waveforms_by_speaker: Dict[str, Sequence[np.ndarray]]
+    ) -> "IdentityVerifier":
+        """Train the UBM/ISV on 16 kHz background waveforms."""
+        self.verifier.train_background(waveforms_by_speaker)
+        return self
+
+    def enroll_waveforms(
+        self, speaker_id: str, waveforms: Sequence[np.ndarray]
+    ) -> "IdentityVerifier":
+        """Enroll from clean 16 kHz waveforms."""
+        self.verifier.enroll(speaker_id, waveforms)
+        return self
+
+    def enroll_captures(
+        self, speaker_id: str, captures: Sequence[SensorCapture]
+    ) -> "IdentityVerifier":
+        """Enroll from raw captures (voice extracted automatically).
+
+        Note: enrolling from rendered captures lets MAP adaptation absorb
+        the capture channel itself, which inflates every later capture's
+        score regardless of speaker (channel lock-in).  Prefer
+        :meth:`enroll_waveforms` with the enrolment-phase recordings when
+        they are available; this method exists for pipelines that only
+        retain captures.
+        """
+        waves = [
+            extract_voice(c.audio, c.audio_sample_rate, self.verifier.sample_rate)
+            for c in captures
+        ]
+        return self.enroll_waveforms(speaker_id, waves)
+
+    def score(self, capture: SensorCapture, claimed_speaker: str) -> float:
+        voice = extract_voice(
+            capture.audio, capture.audio_sample_rate, self.verifier.sample_rate
+        )
+        return self.verifier.verify(claimed_speaker, voice)
+
+    def verify(self, capture: SensorCapture, claimed_speaker: str) -> ComponentResult:
+        try:
+            score = self.score(capture, claimed_speaker)
+        except CaptureError as exc:
+            return ComponentResult(
+                name="identity", passed=False, score=float("-inf"), detail=str(exc)
+            )
+        passed = score >= self.config.asv_threshold
+        return ComponentResult(
+            name="identity",
+            passed=passed,
+            score=score,
+            detail=f"LLR {score:.2f} vs threshold {self.config.asv_threshold:.2f}",
+        )

@@ -1,0 +1,104 @@
+"""Component 3: loudspeaker detection via the magnetometer.
+
+"We jointly use the absolute value and the changing rate of magnetic
+readings to detect the speaker.  We set a magnetic strength threshold Mt
+and a changing rate threshold βt." (paper §IV-B.3)
+
+The detector works on the field *magnitude* |B|, which is invariant to
+the phone's rotation during the sweep.  The ambient baseline is the
+median magnitude of the capture's opening window (phone still far from
+the source); the anomaly is the largest deviation from that baseline, and
+the rate is the steepest magnitude slope.  A human source leaves both
+near the noise floor; any conventional loudspeaker within a few
+centimetres blows through both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DefenseConfig
+from repro.core.decision import ComponentResult
+from repro.dsp.filters import moving_average
+from repro.errors import CaptureError
+from repro.world.scene import SensorCapture
+
+
+@dataclass(frozen=True)
+class MagneticSignature:
+    """Scalar features the detector thresholds."""
+
+    baseline_ut: float
+    peak_anomaly_ut: float
+    max_rate_ut_s: float
+    ambient_std_ut: float
+
+
+def magnetic_signature(
+    capture: SensorCapture, baseline_fraction: float = 0.25, smooth_samples: int = 5
+) -> MagneticSignature:
+    """Extract the detector's features from a capture."""
+    series = capture.magnetometer
+    if len(series) < 8:
+        raise CaptureError("magnetometer stream too short")
+    magnitude = moving_average(series.magnitudes(), smooth_samples)
+    n_base = max(4, int(baseline_fraction * magnitude.size))
+    baseline = float(np.median(magnitude[:n_base]))
+    ambient_std = float(np.std(magnitude[:n_base]))
+    anomaly = float(np.max(np.abs(magnitude - baseline)))
+    rates = np.gradient(magnitude, series.times)
+    max_rate = float(np.max(np.abs(rates)))
+    return MagneticSignature(
+        baseline_ut=baseline,
+        peak_anomaly_ut=anomaly,
+        max_rate_ut_s=max_rate,
+        ambient_std_ut=ambient_std,
+    )
+
+
+@dataclass
+class LoudspeakerDetector:
+    """Joint (Mt, βt) thresholding of the magnetic signature.
+
+    The component's continuous score follows the pipeline convention
+    ("higher = more genuine-like"): it is the *negated* normalised
+    detection strength, so a strongly magnetic source scores very low.
+    """
+
+    config: DefenseConfig
+
+    def signature(self, capture: SensorCapture) -> MagneticSignature:
+        return magnetic_signature(capture)
+
+    def detection_strength(self, signature: MagneticSignature) -> float:
+        """Max of the two threshold ratios; ≥ 1 means loudspeaker."""
+        return max(
+            signature.peak_anomaly_ut / self.config.magnetic_threshold_ut,
+            signature.max_rate_ut_s / self.config.rate_threshold_ut_s,
+        )
+
+    def verify(self, capture: SensorCapture) -> ComponentResult:
+        """Pass iff no loudspeaker-grade magnetic source is detected."""
+        try:
+            sig = self.signature(capture)
+        except CaptureError as exc:
+            return ComponentResult(
+                name="magnetic",
+                passed=False,
+                score=float("-inf"),
+                detail=str(exc),
+            )
+        strength = self.detection_strength(sig)
+        return ComponentResult(
+            name="magnetic",
+            passed=strength < 1.0,
+            score=-strength,
+            detail=(
+                f"anomaly {sig.peak_anomaly_ut:.1f} µT "
+                f"(Mt={self.config.magnetic_threshold_ut:.1f}), "
+                f"rate {sig.max_rate_ut_s:.0f} µT/s "
+                f"(βt={self.config.rate_threshold_ut_s:.0f})"
+            ),
+        )

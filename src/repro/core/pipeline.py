@@ -1,0 +1,183 @@
+"""The cascade defense pipeline (paper Fig. 4).
+
+:class:`DefenseSystem` runs the four verification components over a
+capture and accepts only when every component passes.  Components run in
+the paper's order — distance, sound field, loudspeaker detection, identity
+— and in ``cascade`` mode later components are skipped once one rejects
+(the prototype's latency optimisation); benches use ``cascade=False`` to
+collect every component's score for threshold sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.asv.verifier import VerifierBackend
+from repro.core.config import DefenseConfig
+from repro.core.decision import (
+    ComponentResult,
+    Decision,
+    VerificationReport,
+)
+from repro.core.distance import DistanceVerifier
+from repro.core.identity import IdentityVerifier
+from repro.core.magnetic import LoudspeakerDetector
+from repro.core.soundfield import SoundFieldVerifier
+from repro.errors import ConfigurationError
+from repro.world.scene import SensorCapture
+
+#: Pipeline order, matching Fig. 4.
+COMPONENT_ORDER = ("distance", "soundfield", "magnetic", "identity")
+
+
+@dataclass
+class DefenseSystem:
+    """Enrol/verify API over the four-component cascade.
+
+    ``enabled_components`` allows ablation benches to drop stages; the
+    full system keeps all four.
+    """
+
+    config: DefenseConfig = field(default_factory=DefenseConfig)
+    backend: VerifierBackend = VerifierBackend.GMM_UBM
+    asv_components: int = 32
+    seed: int = 0
+    enabled_components: tuple[str, ...] = COMPONENT_ORDER
+    distance: DistanceVerifier = field(init=False, repr=False)
+    #: Per-user sound-field models — the reference sweep is text- and
+    #: user-specific (paper Fig. 9 trains on *the user's* training data).
+    _soundfields: Dict[str, SoundFieldVerifier] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    magnetic: LoudspeakerDetector = field(init=False, repr=False)
+    identity: IdentityVerifier = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.enabled_components) - set(COMPONENT_ORDER)
+        if unknown:
+            raise ConfigurationError(f"unknown components: {sorted(unknown)}")
+        self.distance = DistanceVerifier(self.config)
+        self.magnetic = LoudspeakerDetector(self.config)
+        self.identity = IdentityVerifier(
+            self.config,
+            backend=self.backend,
+            n_components=self.asv_components,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Training / enrolment
+    # ------------------------------------------------------------------
+    def train_background(
+        self, waveforms_by_speaker: Dict[str, Sequence[np.ndarray]]
+    ) -> "DefenseSystem":
+        """Train the ASV background models (done once, offline)."""
+        self.identity.train_background(waveforms_by_speaker)
+        return self
+
+    def fit_soundfield(
+        self,
+        speaker_id: str,
+        genuine_captures: Sequence[SensorCapture],
+        impostor_captures: Sequence[SensorCapture],
+    ) -> "DefenseSystem":
+        """Train ``speaker_id``'s sound-field model (Fig. 9 training phase).
+
+        ``impostor_captures`` are the factory non-mouth sweeps — the
+        deployment recipe replays the user's enrolment audio through a
+        small set of reference loudspeakers.
+        """
+        verifier = SoundFieldVerifier(self.config)
+        verifier.fit_captures(genuine_captures, impostor_captures)
+        self._soundfields[speaker_id] = verifier
+        return self
+
+    def soundfield_for(self, speaker_id: str) -> SoundFieldVerifier:
+        """The trained sound-field model of one user."""
+        try:
+            return self._soundfields[speaker_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no sound-field model for {speaker_id!r}; call fit_soundfield"
+            ) from None
+
+    def enroll(
+        self,
+        speaker_id: str,
+        captures: Sequence[SensorCapture],
+        enrolment_waveforms: Optional[Sequence[np.ndarray]] = None,
+    ) -> "DefenseSystem":
+        """Enroll a user's voice.
+
+        When the enrolment-phase recordings are available (the normal
+        training flow — the app records the user's samples directly), pass
+        them as ``enrolment_waveforms`` (16 kHz); the ASV then adapts to
+        the voice rather than to the capture rendering channel.  Without
+        them, the voice is extracted from the captures.
+        """
+        if enrolment_waveforms is not None:
+            self.identity.enroll_waveforms(speaker_id, enrolment_waveforms)
+        else:
+            self.identity.enroll_captures(speaker_id, captures)
+        return self
+
+    def with_config(self, config: DefenseConfig) -> "DefenseSystem":
+        """Swap thresholds in place (used by adaptive calibration).
+
+        Trained state (UBM, speaker models, sound-field SVMs) is
+        preserved; only the threshold comparisons change.
+        """
+        self.config = config
+        self.distance.config = config
+        for verifier in self._soundfields.values():
+            verifier.config = config
+        self.magnetic.config = config
+        self.identity.config = config
+        return self
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        capture: SensorCapture,
+        claimed_speaker: Optional[str] = None,
+        cascade: bool = False,
+    ) -> VerificationReport:
+        """Run the pipeline over one capture.
+
+        ``claimed_speaker`` may be omitted when the identity component is
+        disabled (machine-detection-only benches).
+        """
+        results: Dict[str, ComponentResult] = {}
+        rejected = False
+        for name in COMPONENT_ORDER:
+            if name not in self.enabled_components:
+                continue
+            if cascade and rejected:
+                break
+            if name == "distance":
+                result = self.distance.verify(capture)
+            elif name == "soundfield":
+                if claimed_speaker is None:
+                    raise ConfigurationError(
+                        "claimed_speaker required when the sound-field component runs"
+                    )
+                result = self.soundfield_for(claimed_speaker).verify(capture)
+            elif name == "magnetic":
+                result = self.magnetic.verify(capture)
+            else:
+                if claimed_speaker is None:
+                    raise ConfigurationError(
+                        "claimed_speaker required when the identity component runs"
+                    )
+                result = self.identity.verify(capture, claimed_speaker)
+            results[name] = result
+            rejected = rejected or not result.passed
+        decision = Decision.REJECT if rejected else Decision.ACCEPT
+        return VerificationReport(
+            decision=decision, components=results, claimed_speaker=claimed_speaker
+        )

@@ -1,0 +1,323 @@
+"""Component 2: sound field verification.
+
+Catches small-aperture sources (earphones) and other non-mouth channels
+(sound tubes) that are too weakly magnetic for component 3.  During the
+sweep the phone samples the source's radiation pattern; the verifier
+"models the sound field of the human mouth using the training data"
+(paper §IV-B.2) and classifies new sweeps against that model with a
+linear SVM, exactly the two-phase train/predict flow of Fig. 9.
+
+Text dependence is the key to making the measurement robust: the user
+speaks the *same pass-phrase* during enrolment and verification, so a new
+sweep can be DTW-aligned to an enrolment reference sweep and differenced.
+After alignment the speech content cancels frame-by-frame, leaving the
+difference between the two sources' radiation patterns — head shadow,
+piston beaming, comb colouration — plus small session noise.  The SVM
+operates on features of that *delta trace*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.config import DefenseConfig
+from repro.core.decision import ComponentResult
+from repro.dsp.align import align_to_reference
+from repro.dsp.filters import bandpass, lowpass
+from repro.dsp.signal import frame_signal
+from repro.errors import CaptureError, NotFittedError
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.sensors.fusion import OrientationFilter
+from repro.world.scene import RENDER_BANDS, SensorCapture
+
+#: Analysis frame length / hop for volume measurement, seconds.
+_FRAME_S = 0.025
+_HOP_S = 0.010
+
+#: dB floor for silent frames.
+_FLOOR_DB = -90.0
+
+
+@dataclass(frozen=True)
+class SweepTrace:
+    """Level measurements along the sweep of one capture.
+
+    ``angles`` (rad) and per-frame levels for the voiced frames inside the
+    sweep window: ``total_db`` is the broadband level, ``rel_db`` has one
+    row per render band holding that band's level relative to the total.
+    """
+
+    angles: np.ndarray
+    total_db: np.ndarray
+    rel_db: np.ndarray
+
+    def __len__(self) -> int:
+        return self.angles.size
+
+
+def extract_sweep_trace(
+    capture: SensorCapture,
+    magnetometer_gain: float = 0.02,
+    voiced_margin_db: float = 25.0,
+    min_frames: int = 16,
+) -> SweepTrace:
+    """Measure the (volume, angle) trace of a capture's sweep."""
+    sr = capture.audio_sample_rate
+    frame_len = int(_FRAME_S * sr)
+    hop_len = int(_HOP_S * sr)
+    if capture.audio.size < frame_len:
+        raise CaptureError("capture audio too short for sound-field analysis")
+
+    fusion = OrientationFilter(magnetometer_gain=magnetometer_gain)
+    headings = fusion.estimate_heading(capture.gyroscope, capture.magnetometer)
+    headings = headings - headings[0]
+    gyro_times = capture.gyroscope.times
+
+    n_frames = 1 + (capture.audio.size - frame_len) // hop_len
+    frame_times = (np.arange(n_frames) * hop_len + frame_len / 2.0) / sr
+    frame_angles = np.interp(frame_times, gyro_times, headings)
+
+    # Scrub the >16 kHz ranging pilot before band analysis: the order-2
+    # band filters' upper skirts otherwise leak a distance-independent
+    # pilot floor into the top bands, flattening their radiation profiles
+    # exactly when the voice is quiet (large source distances).
+    audio = lowpass(capture.audio, 8000.0, sr, order=6)
+
+    band_db = np.empty((len(RENDER_BANDS), n_frames))
+    for i, (low_hz, high_hz, _centre) in enumerate(RENDER_BANDS):
+        high_hz = min(high_hz, sr / 2.0 * 0.95)
+        band_audio = bandpass(audio, low_hz, high_hz, sr, order=2)
+        frames = frame_signal(band_audio, frame_len, hop_len)[:n_frames]
+        energy = (frames**2).mean(axis=1)
+        band_db[i] = 10.0 * np.log10(np.maximum(energy, 10.0 ** (_FLOOR_DB / 10.0)))
+    total_power = (10.0 ** (band_db / 10.0)).sum(axis=0)
+    total_db = 10.0 * np.log10(np.maximum(total_power, 10.0 ** (_FLOOR_DB / 10.0)))
+
+    rate = np.abs(np.gradient(headings, gyro_times))
+    if rate.max() <= 0:
+        raise CaptureError("no rotation observed; cannot sample the sound field")
+    active = rate > 0.25 * rate.max()
+    t_lo = float(gyro_times[np.argmax(active)])
+    t_hi = float(gyro_times[len(active) - 1 - np.argmax(active[::-1])])
+    in_sweep = (frame_times >= t_lo) & (frame_times <= t_hi)
+    voiced = total_db > total_db.max() - voiced_margin_db
+    selected = in_sweep & voiced
+    if selected.sum() < min_frames:
+        raise CaptureError("not enough voiced sweep frames")
+
+    return SweepTrace(
+        angles=frame_angles[selected],
+        total_db=total_db[selected],
+        rel_db=band_db[:, selected] - total_db[selected][None, :],
+    )
+
+
+def delta_features(trace: SweepTrace, reference: SweepTrace) -> np.ndarray:
+    """Features of the content-cancelled difference to a reference sweep.
+
+    DTW on the broadband envelope aligns the two renditions of the
+    pass-phrase; per aligned frame the level differences isolate the
+    radiation mismatch.  For the broadband delta the global mean is
+    removed (the user controls loudness); per band the delta's mean
+    (spectral colouration — combs, speaker band limits), slope vs angle
+    (head shadow / piston beaming) and residual spread (texture) are kept.
+    """
+    mapping = align_to_reference(reference.total_db, trace.total_db)
+    a = reference.angles - reference.angles.mean()
+
+    d_tot = trace.total_db[mapping] - reference.total_db
+    d_tot = d_tot - d_tot.mean()
+
+    def trend(values: np.ndarray) -> tuple[float, float]:
+        coeffs = np.polyfit(a, values, deg=1)
+        fitted = np.polyval(coeffs, a)
+        return float(coeffs[0]), float(np.std(values - fitted))
+
+    features: List[float] = list(trend(d_tot))
+    band_means = []
+    band_rest = []
+    for k in range(trace.rel_db.shape[0]):
+        d_k = trace.rel_db[k][mapping] - reference.rel_db[k]
+        band_means.append(float(d_k.mean()))
+        band_rest.extend(trend(d_k - d_k.mean()))
+    band_means_arr = np.asarray(band_means)
+    # Colouration is relative: remove the common offset across bands, then
+    # detrend linearly across the band index.  Session-to-session prosody
+    # shifts the spectral *tilt* (smooth in frequency) and would otherwise
+    # dominate these dimensions; combs, notches and band-limits oscillate
+    # across bands and survive the detrending.
+    band_idx = np.arange(band_means_arr.size, dtype=float)
+    tilt = np.polyfit(band_idx, band_means_arr, deg=1)
+    band_means_arr = band_means_arr - np.polyval(tilt, band_idx)
+    features.extend(band_means_arr.tolist())
+    features.extend(band_rest)
+    return np.asarray(features)
+
+
+def soundfield_features(
+    capture: SensorCapture, reference: SweepTrace
+) -> np.ndarray:
+    """Convenience wrapper: capture → delta features against a reference."""
+    return delta_features(extract_sweep_trace(capture), reference)
+
+
+@dataclass
+class SoundFieldVerifier:
+    """Two-phase sound source validation (paper Fig. 9).
+
+    *Training phase*: store a reference sweep from the user's enrolment,
+    then fit the scaler + SVM on genuine sweeps (label +1) versus factory
+    non-mouth sweeps (label −1), all expressed as deltas against the
+    reference.  *Predicting phase*: score new captures with the SVM
+    decision function.
+    """
+
+    config: DefenseConfig
+    #: Genuine-cluster novelty limit: reject when the mean of the three
+    #: largest per-dimension |z| scores exceeds this.  The binary SVM only
+    #: rejects what resembles its training negatives; the novelty term
+    #: also rejects sources that deviate in *unseen* directions (e.g. a
+    #: sound tube's comb colouration).
+    novelty_limit: float = 5.0
+    #: Scale that maps novelty headroom into SVM-margin-comparable units.
+    novelty_scale: float = 2.0
+    #: Floor on the genuine-cluster per-dimension std (dB) so tiny
+    #: training sets cannot produce explosive z scores.
+    std_floor: float = 0.3
+    _reference: SweepTrace | None = field(default=None, repr=False)
+    _scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
+    _svm: LinearSVM = field(default_factory=lambda: LinearSVM(lambda_reg=1e-2), repr=False)
+    _genuine_mean: np.ndarray | None = field(default=None, repr=False)
+    _genuine_std: np.ndarray | None = field(default=None, repr=False)
+    #: Per-user decision threshold calibrated from the training scores
+    #: (midpoint between the genuine and impostor score clusters).  SVM
+    #: margins scale with each user's class separability, so a single
+    #: global threshold does not transfer across users.
+    threshold_: float | None = field(default=None, repr=False)
+    _fitted: bool = field(default=False, repr=False)
+
+    @property
+    def reference(self) -> SweepTrace:
+        if self._reference is None:
+            raise NotFittedError("SoundFieldVerifier has no reference sweep yet")
+        return self._reference
+
+    def features(self, capture: SensorCapture) -> np.ndarray:
+        return soundfield_features(capture, self.reference)
+
+    def fit_captures(
+        self,
+        genuine_captures: Sequence[SensorCapture],
+        impostor_captures: Sequence[SensorCapture],
+    ) -> "SoundFieldVerifier":
+        """Train from captures; the first genuine capture is the reference."""
+        if len(genuine_captures) < 2:
+            raise CaptureError("need at least two genuine training sweeps")
+        if not impostor_captures:
+            raise CaptureError("need impostor training sweeps")
+        traces = [extract_sweep_trace(c) for c in genuine_captures]
+        self._reference = traces[0]
+        genuine_feats = [delta_features(t, self._reference) for t in traces[1:]]
+        impostor_feats = [self.features(c) for c in impostor_captures]
+        x = np.vstack(genuine_feats + impostor_feats)
+        y = np.concatenate(
+            [np.ones(len(genuine_feats)), -np.ones(len(impostor_feats))]
+        )
+        self._svm.fit(self._scaler.fit_transform(x), y)
+        g = np.asarray(genuine_feats)
+        self._genuine_mean = g.mean(axis=0)
+        self._genuine_std = np.maximum(g.std(axis=0), self.std_floor)
+        self._fitted = True
+        self.threshold_ = self._calibrate_threshold(genuine_feats, impostor_feats)
+        return self
+
+    def _calibrate_threshold(
+        self,
+        genuine_feats: List[np.ndarray],
+        impostor_feats: List[np.ndarray],
+    ) -> float:
+        """Leave-one-out threshold calibration.
+
+        Training-set scores are optimistic (the SVM saw every sample), so
+        each training sweep is re-scored by a model fitted *without* it;
+        the threshold splits the unbiased score clusters, weighted
+        slightly toward the genuine side because unseen attack classes
+        spread upward more than unseen genuine attempts spread downward.
+        """
+
+        def loo_score(index: int, genuine: bool) -> float:
+            if genuine:
+                g_train = [f for i, f in enumerate(genuine_feats) if i != index]
+                i_train = impostor_feats
+                held_out = genuine_feats[index]
+            else:
+                g_train = genuine_feats
+                i_train = [f for i, f in enumerate(impostor_feats) if i != index]
+                held_out = impostor_feats[index]
+            x = np.vstack(g_train + i_train)
+            y = np.concatenate([np.ones(len(g_train)), -np.ones(len(i_train))])
+            scaler = StandardScaler()
+            svm = LinearSVM(lambda_reg=1e-2)
+            svm.fit(scaler.fit_transform(x), y)
+            g_arr = np.asarray(g_train)
+            mean = g_arr.mean(axis=0)
+            std = np.maximum(g_arr.std(axis=0), self.std_floor)
+            z = np.abs((held_out - mean) / std)
+            novelty = float(np.sort(z)[-3:].mean())
+            svm_score = float(
+                svm.decision_function(scaler.transform(held_out[None, :]))[0]
+            )
+            return min(svm_score, (self.novelty_limit - novelty) * self.novelty_scale)
+
+        genuine_loo = [loo_score(i, True) for i in range(len(genuine_feats))]
+        impostor_loo = [loo_score(i, False) for i in range(len(impostor_feats))]
+        # A low percentile rather than the minimum keeps one unlucky
+        # enrolment sweep from dragging the threshold down.
+        genuine_floor = float(np.percentile(genuine_loo, 15.0))
+        return 0.6 * genuine_floor + 0.4 * float(np.max(impostor_loo))
+
+    def _novelty(self, feats: np.ndarray) -> float:
+        """Mean of the three largest per-dimension genuine-cluster |z|."""
+        assert self._genuine_mean is not None and self._genuine_std is not None
+        z = np.abs((feats - self._genuine_mean) / self._genuine_std)
+        return float(np.sort(z)[-3:].mean())
+
+    def _score_features(self, feats: np.ndarray) -> float:
+        svm_score = float(
+            self._svm.decision_function(self._scaler.transform(feats[None, :]))[0]
+        )
+        novelty_headroom = (self.novelty_limit - self._novelty(feats)) * self.novelty_scale
+        return min(svm_score, novelty_headroom)
+
+    def score(self, capture: SensorCapture) -> float:
+        """min(SVM margin, scaled novelty headroom); ≥ threshold passes."""
+        if not self._fitted:
+            raise NotFittedError("SoundFieldVerifier used before fit")
+        return self._score_features(self.features(capture))
+
+    @property
+    def decision_threshold(self) -> float:
+        """The operating threshold: per-user calibration when available."""
+        if self.threshold_ is not None:
+            return self.threshold_
+        return self.config.soundfield_threshold
+
+    def verify(self, capture: SensorCapture) -> ComponentResult:
+        try:
+            score = self.score(capture)
+        except CaptureError as exc:
+            return ComponentResult(
+                name="soundfield", passed=False, score=float("-inf"), detail=str(exc)
+            )
+        threshold = self.decision_threshold
+        passed = score >= threshold
+        return ComponentResult(
+            name="soundfield",
+            passed=passed,
+            score=score - threshold,
+            detail=f"margin {score:.2f} vs calibrated threshold {threshold:.2f}",
+        )

@@ -1,0 +1,172 @@
+"""Smartphone motion-trajectory recovery (paper §IV-B.1).
+
+Reconstructs the phone's 2-D motion in the mouth-centred plane from the
+capture's raw streams, along the paper's recipe:
+
+1. **Radial track** — phase-based ranging of the >16 kHz pilot echo gives
+   the phone-source distance *change* with millimetre accuracy
+   (:func:`repro.dsp.phase.displacement_from_pilot`).
+2. **Bearing track** — the complementary filter fuses gyroscope and
+   magnetometer into the phone's direction change Δω
+   (:class:`repro.sensors.fusion.OrientationFilter`).
+3. **Absolute scale** — the radial track lacks the unknown starting
+   distance.  For circular motion about the source, tangential velocity is
+   ``r·ω̇``; regressing the dead-reckoned tangential velocity against the
+   fused angular rate (zero-velocity updates pin the capture's resting
+   endpoints) recovers the sweep radius.
+4. **Circle fit** — the paper's least-squares circle fit [17] refines the
+   sweep arc from the reconstructed 2-D points; the final distance is
+   measured from the last point to the fitted centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import moving_average
+from repro.dsp.phase import displacement_from_pilot
+from repro.errors import CaptureError, ConfigurationError
+from repro.physics.geometry import fit_circle_2d
+from repro.sensors.fusion import OrientationFilter
+from repro.world.scene import SensorCapture
+
+#: Gravity magnitude used for the vertical-axis correction, m/s².
+_GRAVITY = 9.80665
+
+
+@dataclass(frozen=True)
+class RecoveredTrajectory:
+    """Output of the recovery pipeline (all in the mouth-centred frame)."""
+
+    times: np.ndarray
+    radial_change: np.ndarray
+    headings: np.ndarray
+    positions_2d: np.ndarray
+    sweep_slice: slice
+    arc_radius: float
+    circle_center: tuple[float, float]
+    circle_radius: float
+    end_distance: float
+
+    @property
+    def total_direction_change(self) -> float:
+        """Δω over the capture, radians."""
+        return float(self.headings[-1] - self.headings[0])
+
+
+def _sweep_window(headings: np.ndarray, times: np.ndarray) -> slice:
+    """Locate the sweep: the window where the heading is actively turning."""
+    rate = np.abs(np.gradient(headings, times))
+    threshold = 0.25 * rate.max() if rate.max() > 0 else 0.0
+    active = np.nonzero(rate > threshold)[0]
+    if active.size < 8:
+        raise CaptureError("no sweep detected in the capture")
+    return slice(int(active[0]), int(active[-1]) + 1)
+
+
+def _world_horizontal_acceleration(
+    capture: SensorCapture, headings: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(t, ax, ay): horizontal world acceleration from the accelerometer.
+
+    The use-case grip keeps the screen vertical, so gravity sits on body
+    ``y`` and the fused heading fixes the horizontal body axes:
+    ``bx = (sinθ, −cosθ)``, ``bz = (−cosθ, −sinθ)`` (see
+    :class:`repro.world.trajectory.UseCaseTrajectory`).
+    """
+    acc = capture.accelerometer
+    t = acc.times
+    f = acc.values.copy()
+    f[:, 1] -= _GRAVITY
+    theta = np.interp(t, capture.gyroscope.times, headings)
+    ax = f[:, 0] * np.sin(theta) + f[:, 2] * (-np.cos(theta))
+    ay = f[:, 0] * (-np.cos(theta)) + f[:, 2] * (-np.sin(theta))
+    return t, ax, ay
+
+
+def _sweep_radius(capture: SensorCapture, headings: np.ndarray) -> float:
+    """Sweep radius via tangential-velocity/angular-rate regression.
+
+    The use-case motion starts and ends at rest, so zero-velocity updates
+    pin the integrated velocity at both capture endpoints.  The approach
+    phase has ω̇ ≈ 0 and therefore drops out of the regression naturally;
+    mid-sweep samples (largest ω̇) dominate the least-squares solution,
+    exactly where the tangential-velocity signal is strongest.
+    """
+    t, ax, ay = _world_horizontal_acceleration(capture, headings)
+    theta = np.interp(t, capture.gyroscope.times, headings)
+    dt = np.gradient(t)
+    vx = np.cumsum(ax * dt)
+    vy = np.cumsum(ay * dt)
+    ramp = np.linspace(0.0, 1.0, t.size)
+    vx -= vx[0] + (vx[-1] - vx[0]) * ramp
+    vy -= vy[0] + (vy[-1] - vy[0]) * ramp
+    v_tangential = -vx * np.sin(theta) + vy * np.cos(theta)
+    angular_rate = moving_average(np.gradient(theta, t), 15)
+    denom = float(np.sum(angular_rate**2))
+    if denom <= 1e-12:
+        raise CaptureError("no rotation observed; cannot recover scale")
+    return abs(float(np.sum(v_tangential * angular_rate) / denom))
+
+
+def recover_trajectory(
+    capture: SensorCapture,
+    magnetometer_gain: float = 0.02,
+) -> RecoveredTrajectory:
+    """Full recovery pipeline: capture → 2-D trajectory + final distance."""
+    if capture.pilot_hz <= 0:
+        raise CaptureError("capture has no ranging pilot")
+
+    # 1. Radial displacement (positive = approaching), on the gyro grid.
+    disp_audio = displacement_from_pilot(
+        capture.audio, capture.pilot_hz, capture.audio_sample_rate
+    )
+    audio_times = np.arange(disp_audio.size) / capture.audio_sample_rate
+    gyro_times = capture.gyroscope.times
+    radial_change = -np.interp(gyro_times, audio_times, disp_audio)
+
+    # 2. Bearing from sensor fusion.
+    fusion = OrientationFilter(magnetometer_gain=magnetometer_gain)
+    headings = fusion.estimate_heading(capture.gyroscope, capture.magnetometer)
+    headings = headings - headings[0]
+
+    # 3. Sweep window and absolute scale.
+    sweep = _sweep_window(headings, gyro_times)
+    swept_angle = abs(headings[sweep.stop - 1] - headings[sweep.start])
+    if swept_angle < np.deg2rad(5.0):
+        raise CaptureError("sweep angle too small for scale recovery")
+    arc_radius = _sweep_radius(capture, headings)
+
+    # Radius over time: anchored so the sweep-mean radius equals arc_radius.
+    sweep_radial_mean = float(radial_change[sweep].mean())
+    radius_t = arc_radius + (radial_change - sweep_radial_mean)
+    radius_t = np.maximum(radius_t, 1e-3)
+
+    # 4. 2-D reconstruction and circle-fit refinement on the sweep.
+    xs = radius_t * np.cos(headings)
+    ys = radius_t * np.sin(headings)
+    positions = np.column_stack([xs, ys])
+    try:
+        cx, cy, circle_radius = fit_circle_2d(xs[sweep], ys[sweep])
+        # The fitted centre estimates the sound-source location; clamp a
+        # wildly off-origin fit (degenerate arcs) back to the prior.
+        if np.hypot(cx, cy) > 2.0 * arc_radius:
+            raise ConfigurationError("circle fit diverged from the source prior")
+        end_distance = float(np.hypot(xs[-1] - cx, ys[-1] - cy))
+    except ConfigurationError:
+        cx, cy, circle_radius = 0.0, 0.0, arc_radius
+        end_distance = float(radius_t[-1])
+
+    return RecoveredTrajectory(
+        times=gyro_times,
+        radial_change=radial_change,
+        headings=headings,
+        positions_2d=positions,
+        sweep_slice=sweep,
+        arc_radius=float(arc_radius),
+        circle_center=(float(cx), float(cy)),
+        circle_radius=float(circle_radius),
+        end_distance=end_distance,
+    )

@@ -1,0 +1,41 @@
+"""Device models: testbed smartphones and the evaluated loudspeakers.
+
+- :mod:`repro.devices.smartphone` — the Table II testbed phones (Nexus 5,
+  Nexus 4, Galaxy Nexus), each bundling the sensor suite of
+  :mod:`repro.sensors`.
+- :mod:`repro.devices.loudspeaker` — parametric loudspeaker model covering
+  every class the paper evaluates (PC speakers, Bluetooth portables, floor
+  speakers, laptop/phone internals, earphones) plus the unconventional
+  electrostatic and piezoelectric speakers from §VII.
+- :mod:`repro.devices.registry` — the concrete makes/models of Table II and
+  Table IV.
+"""
+
+from repro.devices.loudspeaker import (
+    Loudspeaker,
+    LoudspeakerSpec,
+    SpeakerCategory,
+)
+from repro.devices.smartphone import Smartphone, SmartphoneSpec
+from repro.devices.registry import (
+    TABLE_II_PHONES,
+    TABLE_IV_LOUDSPEAKERS,
+    UNCONVENTIONAL_LOUDSPEAKERS,
+    get_phone,
+    get_loudspeaker,
+    loudspeakers_by_category,
+)
+
+__all__ = [
+    "Loudspeaker",
+    "LoudspeakerSpec",
+    "SpeakerCategory",
+    "Smartphone",
+    "SmartphoneSpec",
+    "TABLE_II_PHONES",
+    "TABLE_IV_LOUDSPEAKERS",
+    "UNCONVENTIONAL_LOUDSPEAKERS",
+    "get_phone",
+    "get_loudspeaker",
+    "loudspeakers_by_category",
+]

@@ -1,0 +1,203 @@
+"""Parametric loudspeaker model.
+
+A conventional (dynamic) loudspeaker is, for this system's purposes, three
+things (paper Fig. 2 and §III-B):
+
+1. an *acoustic aperture* — the cone, modelled as a baffled circular piston
+   whose radius drives the sound-field verification component;
+2. a *permanent magnet* — a static dipole whose near field (30–210 µT) the
+   magnetometer detects;
+3. a *voice coil* — an audio-modulated dipole that makes the reading
+   fluctuate at audio rate, feeding the changing-rate threshold ``βt``.
+
+Unconventional speakers differ exactly where the paper says they do: an
+electrostatic speaker (ESL) has no magnet but large metal grids (small
+induced moment, big aperture); a piezoelectric speaker has neither magnet
+nor coil.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.acoustics import CircularPistonSource
+from repro.physics.magnetics import (
+    FieldSource,
+    MagneticDipole,
+    MuMetalShield,
+    ShieldedDipole,
+    VoiceCoilDipole,
+)
+
+
+class SpeakerCategory(enum.Enum):
+    """Classes of loudspeakers covered by the evaluation (Table IV + §VII)."""
+
+    PC_SPEAKER = "pc_speaker"
+    OUTDOOR = "outdoor"
+    BLUETOOTH = "bluetooth"
+    FLOOR = "floor"
+    HOME_AUDIO = "home_audio"
+    LAPTOP_INTERNAL = "laptop_internal"
+    PHONE_INTERNAL = "phone_internal"
+    EARPHONE = "earphone"
+    ELECTROSTATIC = "electrostatic"
+    PIEZOELECTRIC = "piezoelectric"
+
+
+@dataclass(frozen=True)
+class LoudspeakerSpec:
+    """Physical parameters of one loudspeaker model.
+
+    ``magnet_moment_am2`` — permanent-magnet dipole moment (A·m²).  Zero for
+    magnet-free designs (ESL, piezo).
+    ``coil_fraction`` — peak voice-coil moment as a fraction of the magnet
+    moment (the coil is much weaker than the magnet).
+    ``induced_moment_am2`` — soft-magnetic structure (frames, grids) that
+    shows up on a magnetometer even without a magnet.
+    ``band_hz`` — usable passband; replay attacks inherit this colouration.
+    """
+
+    maker: str
+    model: str
+    category: SpeakerCategory
+    cone_radius_m: float
+    magnet_moment_am2: float
+    coil_fraction: float = 0.15
+    induced_moment_am2: float = 0.0
+    band_hz: tuple[float, float] = (80.0, 18000.0)
+    level_db_spl: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.cone_radius_m <= 0:
+            raise ConfigurationError("cone_radius_m must be positive")
+        if self.magnet_moment_am2 < 0 or self.induced_moment_am2 < 0:
+            raise ConfigurationError("dipole moments must be non-negative")
+        if not 0.0 <= self.coil_fraction <= 1.0:
+            raise ConfigurationError("coil_fraction must be in [0, 1]")
+        lo, hi = self.band_hz
+        if not 0 < lo < hi:
+            raise ConfigurationError("band_hz must satisfy 0 < low < high")
+
+    @property
+    def name(self) -> str:
+        return f"{self.maker} {self.model}"
+
+    @property
+    def is_conventional(self) -> bool:
+        """True for magnet-and-coil (dynamic) designs."""
+        return self.magnet_moment_am2 > 0.0
+
+
+class Loudspeaker:
+    """A placed loudspeaker: spec + pose + optional Mu-metal shield.
+
+    ``position`` is the cone centre; ``axis`` the radiation direction.
+    """
+
+    def __init__(
+        self,
+        spec: LoudspeakerSpec,
+        position: np.ndarray,
+        axis: np.ndarray = (1.0, 0.0, 0.0),
+        shield: Optional[MuMetalShield] = None,
+    ):
+        self.spec = spec
+        self.position = np.asarray(position, dtype=float)
+        if self.position.shape != (3,):
+            raise ConfigurationError("position must be a 3-vector")
+        axis_arr = np.asarray(axis, dtype=float)
+        norm = np.linalg.norm(axis_arr)
+        if norm == 0:
+            raise ConfigurationError("axis must be non-zero")
+        self.axis = axis_arr / norm
+        self.shield = shield
+
+    @property
+    def kind(self) -> str:
+        """Scene-source kind tag (see :class:`repro.world.scene.SceneSource`)."""
+        return "loudspeaker"
+
+    def shielded(self, shield: Optional[MuMetalShield] = None) -> "Loudspeaker":
+        """A copy of this speaker inside a Mu-metal box."""
+        return Loudspeaker(
+            self.spec, self.position, self.axis, shield or MuMetalShield()
+        )
+
+    def acoustic_source(self) -> CircularPistonSource:
+        """The cone as a baffled piston."""
+        return CircularPistonSource(
+            position=self.position,
+            axis=self.axis,
+            aperture_radius=self.spec.cone_radius_m,
+            level_db_spl=self.spec.level_db_spl,
+        )
+
+    def magnetic_sources(
+        self, drive: Optional[Callable[[float], float]] = None
+    ) -> List[FieldSource]:
+        """Every magnetic field source this speaker contributes.
+
+        ``drive`` maps time to normalised drive level for the voice coil;
+        pass the playback envelope so the coil field fluctuates with audio.
+        """
+        sources: List[FieldSource] = []
+        if self.spec.magnet_moment_am2 > 0:
+            magnet = MagneticDipole(
+                self.position, self.axis * self.spec.magnet_moment_am2
+            )
+            if self.shield is not None:
+                sources.append(ShieldedDipole(magnet, self.shield))
+            else:
+                sources.append(magnet)
+            coil_peak = self.spec.magnet_moment_am2 * self.spec.coil_fraction
+            if self.shield is not None:
+                coil_peak /= self.shield.shielding_factor
+            if coil_peak > 0 and drive is not None:
+                sources.append(
+                    VoiceCoilDipole(self.position, self.axis, coil_peak, drive)
+                )
+        if self.spec.induced_moment_am2 > 0:
+            sources.append(
+                MagneticDipole(
+                    self.position, self.axis * self.spec.induced_moment_am2
+                )
+            )
+        return sources
+
+    def apply_band(self, waveform: np.ndarray, sample_rate: int) -> np.ndarray:
+        """Band-limit a waveform to the speaker's passband.
+
+        This is the colouration a replay attack inherits; the ASV front-end
+        partially removes it with CMVN but the acoustic rendering keeps it.
+        """
+        from repro.dsp.filters import bandpass  # local import avoids a cycle
+
+        lo, hi = self.spec.band_hz
+        hi = min(hi, sample_rate / 2.0 * 0.98)
+        if lo >= hi:
+            raise ConfigurationError(
+                f"speaker band [{lo}, {hi}] invalid at rate {sample_rate}"
+            )
+        return bandpass(waveform, lo, hi, sample_rate, order=2)
+
+    def with_position(self, position: np.ndarray, axis: Optional[np.ndarray] = None) -> "Loudspeaker":
+        """A copy of this speaker at a new pose (same shield state)."""
+        return Loudspeaker(
+            self.spec,
+            position,
+            self.axis if axis is None else axis,
+            self.shield,
+        )
+
+
+def scaled_spec(spec: LoudspeakerSpec, magnet_scale: float) -> LoudspeakerSpec:
+    """A spec with the magnet scaled — used by ablation benches."""
+    if magnet_scale < 0:
+        raise ConfigurationError("magnet_scale must be non-negative")
+    return replace(spec, magnet_moment_am2=spec.magnet_moment_am2 * magnet_scale)

@@ -1,0 +1,130 @@
+"""Concrete device registry: Table II phones and Table IV loudspeakers.
+
+The paper evaluates 25 loudspeakers "ranging from low-end to high-end,
+including PC loudspeakers, mobile phone internal speakers, laptop internal
+speakers, and earphones" (§VI) and three testbed phones (Table II).  The
+makes and models below are copied from the paper's appendix; the physical
+parameters (cone radius, magnet moment, passband) are set per device class
+from the realistic ranges that place near-field strength in the paper's
+observed 30–210 µT window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.loudspeaker import LoudspeakerSpec, SpeakerCategory
+from repro.devices.smartphone import SmartphoneSpec
+from repro.errors import ConfigurationError
+
+#: Table II — testbed smartphones.
+TABLE_II_PHONES: List[SmartphoneSpec] = [
+    SmartphoneSpec(maker="Google (LG)", model="Nexus 5", seed=50),
+    SmartphoneSpec(maker="Google (LG)", model="Nexus 4", seed=51, dual_microphone=True),
+    SmartphoneSpec(maker="Samsung", model="Galaxy Nexus", seed=52),
+]
+
+
+def _spec(
+    maker: str,
+    model: str,
+    category: SpeakerCategory,
+    cone_cm: float,
+    magnet: float,
+    band: tuple[float, float],
+    level: float = 80.0,
+    induced: float = 0.0,
+) -> LoudspeakerSpec:
+    return LoudspeakerSpec(
+        maker=maker,
+        model=model,
+        category=category,
+        cone_radius_m=cone_cm / 100.0,
+        magnet_moment_am2=magnet,
+        band_hz=band,
+        level_db_spl=level,
+        induced_moment_am2=induced,
+    )
+
+
+#: Table IV — the 25 evaluated loudspeakers.
+TABLE_IV_LOUDSPEAKERS: List[LoudspeakerSpec] = [
+    _spec("Logitech", "LS21", SpeakerCategory.PC_SPEAKER, 3.5, 0.090, (60, 18000)),
+    _spec("Klipsch", "KHO-7", SpeakerCategory.OUTDOOR, 6.0, 0.160, (55, 19000), 86),
+    _spec("Insignia", "NS-OS112", SpeakerCategory.OUTDOOR, 5.5, 0.130, (65, 18000), 84),
+    _spec("Sony", "SRSX2/BLK", SpeakerCategory.BLUETOOTH, 2.5, 0.045, (90, 17000)),
+    _spec("Bose", "SoundLink Mini PINK", SpeakerCategory.BLUETOOTH, 2.8, 0.060, (70, 17500)),
+    _spec("Bose", "151 SE", SpeakerCategory.OUTDOOR, 5.7, 0.140, (60, 18500), 85),
+    _spec("Yamaha", "NS-AW190BL", SpeakerCategory.OUTDOOR, 6.3, 0.150, (55, 19500), 85),
+    _spec("Pioneer", "SP-FS52", SpeakerCategory.FLOOR, 6.6, 0.190, (40, 20000), 88),
+    _spec("HP", "D9J19AT", SpeakerCategory.PC_SPEAKER, 2.6, 0.050, (90, 16500)),
+    _spec("GPX", "HT12B", SpeakerCategory.HOME_AUDIO, 5.0, 0.110, (60, 18000), 83),
+    _spec("Coby", "CSMP67", SpeakerCategory.HOME_AUDIO, 4.5, 0.095, (70, 17500), 82),
+    _spec("Acoustic Audio", "AA2101", SpeakerCategory.HOME_AUDIO, 5.2, 0.120, (50, 18500), 84),
+    _spec("Apple", "Macbook Pro A1286 internal", SpeakerCategory.LAPTOP_INTERNAL, 1.4, 0.022, (150, 16000), 74),
+    _spec("Apple", "Macbook Air A1466 internal", SpeakerCategory.LAPTOP_INTERNAL, 1.2, 0.018, (180, 15500), 72),
+    _spec("Apple", "iMac MB952XX/A internal", SpeakerCategory.LAPTOP_INTERNAL, 2.2, 0.040, (90, 17000), 78),
+    _spec("HP", "6510b internal", SpeakerCategory.LAPTOP_INTERNAL, 1.1, 0.015, (220, 14500), 70),
+    _spec("Toshiba", "Satellite C55-B5101 internal", SpeakerCategory.LAPTOP_INTERNAL, 1.2, 0.017, (200, 15000), 71),
+    _spec("Dell", "Inspiron I5558-2571BLK internal", SpeakerCategory.LAPTOP_INTERNAL, 1.3, 0.019, (190, 15000), 72),
+    _spec("Apple", "iPhone 6 Plus A1524 internal", SpeakerCategory.PHONE_INTERNAL, 0.8, 0.012, (300, 16000), 70),
+    _spec("Apple", "iPhone 5S A1533 internal", SpeakerCategory.PHONE_INTERNAL, 0.7, 0.010, (350, 15500), 69),
+    _spec("Apple", "iPhone 4S A1387 internal", SpeakerCategory.PHONE_INTERNAL, 0.7, 0.009, (380, 15000), 68),
+    _spec("LG", "Nexus 5 LG-D820 internal", SpeakerCategory.PHONE_INTERNAL, 0.7, 0.010, (350, 15500), 69),
+    _spec("LG", "Nexus 4 LG-E960 internal", SpeakerCategory.PHONE_INTERNAL, 0.7, 0.009, (380, 15000), 68),
+    _spec("Samsung", "Galaxy S EHS44 earphones", SpeakerCategory.EARPHONE, 0.5, 0.0022, (80, 19000), 66),
+    _spec("Apple", "EarPods MD827LL/A", SpeakerCategory.EARPHONE, 0.5, 0.0025, (60, 19500), 66),
+]
+
+#: §VII — unconventional loudspeakers (no permanent magnet).
+UNCONVENTIONAL_LOUDSPEAKERS: List[LoudspeakerSpec] = [
+    _spec(
+        "MartinLogan",
+        "ElectroMotion ESL (stand-in)",
+        SpeakerCategory.ELECTROSTATIC,
+        12.0,
+        0.0,
+        (300, 20000),
+        82,
+        induced=0.012,
+    ),
+    _spec(
+        "Murata",
+        "Piezo tweeter (stand-in)",
+        SpeakerCategory.PIEZOELECTRIC,
+        1.5,
+        0.0,
+        (1500, 20000),
+        70,
+    ),
+]
+
+_ALL_SPEAKERS: Dict[str, LoudspeakerSpec] = {
+    s.name: s for s in TABLE_IV_LOUDSPEAKERS + UNCONVENTIONAL_LOUDSPEAKERS
+}
+_ALL_PHONES: Dict[str, SmartphoneSpec] = {p.model: p for p in TABLE_II_PHONES}
+
+
+def get_loudspeaker(name: str) -> LoudspeakerSpec:
+    """Look up a loudspeaker spec by ``"Maker Model"`` name."""
+    try:
+        return _ALL_SPEAKERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown loudspeaker {name!r}; known: {sorted(_ALL_SPEAKERS)}"
+        ) from None
+
+
+def get_phone(model: str) -> SmartphoneSpec:
+    """Look up a testbed phone by model name (Table II)."""
+    try:
+        return _ALL_PHONES[model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown phone {model!r}; known: {sorted(_ALL_PHONES)}"
+        ) from None
+
+
+def loudspeakers_by_category(category: SpeakerCategory) -> List[LoudspeakerSpec]:
+    """All registered speakers of one category (conventional set only)."""
+    return [s for s in TABLE_IV_LOUDSPEAKERS if s.category is category]

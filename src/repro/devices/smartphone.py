@@ -1,0 +1,82 @@
+"""Testbed smartphone model.
+
+A :class:`Smartphone` bundles the sensor suite one physical device carries
+(magnetometer, accelerometer, gyroscope, microphone) plus the parameters of
+its built-in speaker used to emit the ranging pilot.  Per-device seeds give
+each phone its own noise/bias realisation, mirroring unit-to-unit variation
+across the Table II testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensors.imu import Accelerometer, Gyroscope
+from repro.sensors.magnetometer import Magnetometer
+from repro.sensors.microphone import Microphone
+
+
+@dataclass(frozen=True)
+class SmartphoneSpec:
+    """Static description of a testbed phone (Table II row)."""
+
+    maker: str
+    model: str
+    seed: int = 0
+    audio_sample_rate: int = 48000
+    #: Highest pilot frequency the built-in speaker can emit cleanly; the
+    #: paper selects "the highest possible frequency" per device via the
+    #: SoundWave-style calibration [18].
+    max_pilot_hz: float = 21000.0
+    dual_microphone: bool = False
+
+    def __post_init__(self) -> None:
+        if self.audio_sample_rate <= 0:
+            raise ConfigurationError("audio_sample_rate must be positive")
+        if not 16000.0 <= self.max_pilot_hz < self.audio_sample_rate / 2.0:
+            raise ConfigurationError(
+                "max_pilot_hz must be >= 16 kHz (inaudible) and below Nyquist"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.maker} {self.model}"
+
+
+@dataclass
+class Smartphone:
+    """A concrete phone instance with its sensor suite."""
+
+    spec: SmartphoneSpec
+    magnetometer: Magnetometer = field(init=False)
+    accelerometer: Accelerometer = field(init=False)
+    gyroscope: Gyroscope = field(init=False)
+    microphone: Microphone = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.spec.seed)
+        self.magnetometer = Magnetometer(
+            hard_iron_ut=rng.normal(0.0, 1.5, 3),
+            seed=self.spec.seed * 7 + 1,
+        )
+        self.accelerometer = Accelerometer(
+            bias_ms2=rng.normal(0.0, 0.02, 3), seed=self.spec.seed * 7 + 2
+        )
+        self.gyroscope = Gyroscope(
+            bias_rads=rng.normal(0.0, 0.001, 3), seed=self.spec.seed * 7 + 3
+        )
+        self.microphone = Microphone(
+            sample_rate=self.spec.audio_sample_rate, seed=self.spec.seed * 7 + 4
+        )
+
+    def select_pilot_frequency(self) -> float:
+        """The ranging-pilot frequency this phone uses.
+
+        Per the paper, the highest frequency the speaker can emit (so it is
+        maximally inaudible and has the shortest wavelength for ranging),
+        discretised to a 500 Hz grid for a clean STFT bin.
+        """
+        return float(np.floor(self.spec.max_pilot_hz / 500.0) * 500.0)

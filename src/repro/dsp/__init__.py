@@ -1,0 +1,79 @@
+"""Signal-processing substrate.
+
+Everything the verification pipeline and the ASV front-end need, built on
+``numpy``/``scipy`` primitives:
+
+- :mod:`repro.dsp.signal` — tone/chirp generation, framing, windowing, level
+  measurement.
+- :mod:`repro.dsp.filters` — pre-emphasis and Butterworth band filters.
+- :mod:`repro.dsp.spectral` — STFT, spectrograms, power spectra.
+- :mod:`repro.dsp.mel` — mel filterbanks, MFCCs and delta features.
+- :mod:`repro.dsp.phase` — IQ demodulation and phase-based displacement
+  recovery for the >16 kHz ranging pilot.
+- :mod:`repro.dsp.vad` — energy-based voice activity detection.
+"""
+
+from repro.dsp.signal import (
+    amplitude_to_db,
+    db_to_amplitude,
+    frame_signal,
+    generate_chirp,
+    generate_tone,
+    rms,
+    rms_db,
+)
+from repro.dsp.filters import (
+    bandpass,
+    highpass,
+    lowpass,
+    preemphasis,
+)
+from repro.dsp.spectral import (
+    Spectrogram,
+    power_spectrum,
+    spectrogram,
+    stft,
+)
+from repro.dsp.mel import (
+    MFCCExtractor,
+    delta,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+)
+from repro.dsp.phase import (
+    iq_demodulate,
+    phase_to_displacement,
+    remove_static_component,
+    unwrap_phase,
+)
+from repro.dsp.vad import energy_vad, trim_silence
+
+__all__ = [
+    "amplitude_to_db",
+    "db_to_amplitude",
+    "frame_signal",
+    "generate_chirp",
+    "generate_tone",
+    "rms",
+    "rms_db",
+    "bandpass",
+    "highpass",
+    "lowpass",
+    "preemphasis",
+    "Spectrogram",
+    "power_spectrum",
+    "spectrogram",
+    "stft",
+    "MFCCExtractor",
+    "delta",
+    "hz_to_mel",
+    "mel_filterbank",
+    "mel_to_hz",
+    "iq_demodulate",
+    "phase_to_displacement",
+    "remove_static_component",
+    "unwrap_phase",
+    "energy_vad",
+    "trim_silence",
+]

@@ -1,0 +1,91 @@
+"""Filtering utilities: pre-emphasis and Butterworth band selection."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import SignalError
+
+
+def preemphasis(x: np.ndarray, coefficient: float = 0.97) -> np.ndarray:
+    """First-order pre-emphasis ``y[n] = x[n] − a·x[n−1]``.
+
+    Standard ASV front-end step: flattens the −6 dB/octave glottal tilt so
+    the mel filterbank sees balanced energy across formants.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise SignalError("preemphasis expects a non-empty 1-D signal")
+    if not 0.0 <= coefficient < 1.0:
+        raise SignalError("pre-emphasis coefficient must be in [0, 1)")
+    return np.append(x[0], x[1:] - coefficient * x[:-1])
+
+
+def _validate_band(sample_rate: int, *freqs: float) -> None:
+    if sample_rate <= 0:
+        raise SignalError("sample_rate must be positive")
+    nyq = sample_rate / 2.0
+    for f in freqs:
+        if not 0.0 < f < nyq:
+            raise SignalError(f"cutoff {f} Hz outside (0, Nyquist={nyq})")
+
+
+def lowpass(
+    x: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 4
+) -> np.ndarray:
+    """Zero-phase Butterworth low-pass."""
+    _validate_band(sample_rate, cutoff_hz)
+    sos = sp_signal.butter(order, cutoff_hz, btype="low", fs=sample_rate, output="sos")
+    return sp_signal.sosfiltfilt(sos, np.asarray(x, dtype=float))
+
+
+def highpass(
+    x: np.ndarray, cutoff_hz: float, sample_rate: int, order: int = 4
+) -> np.ndarray:
+    """Zero-phase Butterworth high-pass."""
+    _validate_band(sample_rate, cutoff_hz)
+    sos = sp_signal.butter(order, cutoff_hz, btype="high", fs=sample_rate, output="sos")
+    return sp_signal.sosfiltfilt(sos, np.asarray(x, dtype=float))
+
+
+def bandpass(
+    x: np.ndarray,
+    low_hz: float,
+    high_hz: float,
+    sample_rate: int,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase Butterworth band-pass.
+
+    Used to isolate the >16 kHz ranging pilot from speech before IQ
+    demodulation.
+    """
+    _validate_band(sample_rate, low_hz, high_hz)
+    if low_hz >= high_hz:
+        raise SignalError("bandpass requires low_hz < high_hz")
+    sos = sp_signal.butter(
+        order, [low_hz, high_hz], btype="band", fs=sample_rate, output="sos"
+    )
+    return sp_signal.sosfiltfilt(sos, np.asarray(x, dtype=float))
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge replication.
+
+    Edges are padded with the boundary values before convolving, so a
+    constant signal stays constant — zero padding would fabricate ramps at
+    the ends, which downstream rate-of-change detectors would see as huge
+    spurious transients.
+    """
+    x = np.asarray(x, dtype=float)
+    if window <= 0:
+        raise SignalError("window must be positive")
+    if window == 1 or x.size == 0:
+        return x.copy()
+    w = min(window, x.size)
+    pad = w // 2
+    padded = np.pad(x, pad, mode="edge")
+    kernel = np.ones(w) / w
+    smoothed = np.convolve(padded, kernel, mode="same")
+    return smoothed[pad : pad + x.size]

@@ -1,0 +1,175 @@
+"""Phase-based displacement recovery for the ranging pilot.
+
+The distance-verification component follows the LLAP-style method of
+Wang et al. [49] cited by the paper: the phone plays an inaudible tone at
+``fs`` (>16 kHz, wavelength < 2.2 cm), the microphone records the mixture of
+the direct path and the echo off the user's head, and the echo's phase
+rotates by 2π for every half-wavelength of phone motion (the path is
+out-and-back, so path length changes at twice the phone speed relative to
+the head... here the phone carries both the speaker and the microphone, so
+the echo path is ``2·d`` and phase is ``4π·d/λ``).
+
+Pipeline: band-pass around the pilot → IQ demodulation → static (direct
+path / LOS leakage) removal → phase unwrap → displacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import lowpass
+from repro.errors import SignalError
+from repro.physics.acoustics import SPEED_OF_SOUND
+
+
+def iq_demodulate(
+    x: np.ndarray,
+    carrier_hz: float,
+    sample_rate: int,
+    lowpass_hz: float = 400.0,
+) -> np.ndarray:
+    """Complex baseband of ``x`` around ``carrier_hz``.
+
+    Multiplies by a complex exponential and low-passes both quadratures;
+    the result's angle is the carrier phase, its magnitude the envelope.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise SignalError("iq_demodulate expects a non-empty 1-D signal")
+    if not 0.0 < carrier_hz < sample_rate / 2.0:
+        raise SignalError("carrier must lie inside (0, Nyquist)")
+    if not 0.0 < lowpass_hz < sample_rate / 2.0:
+        raise SignalError("lowpass_hz must lie inside (0, Nyquist)")
+    t = np.arange(x.size) / sample_rate
+    mixed = x * np.exp(-2.0j * np.pi * carrier_hz * t)
+    i = lowpass(mixed.real, lowpass_hz, sample_rate)
+    q = lowpass(mixed.imag, lowpass_hz, sample_rate)
+    return i + 1.0j * q
+
+
+def estimate_static_phasor(
+    baseband: np.ndarray,
+    max_points: int = 2000,
+    n_chunks: int = 12,
+    min_coverage_rad: float = 3.5,
+) -> complex:
+    """Estimate the static (direct-path) phasor of a baseband signal.
+
+    While the phone moves, the echo phasor rotates around the constant
+    direct-path phasor, so baseband samples trace a *spiral* in the I/Q
+    plane centred on the static vector (the echo amplitude grows as the
+    phone approaches).  A plain time-average fails because the sweep phase
+    of the use-case motion freezes the echo at one angle, and a global
+    circle fit is biased by the spiral's varying radius.
+
+    Instead the capture is split into chunks short enough that the spiral
+    radius is locally constant; each chunk with enough angular coverage
+    (> ``min_coverage_rad``) gets its own least-squares circle fit, and the
+    best-conditioned fit (smallest residual relative to its radius, with a
+    bonus for coverage) supplies the centre.  Falls back to a global fit,
+    then to the mean, when no chunk qualifies.
+    """
+    from repro.physics.geometry import fit_circle_2d  # deferred: avoids cycle
+    from repro.errors import ConfigurationError
+
+    bb = np.asarray(baseband, dtype=complex)
+    if bb.ndim != 1 or bb.size == 0:
+        raise SignalError("expected a non-empty 1-D baseband signal")
+    step = max(1, bb.size // max_points)
+    pts = bb[::step]
+    n = pts.size
+    best: tuple[float, complex] | None = None
+    for k in range(n_chunks):
+        seg = pts[k * n // n_chunks : (k + 1) * n // n_chunks]
+        if seg.size < 8:
+            continue
+        try:
+            cx, cy, r = fit_circle_2d(seg.real, seg.imag)
+        except ConfigurationError:
+            continue
+        centre = complex(cx, cy)
+        residual = float(np.sqrt(np.mean((np.abs(seg - centre) - r) ** 2)))
+        coverage = float(
+            np.abs(np.diff(np.unwrap(np.angle(seg - centre))[[0, -1]]))[0]
+        )
+        if coverage < min_coverage_rad:
+            continue
+        score = residual / max(r, 1e-12) - 0.05 * min(coverage, 2.0 * np.pi)
+        if best is None or score < best[0]:
+            best = (score, centre)
+    if best is not None:
+        return best[1]
+    try:
+        cx, cy, _ = fit_circle_2d(pts.real, pts.imag)
+        return complex(cx, cy)
+    except ConfigurationError:
+        return complex(bb.mean())
+
+
+def remove_static_component(
+    baseband: np.ndarray, window: int | None = None
+) -> np.ndarray:
+    """Subtract the quasi-static part of a complex baseband signal.
+
+    The direct speaker→microphone path inside the phone produces a large
+    constant phasor that swamps the moving echo (LEVD's "static vector" in
+    [49]).  By default the static vector is estimated with an I/Q-plane
+    circle fit (see :func:`estimate_static_phasor`); pass ``window`` to use
+    a running-mean estimate instead (useful when the static path itself
+    drifts slowly).
+    """
+    bb = np.asarray(baseband, dtype=complex)
+    if bb.ndim != 1 or bb.size == 0:
+        raise SignalError("expected a non-empty 1-D baseband signal")
+    if window is None:
+        return bb - estimate_static_phasor(bb)
+    if window <= 1:
+        raise SignalError("window must be > 1 samples")
+    kernel = np.ones(min(window, bb.size)) / min(window, bb.size)
+    running = np.convolve(bb, kernel, mode="same")
+    return bb - running
+
+
+def unwrap_phase(baseband: np.ndarray) -> np.ndarray:
+    """Unwrapped instantaneous phase (radians) of a complex baseband."""
+    bb = np.asarray(baseband, dtype=complex)
+    if bb.ndim != 1 or bb.size == 0:
+        raise SignalError("expected a non-empty 1-D baseband signal")
+    return np.unwrap(np.angle(bb))
+
+
+def phase_to_displacement(
+    phase_rad: np.ndarray,
+    carrier_hz: float,
+    round_trip: bool = True,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> np.ndarray:
+    """Convert unwrapped echo phase to displacement in metres.
+
+    For a round-trip (speaker and mic co-located on the phone, echo off the
+    head) the path is ``2·d`` and ``Δd = −Δφ·λ/(4π)``; the sign convention
+    makes *approaching* the reflector positive.
+    """
+    if carrier_hz <= 0:
+        raise SignalError("carrier must be positive")
+    wavelength = speed_of_sound / carrier_hz
+    factor = 4.0 * np.pi if round_trip else 2.0 * np.pi
+    phase = np.asarray(phase_rad, dtype=float)
+    return -(phase - phase[0]) * wavelength / factor
+
+
+def displacement_from_pilot(
+    recording: np.ndarray,
+    carrier_hz: float,
+    sample_rate: int,
+    lowpass_hz: float = 200.0,
+) -> np.ndarray:
+    """End-to-end: recording → relative displacement toward the reflector.
+
+    Convenience wrapper chaining demodulation, static removal, unwrapping
+    and scaling; returns metres relative to the first sample.
+    """
+    baseband = iq_demodulate(recording, carrier_hz, sample_rate, lowpass_hz)
+    dynamic = remove_static_component(baseband)
+    phase = unwrap_phase(dynamic)
+    return phase_to_displacement(phase, carrier_hz)

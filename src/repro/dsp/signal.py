@@ -1,0 +1,132 @@
+"""Waveform generation, framing and level measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def generate_tone(
+    frequency_hz: float,
+    duration_s: float,
+    sample_rate: int,
+    amplitude: float = 1.0,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """A pure sinusoid.
+
+    Used for the inaudible ranging pilot (>16 kHz) and for synthetic test
+    fixtures.  Raises :class:`SignalError` when the frequency violates
+    Nyquist, because an aliased pilot silently breaks phase recovery.
+    """
+    if sample_rate <= 0:
+        raise SignalError("sample_rate must be positive")
+    if duration_s <= 0:
+        raise SignalError("duration must be positive")
+    if not 0.0 < frequency_hz < sample_rate / 2.0:
+        raise SignalError(
+            f"frequency {frequency_hz} Hz is outside (0, Nyquist={sample_rate / 2})"
+        )
+    n = int(round(duration_s * sample_rate))
+    t = np.arange(n) / sample_rate
+    return amplitude * np.sin(2.0 * np.pi * frequency_hz * t + phase_rad)
+
+
+def generate_chirp(
+    f0_hz: float,
+    f1_hz: float,
+    duration_s: float,
+    sample_rate: int,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A linear chirp from ``f0_hz`` to ``f1_hz``."""
+    if sample_rate <= 0 or duration_s <= 0:
+        raise SignalError("sample_rate and duration must be positive")
+    nyq = sample_rate / 2.0
+    if not (0.0 < f0_hz < nyq and 0.0 < f1_hz < nyq):
+        raise SignalError("chirp endpoints must lie inside (0, Nyquist)")
+    n = int(round(duration_s * sample_rate))
+    t = np.arange(n) / sample_rate
+    k = (f1_hz - f0_hz) / duration_s
+    phase = 2.0 * np.pi * (f0_hz * t + 0.5 * k * t**2)
+    return amplitude * np.sin(phase)
+
+
+def frame_signal(
+    x: np.ndarray, frame_length: int, hop_length: int, pad: bool = False
+) -> np.ndarray:
+    """Slice ``x`` into overlapping frames, shape ``(n_frames, frame_length)``.
+
+    With ``pad=True`` the tail is zero-padded so no samples are dropped;
+    otherwise only complete frames are returned.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise SignalError("frame_signal expects a 1-D signal")
+    if frame_length <= 0 or hop_length <= 0:
+        raise SignalError("frame_length and hop_length must be positive")
+    if x.size < frame_length:
+        if not pad:
+            raise SignalError(
+                f"signal ({x.size} samples) shorter than one frame ({frame_length})"
+            )
+        x = np.pad(x, (0, frame_length - x.size))
+    if pad:
+        remainder = (x.size - frame_length) % hop_length
+        if remainder:
+            x = np.pad(x, (0, hop_length - remainder))
+    n_frames = 1 + (x.size - frame_length) // hop_length
+    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
+    return x[idx]
+
+
+def rms(x: np.ndarray) -> float:
+    """Root-mean-square level of a signal."""
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise SignalError("cannot compute RMS of an empty signal")
+    return float(np.sqrt(np.mean(x**2)))
+
+
+def amplitude_to_db(amplitude: np.ndarray, floor_db: float = -120.0) -> np.ndarray:
+    """Convert linear amplitude to dBFS (relative to 1.0), floored."""
+    a = np.abs(np.asarray(amplitude, dtype=float))
+    floor_amp = 10.0 ** (floor_db / 20.0)
+    return 20.0 * np.log10(np.maximum(a, floor_amp))
+
+
+def db_to_amplitude(db: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`amplitude_to_db`."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 20.0)
+
+
+def rms_db(x: np.ndarray) -> float:
+    """RMS level in dBFS."""
+    return float(amplitude_to_db(np.array([rms(x)]))[0])
+
+
+def add_awgn(x: np.ndarray, snr_db: float, rng: np.random.Generator) -> np.ndarray:
+    """Add white Gaussian noise at the requested SNR.
+
+    Silent input is returned with noise at an absolute floor so that the SNR
+    definition never divides by zero.
+    """
+    x = np.asarray(x, dtype=float)
+    signal_power = float(np.mean(x**2))
+    if signal_power <= 0.0:
+        signal_power = 1e-12
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    return x + rng.normal(0.0, np.sqrt(noise_power), x.shape)
+
+
+def normalize_peak(x: np.ndarray, peak: float = 0.99) -> np.ndarray:
+    """Scale so the maximum absolute sample equals ``peak``.
+
+    A silent signal is returned unchanged rather than amplified to NaNs.
+    """
+    x = np.asarray(x, dtype=float)
+    m = float(np.max(np.abs(x))) if x.size else 0.0
+    if m == 0.0:
+        return x.copy()
+    return x * (peak / m)

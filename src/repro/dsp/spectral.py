@@ -1,0 +1,107 @@
+"""Short-time spectral analysis: STFT, spectrograms and power spectra.
+
+Fig. 6 of the paper shows the received spectrograph of the >16 kHz ranging
+tone while the phone moves; :func:`spectrogram` regenerates that figure's
+underlying data for the F6 benchmark, and :func:`stft` feeds the MFCC
+front-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.signal import frame_signal
+from repro.errors import SignalError
+
+
+def stft(
+    x: np.ndarray,
+    frame_length: int = 512,
+    hop_length: int = 128,
+    window: str = "hann",
+) -> np.ndarray:
+    """Short-time Fourier transform, shape ``(n_frames, frame_length//2 + 1)``.
+
+    Only the one-sided spectrum is returned; the input is real audio.
+    """
+    frames = frame_signal(x, frame_length, hop_length, pad=True)
+    win = _make_window(window, frame_length)
+    return np.fft.rfft(frames * win[None, :], axis=1)
+
+
+def _make_window(name: str, length: int) -> np.ndarray:
+    if name == "hann":
+        return np.hanning(length)
+    if name == "hamming":
+        return np.hamming(length)
+    if name == "rect":
+        return np.ones(length)
+    raise SignalError(f"unknown window {name!r}")
+
+
+def power_spectrum(
+    x: np.ndarray, frame_length: int = 512, hop_length: int = 128
+) -> np.ndarray:
+    """Per-frame power spectrum (|STFT|² normalised by frame length)."""
+    spec = stft(x, frame_length, hop_length)
+    return (np.abs(spec) ** 2) / frame_length
+
+
+@dataclass(frozen=True)
+class Spectrogram:
+    """A computed spectrogram plus its axes.
+
+    ``magnitude_db`` has shape ``(n_frames, n_bins)``; ``times`` (s) and
+    ``frequencies`` (Hz) label the rows and columns.
+    """
+
+    magnitude_db: np.ndarray
+    times: np.ndarray
+    frequencies: np.ndarray
+
+    def band(self, low_hz: float, high_hz: float) -> np.ndarray:
+        """Sub-spectrogram restricted to a frequency band."""
+        mask = (self.frequencies >= low_hz) & (self.frequencies <= high_hz)
+        if not np.any(mask):
+            raise SignalError(f"no bins inside [{low_hz}, {high_hz}] Hz")
+        return self.magnitude_db[:, mask]
+
+    def peak_frequency_track(self, low_hz: float = 0.0, high_hz: float = np.inf) -> np.ndarray:
+        """Frequency of the strongest bin per frame within a band (Hz)."""
+        mask = (self.frequencies >= low_hz) & (self.frequencies <= high_hz)
+        if not np.any(mask):
+            raise SignalError(f"no bins inside [{low_hz}, {high_hz}] Hz")
+        freqs = self.frequencies[mask]
+        idx = np.argmax(self.magnitude_db[:, mask], axis=1)
+        return freqs[idx]
+
+
+def spectrogram(
+    x: np.ndarray,
+    sample_rate: int,
+    frame_length: int = 512,
+    hop_length: int = 128,
+    floor_db: float = -120.0,
+) -> Spectrogram:
+    """Magnitude spectrogram in dB with time/frequency axes."""
+    if sample_rate <= 0:
+        raise SignalError("sample_rate must be positive")
+    spec = stft(x, frame_length, hop_length)
+    mag = np.abs(spec)
+    floor = 10.0 ** (floor_db / 20.0)
+    mag_db = 20.0 * np.log10(np.maximum(mag, floor))
+    n_frames = spec.shape[0]
+    times = (np.arange(n_frames) * hop_length + frame_length / 2.0) / sample_rate
+    freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
+    return Spectrogram(magnitude_db=mag_db, times=times, frequencies=freqs)
+
+
+def spectral_centroid(x: np.ndarray, sample_rate: int, frame_length: int = 512, hop_length: int = 128) -> np.ndarray:
+    """Per-frame spectral centroid in Hz (used by replay-channel tests)."""
+    power = power_spectrum(x, frame_length, hop_length)
+    freqs = np.fft.rfftfreq(frame_length, d=1.0 / sample_rate)
+    total = power.sum(axis=1)
+    total = np.where(total > 0, total, 1.0)
+    return (power * freqs[None, :]).sum(axis=1) / total

@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SignalError(ReproError):
+    """A signal-processing routine received unusable input."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before being trained/fitted."""
+
+
+class CaptureError(ReproError):
+    """A sensor capture is missing data required by a verification stage."""
+
+
+class ProtocolError(ReproError):
+    """A client/server message failed to encode, decode, or validate."""

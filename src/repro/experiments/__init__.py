@@ -1,0 +1,34 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every benchmark under ``benchmarks/`` is a thin wrapper around a runner
+here, so the same code regenerates EXPERIMENTS.md and drives
+pytest-benchmark.  See DESIGN.md §4 for the experiment index.
+"""
+
+from repro.experiments.world import (
+    ExperimentWorld,
+    UserAccount,
+    attack_capture,
+    build_world,
+    genuine_capture,
+    make_trajectory,
+)
+from repro.experiments.runner import (
+    TrialOutcome,
+    equal_error_rate_from_margins,
+    evaluate_outcomes,
+    pipeline_margin,
+)
+
+__all__ = [
+    "ExperimentWorld",
+    "UserAccount",
+    "attack_capture",
+    "build_world",
+    "genuine_capture",
+    "make_trajectory",
+    "TrialOutcome",
+    "equal_error_rate_from_margins",
+    "evaluate_outcomes",
+    "pipeline_margin",
+]

@@ -1,0 +1,162 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig12a --users 3 --seed 7
+    python -m repro.experiments all
+
+Each experiment prints the same rows its benchmark emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+EXPERIMENTS = (
+    "table1",
+    "fig6",
+    "fig8",
+    "fig10",
+    "fig12a",
+    "fig12b",
+    "fig14a",
+    "fig14b",
+    "fig15",
+    "table4",
+    "soundtube",
+    "unconventional",
+    "adaptive",
+)
+
+
+def _world(args):
+    from repro.experiments.world import build_world
+
+    print(f"building world (seed={args.seed}, users={args.users})...", flush=True)
+    t0 = time.time()
+    world = build_world(seed=args.seed, n_users=args.users)
+    print(f"  ready in {time.time() - t0:.1f} s")
+    return world
+
+
+def run_one(name: str, args, world=None):
+    """Run one named experiment, printing its rows."""
+    print(f"\n=== {name} ===")
+    if name == "table1":
+        from repro.experiments.table1 import run_table1
+
+        for row in run_table1(seed=args.seed):
+            print(
+                f"  {row.backend}: Test1 FAR {row.test1_far_pct:.1f}%  "
+                f"Test2 FAR {row.test2_far_pct:.1f}%"
+            )
+        return
+    if name == "fig10":
+        from repro.experiments.fig10 import run_fig10
+
+        result = run_fig10()
+        print(
+            f"  |B| {result.min_ut:.0f}-{result.max_ut:.0f} µT at "
+            f"{result.radius_m * 100:.0f} cm, axial ratio {result.axial_ratio:.2f}"
+        )
+        return
+
+    world = world or _world(args)
+    if name == "fig6":
+        from repro.experiments.fig6 import run_fig6
+
+        result = run_fig6(world)
+        print(
+            f"  pilot {result.pilot_hz:.0f} Hz, Doppler contrast "
+            f"{result.doppler_contrast_db:+.1f} dB"
+        )
+    elif name == "fig8":
+        from repro.experiments.fig8 import run_fig8
+
+        result = run_fig8(world)
+        print(f"  mouth/earphone separation ratio {result.separation:.2f}")
+    elif name in ("fig12a", "fig12b"):
+        from repro.experiments.fig12 import run_distance_experiment
+        from repro.physics.magnetics import MuMetalShield
+
+        shield = MuMetalShield() if name.endswith("b") else None
+        for row in run_distance_experiment(world, shield=shield):
+            print(
+                f"  {row.distance_cm:4.0f} cm: FAR {row.far_pct:5.1f}%  "
+                f"FRR {row.frr_pct:5.1f}%  EER {row.eer_pct:5.1f}%"
+            )
+    elif name in ("fig14a", "fig14b"):
+        from repro.experiments.fig14 import run_in_car, run_near_computer
+
+        runner = run_near_computer if name.endswith("a") else run_in_car
+        for row in runner(world):
+            print(
+                f"  {row.distance_cm:4.0f} cm: FAR {row.far_pct:5.1f}%  "
+                f"FRR {row.frr_pct:5.1f}%  EER {row.eer_pct:5.1f}%"
+            )
+    elif name == "fig15":
+        from repro.experiments.fig15 import run_fig15
+
+        for row in run_fig15(world):
+            print(
+                f"  {row.scheme:10s}: total {row.mean_total_s:5.2f} s "
+                f"(success {row.success_rate:.0%})"
+            )
+    elif name == "table4":
+        from repro.experiments.table4 import detection_rate, run_table4
+
+        rows = run_table4(world)
+        for row in rows:
+            mark = "✓" if row.detected else "✗"
+            print(f"  {mark} {row.name:45s} {row.rejected_by}")
+        print(f"  detection rate {detection_rate(rows):.0%}")
+    elif name == "soundtube":
+        from repro.experiments.discussion import run_soundtube
+
+        for row in run_soundtube(world):
+            print(
+                f"  L={row.tube_length_cm:.0f}cm r={row.tube_radius_cm:.1f}cm: "
+                f"{row.succeeded}/{row.attempts} succeeded ({row.rejected_by})"
+            )
+    elif name == "unconventional":
+        from repro.experiments.discussion import run_unconventional
+
+        for row in run_unconventional(world):
+            print(f"  {row.name}: detected={row.detected} ({row.rejected_by})")
+    elif name == "adaptive":
+        from repro.experiments.discussion import run_adaptive_thresholding
+
+        for row in run_adaptive_thresholding(world):
+            print(f"  {row.mode}: FAR {row.far_pct:.1f}%  FRR {row.frr_pct:.1f}%")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--users", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        world = _world(args)
+        for name in EXPERIMENTS:
+            run_one(name, args, world=world)
+    else:
+        run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

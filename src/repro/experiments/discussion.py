@@ -1,0 +1,171 @@
+"""§VII discussion experiments: sound tubes, unconventional speakers,
+and adaptive thresholding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.soundtube import SoundTubeAttack
+from repro.core.calibration import AdaptiveCalibrator
+from repro.devices.loudspeaker import Loudspeaker
+from repro.devices.registry import UNCONVENTIONAL_LOUDSPEAKERS, get_loudspeaker
+from repro.experiments.runner import TrialOutcome, evaluate_outcomes
+from repro.experiments.world import ExperimentWorld, attack_capture, genuine_capture
+from repro.world.environments import car_environment
+
+
+@dataclass(frozen=True)
+class TubeRow:
+    """One sound-tube configuration (paper Fig. 16 tube set)."""
+
+    tube_length_cm: float
+    tube_radius_cm: float
+    attempts: int
+    succeeded: int
+    rejected_by: str
+
+
+def run_soundtube(
+    world: ExperimentWorld,
+    tube_lengths_m: Sequence[float] = (0.2, 0.3, 0.45),
+    tube_radii_m: Sequence[float] = (0.008, 0.012),
+    attempts_per_config: int = 3,
+    speaker_name: str = "Logitech LS21",
+) -> List[TubeRow]:
+    """Tube attacks over several tube geometries (paper: all fail)."""
+    user_id = sorted(world.users)[0]
+    stolen = world.user(user_id).enrolment_waveforms[-1]
+    speaker = Loudspeaker(get_loudspeaker(speaker_name), np.zeros(3))
+    rows: List[TubeRow] = []
+    for length in tube_lengths_m:
+        for radius in tube_radii_m:
+            attack = SoundTubeAttack(
+                speaker, tube_length_m=length, tube_radius_m=radius
+            )
+            attempt = attack.prepare(stolen, world.synthesizer.sample_rate, user_id)
+            succeeded = 0
+            reject_reasons: List[str] = []
+            for _ in range(attempts_per_config):
+                capture = attack_capture(world, attempt, 0.05)
+                report = world.system.verify(capture, user_id)
+                if report.accepted:
+                    succeeded += 1
+                else:
+                    reject_reasons.extend(report.failed_components())
+            rows.append(
+                TubeRow(
+                    tube_length_cm=length * 100.0,
+                    tube_radius_cm=radius * 100.0,
+                    attempts=attempts_per_config,
+                    succeeded=succeeded,
+                    rejected_by=",".join(sorted(set(reject_reasons))) or "none",
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class UnconventionalRow:
+    """Detection outcome for one magnet-free loudspeaker."""
+
+    name: str
+    category: str
+    detected: bool
+    rejected_by: str
+
+
+def run_unconventional(
+    world: ExperimentWorld, attempts: int = 3
+) -> List[UnconventionalRow]:
+    """Electrostatic and piezoelectric speakers (paper §VII).
+
+    The ESL has no magnet but its metal grids are detectable and its
+    panel is far larger than a mouth; the piezo tweeter is caught by its
+    band-limited, small-aperture sound field.
+    """
+    user_id = sorted(world.users)[0]
+    stolen = world.user(user_id).enrolment_waveforms[-1]
+    rows: List[UnconventionalRow] = []
+    for spec in UNCONVENTIONAL_LOUDSPEAKERS:
+        speaker = Loudspeaker(spec, np.zeros(3))
+        attempt = ReplayAttack(speaker).prepare(
+            stolen, world.synthesizer.sample_rate, user_id
+        )
+        detections = 0
+        reasons: List[str] = []
+        for _ in range(attempts):
+            capture = attack_capture(world, attempt, 0.05)
+            report = world.system.verify(capture, user_id)
+            if not report.accepted:
+                detections += 1
+                reasons.extend(report.failed_components())
+        rows.append(
+            UnconventionalRow(
+                name=spec.name,
+                category=spec.category.value,
+                detected=detections == attempts,
+                rejected_by=",".join(sorted(set(reasons))) or "none",
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class AdaptiveRow:
+    """FRR in the car before/after adaptive thresholding."""
+
+    mode: str
+    far_pct: float
+    frr_pct: float
+
+
+def run_adaptive_thresholding(
+    world: ExperimentWorld,
+    genuine_trials: int = 8,
+    attack_trials: int = 6,
+    distance: float = 0.05,
+) -> List[AdaptiveRow]:
+    """§VII adaptive thresholding in the car environment.
+
+    Fixed factory thresholds produce a high FRR in the car; calibrating
+    the magnetometer thresholds against a few seconds of ambient readings
+    recovers usability without admitting the loudspeaker attacks.
+    """
+    env = car_environment(world.seed + 31)
+    user_ids = sorted(world.users)
+    speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+    rows: List[AdaptiveRow] = []
+    base_config = world.config
+
+    for mode in ("fixed", "adaptive"):
+        if mode == "adaptive":
+            calibrator = AdaptiveCalibrator(base_config)
+            world.system.with_config(calibrator.calibrate(env))
+        outcomes: List[TrialOutcome] = []
+        for i in range(genuine_trials):
+            user_id = user_ids[i % len(user_ids)]
+            capture = genuine_capture(world, user_id, distance, environment=env)
+            outcomes.append(
+                TrialOutcome(True, world.system.verify(capture, user_id))
+            )
+        for j in range(attack_trials):
+            user_id = user_ids[j % len(user_ids)]
+            stolen = world.user(user_id).enrolment_waveforms[-1]
+            attempt = ReplayAttack(speaker).prepare(
+                stolen, world.synthesizer.sample_rate, user_id
+            )
+            capture = attack_capture(world, attempt, distance, environment=env)
+            outcomes.append(
+                TrialOutcome(False, world.system.verify(capture, user_id))
+            )
+        result = evaluate_outcomes(outcomes, world.system.config)
+        pct = result.as_percent()
+        rows.append(
+            AdaptiveRow(mode=mode, far_pct=pct["far_pct"], frr_pct=pct["frr_pct"])
+        )
+    world.system.with_config(base_config)
+    return rows

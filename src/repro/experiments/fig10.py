@@ -1,0 +1,55 @@
+"""Fig. 10 — polar plot of a conventional loudspeaker's magnetic field.
+
+Samples the Logitech LS21's field magnitude on a ring around the driver
+and checks the figure's headline numbers: loudspeaker near fields fall in
+the 30–210 µT range at close radius, with the dipole's characteristic
+2:1 axial-to-equatorial asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.loudspeaker import Loudspeaker
+from repro.devices.registry import get_loudspeaker
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Field magnitudes on a ring around the loudspeaker."""
+
+    angles_deg: np.ndarray
+    field_ut: np.ndarray
+    radius_m: float
+
+    @property
+    def max_ut(self) -> float:
+        return float(self.field_ut.max())
+
+    @property
+    def min_ut(self) -> float:
+        return float(self.field_ut.min())
+
+    @property
+    def axial_ratio(self) -> float:
+        """On-axis to broadside magnitude ratio (2.0 for a pure dipole)."""
+        return float(self.field_ut.max() / max(self.field_ut.min(), 1e-12))
+
+
+def run_fig10(
+    speaker_name: str = "Logitech LS21",
+    radius_m: float = 0.05,
+    n_angles: int = 72,
+) -> Fig10Result:
+    """Sample |B| at ``radius_m`` from the magnet, 0–360°."""
+    speaker = Loudspeaker(get_loudspeaker(speaker_name), np.zeros(3))
+    magnet = speaker.magnetic_sources()[0]
+    angles = np.linspace(0.0, 360.0, n_angles, endpoint=False)
+    field = np.empty(n_angles)
+    for i, deg in enumerate(angles):
+        rad = np.deg2rad(deg)
+        point = radius_m * np.array([np.cos(rad), np.sin(rad), 0.0])
+        field[i] = float(np.linalg.norm(magnet.field_at(point)))
+    return Fig10Result(angles_deg=angles, field_ut=field, radius_m=radius_m)

@@ -1,0 +1,53 @@
+"""Fig. 14 — environmental magnetic interference.
+
+Repeats the distance experiment with the verification attempts recorded
+next to a computer (Fig. 14a) and in a car's front seat (Fig. 14b).
+Expected shape: FAR stays at/near zero close-in, but the interference
+trips the magnetometer thresholds on genuine attempts and FRR climbs —
+dramatically so in the car — while EER stays low because re-thresholding
+could recover the separation (the observation that motivates §VII's
+adaptive thresholding).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.fig12 import DistanceRow, DISTANCES_M, run_distance_experiment
+from repro.experiments.world import ExperimentWorld
+from repro.world.environments import (
+    car_environment,
+    near_computer_environment,
+)
+
+
+def run_near_computer(
+    world: ExperimentWorld,
+    distances: Sequence[float] = DISTANCES_M,
+    genuine_per_distance: int = 6,
+    attacks_per_speaker: int = 1,
+) -> List[DistanceRow]:
+    """Fig. 14a: verification attempts 30 cm from an iMac."""
+    return run_distance_experiment(
+        world,
+        distances=distances,
+        genuine_per_distance=genuine_per_distance,
+        attacks_per_speaker=attacks_per_speaker,
+        environment=near_computer_environment(world.seed + 17),
+    )
+
+
+def run_in_car(
+    world: ExperimentWorld,
+    distances: Sequence[float] = DISTANCES_M,
+    genuine_per_distance: int = 6,
+    attacks_per_speaker: int = 1,
+) -> List[DistanceRow]:
+    """Fig. 14b: verification attempts in a car front seat."""
+    return run_distance_experiment(
+        world,
+        distances=distances,
+        genuine_per_distance=genuine_per_distance,
+        attacks_per_speaker=attacks_per_speaker,
+        environment=car_environment(world.seed + 29),
+    )

@@ -1,0 +1,143 @@
+"""The paper's motivating comparison: ASV alone vs. the full defense.
+
+§I/§II argue that "relying on the spectral and prosodic features within
+the voice to defend against machine-based voice impersonation attacks
+has been proven ineffective" — a strong ASV accepts replays (it *is* the
+victim's voice) and high-fidelity conversions/synthesis.  This runner
+measures machine-attack FAR for three defenses over the same attempts:
+
+- ``asv_only`` — the identity component alone (a WeChat-voiceprint-style
+  deployment);
+- ``asv_plus_replay_baseline`` — ASV plus an audio-only replay detector
+  (the class of countermeasure the paper says suffers high error on
+  unseen devices);
+- ``full`` — the paper's four-component cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.attacks.morphing import MorphingAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.synthesis import SynthesisAttack
+from repro.asv.replay_baseline import AudioReplayDetector
+from repro.core.identity import extract_voice
+from repro.devices.loudspeaker import Loudspeaker
+from repro.devices.registry import get_loudspeaker
+from repro.experiments.world import ExperimentWorld, attack_capture, genuine_capture
+from repro.voice.profiles import random_profile
+
+#: Devices used to *train* the audio baseline...
+BASELINE_TRAIN_SPEAKERS = ("Logitech LS21", "Apple EarPods MD827LL/A")
+#: ...and the unseen devices the attacks actually use.
+ATTACK_SPEAKERS = ("Bose SoundLink Mini PINK", "Apple Macbook Pro A1286 internal")
+
+
+@dataclass(frozen=True)
+class MotivationRow:
+    """Machine-attack FAR and genuine FRR for one defense configuration."""
+
+    defense: str
+    machine_far_pct: float
+    genuine_frr_pct: float
+
+
+def run_motivation(
+    world: ExperimentWorld,
+    attacks_per_type: int = 2,
+    genuine_trials: int = 6,
+) -> List[MotivationRow]:
+    """Measure all three defenses on one shared trial set."""
+    user_ids = sorted(world.users)
+    rng = world.rng
+    sr = world.synthesizer.sample_rate
+
+    # --- Train the audio-only replay baseline on the factory devices,
+    #     using capture-channel audio on both sides (a deployed detector
+    #     trains on what the phone's microphone records).
+    def voice_of(capture):
+        return extract_voice(capture.audio, capture.audio_sample_rate, 16000)
+
+    detector = AudioReplayDetector(sample_rate=16000)
+    genuine_train, replay_train = [], []
+    for uid in user_ids:
+        account = world.user(uid)
+        for capture in account.enrolment_captures[:4]:
+            genuine_train.append(voice_of(capture))
+        for name in BASELINE_TRAIN_SPEAKERS:
+            speaker = Loudspeaker(get_loudspeaker(name), np.zeros(3))
+            attempt = ReplayAttack(speaker).prepare(
+                account.enrolment_waveforms[0], sr, uid
+            )
+            for _ in range(2):
+                replay_train.append(voice_of(attack_capture(world, attempt, 0.05)))
+    detector.fit(genuine_train, replay_train)
+
+    # --- Build the shared attack set (replay / morphing / synthesis
+    #     through devices the baseline never saw).
+    attack_captures = []
+    for j in range(attacks_per_type):
+        uid = user_ids[j % len(user_ids)]
+        account = world.user(uid)
+        speaker = Loudspeaker(
+            get_loudspeaker(ATTACK_SPEAKERS[j % len(ATTACK_SPEAKERS)]), np.zeros(3)
+        )
+        attacker = random_profile(f"attacker{j}", rng)
+        attempts = [
+            ReplayAttack(speaker).prepare(
+                account.enrolment_waveforms[-1], sr, uid
+            ),
+            MorphingAttack(speaker, attacker).prepare(
+                account.enrolment_waveforms[-3:], account.passphrase, uid, rng
+            ),
+            SynthesisAttack(speaker).prepare(
+                account.enrolment_waveforms[-3:], account.passphrase, uid, rng
+            ),
+        ]
+        for attempt in attempts:
+            attack_captures.append((uid, attack_capture(world, attempt, 0.05)))
+
+    genuine_captures = [
+        (user_ids[i % len(user_ids)], genuine_capture(world, user_ids[i % len(user_ids)], 0.05))
+        for i in range(genuine_trials)
+    ]
+
+    rows: List[MotivationRow] = []
+    threshold = world.config.asv_threshold
+
+    def asv_accepts(uid, capture) -> bool:
+        return world.system.identity.score(capture, uid) >= threshold
+
+    # ASV only.
+    far = np.mean([asv_accepts(u, c) for u, c in attack_captures])
+    frr = np.mean([not asv_accepts(u, c) for u, c in genuine_captures])
+    rows.append(MotivationRow("asv_only", 100.0 * far, 100.0 * frr))
+
+    # ASV + audio-only replay baseline.
+    far = np.mean(
+        [
+            asv_accepts(u, c) and not detector.is_replay(voice_of(c))
+            for u, c in attack_captures
+        ]
+    )
+    frr = np.mean(
+        [
+            (not asv_accepts(u, c)) or detector.is_replay(voice_of(c))
+            for u, c in genuine_captures
+        ]
+    )
+    rows.append(MotivationRow("asv_plus_replay_baseline", 100.0 * far, 100.0 * frr))
+
+    # The full cascade.
+    far = np.mean(
+        [world.system.verify(c, u).accepted for u, c in attack_captures]
+    )
+    frr = np.mean(
+        [not world.system.verify(c, u).accepted for u, c in genuine_captures]
+    )
+    rows.append(MotivationRow("full", 100.0 * far, 100.0 * frr))
+    return rows

@@ -1,0 +1,144 @@
+"""Trial bookkeeping and the paper's metrics.
+
+The paper reports FAR/FRR at the deployed thresholds and the EER obtained
+"by vary[ing] the threshold value of each verification component".  We
+reproduce both: decisions give FAR/FRR directly; for the EER each trial
+is reduced to a scalar *pipeline margin* — the minimum over components of
+the normalised distance to that component's threshold — and a single
+offset sweep over the margins traces the DET curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.asv.metrics import equal_error_rate
+from repro.core.config import DefenseConfig
+from repro.core.decision import VerificationReport
+from repro.errors import ConfigurationError
+
+#: Normalisation scales (units of score) so the per-component margins are
+#: comparable when merged with ``min``.
+_MARGIN_SCALES = {
+    "distance": 0.03,
+    "soundfield": 3.0,
+    "magnetic": 0.5,
+    "identity": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One verification trial plus its ground truth."""
+
+    genuine: bool
+    report: VerificationReport
+
+    @property
+    def accepted(self) -> bool:
+        return self.report.accepted
+
+
+def component_margin(
+    report: VerificationReport, name: str, config: DefenseConfig
+) -> float:
+    """Signed, normalised distance of one component's score to threshold."""
+    if name not in _MARGIN_SCALES:
+        raise ConfigurationError(f"unknown component {name!r}")
+    if name not in report.components:
+        raise ConfigurationError(f"report carries no {name!r} result")
+    result = report.components[name]
+    if name == "distance":
+        threshold = -(config.distance_threshold_m * config.distance_margin)
+    elif name == "soundfield":
+        # The component already reports its score relative to the
+        # per-user calibrated threshold.
+        threshold = 0.0
+    elif name == "magnetic":
+        threshold = -1.0
+    elif name == "identity":
+        threshold = config.asv_threshold
+    else:
+        raise ConfigurationError(f"unknown component {name!r}")
+    return (result.score - threshold) / _MARGIN_SCALES[name]
+
+
+def pipeline_margin(report: VerificationReport, config: DefenseConfig) -> float:
+    """Merged margin: the weakest component decides (cascade AND)."""
+    if not report.components:
+        raise ConfigurationError("report has no component results")
+    return min(
+        component_margin(report, name, config) for name in report.components
+    )
+
+
+def equal_error_rate_from_margins(
+    genuine_margins: Sequence[float], impostor_margins: Sequence[float]
+) -> float:
+    """EER from merged margins (threshold-offset sweep)."""
+    eer, _ = equal_error_rate(
+        np.asarray(genuine_margins, dtype=float),
+        np.asarray(impostor_margins, dtype=float),
+    )
+    return eer
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """FAR/FRR/EER over a set of trials (one Fig. 12/14 bar group)."""
+
+    far: float
+    frr: float
+    eer: float
+    n_genuine: int
+    n_impostor: int
+
+    def as_percent(self) -> Dict[str, float]:
+        return {
+            "far_pct": 100.0 * self.far,
+            "frr_pct": 100.0 * self.frr,
+            "eer_pct": 100.0 * self.eer,
+        }
+
+
+def evaluate_outcomes(
+    outcomes: Iterable[TrialOutcome], config: DefenseConfig
+) -> EvaluationResult:
+    """Compute FAR (decisions), FRR (decisions) and EER (margin sweep)."""
+    outcomes = list(outcomes)
+    genuine = [o for o in outcomes if o.genuine]
+    impostor = [o for o in outcomes if not o.genuine]
+    if not genuine or not impostor:
+        raise ConfigurationError("need both genuine and impostor trials")
+    far = float(np.mean([o.accepted for o in impostor]))
+    frr = float(np.mean([not o.accepted for o in genuine]))
+    eer = equal_error_rate_from_margins(
+        [pipeline_margin(o.report, config) for o in genuine],
+        [pipeline_margin(o.report, config) for o in impostor],
+    )
+    return EvaluationResult(
+        far=far,
+        frr=frr,
+        eer=eer,
+        n_genuine=len(genuine),
+        n_impostor=len(impostor),
+    )
+
+
+def format_rate_table(rows: List[dict], columns: Sequence[str]) -> str:
+    """Fixed-width text table used by the benchmark printouts."""
+    header = " | ".join(f"{c:>12s}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                cells.append(f"{value:12.2f}")
+            else:
+                cells.append(f"{str(value):>12s}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Table I — ASV performance against human-based impersonation.
+
+Two tests, each for the GMM-UBM and ISV back-ends:
+
+- **Test 1** — five speakers each pronounce a unique six-digit
+  pass-phrase five times; every other speaker then mimics the target
+  after listening to the collected samples.  The paper reports 0.0% FAR
+  for both back-ends.
+- **Test 2** — the speaker models are trained against a Voxforge-style
+  background and tested cross-corpus with Arctic-style fixed prompts
+  (every speaker pronounces the same utterances).  The paper reports
+  0.5% (UBM) and 1.3% (ISV) FAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.asv.verifier import SpeakerVerifier, VerifierBackend
+from repro.attacks.human_mimic import HumanMimicAttack
+from repro.voice.corpus import (
+    make_arctic_style_corpus,
+    make_background_corpus,
+    make_passphrase_corpus,
+)
+from repro.voice.profiles import random_profile
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One cell pair of Table I."""
+
+    backend: str
+    test1_far_pct: float
+    test2_far_pct: float
+
+
+def _train_verifier(backend: VerifierBackend, seed: int) -> SpeakerVerifier:
+    verifier = SpeakerVerifier(backend=backend, n_components=32, seed=seed)
+    background = make_background_corpus(
+        n_speakers=10, utterances_per_speaker=3, seed=seed + 7
+    )
+    verifier.train_background(
+        {
+            sid: [u.utterance.waveform for u in background.by_speaker(sid)]
+            for sid in background.speaker_ids
+        }
+    )
+    return verifier
+
+
+def _calibrated_threshold(
+    verifier: SpeakerVerifier,
+    genuine_trials: list,
+    impostor_trials: list,
+) -> float:
+    """Per-system operating threshold at the dev-set EER point.
+
+    Standard ASV protocol: the decision threshold is calibrated on
+    genuine trials and zero-effort impostor trials; the attack FAR is
+    then measured at that operating point.
+    """
+    from repro.asv.metrics import equal_error_rate
+
+    genuine_scores = np.array([verifier.verify(t, w) for t, w in genuine_trials])
+    impostor_scores = np.array([verifier.verify(t, w) for t, w in impostor_trials])
+    _, threshold = equal_error_rate(genuine_scores, impostor_scores)
+    return float(threshold)
+
+
+def run_test1(
+    backend: VerifierBackend,
+    seed: int = 5,
+    n_speakers: int = 5,
+    mimic_attempts_per_pair: int = 1,
+) -> float:
+    """FAR of human mimicry against pass-phrase models.
+
+    The threshold is calibrated at the EER point of genuine vs
+    zero-effort-impostor trials; mimicry attempts are then scored at that
+    operating point (the protocol behind the paper's 0.0% cells).
+    """
+    rng = np.random.default_rng(seed)
+    corpus = make_passphrase_corpus(
+        n_speakers=n_speakers, repetitions=5, seed=seed + 100
+    )
+    verifier = _train_verifier(backend, seed)
+    for sid in corpus.speaker_ids:
+        utts = corpus.by_speaker(sid)
+        verifier.enroll(sid, [u.utterance.waveform for u in utts[:4]])
+
+    genuine_trials = [
+        (sid, corpus.by_speaker(sid)[4].utterance.waveform)
+        for sid in corpus.speaker_ids
+    ]
+    zero_effort = [
+        (target, corpus.by_speaker(other)[4].utterance.waveform)
+        for target in corpus.speaker_ids
+        for other in corpus.speaker_ids
+        if other != target
+    ]
+    threshold = _calibrated_threshold(verifier, genuine_trials, zero_effort)
+
+    accepted = 0
+    attempts = 0
+    for target in corpus.speaker_ids:
+        target_utts = [u.utterance.waveform for u in corpus.by_speaker(target)]
+        passphrase = corpus.by_speaker(target)[0].utterance.text
+        for attacker in corpus.speaker_ids:
+            if attacker == target:
+                continue
+            mimic = HumanMimicAttack(corpus.profiles[attacker])
+            for _ in range(mimic_attempts_per_pair):
+                attempt = mimic.prepare(target_utts[:3], passphrase, target, rng)
+                score = verifier.verify(target, attempt.waveform)
+                attempts += 1
+                accepted += int(score >= threshold)
+    return 100.0 * accepted / attempts
+
+
+def run_test2(
+    backend: VerifierBackend,
+    seed: int = 5,
+) -> float:
+    """Cross-corpus FAR: Arctic-style speakers, identical prompts.
+
+    Text-dependent protocol (every Arctic speaker records the same
+    prompts): enrolment uses the first rendition of every prompt; trials
+    use the second rendition of the same prompts, genuine and impostor
+    alike.  The threshold is calibrated at the dev EER point; the
+    remaining FAR is the small residual the paper reports (0.5%/1.3%).
+    """
+    corpus = make_arctic_style_corpus(n_speakers=6, renditions=2, seed=seed + 200)
+    verifier = _train_verifier(backend, seed)
+
+    def waves(sid: str, rendition: int):
+        return [
+            u.utterance.waveform
+            for u in corpus.by_speaker(sid)
+            if u.session == rendition
+        ]
+
+    for sid in corpus.speaker_ids:
+        verifier.enroll(sid, waves(sid, 0))
+
+    genuine_trials = [(sid, waves(sid, 1)[0]) for sid in corpus.speaker_ids]
+    zero_effort = [
+        (target, waves(other, 1)[0])
+        for target in corpus.speaker_ids
+        for other in corpus.speaker_ids
+        if other != target
+    ]
+    threshold = _calibrated_threshold(verifier, genuine_trials, zero_effort)
+
+    accepted = 0
+    attempts = 0
+    for target in corpus.speaker_ids:
+        for impostor in corpus.speaker_ids:
+            if impostor == target:
+                continue
+            for wave in waves(impostor, 1)[1:]:
+                score = verifier.verify(target, wave)
+                attempts += 1
+                accepted += int(score >= threshold)
+    return 100.0 * accepted / attempts
+
+
+def run_table1(seed: int = 5) -> List[Table1Row]:
+    """Both back-ends, both tests."""
+    rows: List[Table1Row] = []
+    for backend, label in (
+        (VerifierBackend.GMM_UBM, "UBM"),
+        (VerifierBackend.ISV, "ISV"),
+    ):
+        rows.append(
+            Table1Row(
+                backend=label,
+                test1_far_pct=run_test1(backend, seed=seed),
+                test2_far_pct=run_test2(backend, seed=seed),
+            )
+        )
+    return rows

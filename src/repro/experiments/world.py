@@ -1,0 +1,229 @@
+"""Shared experiment fixtures: users, enrolment, and trained systems.
+
+``build_world`` assembles everything the paper's evaluation needs once —
+a testbed phone, an electromagnetic environment, a population of enrolled
+users (each with a unique six-digit pass-phrase, per the Table I
+protocol), a trained defense system, and the factory loudspeakers used
+for sound-field negatives — so the per-figure runners only generate
+trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.asv.verifier import VerifierBackend
+from repro.attacks.base import AttackAttempt
+from repro.core.config import DefenseConfig
+from repro.core.pipeline import DefenseSystem
+from repro.devices.loudspeaker import Loudspeaker
+from repro.devices.registry import get_loudspeaker, get_phone
+from repro.devices.smartphone import Smartphone
+from repro.errors import ConfigurationError
+from repro.voice.corpus import make_background_corpus
+from repro.voice.profiles import SpeakerProfile, random_profile
+from repro.voice.synthesis import Synthesizer
+from repro.world.environments import Environment, quiet_room_environment
+from repro.world.humans import HumanSpeakerSource
+from repro.world.scene import SensorCapture, simulate_capture
+from repro.world.trajectory import UseCaseTrajectory
+
+#: Factory loudspeakers used to build sound-field training negatives.
+FACTORY_NEGATIVE_SPEAKERS = ("Apple EarPods MD827LL/A", "Logitech LS21")
+
+
+def make_trajectory(end_distance: float) -> UseCaseTrajectory:
+    """The use-case motion ending at ``end_distance`` metres."""
+    return UseCaseTrajectory(
+        start_distance=max(0.15, end_distance + 0.06),
+        end_distance=end_distance,
+    )
+
+
+@dataclass
+class UserAccount:
+    """One enrolled user: voice, pass-phrase and enrolment material."""
+
+    profile: SpeakerProfile
+    passphrase: str
+    enrolment_waveforms: List[np.ndarray]
+    enrolment_captures: List[SensorCapture]
+
+    @property
+    def user_id(self) -> str:
+        return self.profile.speaker_id
+
+
+@dataclass
+class ExperimentWorld:
+    """Everything one evaluation run shares."""
+
+    seed: int
+    phone: Smartphone
+    environment: Environment
+    synthesizer: Synthesizer
+    rng: np.random.Generator
+    users: Dict[str, UserAccount]
+    system: DefenseSystem
+    config: DefenseConfig
+
+    def user(self, user_id: str) -> UserAccount:
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown user {user_id!r}") from None
+
+    def fresh_utterance(self, user_id: str) -> np.ndarray:
+        """A new rendition of the user's pass-phrase (a new session)."""
+        account = self.user(user_id)
+        return self.synthesizer.synthesize_digits(
+            account.profile, account.passphrase, self.rng
+        ).waveform
+
+
+def genuine_capture(
+    world: ExperimentWorld,
+    user_id: str,
+    distance: float = 0.05,
+    environment: Optional[Environment] = None,
+) -> SensorCapture:
+    """One genuine verification attempt by ``user_id`` at ``distance``."""
+    account = world.user(user_id)
+    env = environment or world.environment
+    return simulate_capture(
+        world.phone,
+        HumanSpeakerSource(account.profile),
+        env,
+        make_trajectory(distance),
+        world.fresh_utterance(user_id),
+        world.synthesizer.sample_rate,
+        world.rng,
+    )
+
+
+def attack_capture(
+    world: ExperimentWorld,
+    attempt: AttackAttempt,
+    distance: float = 0.05,
+    environment: Optional[Environment] = None,
+) -> SensorCapture:
+    """One attack attempt: the attacker mimics the use-case motion."""
+    env = environment or world.environment
+    return simulate_capture(
+        world.phone,
+        attempt.source,
+        env,
+        make_trajectory(distance),
+        attempt.waveform,
+        attempt.sample_rate,
+        world.rng,
+    )
+
+
+def build_world(
+    seed: int = 7,
+    n_users: int = 3,
+    environment: Optional[Environment] = None,
+    backend: VerifierBackend = VerifierBackend.GMM_UBM,
+    config: Optional[DefenseConfig] = None,
+    asv_components: int = 16,
+    enrol_repetitions: int = 10,
+    negatives_per_speaker: int = 6,
+    background_speakers: int = 8,
+    phone_model: str = "Nexus 5",
+) -> ExperimentWorld:
+    """Build and fully train an experiment world.
+
+    Enrolment follows the prototype's training flow: the user repeats
+    their pass-phrase while performing the use-case motion; the captures
+    train the sound-field model (with factory replay negatives) and the
+    clean recordings enroll the ASV.
+    """
+    if n_users <= 0:
+        raise ConfigurationError("n_users must be positive")
+    rng = np.random.default_rng(seed)
+    phone = Smartphone(get_phone(phone_model))
+    env = environment or quiet_room_environment(seed)
+    synth = Synthesizer(16000)
+    config = config or DefenseConfig()
+
+    system = DefenseSystem(
+        config=config, backend=backend, asv_components=asv_components, seed=seed
+    )
+    background = make_background_corpus(
+        n_speakers=background_speakers, utterances_per_speaker=3, seed=seed + 1000
+    )
+    system.train_background(
+        {
+            sid: [u.utterance.waveform for u in background.by_speaker(sid)]
+            for sid in background.speaker_ids
+        }
+    )
+
+    factory = [
+        Loudspeaker(get_loudspeaker(name), np.zeros(3))
+        for name in FACTORY_NEGATIVE_SPEAKERS
+    ]
+
+    users: Dict[str, UserAccount] = {}
+    for u in range(n_users):
+        user_id = f"user{u:02d}"
+        profile = random_profile(user_id, rng)
+        passphrase = "".join(str(d) for d in rng.integers(0, 10, 6))
+        waveforms = [
+            synth.synthesize_digits(profile, passphrase, rng).waveform
+            for _ in range(enrol_repetitions)
+        ]
+        source = HumanSpeakerSource(profile)
+        # Enrolment repetitions naturally end at slightly different
+        # distances; covering the 4-6.5 cm usage band keeps the per-user
+        # sound-field statistics honest about real hand placement.
+        captures = [
+            simulate_capture(
+                phone,
+                source,
+                env,
+                make_trajectory(float(rng.uniform(0.038, 0.058))),
+                w,
+                synth.sample_rate,
+                rng,
+            )
+            for w in waveforms
+        ]
+        negatives: List[SensorCapture] = []
+        for spk in factory:
+            played = spk.apply_band(waveforms[0], synth.sample_rate)
+            for _ in range(negatives_per_speaker):
+                negatives.append(
+                    simulate_capture(
+                        phone,
+                        spk,
+                        env,
+                        make_trajectory(0.05),
+                        played,
+                        synth.sample_rate,
+                        rng,
+                    )
+                )
+        system.fit_soundfield(user_id, captures, negatives)
+        system.enroll(user_id, captures, enrolment_waveforms=waveforms[:5])
+        users[user_id] = UserAccount(
+            profile=profile,
+            passphrase=passphrase,
+            enrolment_waveforms=waveforms,
+            enrolment_captures=captures,
+        )
+
+    return ExperimentWorld(
+        seed=seed,
+        phone=phone,
+        environment=env,
+        synthesizer=synth,
+        rng=rng,
+        users=users,
+        system=system,
+        config=config,
+    )

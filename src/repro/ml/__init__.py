@@ -1,0 +1,13 @@
+"""Machine-learning substrate built from scratch on numpy.
+
+The paper uses PCA for visualising sound-field features (Fig. 8), a linear
+SVM for sound-field classification, and k-means to initialise GMM training
+inside the ASV back-end.  Nothing here depends on scikit-learn.
+"""
+
+from repro.ml.pca import PCA
+from repro.ml.svm import LinearSVM
+from repro.ml.kmeans import KMeans
+from repro.ml.scaler import StandardScaler
+
+__all__ = ["PCA", "LinearSVM", "KMeans", "StandardScaler"]

@@ -1,0 +1,87 @@
+"""k-means clustering with k-means++ initialisation.
+
+Exists to seed GMM training (:mod:`repro.asv.gmm`); EM from random means
+converges to visibly worse UBMs on small synthetic corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ):
+        if n_clusters <= 0:
+            raise ConfigurationError("n_clusters must be positive")
+        if max_iter <= 0:
+            raise ConfigurationError("max_iter must be positive")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def _init_centers(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = x.shape[0]
+        centers = [x[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                ((x[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(x[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(x[rng.choice(n, p=probs)])
+        return np.asarray(centers)
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigurationError("KMeans needs a (n, d) matrix")
+        if x.shape[0] < self.n_clusters:
+            raise ConfigurationError(
+                f"{x.shape[0]} points cannot form {self.n_clusters} clusters"
+            )
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(x, rng)
+        prev_inertia = np.inf
+        for _ in range(self.max_iter):
+            d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = np.argmin(d2, axis=1)
+            inertia = float(d2[np.arange(x.shape[0]), labels].sum())
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = x[labels == k]
+                if members.shape[0]:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    new_centers[k] = x[int(np.argmax(d2.min(axis=1)))]
+            centers = new_centers
+            if prev_inertia - inertia < self.tol * max(prev_inertia, 1.0):
+                break
+            prev_inertia = inertia
+        self.centers_ = centers
+        self.inertia_ = inertia
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        x = np.asarray(x, dtype=float)
+        d2 = ((x[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)

@@ -1,0 +1,59 @@
+"""Principal component analysis via SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class PCA:
+    """Centred PCA fit with a singular value decomposition.
+
+    Components are rows of ``components_`` sorted by explained variance.
+    Used by the Fig. 8 benchmark to project sound-field feature vectors to
+    two dimensions, and by tests as a separability probe.
+    """
+
+    def __init__(self, n_components: int = 2):
+        if n_components <= 0:
+            raise ConfigurationError("n_components must be positive")
+        self.n_components = n_components
+        self.components_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ConfigurationError("PCA needs a (n >= 2, d) matrix")
+        if self.n_components > min(x.shape):
+            raise ConfigurationError(
+                f"n_components={self.n_components} exceeds min(n, d)={min(x.shape)}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centred = x - self.mean_
+        _, s, vt = np.linalg.svd(centred, full_matrices=False)
+        variances = s**2 / (x.shape[0] - 1)
+        self.components_ = vt[: self.n_components]
+        self.explained_variance_ = variances[: self.n_components]
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0 else np.zeros(self.n_components)
+        )
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        return np.asarray(z, dtype=float) @ self.components_ + self.mean_

@@ -1,0 +1,53 @@
+"""Physical models underpinning the scene simulator.
+
+This subpackage provides the physics the paper's defense exploits:
+
+- :mod:`repro.physics.geometry` — 3-D vectors, rotations and sampled paths.
+- :mod:`repro.physics.magnetics` — magnetic dipoles (loudspeaker magnets and
+  voice coils), Mu-metal shielding, Earth's field, and environmental
+  electromagnetic interference sources.
+- :mod:`repro.physics.acoustics` — spherical spreading, baffled-piston
+  directivity, and multi-path propagation of narrowband pilots.
+"""
+
+from repro.physics.geometry import (
+    Pose,
+    SampledPath,
+    rotation_about_z,
+    unit,
+)
+from repro.physics.magnetics import (
+    EARTH_FIELD_UT,
+    MU0,
+    EnvironmentalInterference,
+    MagneticDipole,
+    MuMetalShield,
+    ShieldedDipole,
+    VoiceCoilDipole,
+)
+from repro.physics.acoustics import (
+    SPEED_OF_SOUND,
+    CircularPistonSource,
+    PointSource,
+    pressure_to_db_spl,
+    spherical_attenuation,
+)
+
+__all__ = [
+    "Pose",
+    "SampledPath",
+    "rotation_about_z",
+    "unit",
+    "EARTH_FIELD_UT",
+    "MU0",
+    "EnvironmentalInterference",
+    "MagneticDipole",
+    "MuMetalShield",
+    "ShieldedDipole",
+    "VoiceCoilDipole",
+    "SPEED_OF_SOUND",
+    "CircularPistonSource",
+    "PointSource",
+    "pressure_to_db_spl",
+    "spherical_attenuation",
+]

@@ -1,0 +1,187 @@
+"""Small 3-D geometry toolkit used by the scene simulator.
+
+Everything here operates on plain ``numpy`` arrays of shape ``(3,)`` (single
+points/vectors) or ``(n, 3)`` (sampled paths).  The library deliberately does
+not introduce a heavyweight vector class: captures produced by the simulator
+are consumed as arrays by the DSP and detection code anyway.
+
+Coordinate convention (matches the paper's use case in Fig. 3/5):
+
+- ``x`` — horizontal axis pointing away from the user's face,
+- ``y`` — horizontal axis across the user's face,
+- ``z`` — vertical axis (up).
+
+The sound source (mouth or loudspeaker opening) sits at the origin facing
+``+x``; the phone starts tens of centimetres out on ``+x`` and moves inward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def unit(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` normalised to unit length.
+
+    Raises :class:`ConfigurationError` for a zero vector, which would
+    otherwise silently produce NaNs deep inside a field evaluation.
+    """
+    v = np.asarray(v, dtype=float)
+    norm = np.linalg.norm(v)
+    if norm == 0.0:
+        raise ConfigurationError("cannot normalise a zero vector")
+    return v / norm
+
+
+def rotation_about_z(angle_rad: float) -> np.ndarray:
+    """Rotation matrix for a right-handed rotation about ``z``."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rotation_about_axis(axis: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rodrigues rotation matrix about an arbitrary ``axis``."""
+    k = unit(axis)
+    kx = np.array(
+        [
+            [0.0, -k[2], k[1]],
+            [k[2], 0.0, -k[0]],
+            [-k[1], k[0], 0.0],
+        ]
+    )
+    return np.eye(3) + np.sin(angle_rad) * kx + (1.0 - np.cos(angle_rad)) * (kx @ kx)
+
+
+@dataclass(frozen=True)
+class Pose:
+    """Position plus orientation of a rigid body at one instant.
+
+    ``orientation`` is a 3x3 rotation matrix mapping body-frame vectors into
+    the world frame.  The phone's body frame follows the Android sensor
+    convention: ``x`` to the right of the screen, ``y`` up the screen,
+    ``z`` out of the screen.
+    """
+
+    position: np.ndarray
+    orientation: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.position, dtype=float)
+        rot = np.asarray(self.orientation, dtype=float)
+        if pos.shape != (3,):
+            raise ConfigurationError(f"position must have shape (3,), got {pos.shape}")
+        if rot.shape != (3, 3):
+            raise ConfigurationError(
+                f"orientation must have shape (3, 3), got {rot.shape}"
+            )
+        object.__setattr__(self, "position", pos)
+        object.__setattr__(self, "orientation", rot)
+
+    def to_world(self, body_vector: np.ndarray) -> np.ndarray:
+        """Map a body-frame direction into the world frame."""
+        return self.orientation @ np.asarray(body_vector, dtype=float)
+
+    def to_body(self, world_vector: np.ndarray) -> np.ndarray:
+        """Map a world-frame direction into the body frame."""
+        return self.orientation.T @ np.asarray(world_vector, dtype=float)
+
+
+class SampledPath:
+    """A time-stamped sequence of poses for a moving rigid body.
+
+    The scene simulator produces one of these for the phone, then every
+    sensor model samples it.  Timestamps must be strictly increasing.
+    """
+
+    def __init__(self, times: Sequence[float], poses: Sequence[Pose]):
+        times_arr = np.asarray(times, dtype=float)
+        if times_arr.ndim != 1 or times_arr.size < 2:
+            raise ConfigurationError("a path needs at least two samples")
+        if not np.all(np.diff(times_arr) > 0):
+            raise ConfigurationError("path timestamps must be strictly increasing")
+        if len(poses) != times_arr.size:
+            raise ConfigurationError(
+                f"{times_arr.size} timestamps but {len(poses)} poses"
+            )
+        self.times = times_arr
+        self.poses = list(poses)
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    @property
+    def positions(self) -> np.ndarray:
+        """All positions as an ``(n, 3)`` array."""
+        return np.stack([p.position for p in self.poses])
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    def velocities(self) -> np.ndarray:
+        """Central-difference velocity estimates, shape ``(n, 3)``."""
+        return np.gradient(self.positions, self.times, axis=0)
+
+    def accelerations(self) -> np.ndarray:
+        """Second-difference acceleration estimates, shape ``(n, 3)``."""
+        return np.gradient(self.velocities(), self.times, axis=0)
+
+    def pose_at(self, t: float) -> Pose:
+        """Pose at time ``t`` with linear position interpolation.
+
+        Orientation is taken from the nearest sample; the use-case motion is
+        slow enough (sub-second sweeps) that nearest-neighbour orientation
+        introduces negligible error compared to the sensor noise floor.
+        """
+        t = float(t)
+        if t <= self.times[0]:
+            return self.poses[0]
+        if t >= self.times[-1]:
+            return self.poses[-1]
+        idx = int(np.searchsorted(self.times, t))
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        w = (t - t0) / (t1 - t0)
+        pos = (1.0 - w) * self.poses[idx - 1].position + w * self.poses[idx].position
+        nearest = idx if w >= 0.5 else idx - 1
+        return Pose(pos, self.poses[nearest].orientation)
+
+    def distances_to(self, point: np.ndarray) -> np.ndarray:
+        """Euclidean distance from every sample to ``point``."""
+        point = np.asarray(point, dtype=float)
+        return np.linalg.norm(self.positions - point[None, :], axis=1)
+
+
+def fit_circle_2d(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Algebraic least-squares circle fit (Kåsa method).
+
+    The paper uses least-squares circle fitting [17] to estimate the
+    phone-to-mouth distance from the recovered arc of the hand motion.
+    Returns ``(cx, cy, r)``.
+
+    Raises :class:`ConfigurationError` when fewer than three points are
+    supplied or the points are collinear (singular normal equations).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ConfigurationError("x and y must be 1-D arrays of equal length")
+    if x.size < 3:
+        raise ConfigurationError("circle fitting needs at least three points")
+    a = np.column_stack([x, y, np.ones_like(x)])
+    b = x**2 + y**2
+    try:
+        sol, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - lstsq rarely raises
+        raise ConfigurationError("circle fit failed") from exc
+    if rank < 3:
+        raise ConfigurationError("points are collinear; circle fit is degenerate")
+    cx, cy = sol[0] / 2.0, sol[1] / 2.0
+    r_sq = sol[2] + cx**2 + cy**2
+    if r_sq <= 0:
+        raise ConfigurationError("circle fit produced a non-positive radius")
+    return float(cx), float(cy), float(np.sqrt(r_sq))

@@ -1,0 +1,27 @@
+"""Smartphone sensor models.
+
+Each sensor model converts ground-truth physical quantities (from
+:mod:`repro.world`) into realistic time series: sampled at the sensor's
+rate, expressed in the phone's body frame, corrupted by bias/noise, and
+quantised to the part's resolution.
+
+The magnetometer model is calibrated to the AK8975 part the paper names
+(0.3 µT/LSB sensitivity, ±1200 µT range).
+"""
+
+from repro.sensors.base import SensorSeries
+from repro.sensors.magnetometer import Magnetometer
+from repro.sensors.imu import Accelerometer, Gyroscope, GRAVITY
+from repro.sensors.microphone import Microphone
+from repro.sensors.fusion import OrientationFilter, heading_from_series
+
+__all__ = [
+    "SensorSeries",
+    "Magnetometer",
+    "Accelerometer",
+    "Gyroscope",
+    "GRAVITY",
+    "Microphone",
+    "OrientationFilter",
+    "heading_from_series",
+]

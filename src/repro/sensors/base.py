@@ -1,0 +1,73 @@
+"""Common sensor plumbing: sampled series and shared corruption steps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensorSeries:
+    """A uniformly sampled multi-axis sensor stream.
+
+    ``values`` has shape ``(n, k)`` — one row per sample; ``times`` has
+    shape ``(n,)`` in seconds.  The capture pipeline passes these between
+    the simulator and the verification components.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1:
+            raise ConfigurationError("times must be 1-D")
+        if values.ndim != 2 or values.shape[0] != times.size:
+            raise ConfigurationError(
+                f"values must be (n, k) with n == len(times); got {values.shape}"
+            )
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    @property
+    def sample_rate(self) -> float:
+        """Mean sampling rate in Hz."""
+        if len(self) < 2:
+            raise ConfigurationError("need two samples to infer a rate")
+        return float((len(self) - 1) / (self.times[-1] - self.times[0]))
+
+    def magnitudes(self) -> np.ndarray:
+        """Per-sample Euclidean norm across axes."""
+        return np.linalg.norm(self.values, axis=1)
+
+    def rates(self) -> np.ndarray:
+        """Per-sample time derivative of the magnitude (units/s)."""
+        return np.gradient(self.magnitudes(), self.times)
+
+    def axis(self, index: int) -> np.ndarray:
+        """One axis as a 1-D array."""
+        return self.values[:, index]
+
+
+def sample_times(duration_s: float, sample_rate: float, start: float = 0.0) -> np.ndarray:
+    """Uniform timestamps covering ``duration_s`` at ``sample_rate``."""
+    if duration_s <= 0 or sample_rate <= 0:
+        raise ConfigurationError("duration and sample_rate must be positive")
+    n = max(2, int(round(duration_s * sample_rate)))
+    return start + np.arange(n) / sample_rate
+
+
+def quantize(values: np.ndarray, step: float) -> np.ndarray:
+    """Round to the sensor's LSB step (no-op when ``step`` is 0)."""
+    if step < 0:
+        raise ConfigurationError("quantisation step must be non-negative")
+    if step == 0:
+        return np.asarray(values, dtype=float)
+    return np.round(np.asarray(values, dtype=float) / step) * step

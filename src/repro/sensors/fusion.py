@@ -1,0 +1,88 @@
+"""Orientation fusion: gyroscope + accelerometer + magnetometer.
+
+The paper jointly uses all three sensors to obtain the phone's direction
+change Δω during the sweep (citing Zee [31] and the walking-direction work
+[37]), because the magnetometer alone is unreliable indoors.  We implement
+a complementary filter over the heading (rotation about the world vertical):
+the gyroscope integrates short-term rotation, while the magnetometer pulls
+the estimate back toward the absolute magnetic heading at a low gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensors.base import SensorSeries
+
+
+def _wrap_angle(a: np.ndarray) -> np.ndarray:
+    """Wrap angles to (−π, π]."""
+    return np.mod(np.asarray(a) + np.pi, 2.0 * np.pi) - np.pi
+
+
+@dataclass
+class OrientationFilter:
+    """Complementary heading filter.
+
+    ``magnetometer_gain`` controls how strongly the absolute magnetic
+    heading corrects gyro integration per second; 0 disables the correction
+    (pure gyro), 1 would slave the estimate to the (noisy) compass.
+    """
+
+    magnetometer_gain: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.magnetometer_gain <= 1.0:
+            raise ConfigurationError("magnetometer_gain must be in [0, 1]")
+
+    def estimate_heading(
+        self,
+        gyroscope: SensorSeries,
+        magnetometer: SensorSeries,
+        initial_heading: float = 0.0,
+    ) -> np.ndarray:
+        """Heading estimate (rad) at each gyroscope timestamp.
+
+        The use-case grip (screen toward the face, phone upright) puts the
+        world-vertical axis on the phone's body ``y``, so yaw rate appears
+        on the gyro's y channel and the horizontal field on the body
+        ``x``/``z`` magnetometer channels.
+        """
+        mag_heading = heading_from_series(magnetometer)
+        mag_times = magnetometer.times
+        headings = np.empty(len(gyroscope))
+        heading = float(initial_heading)
+        prev_t = gyroscope.times[0]
+        for i, t in enumerate(gyroscope.times):
+            dt = float(t - prev_t)
+            heading += float(gyroscope.values[i, 1]) * dt
+            mag_h = float(np.interp(t, mag_times, np.unwrap(mag_heading)))
+            error = float(_wrap_angle(np.array([mag_h - heading]))[0])
+            heading += self.magnetometer_gain * dt * error if dt > 0 else 0.0
+            headings[i] = heading
+            prev_t = t
+        return headings
+
+    def direction_change(
+        self, gyroscope: SensorSeries, magnetometer: SensorSeries
+    ) -> float:
+        """Total direction change Δω (rad) over the capture."""
+        headings = self.estimate_heading(gyroscope, magnetometer)
+        return float(headings[-1] - headings[0])
+
+
+def heading_from_series(magnetometer: SensorSeries) -> np.ndarray:
+    """Raw magnetic heading (rad) from body-frame horizontal components.
+
+    With the use-case grip the body ``x`` and ``z`` axes span the
+    horizontal plane; the heading (up to the fixed declination offset the
+    complementary filter doesn't care about) is ``atan2(Bx, −Bz)``.  This
+    is what a compass app computes; it is noisy near loudspeakers — which
+    is precisely why the fusion filter weighs it lightly.
+    """
+    if magnetometer.values.shape[1] != 3:
+        raise ConfigurationError("magnetometer series must have 3 axes")
+    return np.arctan2(magnetometer.values[:, 0], -magnetometer.values[:, 2])

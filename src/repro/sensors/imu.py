@@ -1,0 +1,101 @@
+"""Accelerometer and gyroscope models.
+
+The paper fuses magnetometer, gyroscope and accelerometer readings (after
+Zee [31] / walking-direction [37]) to track the phone's direction change Δω
+and to dead-reckon its motion during the sweep.  Both models sample the
+ground-truth path at their own rates and add the usual MEMS imperfections:
+additive white noise, a constant turn-on bias, and (for the gyroscope) a
+slow bias random walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.geometry import SampledPath
+from repro.sensors.base import SensorSeries, sample_times
+
+#: Standard gravity, m/s².
+GRAVITY = 9.80665
+
+#: World-frame gravity vector (z is up).
+GRAVITY_VECTOR = np.array([0.0, 0.0, -GRAVITY])
+
+
+@dataclass
+class Accelerometer:
+    """Three-axis MEMS accelerometer (body frame, includes gravity)."""
+
+    sample_rate: float = 200.0
+    noise_ms2: float = 0.03
+    bias_ms2: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        self.bias_ms2 = np.asarray(self.bias_ms2, dtype=float)
+        if self.bias_ms2.shape != (3,):
+            raise ConfigurationError("bias_ms2 must be a 3-vector")
+
+    def sample(
+        self, path: SampledPath, rng: np.random.Generator | None = None
+    ) -> SensorSeries:
+        """Specific force in the body frame: ``R^T(a − g)`` plus noise."""
+        rng = np.random.default_rng(self.seed) if rng is None else rng
+        times = sample_times(path.duration, self.sample_rate, start=path.times[0])
+        world_acc = path.accelerations()
+        readings = np.empty((times.size, 3))
+        for i, t in enumerate(times):
+            pose = path.pose_at(t)
+            idx = int(np.clip(np.searchsorted(path.times, t), 0, len(path) - 1))
+            specific_force = world_acc[idx] - GRAVITY_VECTOR
+            readings[i] = pose.to_body(specific_force) + self.bias_ms2
+        readings += rng.normal(0.0, self.noise_ms2, readings.shape)
+        return SensorSeries(times=times, values=readings)
+
+
+@dataclass
+class Gyroscope:
+    """Three-axis MEMS gyroscope (body frame, rad/s)."""
+
+    sample_rate: float = 200.0
+    noise_rads: float = 0.002
+    bias_rads: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    bias_walk_rads: float = 0.0005
+    seed: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        self.bias_rads = np.asarray(self.bias_rads, dtype=float)
+        if self.bias_rads.shape != (3,):
+            raise ConfigurationError("bias_rads must be a 3-vector")
+
+    def sample(
+        self, path: SampledPath, rng: np.random.Generator | None = None
+    ) -> SensorSeries:
+        """Body-frame angular rates derived from the pose sequence."""
+        rng = np.random.default_rng(self.seed) if rng is None else rng
+        times = sample_times(path.duration, self.sample_rate, start=path.times[0])
+        readings = np.empty((times.size, 3))
+        dt = 1.0 / self.sample_rate
+        for i, t in enumerate(times):
+            pose_now = path.pose_at(t)
+            pose_next = path.pose_at(min(t + dt, path.times[-1]))
+            # Relative rotation over dt in the body frame; for the small
+            # angles of one sample period the skew part is the rate vector.
+            rel = pose_now.orientation.T @ pose_next.orientation
+            omega = (
+                np.array([rel[2, 1] - rel[1, 2], rel[0, 2] - rel[2, 0], rel[1, 0] - rel[0, 1]])
+                / (2.0 * dt)
+            )
+            readings[i] = omega + self.bias_rads
+        walk = np.cumsum(
+            rng.normal(0.0, self.bias_walk_rads * np.sqrt(dt), readings.shape), axis=0
+        )
+        readings += walk + rng.normal(0.0, self.noise_rads, readings.shape)
+        return SensorSeries(times=times, values=readings)

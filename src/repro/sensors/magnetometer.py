@@ -1,0 +1,75 @@
+"""Three-axis magnetometer model (AK8975-class part).
+
+The paper's loudspeaker detector reads the phone's compass; the AK8975 in
+the Nexus-era testbed phones has 0.3 µT/LSB resolution and a ±1200 µT
+measurement range (paper §VI, "Various Classes of Speakers").  The model
+samples the scene's total field along the phone path, rotates it into the
+body frame, adds white noise and a small hard-iron bias, quantises, and
+clips to range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.geometry import SampledPath
+from repro.sensors.base import SensorSeries, quantize, sample_times
+
+#: World-field callback signature: (position_m, time_s) → field µT (3,).
+FieldFunction = Callable[[np.ndarray, float], np.ndarray]
+
+
+@dataclass
+class Magnetometer:
+    """AK8975-style magnetometer.
+
+    ``noise_ut`` is the per-axis white-noise standard deviation; 0.35 µT is
+    typical of the part at 100 Hz.  ``hard_iron_ut`` models the phone's own
+    magnetised components, fixed per device instance.
+    """
+
+    sample_rate: float = 100.0
+    resolution_ut: float = 0.3
+    range_ut: float = 1200.0
+    noise_ut: float = 0.35
+    hard_iron_ut: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if self.range_ut <= 0:
+            raise ConfigurationError("range_ut must be positive")
+        self.hard_iron_ut = np.asarray(self.hard_iron_ut, dtype=float)
+        if self.hard_iron_ut.shape != (3,):
+            raise ConfigurationError("hard_iron_ut must be a 3-vector")
+
+    def sample(
+        self,
+        path: SampledPath,
+        field_functions: Sequence[FieldFunction],
+        rng: np.random.Generator | None = None,
+    ) -> SensorSeries:
+        """Sample the superposition of ``field_functions`` along ``path``.
+
+        Returns body-frame readings in µT at the sensor's own rate,
+        independent of the path's sampling grid.
+        """
+        rng = np.random.default_rng(self.seed) if rng is None else rng
+        times = sample_times(path.duration, self.sample_rate, start=path.times[0])
+        readings = np.empty((times.size, 3))
+        for i, t in enumerate(times):
+            pose = path.pose_at(t)
+            total = np.zeros(3)
+            for f in field_functions:
+                total = total + np.asarray(f(pose.position, t), dtype=float)
+            body = pose.to_body(total) + self.hard_iron_ut
+            readings[i] = body
+        readings += rng.normal(0.0, self.noise_ut, readings.shape)
+        readings = quantize(readings, self.resolution_ut)
+        readings = np.clip(readings, -self.range_ut, self.range_ut)
+        return SensorSeries(times=times, values=readings)

@@ -1,0 +1,53 @@
+"""Smartphone microphone model.
+
+The microphone converts scene pressure waveforms (rendered by
+:mod:`repro.world.scene`) into digital audio: sensitivity scaling, a gentle
+high-frequency roll-off near Nyquist (MEMS mics on the Nexus-era phones
+still pass 20 kHz, which the ranging pilot needs), additive self-noise, and
+full-scale clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import lowpass
+from repro.errors import ConfigurationError, SignalError
+
+
+@dataclass
+class Microphone:
+    """A smartphone MEMS microphone.
+
+    ``sensitivity`` maps pascals to full-scale digital units;
+    ``noise_floor_db`` is self-noise relative to full scale.
+    """
+
+    sample_rate: int = 48000
+    sensitivity: float = 12.0
+    noise_floor_db: float = -84.0
+    rolloff_hz: float | None = 22000.0
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if self.sensitivity <= 0:
+            raise ConfigurationError("sensitivity must be positive")
+
+    def record(
+        self, pressure: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Digitise a pressure waveform (Pa) into [-1, 1] samples."""
+        p = np.asarray(pressure, dtype=float)
+        if p.ndim != 1 or p.size == 0:
+            raise SignalError("record expects a non-empty 1-D pressure waveform")
+        rng = np.random.default_rng(self.seed) if rng is None else rng
+        audio = p * self.sensitivity
+        if self.rolloff_hz is not None and self.rolloff_hz < self.sample_rate / 2.0:
+            audio = lowpass(audio, self.rolloff_hz, self.sample_rate, order=2)
+        noise_amp = 10.0 ** (self.noise_floor_db / 20.0)
+        audio = audio + rng.normal(0.0, noise_amp, audio.shape)
+        return np.clip(audio, -1.0, 1.0)

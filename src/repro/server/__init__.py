@@ -1,0 +1,40 @@
+"""Client-server prototype (paper §V).
+
+The paper's prototype is an Android app talking to a Tornado backend over
+a secure web socket: the app records acoustic + inertial data, zips it,
+and uploads; the server unzips, runs the verification cascade (with a
+scheduler parallelising the machine-detection components), and returns
+the decision.
+
+This subpackage reproduces that architecture in-process:
+
+- :mod:`repro.server.protocol` — framed, zlib-compressed, checksummed
+  message encoding for captures and decisions;
+- :mod:`repro.server.scheduler` — a small APScheduler-style job pool that
+  runs the verification components concurrently;
+- :mod:`repro.server.backend` — the request handler wrapping a
+  :class:`repro.core.pipeline.DefenseSystem`;
+- :mod:`repro.server.client` — the mobile-app side: packs captures,
+  submits them, and measures round-trip authentication time (Fig. 15).
+"""
+
+from repro.server.protocol import (
+    decode_decision,
+    decode_request,
+    encode_decision,
+    encode_request,
+)
+from repro.server.scheduler import JobScheduler
+from repro.server.backend import VerificationServer
+from repro.server.client import MobileClient, TimingReport
+
+__all__ = [
+    "decode_decision",
+    "decode_request",
+    "encode_decision",
+    "encode_request",
+    "JobScheduler",
+    "VerificationServer",
+    "MobileClient",
+    "TimingReport",
+]

@@ -1,0 +1,90 @@
+"""The verification server backend.
+
+Wraps a trained :class:`repro.core.pipeline.DefenseSystem` behind the
+wire protocol: decode request → fan the machine-detection components out
+on the scheduler → run identity verification → encode decision.  The
+"network" is an in-process call, which keeps the Fig. 15 timing bench
+about compute rather than transport (the paper likewise redirected all
+traffic to a local server to minimise network influence).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.decision import ComponentResult, Decision
+from repro.core.pipeline import DefenseSystem
+from repro.errors import ProtocolError
+from repro.server.protocol import decode_request, encode_decision
+from repro.server.scheduler import JobScheduler
+
+
+@dataclass
+class RequestStats:
+    """Server-side timing for one request (seconds)."""
+
+    decode_s: float
+    detection_s: float
+    identity_s: float
+    total_s: float
+
+
+@dataclass
+class VerificationServer:
+    """In-process stand-in for the paper's Tornado backend."""
+
+    system: DefenseSystem
+    scheduler: JobScheduler = field(default_factory=lambda: JobScheduler(workers=3))
+    last_stats: Optional[RequestStats] = None
+
+    def handle(self, request_frame: bytes) -> bytes:
+        """Process one verification request frame; returns a decision frame."""
+        t0 = time.perf_counter()
+        capture, claimed = decode_request(request_frame)
+        t_decoded = time.perf_counter()
+
+        enabled = self.system.enabled_components
+        jobs = {}
+        if "distance" in enabled:
+            jobs["distance"] = lambda: self.system.distance.verify(capture)
+        if "magnetic" in enabled:
+            jobs["magnetic"] = lambda: self.system.magnetic.verify(capture)
+        if "soundfield" in enabled and claimed is not None:
+            jobs["soundfield"] = lambda: self.system.soundfield_for(claimed).verify(
+                capture
+            )
+        job_results = self.scheduler.run_all(jobs)
+        results: Dict[str, ComponentResult] = {}
+        for name, job in job_results.items():
+            if job.ok:
+                results[name] = job.value
+            else:
+                results[name] = ComponentResult(
+                    name=name,
+                    passed=False,
+                    score=float("-inf"),
+                    detail=f"component error: {job.error}",
+                )
+        t_detection = time.perf_counter()
+
+        if "identity" in enabled and claimed is not None:
+            results["identity"] = self.system.identity.verify(capture, claimed)
+        t_identity = time.perf_counter()
+
+        accepted = all(r.passed for r in results.values())
+        payload: Dict[str, Tuple[bool, float, str]] = {
+            name: (r.passed, r.score, r.detail) for name, r in results.items()
+        }
+        frame = encode_decision(accepted, payload)
+        self.last_stats = RequestStats(
+            decode_s=t_decoded - t0,
+            detection_s=t_detection - t_decoded,
+            identity_s=t_identity - t_detection,
+            total_s=time.perf_counter() - t0,
+        )
+        return frame
+
+    def close(self) -> None:
+        self.scheduler.shutdown()

@@ -1,0 +1,106 @@
+"""The mobile-app side of the prototype, plus authentication timing.
+
+:class:`MobileClient` packs a capture into a request frame, submits it to
+a :class:`~repro.server.backend.VerificationServer`, and parses the
+decision — measuring the round trip the way the paper's Fig. 15
+experiment does ("we stop the time counter only when the authentication
+result is sent back").
+
+A simulated network latency can be injected to model the local-server
+redirection of the paper's setup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.server.backend import VerificationServer
+from repro.server.protocol import decode_decision, encode_request
+from repro.world.scene import SensorCapture
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Round-trip timing of one authentication attempt (seconds)."""
+
+    capture_s: float
+    encode_s: float
+    network_s: float
+    server_s: float
+    decode_s: float
+    accepted: bool
+
+    @property
+    def total_s(self) -> float:
+        """Interaction-to-decision time (what Fig. 15 plots)."""
+        return (
+            self.capture_s
+            + self.encode_s
+            + self.network_s
+            + self.server_s
+            + self.decode_s
+        )
+
+
+@dataclass
+class MobileClient:
+    """Client endpoint bound to one server instance."""
+
+    server: VerificationServer
+    network_latency_s: float = 0.012
+
+    def authenticate(
+        self,
+        capture: SensorCapture,
+        claimed_speaker: Optional[str],
+        interaction_time_s: Optional[float] = None,
+    ) -> TimingReport:
+        """Submit one capture and time every stage of the round trip.
+
+        ``interaction_time_s`` is the user-facing recording time (the
+        capture's duration by default) — it dominates the total, exactly
+        as in the paper's comparison against WeChat voice print.
+        """
+        capture_s = (
+            capture.duration_s if interaction_time_s is None else interaction_time_s
+        )
+        t0 = time.perf_counter()
+        request = encode_request(capture, claimed_speaker)
+        t_encoded = time.perf_counter()
+        server_frame = self.server.handle(request)
+        t_served = time.perf_counter()
+        decision = decode_decision(server_frame)
+        t_done = time.perf_counter()
+        return TimingReport(
+            capture_s=capture_s,
+            encode_s=t_encoded - t0,
+            network_s=2.0 * self.network_latency_s,
+            server_s=t_served - t_encoded,
+            decode_s=t_done - t_served,
+            accepted=bool(decision["accepted"]),
+        )
+
+    def authenticate_many(
+        self,
+        captures: List[SensorCapture],
+        claimed_speaker: Optional[str],
+    ) -> List[TimingReport]:
+        """Authenticate a batch (one trial per capture)."""
+        return [self.authenticate(c, claimed_speaker) for c in captures]
+
+
+def summarize_trials(reports: List[TimingReport]) -> dict:
+    """Mean/percentile totals for a batch of trials (Fig. 15 rows)."""
+    totals = np.array([r.total_s for r in reports])
+    return {
+        "trials": len(reports),
+        "mean_s": float(totals.mean()),
+        "p50_s": float(np.percentile(totals, 50)),
+        "p90_s": float(np.percentile(totals, 90)),
+        "success_rate": float(np.mean([r.accepted for r in reports])),
+    }

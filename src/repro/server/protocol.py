@@ -1,0 +1,176 @@
+"""Wire protocol between the mobile client and the verification server.
+
+The paper's clients "send zipped data to the Tornado server via a secure
+web socket protocol".  We reproduce the data plane: a verification request
+carries the claimed identity plus every sensor stream of a capture,
+serialised to a compact binary frame — zlib-compressed and CRC-protected.
+(Transport security is out of scope for an in-process prototype; the
+frame format leaves a version byte for negotiating it.)
+
+Frame layout (all integers little-endian):
+
+    magic   2 bytes  b"RV"
+    version 1 byte
+    kind    1 byte   (1 = request, 2 = decision)
+    length  4 bytes  payload length
+    crc32   4 bytes  of the compressed payload
+    payload zlib-compressed body
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import zlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.sensors.base import SensorSeries
+from repro.world.scene import SensorCapture
+from repro.physics.geometry import Pose, SampledPath
+
+_MAGIC = b"RV"
+_VERSION = 1
+_KIND_REQUEST = 1
+_KIND_DECISION = 2
+_HEADER = struct.Struct("<2sBBLL")
+
+
+def _pack_array(x: np.ndarray) -> Dict[str, object]:
+    arr = np.asarray(x, dtype=np.float32)
+    return {
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _unpack_array(obj: Dict[str, object]) -> np.ndarray:
+    try:
+        data = base64.b64decode(obj["data"], validate=True)
+        shape = tuple(int(s) for s in obj["shape"])  # type: ignore[union-attr]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed array field: {exc}") from exc
+    return np.frombuffer(data, dtype=np.float32).reshape(shape).astype(float)
+
+
+def _frame(kind: int, body: dict) -> bytes:
+    payload = zlib.compress(json.dumps(body).encode("utf-8"), level=6)
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, kind, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    )
+    return header + payload
+
+
+def _unframe(frame: bytes, expected_kind: int) -> dict:
+    if len(frame) < _HEADER.size:
+        raise ProtocolError("frame shorter than header")
+    magic, version, kind, length, crc = _HEADER.unpack(frame[: _HEADER.size])
+    if magic != _MAGIC:
+        raise ProtocolError("bad magic")
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if kind != expected_kind:
+        raise ProtocolError(f"expected frame kind {expected_kind}, got {kind}")
+    payload = frame[_HEADER.size :]
+    if len(payload) != length:
+        raise ProtocolError("frame length mismatch")
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise ProtocolError("payload checksum mismatch")
+    try:
+        return json.loads(zlib.decompress(payload).decode("utf-8"))
+    except (zlib.error, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"payload decode failed: {exc}") from exc
+
+
+def encode_request(
+    capture: SensorCapture, claimed_speaker: Optional[str]
+) -> bytes:
+    """Serialise a verification request (capture + claim)."""
+    body = {
+        "claimed_speaker": claimed_speaker,
+        "audio": _pack_array(capture.audio),
+        "audio_secondary": (
+            _pack_array(capture.audio_secondary)
+            if capture.audio_secondary is not None
+            else None
+        ),
+        "audio_sample_rate": capture.audio_sample_rate,
+        "pilot_hz": capture.pilot_hz,
+        "magnetometer_t": _pack_array(capture.magnetometer.times),
+        "magnetometer_v": _pack_array(capture.magnetometer.values),
+        "accelerometer_t": _pack_array(capture.accelerometer.times),
+        "accelerometer_v": _pack_array(capture.accelerometer.values),
+        "gyroscope_t": _pack_array(capture.gyroscope.times),
+        "gyroscope_v": _pack_array(capture.gyroscope.values),
+        "source_kind": capture.source_kind,
+        "environment": capture.environment_name,
+        "metadata": capture.metadata,
+    }
+    return _frame(_KIND_REQUEST, body)
+
+
+def decode_request(frame: bytes) -> Tuple[SensorCapture, Optional[str]]:
+    """Parse a request frame back into a capture + claimed identity.
+
+    The trajectory ground truth is not transmitted (the phone does not
+    know it); a trivial two-pose placeholder path is attached because the
+    capture type requires one — server-side components never read it.
+    """
+    body = _unframe(frame, _KIND_REQUEST)
+    audio = _unpack_array(body["audio"]).ravel()
+    secondary_field = body.get("audio_secondary")
+    audio_secondary = (
+        _unpack_array(secondary_field).ravel()
+        if secondary_field is not None
+        else None
+    )
+    times = _unpack_array(body["magnetometer_t"]).ravel()
+    placeholder = SampledPath(
+        [0.0, max(float(times[-1]), 1e-3)],
+        [Pose(np.zeros(3), np.eye(3)), Pose(np.zeros(3), np.eye(3))],
+    )
+    capture = SensorCapture(
+        audio=audio,
+        audio_sample_rate=int(body["audio_sample_rate"]),
+        pilot_hz=float(body["pilot_hz"]),
+        magnetometer=SensorSeries(times, _unpack_array(body["magnetometer_v"])),
+        accelerometer=SensorSeries(
+            _unpack_array(body["accelerometer_t"]).ravel(),
+            _unpack_array(body["accelerometer_v"]),
+        ),
+        gyroscope=SensorSeries(
+            _unpack_array(body["gyroscope_t"]).ravel(),
+            _unpack_array(body["gyroscope_v"]),
+        ),
+        path=placeholder,
+        source_kind=str(body.get("source_kind", "unknown")),
+        environment_name=str(body.get("environment", "unknown")),
+        metadata=dict(body.get("metadata", {})),
+        audio_secondary=audio_secondary,
+    )
+    return capture, body.get("claimed_speaker")
+
+
+def encode_decision(
+    accepted: bool,
+    component_results: Dict[str, Tuple[bool, float, str]],
+    request_id: str = "",
+) -> bytes:
+    """Serialise the server's decision."""
+    body = {
+        "accepted": accepted,
+        "request_id": request_id,
+        "components": {
+            name: {"passed": passed, "score": score, "detail": detail}
+            for name, (passed, score, detail) in component_results.items()
+        },
+    }
+    return _frame(_KIND_DECISION, body)
+
+
+def decode_decision(frame: bytes) -> dict:
+    """Parse a decision frame."""
+    return _unframe(frame, _KIND_DECISION)

@@ -1,0 +1,109 @@
+"""A small thread-pool job scheduler (the APScheduler role).
+
+The paper "leverage[s] the Advanced Python Scheduler (APScheduler) to
+accelerate the process of defending against the machine-based voice
+impersonation attack" — the three machine-detection components are
+independent given a capture, so the backend fans them out and joins the
+results.
+"""
+
+from __future__ import annotations
+
+import threading
+import queue
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class JobResult:
+    """Outcome of one scheduled job."""
+
+    name: str
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class JobScheduler:
+    """Run named callables on a fixed pool of worker threads.
+
+    The pool is created lazily on first use and torn down with
+    :meth:`shutdown` (or by the context-manager protocol).  Jobs raising
+    exceptions report them in their :class:`JobResult` instead of killing
+    the worker.
+    """
+
+    def __init__(self, workers: int = 3):
+        if workers <= 0:
+            raise ConfigurationError("need at least one worker")
+        self._workers = workers
+        self._queue: "queue.Queue[Optional[Tuple[str, Callable[[], Any], List[JobResult], threading.Semaphore]]]" = (
+            queue.Queue()
+        )
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            for i in range(self._workers):
+                t = threading.Thread(
+                    target=self._worker, name=f"verify-worker-{i}", daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+            self._started = True
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            name, fn, sink, done = item
+            try:
+                result = JobResult(name=name, value=fn())
+            except BaseException as exc:  # noqa: BLE001 - reported, not rethrown
+                result = JobResult(name=name, error=exc)
+            sink.append(result)
+            done.release()
+            self._queue.task_done()
+
+    def run_all(self, jobs: Dict[str, Callable[[], Any]]) -> Dict[str, JobResult]:
+        """Run every job, block until all finish, return results by name."""
+        if not jobs:
+            return {}
+        self._ensure_started()
+        sink: List[JobResult] = []
+        done = threading.Semaphore(0)
+        for name, fn in jobs.items():
+            self._queue.put((name, fn, sink, done))
+        for _ in jobs:
+            done.acquire()
+        return {r.name: r for r in sink}
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        with self._lock:
+            if not self._started:
+                return
+            for _ in self._threads:
+                self._queue.put(None)
+            for t in self._threads:
+                t.join(timeout=5.0)
+            self._threads.clear()
+            self._started = False
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,51 @@
+"""Voice synthesis and analysis substrate.
+
+The paper's corpora (five volunteers, Voxforge, CMU Arctic) cannot be
+shipped, so this subpackage synthesises speaker-discriminable speech from a
+classical source-filter model:
+
+- :mod:`repro.voice.glottal` — Rosenberg-pulse glottal source with jitter,
+  shimmer and spectral tilt;
+- :mod:`repro.voice.formants` — digital formant resonators and the phoneme
+  formant tables;
+- :mod:`repro.voice.profiles` — per-speaker vocal parameters and random
+  speaker generation;
+- :mod:`repro.voice.synthesis` — utterance synthesis (digit pass-phrases
+  and arbitrary phoneme strings);
+- :mod:`repro.voice.analysis` — F0 and spectral-envelope estimation used by
+  the voice-conversion attack;
+- :mod:`repro.voice.corpus` — synthetic stand-ins for the Voxforge-style
+  background corpus and the Arctic-style fixed-utterance test corpus.
+"""
+
+from repro.voice.glottal import GlottalSource
+from repro.voice.formants import FormantResonator, PHONEMES, Phoneme
+from repro.voice.profiles import SpeakerProfile, random_profile
+from repro.voice.synthesis import Synthesizer, Utterance
+from repro.voice.analysis import estimate_f0, estimate_formants, estimate_profile
+from repro.voice.corpus import (
+    CorpusUtterance,
+    SyntheticCorpus,
+    make_arctic_style_corpus,
+    make_background_corpus,
+    make_passphrase_corpus,
+)
+
+__all__ = [
+    "GlottalSource",
+    "FormantResonator",
+    "PHONEMES",
+    "Phoneme",
+    "SpeakerProfile",
+    "random_profile",
+    "Synthesizer",
+    "Utterance",
+    "estimate_f0",
+    "estimate_formants",
+    "estimate_profile",
+    "CorpusUtterance",
+    "SyntheticCorpus",
+    "make_arctic_style_corpus",
+    "make_background_corpus",
+    "make_passphrase_corpus",
+]

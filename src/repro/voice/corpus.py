@@ -1,0 +1,171 @@
+"""Synthetic speech corpora.
+
+Stand-ins for the three corpora the paper's Table I evaluation uses:
+
+- a *pass-phrase corpus* — five speakers each pronouncing a unique
+  six-digit pass-phrase five times (Test 1),
+- a *background corpus* — many speakers, varied utterances, playing
+  Voxforge's role as UBM training material,
+- an *Arctic-style corpus* — held-out speakers all pronouncing the same
+  fixed prompts, playing the CMU Arctic role in the cross-corpus test
+  (Test 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.voice.profiles import SpeakerProfile, random_profile
+from repro.voice.synthesis import Synthesizer, Utterance
+
+#: Fixed prompts for the Arctic-style corpus, as phoneme sequences.  Real
+#: Arctic prompts are full sentences; these cover a comparable phoneme
+#: spread in a few seconds of speech.
+ARCTIC_STYLE_PROMPTS: Tuple[Tuple[str, ...], ...] = (
+    ("HH", "EH", "L", "OW", "SIL", "W", "ER", "L", "D", "SIL",
+     "G", "UH", "D", "SIL", "M", "AO", "R", "N", "IH", "NG_STUB"),
+    ("S", "IY", "K", "R", "IH", "T", "SIL", "P", "AE", "S", "W", "ER", "D", "SIL",
+     "S", "EH", "V", "AH", "N", "SIL", "TH", "R", "IY"),
+    ("OW", "P", "AH", "N", "SIL", "DH", "AH", "SIL", "D", "OW", "R", "SIL",
+     "P", "L", "IY", "Z", "SIL", "N", "AW_STUB"),
+    ("V", "EH", "R", "IH", "F", "AY", "SIL", "M", "AY", "SIL", "V", "OY_STUB", "S", "SIL",
+     "T", "UW", "D", "EY"),
+    ("DH", "AH", "SIL", "K", "W", "IH", "K", "SIL", "B", "R", "AW_STUB", "N", "SIL",
+     "F", "AA", "K", "S", "SIL", "JH_STUB", "AH", "M", "P", "S"),
+    ("AY", "SIL", "AE", "M", "SIL", "DH", "AH", "SIL", "OW", "N", "L", "IY", "SIL",
+     "OW", "N", "ER", "SIL", "HH", "IY", "R"),
+)
+
+
+def _sanitise_prompt(prompt: Sequence[str]) -> Tuple[str, ...]:
+    """Replace inventory gaps with near phonemes (keeps prompts editable)."""
+    substitutions = {
+        "OY_STUB": "OW",
+        "NG_STUB": "N",
+        "AW_STUB": "AA",
+        "JH_STUB": "Z",
+    }
+    return tuple(substitutions.get(p, p) for p in prompt)
+
+
+@dataclass(frozen=True)
+class CorpusUtterance:
+    """One corpus entry: the utterance and its ground-truth label."""
+
+    utterance: Utterance
+    speaker_id: str
+    session: int = 0
+
+
+@dataclass
+class SyntheticCorpus:
+    """A labelled collection of synthetic utterances."""
+
+    name: str
+    sample_rate: int
+    profiles: Dict[str, SpeakerProfile] = field(default_factory=dict)
+    utterances: List[CorpusUtterance] = field(default_factory=list)
+
+    @property
+    def speaker_ids(self) -> List[str]:
+        return sorted(self.profiles)
+
+    def by_speaker(self, speaker_id: str) -> List[CorpusUtterance]:
+        """All utterances from one speaker."""
+        if speaker_id not in self.profiles:
+            raise ConfigurationError(
+                f"speaker {speaker_id!r} not in corpus {self.name!r}"
+            )
+        return [u for u in self.utterances if u.speaker_id == speaker_id]
+
+    def waveforms(self) -> List[np.ndarray]:
+        return [u.utterance.waveform for u in self.utterances]
+
+
+def make_passphrase_corpus(
+    n_speakers: int = 5,
+    repetitions: int = 5,
+    sample_rate: int = 16000,
+    seed: int = 100,
+) -> SyntheticCorpus:
+    """Test 1 corpus: each speaker repeats a unique 6-digit pass-phrase.
+
+    Sessions differ in their random state (micro-prosody varies) the way
+    repeated recordings of a person do.
+    """
+    if n_speakers <= 0 or repetitions <= 0:
+        raise ConfigurationError("n_speakers and repetitions must be positive")
+    rng = np.random.default_rng(seed)
+    synth = Synthesizer(sample_rate)
+    corpus = SyntheticCorpus(name="passphrase", sample_rate=sample_rate)
+    for s in range(n_speakers):
+        sid = f"user{s:02d}"
+        profile = random_profile(sid, rng)
+        corpus.profiles[sid] = profile
+        passphrase = "".join(str(d) for d in rng.integers(0, 10, 6))
+        for rep in range(repetitions):
+            utt = synth.synthesize_digits(profile, passphrase, rng)
+            corpus.utterances.append(CorpusUtterance(utt, sid, session=rep))
+    return corpus
+
+
+def make_background_corpus(
+    n_speakers: int = 20,
+    utterances_per_speaker: int = 4,
+    sample_rate: int = 16000,
+    seed: int = 200,
+) -> SyntheticCorpus:
+    """Voxforge-style background population for UBM training."""
+    if n_speakers <= 0 or utterances_per_speaker <= 0:
+        raise ConfigurationError("corpus sizes must be positive")
+    rng = np.random.default_rng(seed)
+    synth = Synthesizer(sample_rate)
+    corpus = SyntheticCorpus(name="background", sample_rate=sample_rate)
+    for s in range(n_speakers):
+        sid = f"bg{s:03d}"
+        profile = random_profile(sid, rng)
+        corpus.profiles[sid] = profile
+        for rep in range(utterances_per_speaker):
+            digits = "".join(str(d) for d in rng.integers(0, 10, rng.integers(4, 8)))
+            utt = synth.synthesize_digits(profile, digits, rng)
+            corpus.utterances.append(CorpusUtterance(utt, sid, session=rep))
+    return corpus
+
+
+def make_arctic_style_corpus(
+    n_speakers: int = 6,
+    renditions: int = 2,
+    sample_rate: int = 16000,
+    seed: int = 300,
+) -> SyntheticCorpus:
+    """CMU-Arctic-style corpus: held-out speakers, identical fixed prompts.
+
+    Every speaker records every prompt ``renditions`` times (the paper's
+    point about Arctic is that "they pronounce the same utterance when
+    recording", which makes cross-corpus testing text-dependent).  The
+    ``session`` field carries the rendition index; the utterance ``text``
+    carries the prompt id.
+    """
+    if n_speakers <= 0 or renditions <= 0:
+        raise ConfigurationError("n_speakers and renditions must be positive")
+    rng = np.random.default_rng(seed)
+    synth = Synthesizer(sample_rate)
+    corpus = SyntheticCorpus(name="arctic_style", sample_rate=sample_rate)
+    prompts = [_sanitise_prompt(p) for p in ARCTIC_STYLE_PROMPTS]
+    for s in range(n_speakers):
+        sid = f"arctic{s:02d}"
+        profile = random_profile(sid, rng)
+        corpus.profiles[sid] = profile
+        for rendition in range(renditions):
+            for i, prompt in enumerate(prompts):
+                utt = synth.synthesize_phonemes(
+                    profile, prompt, rng, text=f"prompt{i}"
+                )
+                corpus.utterances.append(
+                    CorpusUtterance(utt, sid, session=rendition)
+                )
+    return corpus

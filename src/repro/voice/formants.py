@@ -1,0 +1,176 @@
+"""Formant resonators and the phoneme inventory.
+
+The vocal tract is modelled as a cascade of second-order digital resonators
+(Klatt-style), one per formant.  Each :class:`Phoneme` carries formant
+targets for a reference (male, 17.5 cm vocal tract) speaker; a speaker's
+``formant_scale`` (≈ inverse vocal-tract length ratio) multiplies them.
+
+The inventory covers everything needed for the spoken digits "zero"–"nine"
+and the Arctic-style prompt sentences: seven monophthong vowels, two
+diphthongs (as start/end targets), glides, liquids, nasals, fricatives and
+stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.signal import lfilter, lfilter_zi
+
+from repro.errors import ConfigurationError, SignalError
+
+
+class FormantResonator:
+    """A unity-peak-gain second-order resonator (Klatt normalisation).
+
+    Poles at ``r·e^{±jθ}`` with ``r = exp(−πB/fs)`` and ``θ = 2πf/fs``;
+    the numerator gain makes the response 1 at the centre frequency, so
+    cascading sections does not explode the level.
+    """
+
+    def __init__(self, frequency_hz: float, bandwidth_hz: float, sample_rate: int):
+        if sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if not 0.0 < frequency_hz < sample_rate / 2.0:
+            raise ConfigurationError(
+                f"formant frequency {frequency_hz} outside (0, Nyquist)"
+            )
+        if bandwidth_hz <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        r = np.exp(-np.pi * bandwidth_hz / sample_rate)
+        theta = 2.0 * np.pi * frequency_hz / sample_rate
+        self.a = np.array([1.0, -2.0 * r * np.cos(theta), r**2])
+        gain = abs(1.0 - 2.0 * r * np.cos(theta) * np.exp(-1j * theta) + r**2 * np.exp(-2j * theta))
+        self.b = np.array([gain])
+        self.frequency_hz = frequency_hz
+        self.bandwidth_hz = bandwidth_hz
+
+    def filter(self, x: np.ndarray, zi: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter a block, carrying/returning filter state for streaming."""
+        x = np.asarray(x, dtype=float)
+        if zi is None:
+            zi = lfilter_zi(self.b, self.a) * 0.0
+        y, zf = lfilter(self.b, self.a, x, zi=zi)
+        return y, zf
+
+    def frequency_response(self, freqs_hz: np.ndarray, sample_rate: int) -> np.ndarray:
+        """|H(f)| sampled at ``freqs_hz``."""
+        w = 2.0 * np.pi * np.asarray(freqs_hz, dtype=float) / sample_rate
+        z = np.exp(1j * w)
+        num = self.b[0]
+        den = self.a[0] + self.a[1] / z + self.a[2] / z**2
+        return np.abs(num / den)
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """Acoustic recipe for one phoneme.
+
+    ``formants`` — (F1, F2, F3) targets in Hz for the reference speaker;
+    ``voiced`` — glottal excitation on/off;
+    ``frication`` — high-band noise level in [0, 1];
+    ``amplitude`` — relative level (nasals and fricatives are weaker);
+    ``duration_ms`` — nominal duration before speaking-rate scaling;
+    ``end_formants`` — if set, formants glide linearly there (diphthongs);
+    ``stop_gap`` — closure silence before the burst (plosives).
+    """
+
+    symbol: str
+    formants: Tuple[float, float, float]
+    voiced: bool = True
+    frication: float = 0.0
+    amplitude: float = 1.0
+    duration_ms: float = 120.0
+    end_formants: Optional[Tuple[float, float, float]] = None
+    stop_gap: bool = False
+
+    def __post_init__(self) -> None:
+        if any(f <= 0 for f in self.formants):
+            raise ConfigurationError(f"{self.symbol}: formants must be positive")
+        if not 0.0 <= self.frication <= 1.0:
+            raise ConfigurationError(f"{self.symbol}: frication must be in [0, 1]")
+        if self.duration_ms <= 0:
+            raise ConfigurationError(f"{self.symbol}: duration must be positive")
+
+
+def _p(symbol: str, f1: float, f2: float, f3: float, **kw) -> Phoneme:
+    return Phoneme(symbol=symbol, formants=(f1, f2, f3), **kw)
+
+
+#: Reference-speaker phoneme inventory (formants after Peterson & Barney).
+PHONEMES: Dict[str, Phoneme] = {
+    p.symbol: p
+    for p in [
+        # Monophthong vowels.
+        _p("AA", 730, 1090, 2440, duration_ms=140),
+        _p("AE", 660, 1720, 2410, duration_ms=140),
+        _p("AH", 640, 1190, 2390, duration_ms=110),
+        _p("AO", 570, 840, 2410, duration_ms=140),
+        _p("EH", 530, 1840, 2480, duration_ms=120),
+        _p("ER", 490, 1350, 1690, duration_ms=130),
+        _p("IH", 390, 1990, 2550, duration_ms=100),
+        _p("IY", 270, 2290, 3010, duration_ms=130),
+        _p("UH", 440, 1020, 2240, duration_ms=100),
+        _p("UW", 300, 870, 2240, duration_ms=130),
+        # Diphthongs: glide from start to end targets.
+        _p("AY", 730, 1090, 2440, end_formants=(390, 1990, 2550), duration_ms=180),
+        _p("EY", 530, 1840, 2480, end_formants=(270, 2290, 3010), duration_ms=160),
+        _p("OW", 570, 840, 2410, end_formants=(300, 870, 2240), duration_ms=160),
+        # Glides and liquids.
+        _p("W", 300, 610, 2200, duration_ms=70, amplitude=0.7),
+        _p("R", 420, 1300, 1600, duration_ms=80, amplitude=0.8),
+        _p("L", 360, 1300, 2700, duration_ms=70, amplitude=0.8),
+        # Nasals: murmur-like, weak.
+        _p("M", 250, 1200, 2100, duration_ms=80, amplitude=0.45),
+        _p("N", 250, 1450, 2200, duration_ms=80, amplitude=0.45),
+        # Voiced fricatives.
+        _p("Z", 250, 1800, 2600, frication=0.55, amplitude=0.6, duration_ms=90),
+        _p("V", 250, 1100, 2300, frication=0.30, amplitude=0.5, duration_ms=70),
+        _p("DH", 270, 1400, 2500, frication=0.30, amplitude=0.5, duration_ms=60),
+        # Unvoiced fricatives.
+        _p("S", 250, 1800, 2600, voiced=False, frication=1.0, amplitude=0.5, duration_ms=110),
+        _p("F", 250, 1100, 2300, voiced=False, frication=0.5, amplitude=0.35, duration_ms=90),
+        _p("TH", 270, 1400, 2500, voiced=False, frication=0.45, amplitude=0.3, duration_ms=80),
+        _p("HH", 500, 1500, 2500, voiced=False, frication=0.35, amplitude=0.35, duration_ms=60),
+        # Stops: closure gap then a short burst.
+        _p("T", 400, 1800, 2600, voiced=False, frication=0.9, amplitude=0.5, duration_ms=50, stop_gap=True),
+        _p("K", 350, 1600, 2400, voiced=False, frication=0.8, amplitude=0.5, duration_ms=55, stop_gap=True),
+        _p("P", 300, 900, 2100, voiced=False, frication=0.7, amplitude=0.45, duration_ms=50, stop_gap=True),
+        _p("D", 400, 1800, 2600, frication=0.5, amplitude=0.5, duration_ms=45, stop_gap=True),
+        _p("G", 350, 1600, 2400, frication=0.5, amplitude=0.5, duration_ms=50, stop_gap=True),
+        _p("B", 300, 900, 2100, frication=0.4, amplitude=0.45, duration_ms=45, stop_gap=True),
+        # Silence / pause.
+        Phoneme(symbol="SIL", formants=(500, 1500, 2500), voiced=False, amplitude=0.0, duration_ms=80),
+    ]
+}
+
+#: Default formant bandwidths (Hz) for F1..F3.
+DEFAULT_BANDWIDTHS: Tuple[float, float, float] = (80.0, 110.0, 160.0)
+
+#: Phoneme sequences for the ten spoken digits.
+DIGIT_PHONEMES: Dict[str, Tuple[str, ...]] = {
+    "0": ("Z", "IY", "R", "OW"),
+    "1": ("W", "AH", "N"),
+    "2": ("T", "UW"),
+    "3": ("TH", "R", "IY"),
+    "4": ("F", "AO", "R"),
+    "5": ("F", "AY", "V"),
+    "6": ("S", "IH", "K", "S"),
+    "7": ("S", "EH", "V", "AH", "N"),
+    "8": ("EY", "T"),
+    "9": ("N", "AY", "N"),
+}
+
+
+def phoneme_sequence_for_digits(digits: str) -> Tuple[str, ...]:
+    """Expand a digit string into a phoneme sequence with inter-digit pauses."""
+    if not digits or not digits.isdigit():
+        raise SignalError(f"expected a non-empty digit string, got {digits!r}")
+    seq: list[str] = []
+    for i, ch in enumerate(digits):
+        if i:
+            seq.append("SIL")
+        seq.extend(DIGIT_PHONEMES[ch])
+    return tuple(seq)

@@ -1,0 +1,132 @@
+"""Per-speaker vocal parameters.
+
+A :class:`SpeakerProfile` is the compact generative description of one
+voice.  Speaker discriminability in the synthetic corpora comes from the
+same physical dimensions real ASV systems exploit: mean pitch and pitch
+range (prosodic), vocal-tract length via ``formant_scale`` (spectral
+envelope), glottal tilt and open quotient (voice quality), and the jitter/
+shimmer micro-variability that separates practised genuine speech from
+effortful imitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SpeakerProfile:
+    """Generative vocal parameters for one synthetic speaker.
+
+    ``formant_offsets`` are per-formant multiplicative deviations from the
+    global ``formant_scale`` — the idiosyncratic vowel-space shape that
+    distinguishes same-sized vocal tracts.  They are anatomical: a human
+    imitator cannot reshape them, and simple spectral analysis recovers
+    only the global scale, which is why they anchor ASV's resistance to
+    impersonation.
+    """
+
+    speaker_id: str
+    f0_hz: float = 120.0
+    f0_range: float = 0.18
+    formant_scale: float = 1.0
+    formant_offsets: tuple = (1.0, 1.0, 1.0)
+    bandwidth_scale: float = 1.0
+    tilt_db_per_octave: float = -12.0
+    open_quotient: float = 0.6
+    jitter: float = 0.010
+    shimmer: float = 0.040
+    speaking_rate: float = 1.0
+    aspiration_level: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 60.0 <= self.f0_hz <= 400.0:
+            raise ConfigurationError("f0_hz must be within [60, 400] Hz")
+        if not 0.0 <= self.f0_range <= 1.0:
+            raise ConfigurationError("f0_range must be in [0, 1]")
+        if not 0.7 <= self.formant_scale <= 1.5:
+            raise ConfigurationError("formant_scale must be in [0.7, 1.5]")
+        if len(self.formant_offsets) != 3 or any(
+            not 0.8 <= o <= 1.2 for o in self.formant_offsets
+        ):
+            raise ConfigurationError(
+                "formant_offsets must be three factors in [0.8, 1.2]"
+            )
+        if not 0.5 <= self.bandwidth_scale <= 3.0:
+            raise ConfigurationError("bandwidth_scale must be in [0.5, 3.0]")
+        if not 0.2 <= self.speaking_rate <= 3.0:
+            raise ConfigurationError("speaking_rate must be in [0.2, 3.0]")
+        if self.jitter < 0 or self.shimmer < 0:
+            raise ConfigurationError("jitter/shimmer must be non-negative")
+
+    def morph_toward(
+        self,
+        target: "SpeakerProfile",
+        fidelity: float,
+        extra_variability: float = 0.0,
+    ) -> "SpeakerProfile":
+        """Shift this voice toward ``target``.
+
+        ``fidelity`` in [0, 1]: 0 leaves the voice unchanged, 1 matches the
+        target's parameters exactly (a perfect morphing engine).  Human
+        imitators get low-to-moderate fidelity plus ``extra_variability``,
+        modelling the larger acoustic parameter variation of unpractised
+        speech that disguise detectors exploit ([5], [9]) — and should
+        additionally clamp the anatomical parameters (see
+        :class:`repro.attacks.human_mimic.HumanMimicAttack`).
+        """
+        if not 0.0 <= fidelity <= 1.0:
+            raise ConfigurationError("fidelity must be in [0, 1]")
+        if extra_variability < 0.0:
+            raise ConfigurationError("extra_variability must be >= 0")
+
+        def mix(a: float, b: float) -> float:
+            return (1.0 - fidelity) * a + fidelity * b
+
+        return replace(
+            self,
+            speaker_id=f"{self.speaker_id}->{target.speaker_id}",
+            f0_hz=mix(self.f0_hz, target.f0_hz),
+            f0_range=mix(self.f0_range, target.f0_range),
+            formant_scale=min(1.5, max(0.7, mix(self.formant_scale, target.formant_scale))),
+            formant_offsets=tuple(
+                mix(a, b) for a, b in zip(self.formant_offsets, target.formant_offsets)
+            ),
+            tilt_db_per_octave=mix(self.tilt_db_per_octave, target.tilt_db_per_octave),
+            open_quotient=mix(self.open_quotient, target.open_quotient),
+            jitter=self.jitter + extra_variability * 0.02,
+            shimmer=self.shimmer + extra_variability * 0.06,
+            speaking_rate=mix(self.speaking_rate, target.speaking_rate),
+        )
+
+
+def random_profile(speaker_id: str, rng: np.random.Generator) -> SpeakerProfile:
+    """Draw a random but plausible speaker.
+
+    Bimodal pitch (male/female modes) and independent draws of the other
+    parameters give a population with realistic between-speaker spread.
+    """
+    if rng.random() < 0.5:
+        f0 = float(rng.uniform(90.0, 145.0))
+        formant_scale = float(rng.uniform(0.90, 1.10))
+    else:
+        f0 = float(rng.uniform(160.0, 250.0))
+        formant_scale = float(rng.uniform(1.02, 1.25))
+    return SpeakerProfile(
+        speaker_id=speaker_id,
+        f0_hz=f0,
+        f0_range=float(rng.uniform(0.10, 0.28)),
+        formant_scale=formant_scale,
+        formant_offsets=tuple(float(x) for x in rng.uniform(0.88, 1.12, 3)),
+        bandwidth_scale=float(rng.uniform(0.85, 1.4)),
+        tilt_db_per_octave=float(rng.uniform(-20.0, -8.0)),
+        open_quotient=float(rng.uniform(0.45, 0.72)),
+        jitter=float(rng.uniform(0.006, 0.014)),
+        shimmer=float(rng.uniform(0.02, 0.06)),
+        speaking_rate=float(rng.uniform(0.8, 1.25)),
+        aspiration_level=float(rng.uniform(0.005, 0.03)),
+    )

@@ -1,0 +1,36 @@
+"""Scene simulation: the physical world the phone's sensors observe.
+
+This subpackage replaces the paper's physical testbed.  A *scene* is a
+sound source (human mouth or loudspeaker) at the origin, an electromagnetic
+environment, and the phone moving along the use-case trajectory (approach,
+then sweep — Fig. 3).  :func:`repro.world.scene.simulate_capture` renders
+everything the real prototype would record: microphone audio (voice +
+ranging-pilot echo), magnetometer, accelerometer and gyroscope streams.
+"""
+
+from repro.world.trajectory import UseCaseTrajectory
+from repro.world.humans import HumanSpeakerSource, MouthSource
+from repro.world.environments import (
+    Environment,
+    car_environment,
+    near_computer_environment,
+    quiet_room_environment,
+)
+from repro.world.scene import (
+    AcousticScene,
+    SensorCapture,
+    simulate_capture,
+)
+
+__all__ = [
+    "UseCaseTrajectory",
+    "HumanSpeakerSource",
+    "MouthSource",
+    "Environment",
+    "car_environment",
+    "near_computer_environment",
+    "quiet_room_environment",
+    "AcousticScene",
+    "SensorCapture",
+    "simulate_capture",
+]

@@ -1,0 +1,63 @@
+"""Electromagnetic environments for the Fig. 14 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.magnetics import (
+    EnvironmentalInterference,
+    car_interference,
+    earth_field,
+    near_computer_interference,
+    quiet_room_interference,
+)
+
+
+@dataclass
+class Environment:
+    """A named EM environment: Earth's field plus local interference."""
+
+    name: str
+    interference: EnvironmentalInterference
+    include_earth_field: bool = True
+
+    def field_functions(self):
+        """Field callbacks for the magnetometer model."""
+        funcs = []
+        if self.include_earth_field:
+            constant = earth_field()
+            funcs.append(lambda position, t, _c=constant: _c)
+        funcs.append(
+            lambda position, t, _i=self.interference: _i.field_at(position, t)
+        )
+        return funcs
+
+    def ambient_sample(self, duration_s: float, rate_hz: float = 100.0) -> np.ndarray:
+        """Ambient |B| samples at a fixed point — used for calibration."""
+        times = np.arange(int(duration_s * rate_hz)) / rate_hz
+        origin = np.zeros(3)
+        mags = np.empty(times.size)
+        funcs = self.field_functions()
+        for i, t in enumerate(times):
+            total = np.zeros(3)
+            for f in funcs:
+                total = total + f(origin, t)
+            mags[i] = np.linalg.norm(total)
+        return mags
+
+
+def quiet_room_environment(seed: int = 0) -> Environment:
+    """Baseline indoor environment (the paper's default test setting)."""
+    return Environment("quiet_room", quiet_room_interference(seed))
+
+
+def near_computer_environment(seed: int = 0) -> Environment:
+    """Desk 30 cm from an iMac 27" (Fig. 14a)."""
+    return Environment("near_computer", near_computer_interference(seed))
+
+
+def car_environment(seed: int = 0) -> Environment:
+    """Front seat of a running car (Fig. 14b)."""
+    return Environment("car", car_interference(seed))

@@ -1,0 +1,272 @@
+"""Scene rendering: from physics to sensor streams.
+
+:func:`simulate_capture` is the single entry point the rest of the library
+uses to "record" a verification attempt.  It renders:
+
+- **microphone audio** — the source's voice propagated to the moving phone
+  (three-band rendering so aperture-dependent directivity is frequency-
+  resolved), mixed with the phone's own >16 kHz ranging pilot: a constant
+  direct-leak component plus the head/source echo whose phase encodes the
+  phone-source distance;
+- **magnetometer** — Earth field + environmental interference + whatever
+  magnetic sources the sound source contributes (voice-coil drive follows
+  the playback envelope);
+- **accelerometer / gyroscope** — the use-case hand motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from repro.devices.smartphone import Smartphone
+from repro.dsp.filters import bandpass, lowpass
+from repro.errors import ConfigurationError, SignalError
+from repro.physics.acoustics import SPEED_OF_SOUND, spherical_attenuation
+from repro.physics.geometry import SampledPath
+from repro.sensors.base import SensorSeries
+from repro.world.environments import Environment
+from repro.world.trajectory import UseCaseTrajectory
+
+#: (low, high, centre) of the rendering bands, Hz.  Six bands give the
+#: sound-field component enough spectral resolution to tell a smooth,
+#: monotone-with-frequency head shadow from a loudspeaker's steep piston
+#: beaming or a sound tube's erratic comb-and-lobe pattern.
+RENDER_BANDS = (
+    (100.0, 600.0, 350.0),
+    (600.0, 1200.0, 900.0),
+    (1200.0, 2200.0, 1700.0),
+    (2200.0, 3500.0, 2850.0),
+    (3500.0, 5200.0, 4350.0),
+    (5200.0, 7500.0, 6350.0),
+)
+
+#: Pressure amplitude of the pilot's internal speaker→mic leak, Pa.
+PILOT_DIRECT_PA = 0.02
+
+#: Pressure amplitude of the pilot echo at the reference distance, Pa.
+PILOT_ECHO_PA = 0.012
+
+#: Reference distance for pilot-echo attenuation, m.
+PILOT_ECHO_REF_M = 0.05
+
+#: Body-frame separation between the primary and secondary microphones
+#: on dual-mic phones (m), along the body's long (y) axis.
+MIC_SEPARATION_M = 0.12
+
+
+class SceneSource(Protocol):
+    """What the scene needs from a sound source (human or loudspeaker)."""
+
+    def acoustic_source(self): ...
+
+    def magnetic_sources(self, drive=None): ...
+
+    @property
+    def kind(self) -> str: ...
+
+
+@dataclass(frozen=True)
+class SensorCapture:
+    """Everything one verification attempt records.
+
+    ``audio_secondary`` is the second microphone's channel on
+    dual-microphone phones (§VII: the noise-cancellation mic), rendered
+    without the ranging pilot; ``None`` on single-mic devices.
+
+    ``path`` and ``true_end_distance`` are simulator ground truth, kept
+    for tests and ablations; the verification pipeline must not read them.
+    """
+
+    audio: np.ndarray
+    audio_sample_rate: int
+    pilot_hz: float
+    magnetometer: SensorSeries
+    accelerometer: SensorSeries
+    gyroscope: SensorSeries
+    path: SampledPath
+    source_kind: str
+    environment_name: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+    audio_secondary: Optional[np.ndarray] = None
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.audio) / self.audio_sample_rate
+
+    @property
+    def true_end_distance(self) -> float:
+        """Ground-truth final phone-source distance (m)."""
+        return float(self.path.distances_to(np.zeros(3))[-1])
+
+
+@dataclass
+class AcousticScene:
+    """A configured scene, reusable across repeated captures."""
+
+    phone: Smartphone
+    source: SceneSource
+    environment: Environment
+    trajectory: UseCaseTrajectory = field(default_factory=UseCaseTrajectory)
+
+    def capture(
+        self,
+        voice_waveform: np.ndarray,
+        voice_sample_rate: int,
+        rng: np.random.Generator,
+        pilot: bool = True,
+    ) -> SensorCapture:
+        """Record one verification attempt."""
+        return simulate_capture(
+            self.phone,
+            self.source,
+            self.environment,
+            self.trajectory,
+            voice_waveform,
+            voice_sample_rate,
+            rng,
+            pilot=pilot,
+        )
+
+
+def _resample_linear(x: np.ndarray, rate_in: int, rate_out: int) -> np.ndarray:
+    """Linear-interpolation resampling (speech-band content only)."""
+    if rate_in == rate_out:
+        return np.asarray(x, dtype=float).copy()
+    n_out = int(round(len(x) * rate_out / rate_in))
+    t_out = np.arange(n_out) / rate_out
+    t_in = np.arange(len(x)) / rate_in
+    return np.interp(t_out, t_in, np.asarray(x, dtype=float))
+
+
+def _playback_envelope(
+    waveform: np.ndarray, sample_rate: int, cutoff_hz: float = 30.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(times, envelope) of a waveform, normalised to peak 1."""
+    env = lowpass(np.abs(np.asarray(waveform, dtype=float)), cutoff_hz, sample_rate)
+    env = np.maximum(env, 0.0)
+    peak = env.max()
+    if peak > 0:
+        env = env / peak
+    times = np.arange(env.size) / sample_rate
+    return times, env
+
+
+def simulate_capture(
+    phone: Smartphone,
+    source: SceneSource,
+    environment: Environment,
+    trajectory: UseCaseTrajectory,
+    voice_waveform: np.ndarray,
+    voice_sample_rate: int,
+    rng: np.random.Generator,
+    pilot: bool = True,
+) -> SensorCapture:
+    """Render one verification attempt into sensor streams."""
+    voice_waveform = np.asarray(voice_waveform, dtype=float)
+    if voice_waveform.ndim != 1 or voice_waveform.size == 0:
+        raise SignalError("voice_waveform must be a non-empty 1-D array")
+    if voice_sample_rate <= 0:
+        raise ConfigurationError("voice_sample_rate must be positive")
+
+    path = trajectory.generate(rng)
+    audio_sr = phone.spec.audio_sample_rate
+    n_audio = int(round(trajectory.duration_s * audio_sr))
+    audio_times = np.arange(n_audio) / audio_sr
+
+    # --- Voice rendering -------------------------------------------------
+    voice = _resample_linear(voice_waveform, voice_sample_rate, audio_sr)
+    if voice.size < n_audio:
+        voice = np.pad(voice, (0, n_audio - voice.size))
+    else:
+        voice = voice[:n_audio]
+    v_rms = float(np.sqrt(np.mean(voice**2)))
+    if v_rms > 0:
+        voice = voice / v_rms
+
+    acoustic = source.acoustic_source()
+
+    def render_voice_at(positions: np.ndarray) -> np.ndarray:
+        rendered = np.zeros(n_audio)
+        for low, high, centre in RENDER_BANDS:
+            high = min(high, audio_sr / 2.0 * 0.95)
+            band_voice = bandpass(voice, low, high, audio_sr, order=2)
+            gains = np.array(
+                [acoustic.pressure_at(p, centre) for p in positions]
+            )
+            gain_track = np.interp(audio_times, path.times, gains)
+            rendered += band_voice * gain_track
+        return rendered
+
+    pressure = render_voice_at(path.positions)
+
+    # --- Ranging pilot ----------------------------------------------------
+    # The echo bounces off the dominant reflector near the source — the
+    # user's head for a mouth, the cabinet for a loudspeaker.  Sources may
+    # expose a different ``reflector_position`` (a sound tube's reflector
+    # is the attacker's body a tube-length behind the opening, which is
+    # what betrays it to the distance component).
+    pilot_hz = phone.select_pilot_frequency() if pilot else 0.0
+    if pilot:
+        reflector = np.asarray(
+            getattr(acoustic, "reflector_position", acoustic.position), dtype=float
+        )
+        distances = path.distances_to(reflector)
+        d_track = np.interp(audio_times, path.times, distances)
+        direct = PILOT_DIRECT_PA * np.sin(2.0 * np.pi * pilot_hz * audio_times)
+        echo_amp = PILOT_ECHO_PA * np.array(
+            [
+                spherical_attenuation(2.0 * d, PILOT_ECHO_REF_M)
+                for d in d_track
+            ]
+        )
+        echo_phase = 2.0 * np.pi * pilot_hz * (audio_times - 2.0 * d_track / SPEED_OF_SOUND)
+        pressure += direct + echo_amp * np.sin(echo_phase)
+
+    audio = phone.microphone.record(pressure, rng)
+
+    # --- Secondary microphone (dual-mic phones, §VII) --------------------
+    # The noise-cancellation mic sits near the opposite end of the body
+    # (~12 cm along body y).  Its channel carries the voice only — the
+    # ranging pilot is demodulated on the primary channel.
+    audio_secondary = None
+    if phone.spec.dual_microphone:
+        offset_body = np.array([0.0, MIC_SEPARATION_M, 0.0])
+        secondary_positions = np.stack(
+            [
+                pose.position + pose.to_world(offset_body)
+                for pose in path.poses
+            ]
+        )
+        pressure_secondary = render_voice_at(secondary_positions)
+        audio_secondary = phone.microphone.record(pressure_secondary, rng)
+
+    # --- Magnetometer -----------------------------------------------------
+    env_times, envelope = _playback_envelope(voice_waveform, voice_sample_rate)
+    drive = lambda t, _t=env_times, _e=envelope: float(np.interp(t, _t, _e))
+    field_functions = list(environment.field_functions())
+    for mag_source in source.magnetic_sources(drive):
+        field_functions.append(
+            lambda position, t, _s=mag_source: _s.field_at(position, t)
+        )
+    magnetometer = phone.magnetometer.sample(path, field_functions, rng)
+
+    # --- Inertial sensors ---------------------------------------------------
+    accelerometer = phone.accelerometer.sample(path, rng)
+    gyroscope = phone.gyroscope.sample(path, rng)
+
+    return SensorCapture(
+        audio=audio,
+        audio_sample_rate=audio_sr,
+        pilot_hz=pilot_hz,
+        magnetometer=magnetometer,
+        accelerometer=accelerometer,
+        gyroscope=gyroscope,
+        path=path,
+        source_kind=source.kind,
+        environment_name=environment.name,
+        metadata={"phone": phone.spec.name},
+        audio_secondary=audio_secondary,
+    )

@@ -1,0 +1,126 @@
+"""Shared fixtures.
+
+The expensive fixtures (a fully trained experiment world, reference
+captures) are session-scoped: they are built once and shared by every
+integration-level test.  Unit tests use the cheap fixtures (rng, voice
+profile, single utterance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ReplayAttack
+from repro.devices import Loudspeaker, Smartphone, get_loudspeaker, get_phone
+from repro.experiments import attack_capture, build_world, genuine_capture
+from repro.voice import Synthesizer, random_profile
+from repro.world import (
+    HumanSpeakerSource,
+    UseCaseTrajectory,
+    quiet_room_environment,
+    simulate_capture,
+)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> np.random.Generator:
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def synthesizer() -> Synthesizer:
+    return Synthesizer(16000)
+
+
+@pytest.fixture(scope="session")
+def voice_profile(session_rng):
+    return random_profile("fixture-speaker", session_rng)
+
+
+@pytest.fixture(scope="session")
+def utterance(synthesizer, voice_profile, session_rng):
+    return synthesizer.synthesize_digits(voice_profile, "582931", session_rng)
+
+
+@pytest.fixture(scope="session")
+def phone() -> Smartphone:
+    return Smartphone(get_phone("Nexus 5"))
+
+
+@pytest.fixture(scope="session")
+def quiet_env():
+    return quiet_room_environment(3)
+
+
+@pytest.fixture(scope="session")
+def genuine_capture_5cm(phone, quiet_env, utterance, voice_profile, session_rng):
+    """One genuine use-case capture at 5 cm (shared, read-only)."""
+    trajectory = UseCaseTrajectory(end_distance=0.05)
+    return simulate_capture(
+        phone,
+        HumanSpeakerSource(voice_profile),
+        quiet_env,
+        trajectory,
+        utterance.waveform,
+        16000,
+        session_rng,
+    )
+
+
+@pytest.fixture(scope="session")
+def replay_capture_5cm(phone, quiet_env, utterance, session_rng):
+    """A PC-loudspeaker replay capture at 5 cm (shared, read-only)."""
+    speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+    attempt = ReplayAttack(speaker).prepare(utterance.waveform, 16000, "victim")
+    trajectory = UseCaseTrajectory(end_distance=0.05)
+    return simulate_capture(
+        phone,
+        attempt.source,
+        quiet_env,
+        trajectory,
+        attempt.waveform,
+        16000,
+        session_rng,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A trained two-user world shared by the integration tests."""
+    return build_world(
+        seed=7, n_users=2, enrol_repetitions=10, background_speakers=6
+    )
+
+
+@pytest.fixture(scope="session")
+def world_user(small_world):
+    return sorted(small_world.users)[0]
+
+
+@pytest.fixture(scope="session")
+def world_genuine_capture(small_world, world_user):
+    """A representative *accepted* genuine capture.
+
+    The system has a small but non-zero FRR (measured by the experiment
+    benches); these deterministic integration tests need an attempt from
+    the accepted majority, so a few draws are allowed.
+    """
+    for _ in range(5):
+        capture = genuine_capture(small_world, world_user, 0.05)
+        if small_world.system.verify(capture, world_user).accepted:
+            return capture
+    return capture  # pragma: no cover - FRR ~5%, five misses is ~3e-6
+
+
+@pytest.fixture(scope="session")
+def world_replay_capture(small_world, world_user):
+    speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+    stolen = small_world.user(world_user).enrolment_waveforms[-1]
+    attempt = ReplayAttack(speaker).prepare(stolen, 16000, world_user)
+    return attack_capture(small_world, attempt, 0.05)

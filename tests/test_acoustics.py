@@ -1,0 +1,127 @@
+"""Tests for repro.physics.acoustics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.acoustics import (
+    SPEED_OF_SOUND,
+    CircularPistonSource,
+    PointSource,
+    delay_seconds,
+    piston_directivity,
+    pressure_to_db_spl,
+    spherical_attenuation,
+)
+
+
+class TestSphericalAttenuation:
+    def test_inverse_distance(self):
+        assert np.isclose(
+            spherical_attenuation(0.2) / spherical_attenuation(0.1), 0.5
+        )
+
+    def test_clamped_at_reference(self):
+        assert spherical_attenuation(0.001, reference_distance=0.01) == 1.0
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spherical_attenuation(0.1, reference_distance=0.0)
+
+    @given(d=st.floats(0.01, 10.0))
+    def test_never_amplifies(self, d):
+        assert spherical_attenuation(d) <= 1.0
+
+
+class TestDbConversion:
+    def test_reference_pressure_is_zero_db(self):
+        assert np.isclose(pressure_to_db_spl(np.array([20e-6]))[0], 0.0)
+
+    def test_94_db_is_one_pascal(self):
+        assert np.isclose(pressure_to_db_spl(np.array([1.0]))[0], 93.98, atol=0.01)
+
+    def test_floor_at_zero(self):
+        assert pressure_to_db_spl(np.array([0.0]))[0] == 0.0
+
+
+class TestPistonDirectivity:
+    def test_on_axis_unity(self):
+        assert np.isclose(piston_directivity(np.array([0.0]))[0], 1.0)
+
+    def test_decreases_in_main_lobe(self):
+        x = np.array([0.5, 1.5, 3.0])
+        d = piston_directivity(x)
+        assert d[0] > d[1] > d[2]
+
+    def test_first_null_near_3_83(self):
+        assert abs(piston_directivity(np.array([3.8317]))[0]) < 1e-3
+
+
+class TestPointSource:
+    def test_level_at_reference(self):
+        src = PointSource(np.zeros(3), level_db_spl=70.0, reference_distance=0.01)
+        p = src.pressure_at(np.array([0.01, 0.0, 0.0]))
+        assert np.isclose(pressure_to_db_spl(np.array([p]))[0], 70.0, atol=0.01)
+
+    def test_pressure_drops_with_distance(self):
+        src = PointSource(np.zeros(3))
+        assert src.pressure_at(np.array([0.05, 0, 0])) > src.pressure_at(
+            np.array([0.20, 0, 0])
+        )
+
+
+class TestCircularPiston:
+    def make(self, radius=0.035):
+        return CircularPistonSource(
+            position=np.zeros(3),
+            axis=np.array([1.0, 0.0, 0.0]),
+            aperture_radius=radius,
+            level_db_spl=80.0,
+        )
+
+    def test_on_axis_directivity_is_unity(self):
+        src = self.make()
+        assert np.isclose(src.directivity_at(np.array([0.1, 0, 0]), 5000.0), 1.0)
+
+    def test_larger_aperture_beams_more(self):
+        """The paper's channel-size cue: big cones are directional."""
+        small = self.make(radius=0.005)
+        large = self.make(radius=0.05)
+        off_axis = np.array([0.05, 0.05, 0.0]) / np.sqrt(2) * 0.1
+        f = 5000.0
+        assert large.directivity_at(off_axis, f) < small.directivity_at(off_axis, f)
+
+    def test_directivity_grows_with_frequency(self):
+        src = self.make()
+        off_axis = np.array([0.07, 0.07, 0.0])
+        assert src.directivity_at(off_axis, 6000.0) < src.directivity_at(
+            off_axis, 500.0
+        )
+
+    def test_behind_baffle_shadowed(self):
+        src = self.make()
+        front = src.pressure_at(np.array([0.1, 0.0, 0.0]), 1000.0)
+        back = src.pressure_at(np.array([-0.1, 0.0, 0.0]), 1000.0)
+        assert back < 0.2 * front
+
+    def test_intensity_profile_shape(self):
+        src = self.make()
+        angles = np.linspace(0.0, np.pi / 2, 10)
+        profile = src.intensity_profile(angles, radius=0.1, frequency_hz=5000.0)
+        assert profile.shape == (10,)
+        assert profile[0] > profile[-1]
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(radius=0.0)
+
+
+class TestDelay:
+    def test_one_metre(self):
+        assert np.isclose(delay_seconds(1.0), 1.0 / SPEED_OF_SOUND)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            delay_seconds(-0.1)

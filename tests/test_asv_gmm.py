@@ -1,0 +1,116 @@
+"""Tests for repro.asv.gmm and repro.asv.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asv import DiagonalGMM, equal_error_rate, far_frr_at_threshold, roc_points
+from repro.asv.metrics import accuracy_at_threshold
+from repro.errors import ConfigurationError, NotFittedError
+
+
+def two_component_data(rng, n=400):
+    a = rng.normal((-3.0, 0.0), (0.5, 1.0), (n // 2, 2))
+    b = rng.normal((3.0, 0.0), (1.0, 0.5), (n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestGMMTraining:
+    def test_recovers_two_components(self):
+        rng = np.random.default_rng(0)
+        gmm = DiagonalGMM(2, seed=1).fit(two_component_data(rng))
+        means = gmm.means_[np.argsort(gmm.means_[:, 0])]
+        assert abs(means[0, 0] - (-3.0)) < 0.3
+        assert abs(means[1, 0] - 3.0) < 0.3
+        assert np.allclose(gmm.weights_, 0.5, atol=0.1)
+
+    def test_em_improves_likelihood(self):
+        rng = np.random.default_rng(1)
+        x = two_component_data(rng)
+        one_iter = DiagonalGMM(4, max_iter=1, seed=2).fit(x)
+        many_iter = DiagonalGMM(4, max_iter=40, seed=2).fit(x)
+        assert many_iter.log_likelihood(x) >= one_iter.log_likelihood(x) - 1e-6
+
+    def test_likelihood_higher_for_in_distribution(self):
+        rng = np.random.default_rng(2)
+        x = two_component_data(rng)
+        gmm = DiagonalGMM(2, seed=0).fit(x)
+        assert gmm.log_likelihood(x[:50]) > gmm.log_likelihood(x[:50] + 10.0)
+
+    def test_responsibilities_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        x = two_component_data(rng)
+        gmm = DiagonalGMM(3, seed=0).fit(x)
+        resp = gmm.responsibilities(x)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_sampling_roundtrip(self):
+        rng = np.random.default_rng(4)
+        gmm = DiagonalGMM(2, seed=0).fit(two_component_data(rng))
+        samples = gmm.sample(500, rng)
+        refit = DiagonalGMM(2, seed=1).fit(samples)
+        assert (
+            abs(np.sort(refit.means_[:, 0]) - np.sort(gmm.means_[:, 0])).max() < 0.5
+        )
+
+    def test_too_few_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiagonalGMM(8).fit(np.zeros((4, 2)))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            DiagonalGMM(2).log_likelihood(np.zeros((3, 2)))
+
+    def test_set_parameters_validation(self):
+        gmm = DiagonalGMM(2)
+        with pytest.raises(ConfigurationError):
+            gmm.set_parameters(np.array([0.7, 0.7]), np.zeros((2, 3)), np.ones((2, 3)))
+
+    def test_copy_is_independent(self):
+        rng = np.random.default_rng(5)
+        gmm = DiagonalGMM(2, seed=0).fit(two_component_data(rng))
+        clone = gmm.copy()
+        clone.means_ += 1.0
+        assert not np.allclose(clone.means_, gmm.means_)
+
+
+class TestMetrics:
+    def test_far_frr_at_threshold(self):
+        genuine = np.array([1.0, 2.0, 3.0])
+        impostor = np.array([-1.0, 0.5, 2.5])
+        far, frr = far_frr_at_threshold(genuine, impostor, 1.5)
+        assert np.isclose(far, 1 / 3)
+        assert np.isclose(frr, 1 / 3)
+
+    def test_perfect_separation_gives_zero_eer(self):
+        eer, _ = equal_error_rate(np.array([2.0, 3.0]), np.array([-2.0, -3.0]))
+        assert eer == 0.0
+
+    def test_complete_overlap_gives_half_eer(self):
+        rng = np.random.default_rng(0)
+        same = rng.normal(0, 1, 500)
+        eer, _ = equal_error_rate(same, same + rng.normal(0, 1e-9, 500))
+        assert abs(eer - 0.5) < 0.05
+
+    def test_roc_monotonicity(self):
+        rng = np.random.default_rng(1)
+        curve = roc_points(rng.normal(1, 1, 100), rng.normal(-1, 1, 100))
+        assert np.all(np.diff(curve.far) <= 1e-12)
+        assert np.all(np.diff(curve.frr) >= -1e-12)
+
+    def test_accuracy_at_threshold(self):
+        acc = accuracy_at_threshold(np.array([1.0]), np.array([-1.0]), 0.0)
+        assert acc == 1.0
+
+    @settings(max_examples=20)
+    @given(gap=st.floats(0.5, 10.0))
+    def test_eer_decreases_with_separation(self, gap):
+        rng = np.random.default_rng(7)
+        genuine = rng.normal(gap, 1.0, 200)
+        impostor = rng.normal(-gap, 1.0, 200)
+        eer, _ = equal_error_rate(genuine, impostor)
+        base_eer, _ = equal_error_rate(
+            rng.normal(0.1, 1.0, 200), rng.normal(-0.1, 1.0, 200)
+        )
+        assert eer <= base_eer + 0.02

@@ -1,0 +1,154 @@
+"""Tests for UBM/MAP adaptation, ISV and the SpeakerVerifier facade."""
+
+import numpy as np
+import pytest
+
+from repro.asv import (
+    DiagonalGMM,
+    ISVModel,
+    SpeakerVerifier,
+    UniversalBackgroundModel,
+    VerifierBackend,
+    llr_score,
+    map_adapt,
+)
+from repro.asv.scoring import zt_normalize
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def toy_population():
+    """Three synthetic 'speakers' as Gaussian clusters in 6-D."""
+    rng = np.random.default_rng(0)
+    speakers = {}
+    for i in range(3):
+        centre = rng.normal(0, 2.0, 6)
+        sessions = []
+        for s in range(3):
+            session_offset = rng.normal(0, 0.3, 6)
+            frames = rng.normal(centre + session_offset, 1.0, (120, 6))
+            sessions.append(frames)
+        speakers[f"spk{i}"] = sessions
+    return speakers
+
+
+@pytest.fixture(scope="module")
+def trained_ubm(toy_population):
+    pooled = [f for sessions in toy_population.values() for f in sessions]
+    return UniversalBackgroundModel(n_components=4, seed=1).fit(pooled)
+
+
+class TestUBM:
+    def test_statistics_shapes(self, trained_ubm):
+        stats = trained_ubm.statistics(np.random.default_rng(2).normal(0, 1, (50, 6)))
+        assert stats.n.shape == (4,)
+        assert stats.f.shape == (4, 6)
+        assert np.isclose(stats.n.sum(), 50.0, atol=1e-6)
+
+    def test_stat_addition(self, trained_ubm):
+        rng = np.random.default_rng(3)
+        a = trained_ubm.statistics(rng.normal(0, 1, (30, 6)))
+        b = trained_ubm.statistics(rng.normal(0, 1, (20, 6)))
+        total = a + b
+        assert np.isclose(total.n.sum(), 50.0, atol=1e-6)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(NotFittedError):
+            UniversalBackgroundModel().statistics(np.zeros((5, 6)))
+
+
+class TestMAPAdaptation:
+    def test_adapted_model_prefers_speaker(self, trained_ubm, toy_population):
+        spk = toy_population["spk0"]
+        model = map_adapt(trained_ubm, spk[:2])
+        self_score = llr_score(model, trained_ubm.gmm, spk[2])
+        other_score = llr_score(model, trained_ubm.gmm, toy_population["spk1"][2])
+        assert self_score > other_score + 0.1
+
+    def test_adaptation_preserves_weights_and_variances(self, trained_ubm, toy_population):
+        model = map_adapt(trained_ubm, toy_population["spk0"][:1])
+        assert np.allclose(model.weights_, trained_ubm.gmm.weights_)
+        assert np.allclose(model.variances_, trained_ubm.gmm.variances_)
+
+    def test_relevance_factor_controls_shift(self, trained_ubm, toy_population):
+        spk = toy_population["spk0"][:1]
+        strong = map_adapt(trained_ubm, spk, relevance_factor=0.1)
+        weak = map_adapt(trained_ubm, spk, relevance_factor=100.0)
+        shift_strong = np.linalg.norm(strong.means_ - trained_ubm.gmm.means_)
+        shift_weak = np.linalg.norm(weak.means_ - trained_ubm.gmm.means_)
+        assert shift_strong > shift_weak
+
+    def test_empty_enrolment_rejected(self, trained_ubm):
+        with pytest.raises(ConfigurationError):
+            map_adapt(trained_ubm, [])
+
+
+class TestISV:
+    def test_enroll_and_score_separation(self, trained_ubm, toy_population):
+        isv = ISVModel(trained_ubm, rank=2, em_iterations=3).fit(toy_population)
+        offset0 = isv.enroll(toy_population["spk0"][:2])
+        self_score = isv.score(offset0, toy_population["spk0"][2])
+        other_score = isv.score(offset0, toy_population["spk1"][2])
+        assert self_score > other_score
+
+    def test_subspace_shape(self, trained_ubm, toy_population):
+        isv = ISVModel(trained_ubm, rank=3, em_iterations=2).fit(toy_population)
+        assert isv.u_.shape == (4 * 6, 3)
+
+    def test_unfitted_enroll_rejected(self, trained_ubm):
+        isv = ISVModel(trained_ubm, rank=2)
+        with pytest.raises(NotFittedError):
+            isv.enroll([np.zeros((10, 6))])
+
+    def test_requires_trained_ubm(self):
+        with pytest.raises(NotFittedError):
+            ISVModel(UniversalBackgroundModel(), rank=2)
+
+
+class TestScoring:
+    def test_zt_normalize_centres_cohort(self):
+        cohort = np.array([1.0, 2.0, 3.0])
+        assert zt_normalize(2.0, cohort) == 0.0
+        assert zt_normalize(4.0, cohort) > 0
+
+    def test_zt_degenerate_cohort(self):
+        assert zt_normalize(1.5, np.array([2.0])) == 1.5
+
+
+class TestVerifierFacade:
+    @pytest.fixture(scope="class")
+    def verifier(self):
+        from repro.voice import make_background_corpus, make_passphrase_corpus
+
+        bg = make_background_corpus(n_speakers=5, utterances_per_speaker=2, seed=11)
+        v = SpeakerVerifier(backend=VerifierBackend.GMM_UBM, n_components=8)
+        v.train_background(
+            {
+                sid: [u.utterance.waveform for u in bg.by_speaker(sid)]
+                for sid in bg.speaker_ids
+            }
+        )
+        corpus = make_passphrase_corpus(n_speakers=2, repetitions=4, seed=12)
+        for sid in corpus.speaker_ids:
+            v.enroll(sid, [u.utterance.waveform for u in corpus.by_speaker(sid)[:3]])
+        return v, corpus
+
+    def test_genuine_beats_impostor(self, verifier):
+        v, corpus = verifier
+        s0, s1 = corpus.speaker_ids
+        probe = corpus.by_speaker(s0)[3].utterance.waveform
+        assert v.verify(s0, probe) > v.verify(s1, probe)
+
+    def test_enrolled_speakers_listed(self, verifier):
+        v, corpus = verifier
+        assert v.enrolled_speakers == sorted(corpus.speaker_ids)
+
+    def test_unknown_claim_rejected(self, verifier):
+        v, corpus = verifier
+        with pytest.raises(ConfigurationError):
+            v.verify("nobody", corpus.utterances[0].utterance.waveform)
+
+    def test_enroll_before_background_rejected(self):
+        v = SpeakerVerifier()
+        with pytest.raises(NotFittedError):
+            v.enroll("x", [np.zeros(16000)])

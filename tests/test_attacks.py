@@ -1,0 +1,154 @@
+"""Tests for repro.attacks: all five attack implementations."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    HumanMimicAttack,
+    MorphingAttack,
+    ReplayAttack,
+    SoundTubeAttack,
+    SynthesisAttack,
+    TubeSource,
+)
+from repro.devices import Loudspeaker, get_loudspeaker
+from repro.errors import ConfigurationError, SignalError
+from repro.voice import estimate_f0, random_profile
+
+
+@pytest.fixture(scope="module")
+def pc_speaker():
+    return Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+
+
+@pytest.fixture(scope="module")
+def victim_material(synthesizer):
+    rng = np.random.default_rng(77)
+    victim = random_profile("victim", rng)
+    waves = [synthesizer.synthesize_digits(victim, "271828", rng).waveform for _ in range(3)]
+    return victim, waves
+
+
+class TestReplay:
+    def test_prepare_keeps_speech(self, pc_speaker, victim_material):
+        _, waves = victim_material
+        attempt = ReplayAttack(pc_speaker).prepare(waves[0], 16000, "victim")
+        assert attempt.attack_type == "replay"
+        assert attempt.source is pc_speaker
+        corr = np.corrcoef(attempt.waveform, waves[0])[0, 1]
+        assert corr > 0.7  # band-limited but recognisably the same audio
+
+    def test_empty_recording_rejected(self, pc_speaker):
+        with pytest.raises(SignalError):
+            ReplayAttack(pc_speaker).prepare(np.array([]), 16000, "v")
+
+
+class TestMorphing:
+    def test_morphed_voice_close_to_victim(self, pc_speaker, victim_material, synthesizer):
+        victim, waves = victim_material
+        rng = np.random.default_rng(5)
+        attacker = random_profile("attacker", rng)
+        attack = MorphingAttack(pc_speaker, attacker, fidelity=0.95)
+        attempt = attack.prepare(waves, "271828", "victim", rng)
+        track = estimate_f0(attempt.waveform, 16000)
+        voiced = track[~np.isnan(track)]
+        # The converted F0 is much closer to the victim than the attacker.
+        assert abs(np.median(voiced) - victim.f0_hz) < abs(
+            np.median(voiced) - attacker.f0_hz
+        ) or abs(victim.f0_hz - attacker.f0_hz) < 20.0
+
+    def test_artifacts_widen_bandwidths(self, pc_speaker, victim_material):
+        victim, waves = victim_material
+        rng = np.random.default_rng(6)
+        attacker = random_profile("attacker", rng)
+        attack = MorphingAttack(pc_speaker, attacker, artifact_bandwidth=1.5)
+        estimated = attack.analyse_target(waves, "victim")
+        morphed = attack.morphed_profile(estimated)
+        assert morphed.bandwidth_scale > attacker.bandwidth_scale
+
+    def test_invalid_fidelity_rejected(self, pc_speaker):
+        with pytest.raises(ConfigurationError):
+            MorphingAttack(pc_speaker, random_profile("a", np.random.default_rng(0)), fidelity=1.5)
+
+
+class TestSynthesis:
+    def test_synthetic_voice_is_overstable(self, pc_speaker, victim_material):
+        _, waves = victim_material
+        attack = SynthesisAttack(pc_speaker)
+        voice = attack.voice_model(waves, "victim")
+        assert voice.jitter <= 0.003
+        assert voice.shimmer <= 0.01
+
+    def test_arbitrary_text(self, pc_speaker, victim_material):
+        _, waves = victim_material
+        rng = np.random.default_rng(7)
+        attempt = SynthesisAttack(pc_speaker).prepare(waves, "999000", "victim", rng)
+        assert attempt.attack_type == "synthesis"
+        assert attempt.waveform.size > 16000
+
+
+class TestHumanMimic:
+    def test_mimic_limited_by_fidelity(self, victim_material):
+        victim, waves = victim_material
+        rng = np.random.default_rng(8)
+        attacker = random_profile("mimic", rng)
+        attack = HumanMimicAttack(attacker, fidelity=0.6)
+        profile = attack.mimic_profile(waves, "victim")
+        # The mimic lands between their own voice and the victim's.
+        lo, hi = sorted([attacker.f0_hz, victim.f0_hz])
+        assert lo - 25 <= profile.f0_hz <= hi + 25
+
+    def test_mimic_has_elevated_variability(self, victim_material):
+        _, waves = victim_material
+        rng = np.random.default_rng(9)
+        attacker = random_profile("mimic", rng)
+        profile = HumanMimicAttack(attacker, effort_variability=1.0).mimic_profile(
+            waves, "victim"
+        )
+        assert profile.jitter > attacker.jitter
+        assert profile.shimmer > attacker.shimmer
+
+    def test_source_is_human(self, victim_material):
+        _, waves = victim_material
+        rng = np.random.default_rng(10)
+        attempt = HumanMimicAttack(random_profile("m", rng)).prepare(
+            waves, "12", "victim", rng
+        )
+        assert attempt.source.kind == "human"
+        assert attempt.source.magnetic_sources() == []
+
+
+class TestSoundTube:
+    def test_magnet_displaced_behind_tube(self, pc_speaker):
+        source = TubeSource(pc_speaker, tube_length_m=0.30)
+        magnets = source.magnetic_sources()
+        assert magnets
+        point = np.array([0.05, 0.0, 0.0])
+        tube_field = sum(np.linalg.norm(m.field_at(point)) for m in magnets)
+        bare_field = sum(
+            np.linalg.norm(m.field_at(point)) for m in pc_speaker.magnetic_sources()
+        )
+        assert tube_field < 0.1 * bare_field
+
+    def test_comb_resonance_colours_spectrum(self, pc_speaker):
+        source = TubeSource(pc_speaker, tube_length_m=0.30)
+        gains = [source.resonance_gain(f) for f in np.linspace(200, 7000, 200)]
+        assert max(gains) / min(gains) > 2.0
+
+    def test_opening_has_no_head_shadow(self, pc_speaker):
+        source = TubeSource(pc_speaker)
+        on_axis = source.pressure_at(np.array([0.05, 0.0, 0.0]), 1000.0)
+        off_axis = source.pressure_at(
+            np.array([0.05 * np.cos(1.2), 0.05 * np.sin(1.2), 0.0]), 1000.0
+        )
+        assert off_axis > 0.8 * on_axis
+
+    def test_prepare_attempt(self, pc_speaker, victim_material):
+        _, waves = victim_material
+        attempt = SoundTubeAttack(pc_speaker).prepare(waves[0], 16000, "victim")
+        assert attempt.attack_type == "soundtube"
+        assert attempt.source.kind == "soundtube"
+
+    def test_invalid_tube_rejected(self, pc_speaker):
+        with pytest.raises(ConfigurationError):
+            TubeSource(pc_speaker, tube_length_m=-0.1)

@@ -1,0 +1,94 @@
+"""Fast coverage for the CLI runner and miscellaneous helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.server.protocol import _pack_array, _unpack_array
+
+
+class TestCLI:
+    def test_fig10_runs_standalone(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "µT" in out
+        assert "axial ratio" in out
+
+    def test_table1_listed(self):
+        assert "table1" in EXPERIMENTS
+        assert "fig12a" in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestProtocolArrays:
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, width=32),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_pack_unpack_roundtrip(self, values):
+        arr = np.array(values, dtype=np.float32)
+        out = _unpack_array(_pack_array(arr))
+        assert np.allclose(out, arr, rtol=1e-6, atol=1e-6)
+
+    def test_2d_shape_preserved(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        out = _unpack_array(_pack_array(arr))
+        assert out.shape == (3, 4)
+
+    def test_malformed_field_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            _unpack_array({"shape": [2], "data": "not base64!!"})
+
+
+class TestSoundFieldCalibration:
+    def test_threshold_is_between_clusters(self, small_world, world_user):
+        verifier = small_world.system.soundfield_for(world_user)
+        assert verifier.threshold_ is not None
+        # The calibrated threshold must sit below the typical genuine
+        # score (otherwise enrolment itself would be rejected).
+        account = small_world.user(world_user)
+        from repro.core.soundfield import delta_features, extract_sweep_trace
+
+        scores = [
+            verifier._score_features(
+                delta_features(extract_sweep_trace(c), verifier.reference)
+            )
+            for c in account.enrolment_captures[1:4]
+        ]
+        assert np.median(scores) > verifier.threshold_
+
+    def test_decision_threshold_fallback(self):
+        from repro.core.config import DefenseConfig
+        from repro.core.soundfield import SoundFieldVerifier
+
+        verifier = SoundFieldVerifier(DefenseConfig())
+        assert verifier.decision_threshold == DefenseConfig().soundfield_threshold
+
+
+class TestHumanMimicAnatomy:
+    def test_formant_shift_clamped(self, synthesizer):
+        from repro.attacks import HumanMimicAttack
+        from repro.voice import random_profile
+
+        rng = np.random.default_rng(3)
+        attacker = random_profile("a", rng)
+        target = random_profile("t", rng)
+        waves = [
+            synthesizer.synthesize_digits(target, "135", rng).waveform
+            for _ in range(2)
+        ]
+        attack = HumanMimicAttack(attacker, fidelity=1.0, formant_limit=0.02)
+        mimic = attack.mimic_profile(waves, "t")
+        assert abs(mimic.formant_scale - attacker.formant_scale) <= 0.02 + 1e-9
+        assert mimic.formant_offsets == attacker.formant_offsets

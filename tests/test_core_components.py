@@ -1,0 +1,157 @@
+"""Tests for the four verification components and their support code."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveCalibrator,
+    ComponentResult,
+    Decision,
+    DecisionCategory,
+    DefenseConfig,
+    DistanceVerifier,
+    LoudspeakerDetector,
+    VerificationReport,
+    categorize,
+    recover_trajectory,
+)
+from repro.core.magnetic import magnetic_signature
+from repro.errors import CaptureError, ConfigurationError
+from repro.world.environments import car_environment, quiet_room_environment
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = DefenseConfig()
+        assert config.distance_threshold_m == 0.06
+
+    def test_sensitivity_scaling(self):
+        config = DefenseConfig().with_sensitivity(2.0)
+        assert config.magnetic_threshold_ut == 12.0
+        assert config.rate_threshold_ut_s == 120.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DefenseConfig(distance_threshold_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            DefenseConfig().with_sensitivity(0.0)
+
+
+class TestDecision:
+    def test_categorize_matrix(self):
+        assert categorize(Decision.ACCEPT, True) is DecisionCategory.CORRECT_ACCEPTANCE
+        assert categorize(Decision.REJECT, True) is DecisionCategory.FALSE_REJECTION
+        assert categorize(Decision.ACCEPT, False) is DecisionCategory.FALSE_ACCEPTANCE
+        assert categorize(Decision.REJECT, False) is DecisionCategory.CORRECT_REJECTION
+
+    def test_report_helpers(self):
+        report = VerificationReport(
+            decision=Decision.REJECT,
+            components={
+                "a": ComponentResult("a", True, 1.0),
+                "b": ComponentResult("b", False, -1.0),
+            },
+        )
+        assert not report.accepted
+        assert report.failed_components() == ["b"]
+        assert report.component("a").passed
+
+
+class TestTrajectoryRecovery:
+    def test_genuine_distance_recovered(self, genuine_capture_5cm):
+        recovered = recover_trajectory(genuine_capture_5cm)
+        assert abs(recovered.end_distance - genuine_capture_5cm.true_end_distance) < 0.035
+
+    def test_sweep_angle_recovered(self, genuine_capture_5cm):
+        recovered = recover_trajectory(genuine_capture_5cm)
+        assert abs(abs(recovered.total_direction_change) - np.deg2rad(70.0)) < np.deg2rad(15.0)
+
+    def test_pilotless_capture_rejected(self, phone, quiet_env, utterance, session_rng, voice_profile):
+        from repro.world import HumanSpeakerSource, UseCaseTrajectory, simulate_capture
+
+        cap = simulate_capture(
+            phone,
+            HumanSpeakerSource(voice_profile),
+            quiet_env,
+            UseCaseTrajectory(),
+            utterance.waveform,
+            16000,
+            session_rng,
+            pilot=False,
+        )
+        with pytest.raises(CaptureError):
+            recover_trajectory(cap)
+
+    def test_positions_2d_shape(self, genuine_capture_5cm):
+        recovered = recover_trajectory(genuine_capture_5cm)
+        assert recovered.positions_2d.shape[1] == 2
+        assert recovered.positions_2d.shape[0] == recovered.times.size
+
+
+class TestDistanceVerifier:
+    def test_close_capture_passes(self, genuine_capture_5cm):
+        result = DistanceVerifier(DefenseConfig()).verify(genuine_capture_5cm)
+        assert result.passed
+        assert result.name == "distance"
+
+    def test_far_capture_fails(self, phone, quiet_env, utterance, session_rng, voice_profile):
+        from repro.world import HumanSpeakerSource, UseCaseTrajectory, simulate_capture
+
+        cap = simulate_capture(
+            phone,
+            HumanSpeakerSource(voice_profile),
+            quiet_env,
+            UseCaseTrajectory(start_distance=0.25, end_distance=0.16),
+            utterance.waveform,
+            16000,
+            session_rng,
+        )
+        result = DistanceVerifier(DefenseConfig()).verify(cap)
+        assert not result.passed
+
+
+class TestLoudspeakerDetector:
+    def test_human_passes(self, genuine_capture_5cm):
+        result = LoudspeakerDetector(DefenseConfig()).verify(genuine_capture_5cm)
+        assert result.passed
+
+    def test_loudspeaker_detected(self, replay_capture_5cm):
+        detector = LoudspeakerDetector(DefenseConfig())
+        result = detector.verify(replay_capture_5cm)
+        assert not result.passed
+        sig = detector.signature(replay_capture_5cm)
+        assert sig.peak_anomaly_ut > 30.0
+
+    def test_signature_baseline_near_earth(self, genuine_capture_5cm):
+        sig = magnetic_signature(genuine_capture_5cm)
+        assert 40.0 < sig.baseline_ut < 65.0
+
+    def test_detection_strength_ratio(self, replay_capture_5cm):
+        detector = LoudspeakerDetector(DefenseConfig())
+        sig = detector.signature(replay_capture_5cm)
+        assert detector.detection_strength(sig) > 1.0
+
+    def test_desensitised_detector_tolerates_more(self, replay_capture_5cm):
+        lenient = LoudspeakerDetector(DefenseConfig().with_sensitivity(100.0))
+        assert lenient.verify(replay_capture_5cm).passed
+
+
+class TestCalibration:
+    def test_quiet_room_keeps_factory_thresholds(self):
+        calibrator = AdaptiveCalibrator(DefenseConfig())
+        config = calibrator.calibrate(quiet_room_environment(0))
+        assert config.magnetic_threshold_ut <= DefenseConfig().magnetic_threshold_ut * 1.5
+
+    def test_car_widens_thresholds(self):
+        calibrator = AdaptiveCalibrator(DefenseConfig())
+        config = calibrator.calibrate(car_environment(0))
+        assert config.magnetic_threshold_ut > DefenseConfig().magnetic_threshold_ut
+
+    def test_never_sharper_than_factory(self):
+        calibrator = AdaptiveCalibrator(DefenseConfig())
+        scale = calibrator.scale_from_samples(np.full(100, 50.0))
+        assert scale >= 1.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(CaptureError):
+            AdaptiveCalibrator(DefenseConfig()).scale_from_samples(np.zeros(3))

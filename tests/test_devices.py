@@ -1,0 +1,156 @@
+"""Tests for repro.devices: loudspeakers, registry, smartphones."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    Loudspeaker,
+    LoudspeakerSpec,
+    Smartphone,
+    SpeakerCategory,
+    TABLE_II_PHONES,
+    TABLE_IV_LOUDSPEAKERS,
+    UNCONVENTIONAL_LOUDSPEAKERS,
+    get_loudspeaker,
+    get_phone,
+    loudspeakers_by_category,
+)
+from repro.devices.loudspeaker import scaled_spec
+from repro.dsp.signal import generate_tone, rms
+from repro.errors import ConfigurationError
+from repro.physics.magnetics import MuMetalShield
+
+
+class TestRegistry:
+    def test_table_iv_has_25_models(self):
+        assert len(TABLE_IV_LOUDSPEAKERS) == 25
+
+    def test_table_ii_has_3_phones(self):
+        assert len(TABLE_II_PHONES) == 3
+        assert {p.model for p in TABLE_II_PHONES} == {
+            "Nexus 5",
+            "Nexus 4",
+            "Galaxy Nexus",
+        }
+
+    def test_every_conventional_speaker_has_a_magnet(self):
+        for spec in TABLE_IV_LOUDSPEAKERS:
+            assert spec.is_conventional
+            assert spec.magnet_moment_am2 > 0
+
+    def test_unconventional_speakers_magnet_free(self):
+        for spec in UNCONVENTIONAL_LOUDSPEAKERS:
+            assert not spec.is_conventional
+
+    def test_earphones_weakest_magnets(self):
+        earphones = loudspeakers_by_category(SpeakerCategory.EARPHONE)
+        others = [
+            s
+            for s in TABLE_IV_LOUDSPEAKERS
+            if s.category is not SpeakerCategory.EARPHONE
+        ]
+        assert len(earphones) == 2
+        assert max(e.magnet_moment_am2 for e in earphones) < min(
+            o.magnet_moment_am2 for o in others
+        )
+
+    def test_lookup_by_name(self):
+        spec = get_loudspeaker("Logitech LS21")
+        assert spec.category is SpeakerCategory.PC_SPEAKER
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_loudspeaker("Acme Phantom 9000")
+        with pytest.raises(ConfigurationError):
+            get_phone("Fairphone 12")
+
+    def test_near_fields_in_paper_range(self):
+        """Every conventional speaker's field at 5 cm is plausible.
+
+        The paper quotes 30-210 µT; small drivers measured at 5 cm sit
+        below that and the largest floor speaker slightly above (one
+        cannot physically get 5 cm from its magnet through a 6.6 cm cone).
+        """
+        for spec in TABLE_IV_LOUDSPEAKERS:
+            speaker = Loudspeaker(spec, np.zeros(3))
+            magnet = speaker.magnetic_sources()[0]
+            b = np.linalg.norm(magnet.field_at(np.array([0.05, 0.0, 0.0])))
+            assert 1.0 < b < 320.0, spec.name
+
+
+class TestLoudspeaker:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoudspeakerSpec(
+                maker="x",
+                model="y",
+                category=SpeakerCategory.PC_SPEAKER,
+                cone_radius_m=-0.01,
+                magnet_moment_am2=0.1,
+            )
+
+    def test_acoustic_source_uses_cone_radius(self):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        src = speaker.acoustic_source()
+        assert np.isclose(src.aperture_radius, speaker.spec.cone_radius_m)
+
+    def test_magnetic_sources_include_coil_when_driven(self):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        silent = speaker.magnetic_sources()
+        driven = speaker.magnetic_sources(drive=lambda t: 1.0)
+        assert len(driven) == len(silent) + 1
+
+    def test_shielded_copy_attenuates(self):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        shielded = speaker.shielded(MuMetalShield(shielding_factor=30.0))
+        point = np.array([0.10, 0.0, 0.0])
+        b_open = sum(
+            np.linalg.norm(s.field_at(point)) for s in speaker.magnetic_sources()
+        )
+        b_shielded = sum(
+            np.linalg.norm(s.field_at(point)) for s in shielded.magnetic_sources()
+        )
+        assert b_shielded < b_open
+
+    def test_apply_band_respects_passband(self):
+        spec = get_loudspeaker("Apple iPhone 4S A1387 internal")  # 380 Hz low cut
+        speaker = Loudspeaker(spec, np.zeros(3))
+        low_tone = generate_tone(100.0, 0.5, 16000)
+        out = speaker.apply_band(low_tone, 16000)
+        assert rms(out) < 0.3 * rms(low_tone)
+
+    def test_with_position_moves_sources(self):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        moved = speaker.with_position(np.array([0.0, 0.0, 1.0]))
+        assert np.allclose(moved.position, [0.0, 0.0, 1.0])
+        assert moved.spec is speaker.spec
+
+    def test_scaled_spec(self):
+        spec = get_loudspeaker("Logitech LS21")
+        half = scaled_spec(spec, 0.5)
+        assert np.isclose(half.magnet_moment_am2, spec.magnet_moment_am2 * 0.5)
+
+    def test_kind_tag(self):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        assert speaker.kind == "loudspeaker"
+
+
+class TestSmartphone:
+    def test_pilot_frequency_inaudible_and_below_nyquist(self):
+        for spec in TABLE_II_PHONES:
+            phone = Smartphone(spec)
+            pilot = phone.select_pilot_frequency()
+            assert pilot >= 16000.0
+            assert pilot < spec.audio_sample_rate / 2
+
+    def test_per_device_sensor_variation(self):
+        a = Smartphone(get_phone("Nexus 5"))
+        b = Smartphone(get_phone("Nexus 4"))
+        assert not np.allclose(
+            a.magnetometer.hard_iron_ut, b.magnetometer.hard_iron_ut
+        )
+
+    def test_same_spec_reproducible(self):
+        a = Smartphone(get_phone("Nexus 5"))
+        b = Smartphone(get_phone("Nexus 5"))
+        assert np.allclose(a.magnetometer.hard_iron_ut, b.magnetometer.hard_iron_ut)

@@ -1,0 +1,145 @@
+"""Tests for repro.dsp.phase, repro.dsp.vad and repro.dsp.align."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.align import align_to_reference, dtw_path
+from repro.dsp.phase import (
+    displacement_from_pilot,
+    estimate_static_phasor,
+    iq_demodulate,
+    phase_to_displacement,
+    remove_static_component,
+    unwrap_phase,
+)
+from repro.dsp.signal import generate_tone
+from repro.dsp.vad import energy_vad, trim_silence
+from repro.errors import SignalError
+
+
+def synthetic_echo(sr=48000, f=19500, d0=0.15, d1=0.05, duration=2.0, noise=0.001):
+    """Direct + moving-echo mixture with a smooth-step approach."""
+    c = 343.0
+    t = np.arange(int(duration * sr)) / sr
+    u = np.clip(t / (0.55 * duration), 0.0, 1.0)
+    s = 3 * u**2 - 2 * u**3
+    d = d0 + (d1 - d0) * s
+    direct = 0.6 * np.sin(2 * np.pi * f * t)
+    echo_amp = 0.2 * (0.05 / np.maximum(2 * d, 0.05))
+    echo = echo_amp * np.sin(2 * np.pi * f * (t - 2 * d / c))
+    rng = np.random.default_rng(0)
+    return direct + echo + noise * rng.normal(0, 1, t.size), d
+
+
+class TestIQDemodulation:
+    def test_tone_gives_constant_phasor(self):
+        tone = generate_tone(19500.0, 0.5, 48000)
+        bb = iq_demodulate(tone, 19500.0, 48000)
+        inner = bb[2000:-2000]
+        assert np.std(np.abs(inner)) < 0.01
+        assert np.isclose(np.abs(inner).mean(), 0.5, atol=0.02)
+
+    def test_carrier_outside_nyquist_rejected(self):
+        with pytest.raises(SignalError):
+            iq_demodulate(np.zeros(100), 30000.0, 48000)
+
+
+class TestDisplacementRecovery:
+    def test_end_to_end_accuracy(self):
+        x, d = synthetic_echo()
+        disp = displacement_from_pilot(x, 19500.0, 48000)
+        true_change = d[-1] - d[0]
+        assert abs(disp[-1] - true_change) < 0.012
+
+    def test_static_scene_gives_no_displacement(self):
+        sr, f = 48000, 19500.0
+        t = np.arange(sr) / sr
+        x = 0.6 * np.sin(2 * np.pi * f * t) + 0.05 * np.sin(
+            2 * np.pi * f * (t - 0.001)
+        )
+        disp = displacement_from_pilot(x, f, sr)
+        assert np.max(np.abs(disp)) < 0.01
+
+    def test_phase_sign_convention(self):
+        """Approaching the reflector => positive-trending -disp? The
+        convention: displacement positive when approaching."""
+        x, d = synthetic_echo()
+        disp = displacement_from_pilot(x, 19500.0, 48000)
+        # d decreases (approach): phase convention makes disp negative.
+        assert disp[-1] < 0
+
+    def test_static_phasor_estimate(self):
+        x, _ = synthetic_echo()
+        bb = iq_demodulate(x, 19500.0, 48000)
+        centre = estimate_static_phasor(bb)
+        assert abs(centre - (-0.3j)) < 0.03
+
+    def test_phase_to_displacement_scaling(self):
+        phase = np.array([0.0, -4.0 * np.pi])
+        disp = phase_to_displacement(phase, 19500.0)
+        wavelength = 343.0 / 19500.0
+        assert np.isclose(disp[-1], wavelength, atol=1e-9)
+
+    def test_windowed_static_removal(self):
+        x, _ = synthetic_echo()
+        bb = iq_demodulate(x, 19500.0, 48000)
+        dyn = remove_static_component(bb, window=4800)
+        assert np.abs(dyn).mean() < np.abs(bb).mean()
+
+    def test_unwrap_monotone_rotation(self):
+        t = np.linspace(0.0, 1.0, 1000)
+        phasor = np.exp(1j * 20.0 * t)
+        ph = unwrap_phase(phasor)
+        assert np.isclose(ph[-1] - ph[0], 20.0, atol=1e-6)
+
+
+class TestVAD:
+    def test_detects_speech_region(self):
+        sr = 16000
+        silence = np.zeros(sr // 2)
+        tone = generate_tone(300.0, 0.5, sr)
+        x = np.concatenate([silence, tone, silence])
+        trimmed = trim_silence(x, sr)
+        assert trimmed.size < x.size
+        assert trimmed.size >= tone.size * 0.8
+
+    def test_all_silence_returned_unchanged(self):
+        x = np.zeros(8000)
+        assert trim_silence(x, 16000).size == x.size
+
+    def test_mask_shape(self):
+        x = generate_tone(300.0, 1.0, 16000)
+        mask = energy_vad(x, 16000)
+        assert mask.dtype == bool
+        assert mask.any()
+
+
+class TestDTW:
+    def test_identical_sequences_diagonal(self):
+        x = np.sin(np.linspace(0, 6, 80))
+        ri, qi = dtw_path(x, x)
+        assert np.all(np.abs(ri - qi) <= 1)
+
+    def test_stretched_sequence_aligns(self):
+        t = np.linspace(0, 1, 60)
+        ref = np.sin(2 * np.pi * 3 * t)
+        query = np.sin(2 * np.pi * 3 * np.linspace(0, 1, 90))
+        mapping = align_to_reference(ref, query)
+        assert mapping.size == ref.size
+        assert mapping[0] <= 3
+        assert mapping[-1] >= 85
+        aligned = query[mapping]
+        assert np.corrcoef(ref, aligned)[0, 1] > 0.95
+
+    def test_monotone_mapping(self):
+        rng = np.random.default_rng(1)
+        ref = np.cumsum(rng.normal(0, 1, 50))
+        query = np.interp(
+            np.linspace(0, 49, 70), np.arange(50), ref
+        ) + rng.normal(0, 0.05, 70)
+        mapping = align_to_reference(ref, query)
+        assert np.all(np.diff(mapping) >= 0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SignalError):
+            dtw_path(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,144 @@
+"""Tests for repro.dsp.signal and repro.dsp.filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import bandpass, highpass, lowpass, moving_average, preemphasis
+from repro.dsp.signal import (
+    add_awgn,
+    amplitude_to_db,
+    db_to_amplitude,
+    frame_signal,
+    generate_chirp,
+    generate_tone,
+    normalize_peak,
+    rms,
+    rms_db,
+)
+from repro.errors import SignalError
+
+
+class TestToneGeneration:
+    def test_tone_frequency(self):
+        tone = generate_tone(1000.0, 0.5, 16000)
+        spectrum = np.abs(np.fft.rfft(tone))
+        freqs = np.fft.rfftfreq(tone.size, 1 / 16000)
+        assert abs(freqs[np.argmax(spectrum)] - 1000.0) < 5.0
+
+    def test_tone_amplitude(self):
+        tone = generate_tone(440.0, 1.0, 8000, amplitude=0.5)
+        assert np.isclose(np.max(np.abs(tone)), 0.5, atol=1e-3)
+
+    def test_nyquist_violation_rejected(self):
+        with pytest.raises(SignalError):
+            generate_tone(9000.0, 0.1, 16000)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(SignalError):
+            generate_tone(100.0, 0.0, 16000)
+
+    def test_chirp_sweeps_up(self):
+        chirp = generate_chirp(500.0, 3000.0, 1.0, 16000)
+        first = chirp[:4000]
+        last = chirp[-4000:]
+        zc_first = np.sum(np.diff(np.sign(first)) != 0)
+        zc_last = np.sum(np.diff(np.sign(last)) != 0)
+        assert zc_last > zc_first
+
+
+class TestFraming:
+    def test_frame_count(self):
+        frames = frame_signal(np.arange(100.0), 20, 10)
+        assert frames.shape == (9, 20)
+
+    def test_frame_content(self):
+        frames = frame_signal(np.arange(100.0), 20, 10)
+        assert np.allclose(frames[1], np.arange(10.0, 30.0))
+
+    def test_padding_keeps_tail(self):
+        frames = frame_signal(np.arange(25.0), 20, 10, pad=True)
+        assert frames.shape[0] == 2
+
+    def test_short_signal_rejected_without_pad(self):
+        with pytest.raises(SignalError):
+            frame_signal(np.arange(5.0), 20, 10)
+
+
+class TestLevels:
+    def test_rms_of_sine(self):
+        tone = generate_tone(100.0, 1.0, 8000)
+        assert np.isclose(rms(tone), 1.0 / np.sqrt(2), atol=1e-3)
+
+    def test_db_roundtrip(self):
+        values = np.array([0.01, 0.1, 1.0])
+        assert np.allclose(db_to_amplitude(amplitude_to_db(values)), values)
+
+    def test_rms_db_of_unit_sine(self):
+        tone = generate_tone(100.0, 1.0, 8000)
+        assert np.isclose(rms_db(tone), -3.01, atol=0.1)
+
+    def test_empty_rms_rejected(self):
+        with pytest.raises(SignalError):
+            rms(np.array([]))
+
+    def test_normalize_peak(self):
+        x = np.array([0.1, -0.5, 0.3])
+        assert np.isclose(np.max(np.abs(normalize_peak(x, 0.9))), 0.9)
+
+    def test_normalize_silent_unchanged(self):
+        assert np.allclose(normalize_peak(np.zeros(10)), np.zeros(10))
+
+    def test_awgn_snr(self):
+        rng = np.random.default_rng(0)
+        tone = generate_tone(100.0, 2.0, 8000)
+        noisy = add_awgn(tone, 20.0, rng)
+        noise = noisy - tone
+        measured_snr = 10 * np.log10(np.mean(tone**2) / np.mean(noise**2))
+        assert abs(measured_snr - 20.0) < 1.0
+
+
+class TestFilters:
+    def test_preemphasis_boosts_high_frequencies(self):
+        low = generate_tone(100.0, 0.5, 16000)
+        high = generate_tone(6000.0, 0.5, 16000)
+        assert rms(preemphasis(high)) / rms(high) > rms(preemphasis(low)) / rms(low)
+
+    def test_preemphasis_preserves_length(self):
+        x = np.arange(100.0)
+        assert preemphasis(x).size == 100
+
+    def test_lowpass_kills_high_tone(self):
+        mix = generate_tone(500.0, 0.5, 16000) + generate_tone(6000.0, 0.5, 16000)
+        filtered = lowpass(mix, 2000.0, 16000)
+        high_energy = rms(highpass(filtered, 4000.0, 16000))
+        assert high_energy < 0.02
+
+    def test_bandpass_selects_band(self):
+        mix = (
+            generate_tone(200.0, 0.5, 16000)
+            + generate_tone(2000.0, 0.5, 16000)
+            + generate_tone(7000.0, 0.5, 16000)
+        )
+        band = bandpass(mix, 1000.0, 3000.0, 16000)
+        assert np.isclose(rms(band), rms(generate_tone(2000.0, 0.5, 16000)), rtol=0.1)
+
+    def test_bandpass_rejects_inverted_band(self):
+        with pytest.raises(SignalError):
+            bandpass(np.zeros(100), 3000.0, 1000.0, 16000)
+
+    def test_moving_average_constant_invariant(self):
+        """Edge replication: a constant signal stays exactly constant."""
+        x = np.full(50, 7.0)
+        assert np.allclose(moving_average(x, 9), x)
+
+    def test_moving_average_smooths(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 500)
+        assert np.std(moving_average(x, 15)) < np.std(x)
+
+    @given(window=st.integers(1, 30))
+    def test_moving_average_preserves_length(self, window):
+        x = np.arange(40.0)
+        assert moving_average(x, window).size == 40

@@ -1,0 +1,124 @@
+"""Tests for repro.dsp.spectral and repro.dsp.mel."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mel import MFCCExtractor, delta, hz_to_mel, mel_filterbank, mel_to_hz
+from repro.dsp.signal import generate_tone
+from repro.dsp.spectral import power_spectrum, spectral_centroid, spectrogram, stft
+from repro.errors import ConfigurationError, SignalError
+from repro.voice import Synthesizer, random_profile
+
+
+class TestSTFT:
+    def test_shape(self):
+        x = np.zeros(1000)
+        spec = stft(x, frame_length=256, hop_length=128)
+        assert spec.shape[1] == 129
+
+    def test_tone_peak_bin(self):
+        tone = generate_tone(1000.0, 0.5, 16000)
+        spec = spectrogram(tone, 16000, frame_length=512, hop_length=256)
+        peak = spec.peak_frequency_track()
+        assert np.all(np.abs(peak - 1000.0) < 32.0)
+
+    def test_band_extraction(self):
+        tone = generate_tone(1000.0, 0.2, 16000)
+        spec = spectrogram(tone, 16000)
+        band = spec.band(800.0, 1200.0)
+        outside = spec.band(3000.0, 4000.0)
+        assert band.max() > outside.max() + 30.0
+
+    def test_empty_band_rejected(self):
+        tone = generate_tone(1000.0, 0.2, 16000)
+        spec = spectrogram(tone, 16000)
+        with pytest.raises(SignalError):
+            spec.band(7990.0, 7991.0)
+
+    def test_power_spectrum_parseval_scale(self):
+        tone = generate_tone(1000.0, 0.5, 16000)
+        power = power_spectrum(tone)
+        assert power.sum() > 0
+
+    def test_spectral_centroid_tracks_tone(self):
+        low = spectral_centroid(generate_tone(500.0, 0.3, 16000), 16000)
+        high = spectral_centroid(generate_tone(4000.0, 0.3, 16000), 16000)
+        assert high.mean() > low.mean()
+
+
+class TestMelScale:
+    def test_roundtrip(self):
+        hz = np.array([100.0, 1000.0, 5000.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-9)
+
+    def test_monotone(self):
+        hz = np.linspace(10.0, 8000.0, 50)
+        assert np.all(np.diff(hz_to_mel(hz)) > 0)
+
+    def test_filterbank_shape_and_coverage(self):
+        bank = mel_filterbank(24, 512, 16000)
+        assert bank.shape == (24, 257)
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_filterbank_bad_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mel_filterbank(24, 512, 16000, low_hz=5000.0, high_hz=1000.0)
+
+
+class TestDelta:
+    def test_constant_features_zero_delta(self):
+        feats = np.ones((20, 5))
+        assert np.allclose(delta(feats), 0.0)
+
+    def test_linear_ramp_constant_delta(self):
+        feats = np.arange(20.0)[:, None] * np.ones((1, 3))
+        d = delta(feats)
+        assert np.allclose(d[3:-3], 1.0, atol=1e-9)
+
+    def test_requires_2d(self):
+        with pytest.raises(SignalError):
+            delta(np.arange(10.0))
+
+
+class TestMFCC:
+    def test_dimension_accounting(self):
+        full = MFCCExtractor()
+        assert full.dimension == (19 + 1) * 3
+        bare = MFCCExtractor(append_energy=False, append_deltas=False)
+        assert bare.dimension == 19
+
+    def test_extract_shape(self):
+        extractor = MFCCExtractor()
+        rng = np.random.default_rng(0)
+        feats = extractor.extract(rng.normal(0, 0.1, 16000))
+        assert feats.shape[1] == extractor.dimension
+        assert feats.shape[0] > 90
+
+    def test_cmvn_statistics(self):
+        extractor = MFCCExtractor()
+        rng = np.random.default_rng(0)
+        feats = extractor.extract_with_cmvn(rng.normal(0, 0.1, 16000))
+        assert np.allclose(feats.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(feats.std(axis=0), 1.0, atol=1e-6)
+
+    def test_speaker_discriminability(self):
+        """MFCC means differ more across speakers than within a speaker."""
+        rng = np.random.default_rng(4)
+        synth = Synthesizer(16000)
+        extractor = MFCCExtractor(append_deltas=False)
+        a = random_profile("a", rng)
+        b = random_profile("b", rng)
+        ua1 = extractor.extract(synth.synthesize_digits(a, "123", rng).waveform)
+        ua2 = extractor.extract(synth.synthesize_digits(a, "123", rng).waveform)
+        ub = extractor.extract(synth.synthesize_digits(b, "123", rng).waveform)
+        within = np.linalg.norm(ua1.mean(0) - ua2.mean(0))
+        across = np.linalg.norm(ua1.mean(0) - ub.mean(0))
+        assert across > within
+
+    def test_short_waveform_rejected(self):
+        with pytest.raises(SignalError):
+            MFCCExtractor().extract(np.zeros(10))
+
+    def test_invalid_ceps_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MFCCExtractor(n_ceps=30, n_filters=24)

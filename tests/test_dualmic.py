@@ -1,0 +1,74 @@
+"""Tests for the §VII dual-microphone SLD extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import DefenseConfig, DualMicDistanceVerifier, distance_from_sld
+from repro.core.dualmic import sound_level_difference
+from repro.devices import Smartphone, get_phone
+from repro.errors import CaptureError
+from repro.experiments.world import make_trajectory
+from repro.voice import Synthesizer, random_profile
+from repro.world import HumanSpeakerSource, quiet_room_environment, simulate_capture
+
+
+@pytest.fixture(scope="module")
+def dual_mic_captures():
+    """Dual-mic (Nexus 4) captures at a close and a far distance."""
+    rng = np.random.default_rng(4)
+    phone = Smartphone(get_phone("Nexus 4"))
+    env = quiet_room_environment()
+    profile = random_profile("dm", rng)
+    wave = Synthesizer(16000).synthesize_digits(profile, "246810", rng).waveform
+    source = HumanSpeakerSource(profile)
+
+    def capture(distance):
+        return simulate_capture(
+            phone, source, env, make_trajectory(distance), wave, 16000, rng
+        )
+
+    return capture(0.05), capture(0.15)
+
+
+class TestSLDGeometry:
+    def test_inversion_formula(self):
+        # separation 12 cm, source at 5 cm perpendicular: ratio = 13/5.
+        sld = 20.0 * np.log10(13.0 / 5.0)
+        assert abs(distance_from_sld(sld, separation_m=0.12) - 0.05) < 1e-6
+
+    def test_zero_sld_means_far(self):
+        assert distance_from_sld(0.0) >= 1.0
+
+    def test_monotone_in_sld(self):
+        ds = [distance_from_sld(s) for s in (3.0, 6.0, 12.0)]
+        assert ds[0] > ds[1] > ds[2]
+
+
+class TestDualMicCaptures:
+    def test_second_channel_present_on_nexus4(self, dual_mic_captures):
+        close, far = dual_mic_captures
+        assert close.audio_secondary is not None
+        assert close.audio_secondary.shape == close.audio.shape
+
+    def test_single_mic_phone_has_no_second_channel(self, genuine_capture_5cm):
+        assert genuine_capture_5cm.audio_secondary is None
+
+    def test_sld_larger_when_closer(self, dual_mic_captures):
+        close, far = dual_mic_captures
+        assert sound_level_difference(close) > sound_level_difference(far) + 3.0
+
+    def test_verifier_accepts_close_rejects_far(self, dual_mic_captures):
+        close, far = dual_mic_captures
+        verifier = DualMicDistanceVerifier(DefenseConfig())
+        assert verifier.verify(close).passed
+        assert not verifier.verify(far).passed
+
+    def test_single_mic_capture_rejected(self, genuine_capture_5cm):
+        verifier = DualMicDistanceVerifier(DefenseConfig())
+        result = verifier.verify(genuine_capture_5cm)
+        assert not result.passed
+        assert "secondary" in result.detail
+
+    def test_sld_raises_without_second_channel(self, genuine_capture_5cm):
+        with pytest.raises(CaptureError):
+            sound_level_difference(genuine_capture_5cm)

@@ -1,0 +1,122 @@
+"""Tests for the experiment harness (world builder, runner, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import ComponentResult, Decision, VerificationReport
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    TrialOutcome,
+    build_world,
+    equal_error_rate_from_margins,
+    evaluate_outcomes,
+    genuine_capture,
+    make_trajectory,
+    pipeline_margin,
+)
+from repro.experiments.runner import component_margin, format_rate_table
+from repro.experiments.fig10 import run_fig10
+
+
+def make_report(scores: dict, config) -> VerificationReport:
+    components = {}
+    rejected = False
+    for name, score in scores.items():
+        passed = component_margin(
+            VerificationReport(
+                Decision.ACCEPT, {name: ComponentResult(name, True, score)}
+            ),
+            name,
+            config,
+        ) >= 0
+        components[name] = ComponentResult(name, passed, score)
+        rejected = rejected or not passed
+    return VerificationReport(
+        Decision.REJECT if rejected else Decision.ACCEPT, components
+    )
+
+
+class TestWorldBuilder:
+    def test_world_structure(self, small_world):
+        assert len(small_world.users) == 2
+        for account in small_world.users.values():
+            assert len(account.passphrase) == 6
+            assert len(account.enrolment_captures) == 10
+
+    def test_fresh_utterances_vary(self, small_world, world_user):
+        a = small_world.fresh_utterance(world_user)
+        b = small_world.fresh_utterance(world_user)
+        assert a.shape != b.shape or not np.allclose(a, b)
+
+    def test_unknown_user_rejected(self, small_world):
+        with pytest.raises(ConfigurationError):
+            small_world.user("ghost")
+
+    def test_trajectory_factory(self):
+        traj = make_trajectory(0.12)
+        assert traj.end_distance == 0.12
+        assert traj.start_distance > traj.end_distance
+
+    def test_genuine_capture_distance(self, small_world, world_user):
+        cap = genuine_capture(small_world, world_user, 0.08)
+        assert abs(cap.true_end_distance - 0.08) < 0.012
+
+
+class TestRunnerMetrics:
+    def test_margins_sign_convention(self, small_world):
+        config = small_world.config
+        good = make_report(
+            {"magnetic": -0.2, "identity": 2.0, "soundfield": 3.0}, config
+        )
+        bad = make_report(
+            {"magnetic": -5.0, "identity": 2.0, "soundfield": 3.0}, config
+        )
+        assert pipeline_margin(good, config) > 0
+        assert pipeline_margin(bad, config) < 0
+
+    def test_evaluate_outcomes_counts(self, small_world):
+        config = small_world.config
+        good = make_report({"magnetic": -0.2, "identity": 2.0}, config)
+        bad = make_report({"magnetic": -5.0, "identity": 2.0}, config)
+        outcomes = [
+            TrialOutcome(True, good),
+            TrialOutcome(True, bad),  # a false rejection
+            TrialOutcome(False, bad),
+            TrialOutcome(False, good),  # a false acceptance
+        ]
+        result = evaluate_outcomes(outcomes, config)
+        assert result.frr == 0.5
+        assert result.far == 0.5
+        assert result.n_genuine == 2
+
+    def test_eer_perfect_separation(self):
+        assert equal_error_rate_from_margins([1.0, 2.0], [-1.0, -2.0]) == 0.0
+
+    def test_needs_both_classes(self, small_world):
+        config = small_world.config
+        report = make_report({"magnetic": -0.2}, config)
+        with pytest.raises(ConfigurationError):
+            evaluate_outcomes([TrialOutcome(True, report)], config)
+
+    def test_unknown_component_margin_rejected(self, small_world):
+        report = make_report({"magnetic": -0.2}, small_world.config)
+        with pytest.raises(ConfigurationError):
+            component_margin(report, "magnetic-v2", small_world.config)
+
+    def test_table_formatter(self):
+        text = format_rate_table(
+            [{"a": 1.0, "b": "x"}], columns=["a", "b"]
+        )
+        assert "1.00" in text and "x" in text
+
+
+class TestFig10:
+    def test_polar_field_matches_paper_band(self):
+        result = run_fig10(radius_m=0.05)
+        assert 30.0 <= result.max_ut <= 210.0
+        assert result.axial_ratio == pytest.approx(2.0, abs=0.05)
+
+    def test_ring_resolution(self):
+        result = run_fig10(n_angles=36)
+        assert result.angles_deg.size == 36
+        assert result.field_ut.size == 36

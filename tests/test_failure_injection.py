@@ -1,0 +1,160 @@
+"""Failure injection: degraded captures and degenerate inputs.
+
+The pipeline must degrade to *rejection with a reason*, never to an
+unhandled exception — a capture that cannot be verified is treated like
+an attack, which is the safe default for an authentication system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DefenseConfig,
+    DistanceVerifier,
+    LoudspeakerDetector,
+    recover_trajectory,
+)
+from repro.errors import CaptureError, ConfigurationError, SignalError
+from repro.physics.geometry import Pose, SampledPath
+from repro.sensors.base import SensorSeries
+from repro.world.scene import SensorCapture
+
+
+def _degraded_capture(genuine, **overrides):
+    """Copy a capture with selected streams replaced."""
+    fields = {
+        "audio": genuine.audio,
+        "audio_sample_rate": genuine.audio_sample_rate,
+        "pilot_hz": genuine.pilot_hz,
+        "magnetometer": genuine.magnetometer,
+        "accelerometer": genuine.accelerometer,
+        "gyroscope": genuine.gyroscope,
+        "path": genuine.path,
+        "source_kind": genuine.source_kind,
+        "environment_name": genuine.environment_name,
+        "metadata": genuine.metadata,
+        "audio_secondary": genuine.audio_secondary,
+    }
+    fields.update(overrides)
+    return SensorCapture(**fields)
+
+
+class TestDegradedCaptures:
+    def test_frozen_gyro_fails_distance_gracefully(self, genuine_capture_5cm):
+        frozen = SensorSeries(
+            genuine_capture_5cm.gyroscope.times,
+            np.zeros_like(genuine_capture_5cm.gyroscope.values),
+        )
+        capture = _degraded_capture(genuine_capture_5cm, gyroscope=frozen)
+        result = DistanceVerifier(DefenseConfig()).verify(capture)
+        assert not result.passed
+        assert result.score == float("-inf")
+
+    def test_silent_audio_rejected_by_soundfield(
+        self, small_world, world_user, genuine_capture_5cm
+    ):
+        """No speech → no sound field to verify.
+
+        (Distance verification survives silent audio: the phase track
+        degrades but the IMU still legitimately observed the sweep.)
+        """
+        capture = _degraded_capture(
+            genuine_capture_5cm, audio=np.zeros_like(genuine_capture_5cm.audio)
+        )
+        result = small_world.system.soundfield_for(world_user).verify(capture)
+        assert not result.passed
+
+    def test_no_pilot_raises_capture_error(self, genuine_capture_5cm):
+        capture = _degraded_capture(genuine_capture_5cm, pilot_hz=0.0)
+        with pytest.raises(CaptureError):
+            recover_trajectory(capture)
+
+    def test_saturated_magnetometer_detected(self, genuine_capture_5cm):
+        """A railed sensor reads as a detection, not as silence."""
+        series = genuine_capture_5cm.magnetometer
+        railed = series.values.copy()
+        railed[len(railed) // 2 :] = 1200.0
+        capture = _degraded_capture(
+            genuine_capture_5cm,
+            magnetometer=SensorSeries(series.times, railed),
+        )
+        result = LoudspeakerDetector(DefenseConfig()).verify(capture)
+        assert not result.passed
+
+    def test_truncated_magnetometer_fails_gracefully(self, genuine_capture_5cm):
+        series = genuine_capture_5cm.magnetometer
+        short = SensorSeries(series.times[:4], series.values[:4])
+        capture = _degraded_capture(genuine_capture_5cm, magnetometer=short)
+        result = LoudspeakerDetector(DefenseConfig()).verify(capture)
+        assert not result.passed
+
+    def test_soundfield_rejects_short_audio(self, small_world, world_user, genuine_capture_5cm):
+        capture = _degraded_capture(
+            genuine_capture_5cm, audio=genuine_capture_5cm.audio[:100]
+        )
+        result = small_world.system.soundfield_for(world_user).verify(capture)
+        assert not result.passed
+
+
+class TestDegenerateInputs:
+    def test_static_path_has_no_sweep(self):
+        times = np.linspace(0.0, 1.0, 50)
+        poses = [Pose(np.array([0.1, 0.0, 0.0]), np.eye(3)) for _ in times]
+        path = SampledPath(times, poses)
+        assert path.duration == 1.0
+        assert np.allclose(path.velocities(), 0.0, atol=1e-9)
+
+    def test_gmm_constant_features_survive(self):
+        from repro.asv import DiagonalGMM
+
+        x = np.ones((50, 3)) + np.random.default_rng(0).normal(0, 1e-9, (50, 3))
+        gmm = DiagonalGMM(2, seed=0).fit(x)
+        assert np.all(np.isfinite(gmm.log_likelihood(x)))
+
+    def test_svm_duplicate_points(self):
+        from repro.ml import LinearSVM
+
+        x = np.array([[0.0, 0.0]] * 10 + [[1.0, 1.0]] * 10)
+        y = np.concatenate([-np.ones(10), np.ones(10)])
+        svm = LinearSVM().fit(x, y)
+        assert svm.accuracy(x, y) == 1.0
+
+    def test_pca_on_identical_rows(self):
+        from repro.ml import PCA
+
+        x = np.ones((10, 4))
+        pca = PCA(n_components=2).fit(x)
+        projected = pca.transform(x)
+        assert np.allclose(projected, 0.0)
+
+    def test_mimic_with_unvoiced_samples_raises(self, synthesizer):
+        from repro.attacks import HumanMimicAttack
+        from repro.voice import random_profile
+
+        rng = np.random.default_rng(0)
+        attacker = random_profile("a", rng)
+        silence = [np.zeros(16000)]
+        with pytest.raises(SignalError):
+            HumanMimicAttack(attacker).prepare(silence, "12", "t", rng)
+
+    def test_capture_error_components_fail_closed(self, small_world, world_user):
+        """A completely empty capture yields REJECT from every component."""
+        times = np.linspace(0.0, 1.0, 120)
+        flat = SensorSeries(times, np.zeros((120, 3)))
+        path = SampledPath(
+            [0.0, 1.0],
+            [Pose(np.zeros(3), np.eye(3)), Pose(np.zeros(3), np.eye(3))],
+        )
+        capture = SensorCapture(
+            audio=np.zeros(48000),
+            audio_sample_rate=48000,
+            pilot_hz=20000.0,
+            magnetometer=flat,
+            accelerometer=flat,
+            gyroscope=flat,
+            path=path,
+            source_kind="unknown",
+            environment_name="void",
+        )
+        report = small_world.system.verify(capture, world_user)
+        assert not report.accepted

@@ -1,0 +1,155 @@
+"""Tests for repro.physics.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.geometry import (
+    Pose,
+    SampledPath,
+    fit_circle_2d,
+    rotation_about_axis,
+    rotation_about_z,
+    unit,
+)
+
+
+class TestUnit:
+    def test_normalises_length(self):
+        v = unit(np.array([3.0, 4.0, 0.0]))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+        assert np.allclose(v, [0.6, 0.8, 0.0])
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unit(np.zeros(3))
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=3))
+    def test_unit_norm_property(self, coords):
+        v = np.array(coords)
+        if np.linalg.norm(v) < 1e-9:
+            return
+        assert np.isclose(np.linalg.norm(unit(v)), 1.0)
+
+
+class TestRotations:
+    def test_z_rotation_quarter_turn(self):
+        r = rotation_about_z(np.pi / 2)
+        assert np.allclose(r @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_z_rotation_is_orthonormal(self):
+        r = rotation_about_z(0.7)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.isclose(np.linalg.det(r), 1.0)
+
+    def test_axis_rotation_matches_z_special_case(self):
+        assert np.allclose(
+            rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.3),
+            rotation_about_z(0.3),
+            atol=1e-12,
+        )
+
+    def test_axis_rotation_preserves_axis(self):
+        axis = np.array([1.0, 1.0, 0.0])
+        r = rotation_about_axis(axis, 1.1)
+        assert np.allclose(r @ unit(axis), unit(axis), atol=1e-12)
+
+
+class TestPose:
+    def test_world_body_roundtrip(self):
+        pose = Pose(np.array([1.0, 2.0, 3.0]), rotation_about_z(0.4))
+        v = np.array([0.2, -0.7, 1.1])
+        assert np.allclose(pose.to_body(pose.to_world(v)), v, atol=1e-12)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pose(np.zeros(2), np.eye(3))
+        with pytest.raises(ConfigurationError):
+            Pose(np.zeros(3), np.eye(2))
+
+
+def _straight_path(n=10, speed=1.0):
+    times = np.linspace(0.0, 1.0, n)
+    poses = [Pose(np.array([speed * t, 0.0, 0.0]), np.eye(3)) for t in times]
+    return SampledPath(times, poses)
+
+
+class TestSampledPath:
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            SampledPath([0.0], [Pose(np.zeros(3), np.eye(3))])
+
+    def test_rejects_nonmonotonic_times(self):
+        poses = [Pose(np.zeros(3), np.eye(3))] * 3
+        with pytest.raises(ConfigurationError):
+            SampledPath([0.0, 0.2, 0.1], poses)
+
+    def test_velocity_of_uniform_motion(self):
+        path = _straight_path(speed=2.0)
+        v = path.velocities()
+        assert np.allclose(v[:, 0], 2.0, atol=1e-9)
+        assert np.allclose(v[:, 1:], 0.0, atol=1e-9)
+
+    def test_pose_interpolation_midpoint(self):
+        path = _straight_path(n=2, speed=1.0)
+        mid = path.pose_at(0.5)
+        assert np.allclose(mid.position, [0.5, 0.0, 0.0])
+
+    def test_pose_at_clamps_to_ends(self):
+        path = _straight_path()
+        assert np.allclose(path.pose_at(-1.0).position, path.poses[0].position)
+        assert np.allclose(path.pose_at(99.0).position, path.poses[-1].position)
+
+    def test_distances_to_origin(self):
+        path = _straight_path(speed=1.0)
+        d = path.distances_to(np.zeros(3))
+        assert np.allclose(d, path.times, atol=1e-12)
+
+    def test_duration(self):
+        assert np.isclose(_straight_path().duration, 1.0)
+
+
+class TestCircleFit:
+    def test_exact_circle_recovered(self):
+        theta = np.linspace(0.0, 2.0 * np.pi, 30, endpoint=False)
+        x = 2.0 + 1.5 * np.cos(theta)
+        y = -1.0 + 1.5 * np.sin(theta)
+        cx, cy, r = fit_circle_2d(x, y)
+        assert np.isclose(cx, 2.0, atol=1e-9)
+        assert np.isclose(cy, -1.0, atol=1e-9)
+        assert np.isclose(r, 1.5, atol=1e-9)
+
+    def test_arc_only_still_recovers(self):
+        theta = np.linspace(0.1, 1.2, 20)
+        x, y = np.cos(theta), np.sin(theta)
+        cx, cy, r = fit_circle_2d(x, y)
+        assert np.isclose(r, 1.0, atol=1e-9)
+        assert np.hypot(cx, cy) < 1e-9
+
+    def test_collinear_points_rejected(self):
+        x = np.linspace(0.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            fit_circle_2d(x, 2.0 * x + 1.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_circle_2d(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    @settings(max_examples=30)
+    @given(
+        cx=st.floats(-5, 5),
+        cy=st.floats(-5, 5),
+        r=st.floats(0.1, 5),
+        noise=st.floats(0, 0.01),
+    )
+    def test_noisy_circle_property(self, cx, cy, r, noise):
+        rng = np.random.default_rng(0)
+        theta = np.linspace(0.0, 2.0 * np.pi, 50, endpoint=False)
+        x = cx + r * np.cos(theta) + rng.normal(0, noise, theta.size)
+        y = cy + r * np.sin(theta) + rng.normal(0, noise, theta.size)
+        fx, fy, fr = fit_circle_2d(x, y)
+        assert abs(fx - cx) < 0.1 + 5 * noise
+        assert abs(fy - cy) < 0.1 + 5 * noise
+        assert abs(fr - r) < 0.1 + 5 * noise

@@ -1,0 +1,147 @@
+"""Tests for repro.physics.magnetics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.physics.magnetics import (
+    EARTH_FIELD_UT,
+    EnvironmentalInterference,
+    MagneticDipole,
+    MuMetalShield,
+    ShieldedDipole,
+    VoiceCoilDipole,
+    car_interference,
+    earth_field,
+    near_computer_interference,
+    quiet_room_interference,
+)
+
+
+class TestMagneticDipole:
+    def setup_method(self):
+        self.dipole = MagneticDipole(np.zeros(3), np.array([0.1, 0.0, 0.0]))
+
+    def test_inverse_cube_falloff(self):
+        b1 = self.dipole.magnitude_at(np.array([0.05, 0.0, 0.0]))
+        b2 = self.dipole.magnitude_at(np.array([0.10, 0.0, 0.0]))
+        assert np.isclose(b1 / b2, 8.0, rtol=1e-6)
+
+    def test_axial_twice_equatorial(self):
+        axial = self.dipole.magnitude_at(np.array([0.05, 0.0, 0.0]))
+        equatorial = self.dipole.magnitude_at(np.array([0.0, 0.05, 0.0]))
+        assert np.isclose(axial / equatorial, 2.0, rtol=1e-6)
+
+    def test_loudspeaker_range_at_close_distance(self):
+        """Near fields land in the paper's 30-210 µT window."""
+        b = self.dipole.magnitude_at(np.array([0.05, 0.0, 0.0]))
+        assert 30.0 <= b <= 210.0
+
+    def test_core_radius_clamps_singularity(self):
+        b = self.dipole.magnitude_at(np.array([1e-6, 0.0, 0.0]))
+        b_at_core = self.dipole.magnitude_at(np.array([self.dipole.core_radius, 0.0, 0.0]))
+        assert np.isclose(b, b_at_core)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MagneticDipole(np.zeros(2), np.zeros(3))
+
+    @settings(max_examples=25)
+    @given(moment=st.floats(0.001, 1.0), r=st.floats(0.02, 0.5))
+    def test_falloff_property(self, moment, r):
+        d = MagneticDipole(np.zeros(3), np.array([moment, 0.0, 0.0]))
+        near = d.magnitude_at(np.array([r, 0.0, 0.0]))
+        far = d.magnitude_at(np.array([2.0 * r, 0.0, 0.0]))
+        assert near > far
+
+
+class TestVoiceCoil:
+    def test_silent_coil_is_fieldless(self):
+        coil = VoiceCoilDipole(np.zeros(3), np.array([1.0, 0, 0]), 0.01)
+        assert np.allclose(coil.field_at(np.array([0.05, 0, 0])), 0.0)
+
+    def test_drive_modulates_field(self):
+        coil = VoiceCoilDipole(
+            np.zeros(3), np.array([1.0, 0, 0]), 0.01, drive=lambda t: np.sin(t)
+        )
+        b_half = np.linalg.norm(coil.field_at(np.array([0.05, 0, 0]), t=np.pi / 2))
+        b_zero = np.linalg.norm(coil.field_at(np.array([0.05, 0, 0]), t=0.0))
+        assert b_half > b_zero
+
+    def test_drive_clipped_to_unit(self):
+        coil = VoiceCoilDipole(
+            np.zeros(3), np.array([1.0, 0, 0]), 0.01, drive=lambda t: 100.0
+        )
+        ref = MagneticDipole(np.zeros(3), np.array([0.01, 0, 0]))
+        assert np.allclose(
+            coil.field_at(np.array([0.05, 0, 0])), ref.field_at(np.array([0.05, 0, 0]))
+        )
+
+    def test_negative_peak_moment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoiceCoilDipole(np.zeros(3), np.array([1.0, 0, 0]), -1.0)
+
+
+class TestShielding:
+    def test_shield_attenuates_at_distance(self):
+        magnet = MagneticDipole(np.zeros(3), np.array([0.1, 0, 0]))
+        shielded = ShieldedDipole(magnet, MuMetalShield(shielding_factor=20.0))
+        point = np.array([0.10, 0.0, 0.0])
+        assert np.linalg.norm(shielded.field_at(point)) < magnet.magnitude_at(point)
+
+    def test_shield_box_still_detectable_up_close(self):
+        """The paper: 'the metal box can still be detected' at <= 6 cm."""
+        magnet = MagneticDipole(np.zeros(3), np.array([0.1, 0, 0]))
+        shielded = ShieldedDipole(magnet, MuMetalShield())
+        close = np.linalg.norm(shielded.field_at(np.array([0.05, 0, 0])))
+        assert close > 3.0  # µT, comfortably above the ambient noise floor
+
+    def test_invalid_shield_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MuMetalShield(shielding_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            MuMetalShield(induced_moment=-1.0)
+
+
+class TestEnvironment:
+    def test_earth_field_magnitude(self):
+        assert np.isclose(np.linalg.norm(earth_field()), EARTH_FIELD_UT)
+
+    def test_interference_deterministic_in_time(self):
+        intf = EnvironmentalInterference(fluctuation_ut=2.0, seed=5)
+        p = np.array([0.1, 0.0, 0.0])
+        assert np.allclose(intf.field_at(p, 0.3), intf.field_at(p, 0.3))
+
+    def test_interference_varies_in_time(self):
+        intf = EnvironmentalInterference(fluctuation_ut=2.0, seed=5)
+        p = np.zeros(3)
+        assert not np.allclose(intf.field_at(p, 0.0), intf.field_at(p, 0.13))
+
+    def test_gradient_grows_with_x(self):
+        intf = EnvironmentalInterference(
+            bias_ut=np.array([5.0, 0, 0]), gradient_per_m=5.0
+        )
+        near = np.linalg.norm(intf.field_at(np.array([0.0, 0, 0])))
+        far = np.linalg.norm(intf.field_at(np.array([0.2, 0, 0])))
+        assert far > near
+
+    def test_environment_severity_ordering(self):
+        """Car > computer > quiet room in ambient variability."""
+
+        def variability(intf):
+            times = np.linspace(0.0, 2.0, 200)
+            mags = [np.linalg.norm(intf.field_at(np.zeros(3), t)) for t in times]
+            return np.std(mags)
+
+        assert variability(car_interference()) > variability(
+            near_computer_interference()
+        )
+        assert variability(near_computer_interference()) > variability(
+            quiet_room_interference()
+        )
+
+    def test_negative_fluctuation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnvironmentalInterference(fluctuation_ut=-1.0)

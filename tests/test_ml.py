@@ -1,0 +1,141 @@
+"""Tests for repro.ml: PCA, SVM, k-means, scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import KMeans, LinearSVM, PCA, StandardScaler
+
+
+class TestPCA:
+    def test_principal_axis_of_elongated_cloud(self):
+        rng = np.random.default_rng(0)
+        x = np.column_stack([rng.normal(0, 5, 500), rng.normal(0, 0.5, 500)])
+        pca = PCA(n_components=2).fit(x)
+        axis = np.abs(pca.components_[0])
+        assert axis[0] > 0.99
+
+    def test_explained_variance_ordering(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (200, 5)) * np.array([5.0, 3.0, 1.0, 0.5, 0.1])
+        pca = PCA(n_components=5).fit(x)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+        assert np.isclose(pca.explained_variance_ratio_.sum(), 1.0)
+
+    def test_transform_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, (50, 3))
+        pca = PCA(n_components=3).fit(x)
+        assert np.allclose(pca.inverse_transform(pca.transform(x)), x, atol=1e-9)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            PCA().transform(np.zeros((3, 3)))
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=5).fit(np.zeros((3, 3)))
+
+
+class TestScaler:
+    def test_fit_transform_statistics(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(5.0, 3.0, (300, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_protected(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(2.0, 0.5, (40, 2))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.lists(st.floats(-100, 100), min_size=3, max_size=3),
+            min_size=5,
+            max_size=20,
+        )
+    )
+    def test_transform_finite_property(self, rows):
+        x = np.array(rows)
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+
+class TestKMeans:
+    def test_separated_clusters_found(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal((0, 0), 0.2, (50, 2))
+        b = rng.normal((5, 5), 0.2, (50, 2))
+        km = KMeans(2, seed=0).fit(np.vstack([a, b]))
+        centers = km.centers_[np.argsort(km.centers_[:, 0])]
+        assert np.allclose(centers[0], [0, 0], atol=0.3)
+        assert np.allclose(centers[1], [5, 5], atol=0.3)
+
+    def test_labels_consistent_with_centers(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0, 1, (100, 3))
+        km = KMeans(4, seed=1).fit(x)
+        labels = km.predict(x)
+        assert set(labels) <= {0, 1, 2, 3}
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(10).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(0, 1, (200, 2))
+        inertia = [KMeans(k, seed=2).fit(x).inertia_ for k in (1, 4, 16)]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+
+class TestLinearSVM:
+    def test_separable_data(self):
+        rng = np.random.default_rng(8)
+        x = np.vstack([rng.normal(-2, 0.5, (60, 2)), rng.normal(2, 0.5, (60, 2))])
+        y = np.concatenate([-np.ones(60), np.ones(60)])
+        svm = LinearSVM().fit(x, y)
+        assert svm.accuracy(x, y) > 0.97
+
+    def test_decision_sign_matches_prediction(self):
+        rng = np.random.default_rng(9)
+        x = np.vstack([rng.normal(-1, 0.3, (30, 3)), rng.normal(1, 0.3, (30, 3))])
+        y = np.concatenate([-np.ones(30), np.ones(30)])
+        svm = LinearSVM().fit(x, y)
+        assert np.all(np.sign(svm.decision_function(x)) == svm.predict(x))
+
+    def test_intercept_handles_offset_data(self):
+        rng = np.random.default_rng(10)
+        x = np.vstack(
+            [rng.normal(10.0, 0.3, (40, 1)), rng.normal(12.0, 0.3, (40, 1))]
+        )
+        y = np.concatenate([-np.ones(40), np.ones(40)])
+        svm = LinearSVM().fit(x, y)
+        assert svm.accuracy(x, y) > 0.9
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().fit(np.zeros((5, 2)), np.ones(5))
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVM().fit(np.zeros((4, 2)), np.array([0.0, 1.0, 2.0, 1.0]))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((2, 2)))

@@ -1,0 +1,161 @@
+"""Tests for the client/server prototype: protocol, scheduler, round trip."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server import (
+    JobScheduler,
+    MobileClient,
+    VerificationServer,
+    decode_decision,
+    decode_request,
+    encode_decision,
+    encode_request,
+)
+from repro.server.client import summarize_trials
+
+
+class TestProtocol:
+    def test_request_roundtrip(self, genuine_capture_5cm):
+        frame = encode_request(genuine_capture_5cm, "alice")
+        capture, claimed = decode_request(frame)
+        assert claimed == "alice"
+        assert np.allclose(capture.audio, genuine_capture_5cm.audio, atol=1e-4)
+        assert np.allclose(
+            capture.magnetometer.values,
+            genuine_capture_5cm.magnetometer.values,
+            atol=1e-3,
+        )
+        assert capture.pilot_hz == genuine_capture_5cm.pilot_hz
+
+    def test_anonymous_request(self, genuine_capture_5cm):
+        frame = encode_request(genuine_capture_5cm, None)
+        _, claimed = decode_request(frame)
+        assert claimed is None
+
+    def test_decision_roundtrip(self):
+        frame = encode_decision(
+            True, {"magnetic": (True, -0.5, "quiet")}, request_id="r1"
+        )
+        decision = decode_decision(frame)
+        assert decision["accepted"] is True
+        assert decision["components"]["magnetic"]["score"] == -0.5
+
+    def test_corrupted_frame_rejected(self, genuine_capture_5cm):
+        frame = bytearray(encode_request(genuine_capture_5cm, "a"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_request(bytes(frame))
+
+    def test_wrong_kind_rejected(self, genuine_capture_5cm):
+        request = encode_request(genuine_capture_5cm, "a")
+        with pytest.raises(ProtocolError):
+            decode_decision(request)
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"RV")
+
+    def test_bad_magic_rejected(self, genuine_capture_5cm):
+        frame = bytearray(encode_request(genuine_capture_5cm, "a"))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError):
+            decode_request(bytes(frame))
+
+    def test_compression_beats_plain_base64(self, genuine_capture_5cm):
+        """zlib must claw back most of base64's 4/3 expansion.
+
+        Mic noise makes float32 audio nearly incompressible, so the frame
+        cannot go below the raw byte count — but it must stay well below
+        the uncompressed JSON/base64 encoding it wraps.
+        """
+        frame = encode_request(genuine_capture_5cm, "a")
+        raw_bytes = genuine_capture_5cm.audio.size * 4
+        assert len(frame) < 1.35 * raw_bytes
+
+
+class TestScheduler:
+    def test_runs_all_jobs(self):
+        with JobScheduler(workers=2) as scheduler:
+            results = scheduler.run_all(
+                {"a": lambda: 1, "b": lambda: 2, "c": lambda: 3}
+            )
+        assert {r.value for r in results.values()} == {1, 2, 3}
+        assert all(r.ok for r in results.values())
+
+    def test_exception_captured_not_raised(self):
+        def boom():
+            raise ValueError("nope")
+
+        with JobScheduler(workers=1) as scheduler:
+            results = scheduler.run_all({"bad": boom, "good": lambda: 7})
+        assert not results["bad"].ok
+        assert isinstance(results["bad"].error, ValueError)
+        assert results["good"].value == 7
+
+    def test_parallel_execution(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def wait():
+            barrier.wait()
+            return True
+
+        with JobScheduler(workers=3) as scheduler:
+            results = scheduler.run_all({f"j{i}": wait for i in range(3)})
+        assert all(r.ok for r in results.values())
+
+    def test_empty_jobs(self):
+        with JobScheduler() as scheduler:
+            assert scheduler.run_all({}) == {}
+
+    def test_shutdown_idempotent(self):
+        scheduler = JobScheduler()
+        scheduler.run_all({"x": lambda: 1})
+        scheduler.shutdown()
+        scheduler.shutdown()
+
+
+class TestServerRoundTrip:
+    def test_genuine_accepted_end_to_end(
+        self, small_world, world_user, world_genuine_capture
+    ):
+        server = VerificationServer(small_world.system)
+        try:
+            client = MobileClient(server)
+            report = client.authenticate(world_genuine_capture, world_user)
+            assert report.accepted
+            assert report.total_s > report.server_s
+            assert server.last_stats is not None
+            assert server.last_stats.total_s > 0
+        finally:
+            server.close()
+
+    def test_replay_rejected_end_to_end(
+        self, small_world, world_user, world_replay_capture
+    ):
+        server = VerificationServer(small_world.system)
+        try:
+            client = MobileClient(server)
+            report = client.authenticate(world_replay_capture, world_user)
+            assert not report.accepted
+        finally:
+            server.close()
+
+    def test_summary_statistics(self, small_world, world_user, world_genuine_capture):
+        server = VerificationServer(small_world.system)
+        try:
+            client = MobileClient(server)
+            reports = [
+                client.authenticate(world_genuine_capture, world_user)
+                for _ in range(3)
+            ]
+            summary = summarize_trials(reports)
+            assert summary["trials"] == 3
+            assert summary["mean_s"] > 0
+            assert 0.0 <= summary["success_rate"] <= 1.0
+        finally:
+            server.close()

@@ -1,0 +1,199 @@
+"""Tests for repro.voice: glottal source, formants, synthesis, profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.voice import (
+    PHONEMES,
+    FormantResonator,
+    GlottalSource,
+    SpeakerProfile,
+    Synthesizer,
+    random_profile,
+)
+from repro.voice.formants import DIGIT_PHONEMES, phoneme_sequence_for_digits
+from repro.voice.glottal import rosenberg_pulse
+
+
+class TestGlottalSource:
+    def test_pulse_normalised(self):
+        pulse = rosenberg_pulse(100)
+        assert np.isclose(np.max(np.abs(pulse)), 1.0)
+
+    def test_pulse_too_short_rejected(self):
+        with pytest.raises(SignalError):
+            rosenberg_pulse(2)
+
+    def test_periodicity_at_f0(self):
+        rng = np.random.default_rng(0)
+        src = GlottalSource(16000, jitter=0.0, shimmer=0.0, aspiration_level=0.0)
+        f0 = np.full(16000, 150.0)
+        e = src.generate(f0, rng)
+        frame = e[4000:4640] - e[4000:4640].mean()
+        ac = np.correlate(frame, frame, "full")[frame.size - 1 :]
+        ac /= ac[0]
+        lag = int(np.argmax(ac[40:266])) + 40
+        assert abs(16000 / lag - 150.0) < 10.0
+        assert ac[lag] > 0.7
+
+    def test_jitter_reduces_periodicity(self):
+        rng = np.random.default_rng(0)
+        f0 = np.full(16000, 150.0)
+
+        def peak_ac(jitter):
+            src = GlottalSource(16000, jitter=jitter, shimmer=0.0, aspiration_level=0.0)
+            e = src.generate(f0, np.random.default_rng(1))
+            frame = e[4000:5280] - e[4000:5280].mean()
+            ac = np.correlate(frame, frame, "full")[frame.size - 1 :]
+            ac /= ac[0]
+            return np.max(ac[40:266])
+
+        assert peak_ac(0.06) < peak_ac(0.0)
+
+    def test_voicing_gate(self):
+        rng = np.random.default_rng(0)
+        src = GlottalSource(16000, aspiration_level=0.0)
+        f0 = np.full(8000, 120.0)
+        voicing = np.concatenate([np.ones(4000), np.zeros(4000)])
+        e = src.generate(f0, rng, voicing=voicing)
+        assert np.abs(e[:4000]).max() > 0
+        assert np.abs(e[5000:]).max() == 0
+
+    def test_nonpositive_f0_rejected(self):
+        src = GlottalSource(16000)
+        with pytest.raises(SignalError):
+            src.generate(np.zeros(100), np.random.default_rng(0))
+
+
+class TestFormantResonator:
+    def test_unity_gain_at_centre(self):
+        res = FormantResonator(1000.0, 80.0, 16000)
+        gain = res.frequency_response(np.array([1000.0]), 16000)[0]
+        assert np.isclose(gain, 1.0, atol=0.05)
+
+    def test_selectivity(self):
+        res = FormantResonator(1000.0, 80.0, 16000)
+        gains = res.frequency_response(np.array([1000.0, 2000.0]), 16000)
+        assert gains[0] > 5.0 * gains[1]
+
+    def test_streaming_state_continuity(self):
+        res = FormantResonator(800.0, 100.0, 16000)
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 1000)
+        y_full, _ = res.filter(x)
+        y1, state = res.filter(x[:500])
+        y2, _ = res.filter(x[500:], zi=state)
+        assert np.allclose(np.concatenate([y1, y2]), y_full, atol=1e-10)
+
+    def test_out_of_range_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FormantResonator(9000.0, 80.0, 16000)
+
+
+class TestPhonemeInventory:
+    def test_all_digits_covered(self):
+        assert set(DIGIT_PHONEMES) == set("0123456789")
+
+    def test_digit_phonemes_exist_in_inventory(self):
+        for seq in DIGIT_PHONEMES.values():
+            for p in seq:
+                assert p in PHONEMES
+
+    def test_digit_sequence_has_pauses(self):
+        seq = phoneme_sequence_for_digits("12")
+        assert "SIL" in seq
+
+    def test_bad_digit_string_rejected(self):
+        with pytest.raises(SignalError):
+            phoneme_sequence_for_digits("12a")
+        with pytest.raises(SignalError):
+            phoneme_sequence_for_digits("")
+
+
+class TestProfiles:
+    def test_random_profile_valid(self):
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            p = random_profile(f"s{i}", rng)
+            assert 60.0 <= p.f0_hz <= 400.0
+            assert 0.7 <= p.formant_scale <= 1.5
+
+    def test_morph_full_fidelity_matches_target(self):
+        rng = np.random.default_rng(1)
+        a, b = random_profile("a", rng), random_profile("b", rng)
+        morphed = a.morph_toward(b, fidelity=1.0)
+        assert np.isclose(morphed.f0_hz, b.f0_hz)
+        assert np.isclose(morphed.formant_scale, b.formant_scale)
+
+    def test_morph_zero_fidelity_keeps_source(self):
+        rng = np.random.default_rng(1)
+        a, b = random_profile("a", rng), random_profile("b", rng)
+        morphed = a.morph_toward(b, fidelity=0.0)
+        assert np.isclose(morphed.f0_hz, a.f0_hz)
+
+    def test_morph_variability_raises_jitter(self):
+        rng = np.random.default_rng(1)
+        a, b = random_profile("a", rng), random_profile("b", rng)
+        effortful = a.morph_toward(b, fidelity=0.5, extra_variability=1.0)
+        assert effortful.jitter > a.jitter
+        assert effortful.shimmer > a.shimmer
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpeakerProfile(speaker_id="x", f0_hz=1000.0)
+
+    @settings(max_examples=20)
+    @given(fid=st.floats(0.0, 1.0))
+    def test_morph_interpolates_f0(self, fid):
+        a = SpeakerProfile("a", f0_hz=100.0)
+        b = SpeakerProfile("b", f0_hz=200.0)
+        assert np.isclose(a.morph_toward(b, fid).f0_hz, 100.0 + 100.0 * fid)
+
+
+class TestSynthesizer:
+    def test_waveform_properties(self, synthesizer, voice_profile):
+        rng = np.random.default_rng(0)
+        utt = synthesizer.synthesize_digits(voice_profile, "123456", rng)
+        assert utt.sample_rate == 16000
+        assert np.max(np.abs(utt.waveform)) <= 0.95
+        assert 1.0 < utt.duration_s < 6.0
+
+    def test_longer_phrase_longer_audio(self, synthesizer, voice_profile):
+        rng = np.random.default_rng(0)
+        short = synthesizer.synthesize_digits(voice_profile, "12", rng)
+        long = synthesizer.synthesize_digits(voice_profile, "123456", rng)
+        assert long.duration_s > short.duration_s
+
+    def test_speaking_rate_scales_duration(self, synthesizer):
+        rng = np.random.default_rng(0)
+        slow = SpeakerProfile("slow", speaking_rate=0.7)
+        fast = SpeakerProfile("fast", speaking_rate=1.4)
+        d_slow = synthesizer.synthesize_digits(slow, "555", rng).duration_s
+        d_fast = synthesizer.synthesize_digits(fast, "555", rng).duration_s
+        assert d_slow > 1.5 * d_fast
+
+    def test_unknown_phoneme_rejected(self, synthesizer, voice_profile):
+        with pytest.raises(SignalError):
+            synthesizer.synthesize_phonemes(
+                voice_profile, ("AA", "XX"), np.random.default_rng(0)
+            )
+
+    def test_empty_sequence_rejected(self, synthesizer, voice_profile):
+        with pytest.raises(SignalError):
+            synthesizer.synthesize_phonemes(voice_profile, (), np.random.default_rng(0))
+
+    def test_f0_follows_profile(self, synthesizer):
+        from repro.voice import estimate_f0
+
+        rng = np.random.default_rng(2)
+        low = SpeakerProfile("low", f0_hz=100.0)
+        high = SpeakerProfile("high", f0_hz=220.0)
+        for profile in (low, high):
+            utt = synthesizer.synthesize_digits(profile, "999111", rng)
+            track = estimate_f0(utt.waveform, 16000)
+            voiced = track[~np.isnan(track)]
+            assert voiced.size > 10
+            assert abs(np.median(voiced) - profile.f0_hz) < 0.15 * profile.f0_hz

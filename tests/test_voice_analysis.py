@@ -1,0 +1,155 @@
+"""Tests for repro.voice.analysis and repro.voice.corpus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.voice import (
+    Synthesizer,
+    estimate_f0,
+    estimate_formants,
+    estimate_profile,
+    make_arctic_style_corpus,
+    make_background_corpus,
+    make_passphrase_corpus,
+    random_profile,
+)
+from repro.voice.analysis import formant_dispersion, jitter_shimmer, lpc_coefficients
+from repro.dsp.signal import generate_tone
+
+
+class TestF0Estimation:
+    def test_pure_tone(self):
+        tone = generate_tone(150.0, 1.0, 16000)
+        track = estimate_f0(tone, 16000)
+        voiced = track[~np.isnan(track)]
+        assert abs(np.median(voiced) - 150.0) < 5.0
+
+    def test_silence_is_unvoiced(self):
+        track = estimate_f0(np.zeros(16000), 16000)
+        assert np.all(np.isnan(track))
+
+    def test_synthesised_speech(self, synthesizer, voice_profile, utterance):
+        track = estimate_f0(utterance.waveform, 16000)
+        voiced = track[~np.isnan(track)]
+        assert voiced.size > 20
+        assert abs(np.median(voiced) - voice_profile.f0_hz) < 20.0
+
+    def test_impossible_range_rejected(self):
+        with pytest.raises(SignalError):
+            estimate_f0(np.zeros(16000), 16000, fmin=50.0, fmax=60.0, frame_ms=5.0)
+
+
+class TestLPC:
+    def test_recovers_ar2(self):
+        from scipy.signal import lfilter
+
+        rng = np.random.default_rng(0)
+        x = lfilter([1.0], [1.0, -1.3, 0.8], rng.normal(0, 1, 500))
+        a = lpc_coefficients(x, 2)
+        assert np.allclose(a, [1.0, -1.3, 0.8], atol=0.05)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(SignalError):
+            lpc_coefficients(np.zeros(5), 10)
+
+    def test_formants_of_synthetic_vowel(self):
+        """A sustained vowel's LPC formants land near the targets."""
+        rng = np.random.default_rng(3)
+        synth = Synthesizer(16000)
+        profile = random_profile("v", rng)
+        utt = synth.synthesize_phonemes(profile, ("AA",) * 6, rng)
+        formants = estimate_formants(utt.waveform, 16000)
+        targets = np.array([730.0, 1090.0, 2440.0]) * profile.formant_scale
+        assert abs(formants[0] - targets[0]) < 250.0
+        # F2/F3 estimation is rougher; sanity-bound the ordering instead.
+        assert formants[0] < formants[1] < formants[2]
+
+    def test_dispersion_needs_two(self):
+        with pytest.raises(SignalError):
+            formant_dispersion(np.array([500.0]))
+        assert formant_dispersion(np.array([500.0, 1500.0, 2500.0])) == 1000.0
+
+
+class TestProfileEstimation:
+    def test_roundtrip_f0(self, synthesizer):
+        rng = np.random.default_rng(5)
+        truth = random_profile("t", rng)
+        waves = [
+            synthesizer.synthesize_digits(truth, "31415", rng).waveform
+            for _ in range(2)
+        ]
+        estimated = estimate_profile(waves, 16000)
+        assert abs(estimated.f0_hz - truth.f0_hz) < 0.12 * truth.f0_hz
+
+    def test_roundtrip_scale_ballpark(self, synthesizer):
+        rng = np.random.default_rng(6)
+        truth = random_profile("t", rng)
+        waves = [
+            synthesizer.synthesize_digits(truth, "31415", rng).waveform
+            for _ in range(3)
+        ]
+        estimated = estimate_profile(waves, 16000)
+        assert abs(estimated.formant_scale - truth.formant_scale) < 0.18
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SignalError):
+            estimate_profile([], 16000)
+
+    def test_jitter_shimmer_ordering(self, synthesizer):
+        """Higher-variability profiles measure as more variable."""
+        rng = np.random.default_rng(7)
+        stable = random_profile("s", rng)
+        import dataclasses
+
+        shaky = dataclasses.replace(stable, jitter=0.05, shimmer=0.15)
+        js_stable = []
+        js_shaky = []
+        for _ in range(2):
+            js_stable.append(
+                jitter_shimmer(
+                    synthesizer.synthesize_digits(stable, "99", rng).waveform, 16000
+                )
+            )
+            js_shaky.append(
+                jitter_shimmer(
+                    synthesizer.synthesize_digits(shaky, "99", rng).waveform, 16000
+                )
+            )
+        assert np.mean([j for j, s in js_shaky]) > np.mean(
+            [j for j, s in js_stable]
+        )
+
+
+class TestCorpora:
+    def test_passphrase_corpus_structure(self):
+        corpus = make_passphrase_corpus(n_speakers=2, repetitions=3, seed=1)
+        assert len(corpus.speaker_ids) == 2
+        for sid in corpus.speaker_ids:
+            utts = corpus.by_speaker(sid)
+            assert len(utts) == 3
+            # All repetitions share the pass-phrase text.
+            assert len({u.utterance.text for u in utts}) == 1
+
+    def test_passphrases_unique_across_speakers(self):
+        corpus = make_passphrase_corpus(n_speakers=5, repetitions=1, seed=2)
+        phrases = {corpus.by_speaker(s)[0].utterance.text for s in corpus.speaker_ids}
+        assert len(phrases) == 5
+
+    def test_background_corpus_varied_texts(self):
+        corpus = make_background_corpus(n_speakers=3, utterances_per_speaker=3, seed=3)
+        texts = {u.utterance.text for u in corpus.utterances}
+        assert len(texts) > 3
+
+    def test_arctic_corpus_same_prompts_for_all(self):
+        corpus = make_arctic_style_corpus(n_speakers=3, seed=4)
+        per_speaker_texts = [
+            tuple(u.utterance.text for u in corpus.by_speaker(s))
+            for s in corpus.speaker_ids
+        ]
+        assert len(set(per_speaker_texts)) == 1
+
+    def test_unknown_speaker_rejected(self):
+        corpus = make_passphrase_corpus(n_speakers=1, repetitions=1, seed=5)
+        with pytest.raises(Exception):
+            corpus.by_speaker("ghost")

@@ -1,0 +1,162 @@
+"""Tests for repro.world: trajectory, humans, environments, scene."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Loudspeaker, get_loudspeaker
+from repro.errors import ConfigurationError, SignalError
+from repro.voice import Synthesizer, random_profile
+from repro.world import (
+    HumanSpeakerSource,
+    MouthSource,
+    UseCaseTrajectory,
+    car_environment,
+    near_computer_environment,
+    quiet_room_environment,
+    simulate_capture,
+)
+
+
+class TestTrajectory:
+    def test_path_approaches_then_holds(self, rng):
+        traj = UseCaseTrajectory(start_distance=0.15, end_distance=0.05)
+        path = traj.generate(rng)
+        d = path.distances_to(np.zeros(3))
+        assert d[0] > 0.13
+        assert abs(d[-1] - 0.05) < 0.01
+        assert d[0] > d[-1]
+
+    def test_sweep_changes_bearing(self, rng):
+        traj = UseCaseTrajectory()
+        path = traj.generate(rng)
+        bearings = np.arctan2(path.positions[:, 1], path.positions[:, 0])
+        total = abs(bearings[-1] - bearings[0])
+        assert abs(total - traj.total_sweep_rad) < np.deg2rad(8.0)
+
+    def test_screen_faces_source(self, rng):
+        traj = UseCaseTrajectory(tremor_m=0.0, tremor_yaw_deg=0.0)
+        path = traj.generate(rng)
+        for pose in path.poses[:: len(path.poses) // 10]:
+            screen_normal = pose.to_world(np.array([0.0, 0.0, 1.0]))
+            toward_origin = -pose.position / np.linalg.norm(pose.position)
+            assert np.dot(screen_normal, toward_origin) > 0.95
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UseCaseTrajectory(start_distance=0.05, end_distance=0.10)
+
+    def test_tremor_randomises_paths(self, rng):
+        traj = UseCaseTrajectory()
+        p1 = traj.generate(rng).positions
+        p2 = traj.generate(rng).positions
+        assert not np.allclose(p1, p2)
+
+
+class TestMouthSource:
+    def test_head_shadow_strengthens_with_frequency(self):
+        mouth = MouthSource()
+        off_axis = np.array([0.05 * np.cos(1.2), 0.05 * np.sin(1.2), 0.0])
+        on_axis = np.array([0.05, 0.0, 0.0])
+
+        def contrast(f):
+            return mouth.pressure_at(on_axis, f) / mouth.pressure_at(off_axis, f)
+
+        assert contrast(5000.0) > contrast(500.0) > 1.0
+
+    def test_human_has_no_magnetic_sources(self, voice_profile):
+        human = HumanSpeakerSource(voice_profile)
+        assert human.magnetic_sources() == []
+        assert human.kind == "human"
+
+    def test_shadow_exponent_monotone(self):
+        mouth = MouthSource()
+        assert mouth.shadow_exponent(5000.0) > mouth.shadow_exponent(500.0)
+
+
+class TestEnvironments:
+    def test_ambient_sample_levels(self):
+        quiet = quiet_room_environment().ambient_sample(1.0)
+        car = car_environment().ambient_sample(1.0)
+        assert np.std(car) > np.std(quiet)
+
+    def test_field_functions_include_earth(self):
+        env = quiet_room_environment()
+        total = np.zeros(3)
+        for f in env.field_functions():
+            total = total + f(np.zeros(3), 0.0)
+        assert 40.0 < np.linalg.norm(total) < 60.0
+
+
+class TestScene:
+    def test_capture_stream_consistency(self, genuine_capture_5cm):
+        cap = genuine_capture_5cm
+        assert cap.audio_sample_rate == 48000
+        assert cap.audio.size == int(cap.duration_s * 48000)
+        assert len(cap.magnetometer) > 100
+        assert cap.pilot_hz >= 16000.0
+        assert cap.source_kind == "human"
+
+    def test_loudspeaker_capture_magnetic(
+        self, phone, quiet_env, utterance, session_rng
+    ):
+        speaker = Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3))
+        cap = simulate_capture(
+            phone,
+            speaker,
+            quiet_env,
+            UseCaseTrajectory(end_distance=0.05),
+            utterance.waveform,
+            16000,
+            session_rng,
+        )
+        assert cap.magnetometer.magnitudes().max() > 100.0
+        assert cap.source_kind == "loudspeaker"
+
+    def test_human_capture_not_magnetic(self, genuine_capture_5cm):
+        mags = genuine_capture_5cm.magnetometer.magnitudes()
+        assert mags.max() - np.median(mags) < 5.0
+
+    def test_pilot_present_in_audio(self, genuine_capture_5cm):
+        from repro.dsp.spectral import spectrogram
+
+        spec = spectrogram(genuine_capture_5cm.audio, 48000)
+        pilot_band = spec.band(
+            genuine_capture_5cm.pilot_hz - 200, genuine_capture_5cm.pilot_hz + 200
+        )
+        floor = spec.band(14000.0, 15000.0)
+        assert pilot_band.max() > floor.max() + 20.0
+
+    def test_voice_band_present(self, genuine_capture_5cm):
+        from repro.dsp.filters import bandpass
+        from repro.dsp.signal import rms
+
+        speech = bandpass(genuine_capture_5cm.audio, 150.0, 4000.0, 48000)
+        assert rms(speech) > 1e-4
+
+    def test_capture_without_pilot(self, phone, quiet_env, utterance, session_rng):
+        cap = simulate_capture(
+            phone,
+            HumanSpeakerSource(random_profile("x", session_rng)),
+            quiet_env,
+            UseCaseTrajectory(end_distance=0.05),
+            utterance.waveform,
+            16000,
+            session_rng,
+            pilot=False,
+        )
+        assert cap.pilot_hz == 0.0
+
+    def test_empty_voice_rejected(self, phone, quiet_env, session_rng):
+        with pytest.raises(SignalError):
+            simulate_capture(
+                phone,
+                HumanSpeakerSource(random_profile("y", session_rng)),
+                quiet_env,
+                UseCaseTrajectory(),
+                np.array([]),
+                16000,
+                session_rng,
+            )
+
+    def test_true_end_distance_matches_trajectory(self, genuine_capture_5cm):
+        assert abs(genuine_capture_5cm.true_end_distance - 0.05) < 0.01
