@@ -139,10 +139,19 @@ class DiagonalGMM:
         mahal = np.sum(diff**2 / self.variances_[None, :, :], axis=2)
         return np.log(self.weights_)[None, :] + const[None, :] - 0.5 * mahal
 
+    def frame_log_likelihoods(self, x: np.ndarray) -> np.ndarray:
+        """Per-frame mixture log-likelihoods, shape ``(n,)``.
+
+        Every row is computed independently, so evaluating a stack of
+        utterances in one call and slicing the result is bitwise-identical
+        to evaluating each utterance on its own — the batched serving path
+        relies on that equivalence.
+        """
+        return _logsumexp(self.component_log_likelihoods(x), axis=1)
+
     def log_likelihood(self, x: np.ndarray) -> float:
         """Mean per-frame log-likelihood of ``x`` under the mixture."""
-        log_prob = self.component_log_likelihoods(x)
-        return float(_logsumexp(log_prob, axis=1).mean())
+        return float(self.frame_log_likelihoods(x).mean())
 
     def responsibilities(self, x: np.ndarray) -> np.ndarray:
         """Posterior component probabilities per frame, shape ``(n, C)``."""

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.asv.gmm import DiagonalGMM
 from repro.asv.isv import ISVModel
-from repro.asv.scoring import llr_score
+from repro.asv.scoring import llr_score, llr_score_batch
 from repro.asv.ubm import UniversalBackgroundModel, map_adapt
 from repro.dsp.mel import MFCCExtractor
 from repro.dsp.vad import trim_silence
@@ -137,4 +137,37 @@ class SpeakerVerifier:
             raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
         return llr_score(
             self._speaker_models[claimed_speaker], self.ubm.gmm, features
+        )
+
+    def verify_batch(
+        self, claimed_speaker: str, waveforms: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Score several utterances claiming the same identity at once."""
+        return self.verify_features_batch(
+            claimed_speaker, [self.features(w) for w in waveforms]
+        )
+
+    def verify_features_batch(
+        self, claimed_speaker: str, features_list: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Batched :meth:`verify_features` against one claimed speaker.
+
+        GMM-UBM claims are scored in a single vectorised likelihood pass
+        (see :func:`repro.asv.scoring.llr_score_batch`); ISV scoring needs
+        per-utterance sufficient statistics, so only the model lookup is
+        amortised there.  Either way the scores are bitwise-equal to the
+        sequential path, which lets the serving gateway batch freely.
+        """
+        if not features_list:
+            return []
+        if self.backend is VerifierBackend.ISV:
+            if claimed_speaker not in self._speaker_offsets:
+                raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
+            assert self._isv is not None
+            offset = self._speaker_offsets[claimed_speaker]
+            return [self._isv.score(offset, f) for f in features_list]
+        if claimed_speaker not in self._speaker_models:
+            raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
+        return llr_score_batch(
+            self._speaker_models[claimed_speaker], self.ubm.gmm, features_list
         )

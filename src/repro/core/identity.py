@@ -103,6 +103,45 @@ class IdentityVerifier:
             return ComponentResult(
                 name="identity", passed=False, score=float("-inf"), detail=str(exc)
             )
+        return self._result_from_score(score)
+
+    def verify_batch(
+        self, captures: Sequence[SensorCapture], claimed_speaker: str
+    ) -> list[ComponentResult]:
+        """Verify several captures claiming the same identity in one pass.
+
+        The serving gateway groups concurrent requests by claimed speaker
+        and scores them together, amortising the GMM/ISV likelihood
+        evaluation.  Scores (and therefore results) are bitwise-equal to
+        calling :meth:`verify` per capture; captures whose voice cannot be
+        extracted degrade to the same rejection :meth:`verify` produces.
+        """
+        voices: list[np.ndarray] = []
+        scorable: list[int] = []
+        results: list[ComponentResult] = [None] * len(captures)  # type: ignore[list-item]
+        for i, capture in enumerate(captures):
+            try:
+                voices.append(
+                    extract_voice(
+                        capture.audio,
+                        capture.audio_sample_rate,
+                        self.verifier.sample_rate,
+                    )
+                )
+                scorable.append(i)
+            except CaptureError as exc:
+                results[i] = ComponentResult(
+                    name="identity",
+                    passed=False,
+                    score=float("-inf"),
+                    detail=str(exc),
+                )
+        scores = self.verifier.verify_batch(claimed_speaker, voices)
+        for i, score in zip(scorable, scores):
+            results[i] = self._result_from_score(score)
+        return results
+
+    def _result_from_score(self, score: float) -> ComponentResult:
         passed = score >= self.config.asv_threshold
         return ComponentResult(
             name="identity",

@@ -10,6 +10,8 @@ collect every component's score for threshold sweeps.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -34,6 +36,18 @@ COMPONENT_ORDER = ("distance", "soundfield", "magnetic", "identity")
 
 
 @dataclass
+class SoundFieldCacheStats:
+    """Hit/miss/eviction counters of the per-user sound-field model cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "SoundFieldCacheStats":
+        return SoundFieldCacheStats(self.hits, self.misses, self.evictions)
+
+
+@dataclass
 class DefenseSystem:
     """Enrol/verify API over the four-component cascade.
 
@@ -46,11 +60,22 @@ class DefenseSystem:
     asv_components: int = 32
     seed: int = 0
     enabled_components: tuple[str, ...] = COMPONENT_ORDER
+    #: Capacity of the in-memory LRU of live per-user sound-field models.
+    #: The authoritative fitted state lives in ``_soundfield_store`` (the
+    #: stand-in for a production model store holding millions of users);
+    #: only hot users keep a rehydrated verifier resident.
+    soundfield_cache_capacity: int = 16
     distance: DistanceVerifier = field(init=False, repr=False)
-    #: Per-user sound-field models — the reference sweep is text- and
+    #: Per-user fitted sound-field state — the reference sweep is text- and
     #: user-specific (paper Fig. 9 trains on *the user's* training data).
-    _soundfields: Dict[str, SoundFieldVerifier] = field(
+    _soundfield_store: Dict[str, dict] = field(
         init=False, repr=False, default_factory=dict
+    )
+    _soundfield_cache: "OrderedDict[str, SoundFieldVerifier]" = field(
+        init=False, repr=False, default_factory=OrderedDict
+    )
+    soundfield_cache_stats: SoundFieldCacheStats = field(
+        init=False, repr=False, default_factory=SoundFieldCacheStats
     )
     magnetic: LoudspeakerDetector = field(init=False, repr=False)
     identity: IdentityVerifier = field(init=False, repr=False)
@@ -59,6 +84,9 @@ class DefenseSystem:
         unknown = set(self.enabled_components) - set(COMPONENT_ORDER)
         if unknown:
             raise ConfigurationError(f"unknown components: {sorted(unknown)}")
+        if self.soundfield_cache_capacity < 1:
+            raise ConfigurationError("soundfield_cache_capacity must be >= 1")
+        self._soundfield_lock = threading.Lock()
         self.distance = DistanceVerifier(self.config)
         self.magnetic = LoudspeakerDetector(self.config)
         self.identity = IdentityVerifier(
@@ -92,17 +120,67 @@ class DefenseSystem:
         """
         verifier = SoundFieldVerifier(self.config)
         verifier.fit_captures(genuine_captures, impostor_captures)
-        self._soundfields[speaker_id] = verifier
+        with self._soundfield_lock:
+            self._soundfield_store[speaker_id] = verifier.state_dict()
+            self._cache_put(speaker_id, verifier)
         return self
 
+    def import_soundfield_state(
+        self, speaker_id: str, state: dict
+    ) -> "DefenseSystem":
+        """Install a fitted sound-field snapshot trained elsewhere.
+
+        Serving instances load per-user models from an external store;
+        this is the ingestion side of
+        :meth:`SoundFieldVerifier.state_dict`.
+        """
+        with self._soundfield_lock:
+            self._soundfield_store[speaker_id] = state
+            self._soundfield_cache.pop(speaker_id, None)
+        return self
+
+    def export_soundfield_state(self, speaker_id: str) -> dict:
+        """The stored fitted snapshot of one user's sound-field model."""
+        with self._soundfield_lock:
+            try:
+                return self._soundfield_store[speaker_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no sound-field model for {speaker_id!r}; call fit_soundfield"
+                ) from None
+
+    def _cache_put(self, speaker_id: str, verifier: SoundFieldVerifier) -> None:
+        """Insert into the LRU (lock held by caller), evicting if full."""
+        self._soundfield_cache[speaker_id] = verifier
+        self._soundfield_cache.move_to_end(speaker_id)
+        while len(self._soundfield_cache) > self.soundfield_cache_capacity:
+            self._soundfield_cache.popitem(last=False)
+            self.soundfield_cache_stats.evictions += 1
+
     def soundfield_for(self, speaker_id: str) -> SoundFieldVerifier:
-        """The trained sound-field model of one user."""
-        try:
-            return self._soundfields[speaker_id]
-        except KeyError:
-            raise ConfigurationError(
-                f"no sound-field model for {speaker_id!r}; call fit_soundfield"
-            ) from None
+        """The trained sound-field model of one user (LRU-cached).
+
+        A hit returns the resident verifier; a miss rehydrates it from the
+        stored snapshot (bitwise-equivalent scoring) and may evict the
+        least recently used resident model.  Thread-safe: the serving
+        gateway calls this from many request workers at once.
+        """
+        with self._soundfield_lock:
+            cached = self._soundfield_cache.get(speaker_id)
+            if cached is not None:
+                self._soundfield_cache.move_to_end(speaker_id)
+                self.soundfield_cache_stats.hits += 1
+                return cached
+            try:
+                state = self._soundfield_store[speaker_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no sound-field model for {speaker_id!r}; call fit_soundfield"
+                ) from None
+            self.soundfield_cache_stats.misses += 1
+            verifier = SoundFieldVerifier.from_state(self.config, state)
+            self._cache_put(speaker_id, verifier)
+            return verifier
 
     def enroll(
         self,
@@ -132,8 +210,9 @@ class DefenseSystem:
         """
         self.config = config
         self.distance.config = config
-        for verifier in self._soundfields.values():
-            verifier.config = config
+        with self._soundfield_lock:
+            for verifier in self._soundfield_cache.values():
+                verifier.config = config
         self.magnetic.config = config
         self.identity.config = config
         return self

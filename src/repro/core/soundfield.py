@@ -206,6 +206,64 @@ class SoundFieldVerifier:
             raise NotFittedError("SoundFieldVerifier has no reference sweep yet")
         return self._reference
 
+    # ------------------------------------------------------------------
+    # State snapshot / rehydration
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the fitted state (arrays copied).
+
+        The snapshot is what a production deployment would keep in an
+        external model store: per-user models are trained once, exported,
+        and rehydrated on whichever serving instance the user's traffic
+        lands on.  :meth:`from_state` restores a verifier whose scores are
+        bitwise-equal to the original's.
+        """
+        if not self._fitted:
+            raise NotFittedError("cannot snapshot an unfitted SoundFieldVerifier")
+        assert self._reference is not None
+        assert self._genuine_mean is not None and self._genuine_std is not None
+        return {
+            "novelty_limit": self.novelty_limit,
+            "novelty_scale": self.novelty_scale,
+            "std_floor": self.std_floor,
+            "reference_angles": self._reference.angles.copy(),
+            "reference_total_db": self._reference.total_db.copy(),
+            "reference_rel_db": self._reference.rel_db.copy(),
+            "scaler_mean": self._scaler.mean_.copy(),
+            "scaler_scale": self._scaler.scale_.copy(),
+            "svm_weights": self._svm.weights_.copy(),
+            "svm_bias": self._svm.bias_,
+            "genuine_mean": self._genuine_mean.copy(),
+            "genuine_std": self._genuine_std.copy(),
+            "threshold": self.threshold_,
+        }
+
+    @classmethod
+    def from_state(cls, config: DefenseConfig, state: dict) -> "SoundFieldVerifier":
+        """Rebuild a fitted verifier from a :meth:`state_dict` snapshot."""
+        verifier = cls(
+            config,
+            novelty_limit=float(state["novelty_limit"]),
+            novelty_scale=float(state["novelty_scale"]),
+            std_floor=float(state["std_floor"]),
+        )
+        verifier._reference = SweepTrace(
+            angles=np.asarray(state["reference_angles"]),
+            total_db=np.asarray(state["reference_total_db"]),
+            rel_db=np.asarray(state["reference_rel_db"]),
+        )
+        verifier._scaler.mean_ = np.asarray(state["scaler_mean"])
+        verifier._scaler.scale_ = np.asarray(state["scaler_scale"])
+        verifier._svm.weights_ = np.asarray(state["svm_weights"])
+        verifier._svm.bias_ = float(state["svm_bias"])
+        verifier._genuine_mean = np.asarray(state["genuine_mean"])
+        verifier._genuine_std = np.asarray(state["genuine_std"])
+        verifier.threshold_ = (
+            None if state["threshold"] is None else float(state["threshold"])
+        )
+        verifier._fitted = True
+        return verifier
+
     def features(self, capture: SensorCapture) -> np.ndarray:
         return soundfield_features(capture, self.reference)
 

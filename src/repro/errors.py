@@ -31,3 +31,12 @@ class CaptureError(ReproError):
 
 class ProtocolError(ReproError):
     """A client/server message failed to encode, decode, or validate."""
+
+
+class ComponentTimeoutError(ReproError):
+    """A verification component exceeded its per-job execution budget.
+
+    Raised (as a stored :class:`JobResult` error, never across threads) by
+    the serving-path scheduler when a component hangs: the request must
+    degrade to a scored rejection instead of stalling the gateway.
+    """

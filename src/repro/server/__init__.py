@@ -1,4 +1,4 @@
-"""Client-server prototype (paper §V).
+"""Client-server prototype (paper §V) and the concurrent serving path.
 
 The paper's prototype is an Android app talking to a Tornado backend over
 a secure web socket: the app records acoustic + inertial data, zips it,
@@ -6,35 +6,59 @@ and uploads; the server unzips, runs the verification cascade (with a
 scheduler parallelising the machine-detection components), and returns
 the decision.
 
-This subpackage reproduces that architecture in-process:
+This subpackage reproduces that architecture in-process and scales it:
 
 - :mod:`repro.server.protocol` — framed, zlib-compressed, checksummed
   message encoding for captures and decisions;
 - :mod:`repro.server.scheduler` — a small APScheduler-style job pool that
-  runs the verification components concurrently;
-- :mod:`repro.server.backend` — the request handler wrapping a
+  runs the verification components concurrently, with per-job execution
+  timeouts and bounded crash retries;
+- :mod:`repro.server.backend` — the sequential request handler wrapping a
   :class:`repro.core.pipeline.DefenseSystem`;
+- :mod:`repro.server.gateway` — the concurrent verification gateway:
+  bounded admission queue, request-worker pool, same-speaker identity
+  micro-batching, and per-stage metrics;
+- :mod:`repro.server.metrics` — latency histograms and throughput
+  counters shared by the serving paths;
 - :mod:`repro.server.client` — the mobile-app side: packs captures,
-  submits them, and measures round-trip authentication time (Fig. 15).
+  submits them, and measures round-trip authentication time (Fig. 15),
+  plus a concurrent load generator for gateway benches.
 """
 
 from repro.server.protocol import (
     decode_decision,
     decode_request,
+    decode_request_full,
     encode_decision,
     encode_request,
 )
-from repro.server.scheduler import JobScheduler
+from repro.server.scheduler import JobResult, JobScheduler
+from repro.server.metrics import Histogram, MetricsRegistry, RequestStats
 from repro.server.backend import VerificationServer
-from repro.server.client import MobileClient, TimingReport
+from repro.server.gateway import Gateway, GatewayConfig
+from repro.server.client import (
+    LoadGenerator,
+    MobileClient,
+    TimingReport,
+    summarize_trials,
+)
 
 __all__ = [
     "decode_decision",
     "decode_request",
+    "decode_request_full",
     "encode_decision",
     "encode_request",
+    "JobResult",
     "JobScheduler",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestStats",
     "VerificationServer",
+    "Gateway",
+    "GatewayConfig",
+    "LoadGenerator",
     "MobileClient",
     "TimingReport",
+    "summarize_trials",
 ]

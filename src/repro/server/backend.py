@@ -6,70 +6,103 @@ on the scheduler → run identity verification → encode decision.  The
 "network" is an in-process call, which keeps the Fig. 15 timing bench
 about compute rather than transport (the paper likewise redirected all
 traffic to a local server to minimise network influence).
+
+The module-level helpers (:func:`machine_detection_jobs`,
+:func:`collect_detection_results`) are shared with the concurrent
+:class:`~repro.server.gateway.Gateway`, so the one-request-at-a-time
+server and the gateway run byte-identical cascades.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.decision import ComponentResult, Decision
+from repro.core.decision import ComponentResult
 from repro.core.pipeline import DefenseSystem
-from repro.errors import ProtocolError
-from repro.server.protocol import decode_request, encode_decision
-from repro.server.scheduler import JobScheduler
+from repro.server.metrics import MetricsRegistry, RequestStats
+from repro.server.protocol import decode_request_full, encode_decision
+from repro.server.scheduler import JobResult, JobScheduler
+from repro.world.scene import SensorCapture
+
+__all__ = [
+    "RequestStats",
+    "VerificationServer",
+    "machine_detection_jobs",
+    "collect_detection_results",
+]
 
 
-@dataclass
-class RequestStats:
-    """Server-side timing for one request (seconds)."""
+def machine_detection_jobs(
+    system: DefenseSystem, capture: SensorCapture, claimed: Optional[str]
+) -> Dict[str, Callable[[], ComponentResult]]:
+    """The independent machine-detection component jobs for one request."""
+    enabled = system.enabled_components
+    jobs: Dict[str, Callable[[], ComponentResult]] = {}
+    if "distance" in enabled:
+        jobs["distance"] = lambda: system.distance.verify(capture)
+    if "magnetic" in enabled:
+        jobs["magnetic"] = lambda: system.magnetic.verify(capture)
+    if "soundfield" in enabled and claimed is not None:
+        jobs["soundfield"] = lambda: system.soundfield_for(claimed).verify(capture)
+    return jobs
 
-    decode_s: float
-    detection_s: float
-    identity_s: float
-    total_s: float
+
+def collect_detection_results(
+    job_results: Dict[str, JobResult],
+) -> Dict[str, ComponentResult]:
+    """Fold scheduler outcomes into component results (fail closed).
+
+    A crashed or timed-out component degrades to a scored rejection —
+    the safe default for an authentication system.
+    """
+    results: Dict[str, ComponentResult] = {}
+    for name, job in job_results.items():
+        if job.ok:
+            results[name] = job.value
+        else:
+            results[name] = ComponentResult(
+                name=name,
+                passed=False,
+                score=float("-inf"),
+                detail=f"component error: {job.error}",
+            )
+    return results
 
 
 @dataclass
 class VerificationServer:
-    """In-process stand-in for the paper's Tornado backend."""
+    """In-process stand-in for the paper's Tornado backend.
+
+    Handles exactly one request at a time; the concurrent serving path is
+    :class:`~repro.server.gateway.Gateway`, which produces bitwise-equal
+    decisions for the same frames.
+    """
 
     system: DefenseSystem
     scheduler: JobScheduler = field(default_factory=lambda: JobScheduler(workers=3))
+    #: Per-component execution budget (None = wait forever, the historical
+    #: behaviour) and crash-retry budget, passed through to the scheduler.
+    component_timeout_s: Optional[float] = None
+    component_retries: int = 0
+    metrics: Optional[MetricsRegistry] = None
     last_stats: Optional[RequestStats] = None
 
     def handle(self, request_frame: bytes) -> bytes:
         """Process one verification request frame; returns a decision frame."""
         t0 = time.perf_counter()
-        capture, claimed = decode_request(request_frame)
+        capture, claimed, request_id = decode_request_full(request_frame)
         t_decoded = time.perf_counter()
 
-        enabled = self.system.enabled_components
-        jobs = {}
-        if "distance" in enabled:
-            jobs["distance"] = lambda: self.system.distance.verify(capture)
-        if "magnetic" in enabled:
-            jobs["magnetic"] = lambda: self.system.magnetic.verify(capture)
-        if "soundfield" in enabled and claimed is not None:
-            jobs["soundfield"] = lambda: self.system.soundfield_for(claimed).verify(
-                capture
-            )
-        job_results = self.scheduler.run_all(jobs)
-        results: Dict[str, ComponentResult] = {}
-        for name, job in job_results.items():
-            if job.ok:
-                results[name] = job.value
-            else:
-                results[name] = ComponentResult(
-                    name=name,
-                    passed=False,
-                    score=float("-inf"),
-                    detail=f"component error: {job.error}",
-                )
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        job_results = self.scheduler.run_all(
+            jobs, timeout_s=self.component_timeout_s, retries=self.component_retries
+        )
+        results = collect_detection_results(job_results)
         t_detection = time.perf_counter()
 
-        if "identity" in enabled and claimed is not None:
+        if "identity" in self.system.enabled_components and claimed is not None:
             results["identity"] = self.system.identity.verify(capture, claimed)
         t_identity = time.perf_counter()
 
@@ -77,13 +110,21 @@ class VerificationServer:
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()
         }
-        frame = encode_decision(accepted, payload)
+        frame = encode_decision(accepted, payload, request_id=request_id)
+        t_done = time.perf_counter()
         self.last_stats = RequestStats(
             decode_s=t_decoded - t0,
             detection_s=t_detection - t_decoded,
             identity_s=t_identity - t_detection,
-            total_s=time.perf_counter() - t0,
+            total_s=t_done - t0,
         )
+        if self.metrics is not None:
+            self.metrics.observe("decode_s", t_decoded - t0)
+            self.metrics.observe("detection_s", t_detection - t_decoded)
+            self.metrics.observe("identity_s", t_identity - t_detection)
+            self.metrics.observe("total_s", t_done - t0)
+            self.metrics.increment("requests_completed")
+            self.metrics.increment("accepted" if accepted else "rejected")
         return frame
 
     def close(self) -> None:

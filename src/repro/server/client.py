@@ -1,27 +1,36 @@
 """The mobile-app side of the prototype, plus authentication timing.
 
 :class:`MobileClient` packs a capture into a request frame, submits it to
-a :class:`~repro.server.backend.VerificationServer`, and parses the
-decision — measuring the round trip the way the paper's Fig. 15
-experiment does ("we stop the time counter only when the authentication
-result is sent back").
+any verification handler (the sequential
+:class:`~repro.server.backend.VerificationServer` or the concurrent
+:class:`~repro.server.gateway.Gateway`), and parses the decision —
+measuring the round trip the way the paper's Fig. 15 experiment does
+("we stop the time counter only when the authentication result is sent
+back").
 
 A simulated network latency can be injected to model the local-server
-redirection of the paper's setup.
+redirection of the paper's setup.  :class:`LoadGenerator` drives a
+gateway from many client threads at once to measure the concurrent
+serving path's throughput and per-stage latency.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ProtocolError
-from repro.server.backend import VerificationServer
 from repro.server.protocol import decode_decision, encode_request
 from repro.world.scene import SensorCapture
+
+
+class VerificationHandler(Protocol):
+    """Anything that turns a request frame into a decision frame."""
+
+    def handle(self, request_frame: bytes) -> bytes: ...
 
 
 @dataclass(frozen=True)
@@ -49,9 +58,9 @@ class TimingReport:
 
 @dataclass
 class MobileClient:
-    """Client endpoint bound to one server instance."""
+    """Client endpoint bound to one verification handler."""
 
-    server: VerificationServer
+    server: VerificationHandler
     network_latency_s: float = 0.012
 
     def authenticate(
@@ -94,6 +103,48 @@ class MobileClient:
         return [self.authenticate(c, claimed_speaker) for c in captures]
 
 
+@dataclass
+class LoadGenerator:
+    """Concurrent client fleet for gateway load tests.
+
+    Spawns one thread per in-flight request, each running a full
+    :class:`MobileClient` round trip; returns the reports in submission
+    order plus the burst's wall-clock time.
+    """
+
+    handler: VerificationHandler
+    network_latency_s: float = 0.012
+
+    def run(
+        self,
+        workload: Sequence[Tuple[SensorCapture, Optional[str]]],
+    ) -> Tuple[List[TimingReport], float]:
+        """Fire every (capture, claimed) pair concurrently; join them all."""
+        client = MobileClient(self.handler, self.network_latency_s)
+        reports: List[Optional[TimingReport]] = [None] * len(workload)
+        errors: List[BaseException] = []
+
+        def one(i: int, capture: SensorCapture, claimed: Optional[str]) -> None:
+            try:
+                reports[i] = client.authenticate(capture, claimed)
+            except BaseException as exc:  # noqa: BLE001 - re-raised after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one, args=(i, capture, claimed), daemon=True)
+            for i, (capture, claimed) in enumerate(workload)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        return [r for r in reports if r is not None], wall_s
+
+
 def summarize_trials(reports: List[TimingReport]) -> dict:
     """Mean/percentile totals for a batch of trials (Fig. 15 rows)."""
     totals = np.array([r.total_s for r in reports])
@@ -102,5 +153,6 @@ def summarize_trials(reports: List[TimingReport]) -> dict:
         "mean_s": float(totals.mean()),
         "p50_s": float(np.percentile(totals, 50)),
         "p90_s": float(np.percentile(totals, 90)),
+        "p95_s": float(np.percentile(totals, 95)),
         "success_rate": float(np.mean([r.accepted for r in reports])),
     }

@@ -1,0 +1,362 @@
+"""Concurrent verification gateway (the production serving path).
+
+The paper's prototype serves one request at a time; this module turns the
+same cascade into a gateway that accepts many request frames at once:
+
+- requests flow through a **bounded work queue** drained by a
+  configurable pool of request workers (backpressure instead of
+  unbounded memory growth);
+- the machine-detection components of each request fan out on a shared
+  :class:`~repro.server.scheduler.JobScheduler` with a **per-component
+  execution timeout and bounded crash retry** — a hung or crashing
+  component degrades to a scored rejection without stalling the request
+  or its neighbours;
+- identity-verification scoring is **batched across concurrent requests
+  claiming the same speaker** (leader/follower micro-batching), which
+  amortises the GMM/ISV likelihood evaluation while staying bitwise-equal
+  to sequential scoring;
+- per-user sound-field models come from the
+  :class:`~repro.core.pipeline.DefenseSystem` LRU cache, so a hot user's
+  model is rehydrated once, not per request;
+- every stage records into a :class:`~repro.server.metrics.MetricsRegistry`
+  (latency histograms, throughput and cache/batch/timeout counters) so
+  the Fig. 15 auth-time bench can be rerun against the gateway.
+
+Decisions are bitwise-equal to the sequential
+:class:`~repro.server.backend.VerificationServer` for the same frames:
+both paths share the cascade helpers and the batched scorer is
+mean-per-slice over row-independent likelihoods.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decision import ComponentResult
+from repro.core.identity import IdentityVerifier
+from repro.core.pipeline import DefenseSystem
+from repro.errors import ConfigurationError, ProtocolError
+from repro.server.backend import (
+    collect_detection_results,
+    machine_detection_jobs,
+)
+from repro.server.metrics import MetricsRegistry
+from repro.server.protocol import decode_request_full, encode_decision
+from repro.server.scheduler import JobScheduler
+from repro.world.scene import SensorCapture
+
+
+@dataclass
+class GatewayConfig:
+    """Knobs of the concurrent serving path."""
+
+    #: Request-level concurrency: how many requests are in flight at once.
+    request_workers: int = 4
+    #: Workers of the shared component scheduler; ``None`` sizes the pool
+    #: at three per request worker (one per machine-detection component).
+    component_workers: Optional[int] = None
+    #: Bound of the admission queue; a full queue rejects (backpressure).
+    max_queue: int = 64
+    #: Per-component execution budget; ``None`` waits forever.
+    component_timeout_s: Optional[float] = 30.0
+    #: Extra attempts for a component job that *crashed* (timeouts are
+    #: never retried — see the scheduler docs).
+    component_retries: int = 1
+    #: How long the first request of an identity batch waits for peers.
+    batch_window_s: float = 0.05
+    #: Flush an identity batch as soon as it reaches this many requests.
+    max_batch: int = 8
+    #: Recent-sample window of the latency histograms.
+    metrics_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.request_workers <= 0:
+            raise ConfigurationError("request_workers must be positive")
+        if self.component_workers is not None and self.component_workers <= 0:
+            raise ConfigurationError("component_workers must be positive")
+        if self.max_queue <= 0:
+            raise ConfigurationError("max_queue must be positive")
+        if self.component_timeout_s is not None and self.component_timeout_s <= 0:
+            raise ConfigurationError("component_timeout_s must be positive")
+        if self.component_retries < 0:
+            raise ConfigurationError("component_retries must be >= 0")
+        if self.batch_window_s < 0:
+            raise ConfigurationError("batch_window_s must be >= 0")
+        if self.max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+
+
+class _BatchEntry:
+    """One request's slot in an identity micro-batch."""
+
+    __slots__ = ("capture", "done", "result", "error")
+
+    def __init__(self, capture: SensorCapture):
+        self.capture = capture
+        self.done = threading.Event()
+        self.result: Optional[ComponentResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class _Bucket:
+    """Per-speaker gathering point for one micro-batch."""
+
+    __slots__ = ("entries", "full")
+
+    def __init__(self) -> None:
+        self.entries: List[_BatchEntry] = []
+        self.full = threading.Event()
+
+
+class _IdentityBatcher:
+    """Leader/follower micro-batching of same-speaker identity scoring.
+
+    The first request to arrive for a claimed speaker becomes the batch
+    leader: it waits up to ``window_s`` (or until ``max_batch`` peers have
+    gathered), then scores the whole bucket with
+    :meth:`IdentityVerifier.verify_batch` and hands each follower its
+    result.  If batch scoring fails as a whole, every entry falls back to
+    the sequential scorer so per-request semantics (including raised
+    errors) match the sequential server exactly.
+    """
+
+    def __init__(
+        self,
+        identity: IdentityVerifier,
+        window_s: float,
+        max_batch: int,
+        metrics: MetricsRegistry,
+    ):
+        self._identity = identity
+        self._window_s = window_s
+        self._max_batch = max_batch
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, _Bucket] = {}
+
+    def score(self, claimed: str, capture: SensorCapture) -> ComponentResult:
+        entry = _BatchEntry(capture)
+        with self._lock:
+            bucket = self._buckets.get(claimed)
+            leader = bucket is None
+            if leader:
+                bucket = self._buckets[claimed] = _Bucket()
+            bucket.entries.append(entry)
+            if len(bucket.entries) >= self._max_batch:
+                bucket.full.set()
+        if leader:
+            bucket.full.wait(self._window_s)
+            with self._lock:
+                self._buckets.pop(claimed, None)
+                entries = list(bucket.entries)
+            self._run_batch(claimed, entries)
+        else:
+            entry.done.wait()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result
+
+    def _run_batch(self, claimed: str, entries: List[_BatchEntry]) -> None:
+        self._metrics.increment("identity_batches")
+        self._metrics.observe("identity_batch_size", len(entries))
+        if len(entries) > 1:
+            self._metrics.increment("identity_batched_requests", len(entries))
+        try:
+            results = self._identity.verify_batch(
+                [e.capture for e in entries], claimed
+            )
+            for e, result in zip(entries, results):
+                e.result = result
+        except BaseException:  # noqa: BLE001 - refuse collective failure
+            for e in entries:
+                try:
+                    e.result = self._identity.verify(e.capture, claimed)
+                except BaseException as exc:  # noqa: BLE001 - delivered per entry
+                    e.error = exc
+        finally:
+            for e in entries:
+                e.done.set()
+
+
+class Gateway:
+    """Concurrent front door over a trained :class:`DefenseSystem`.
+
+    Usage::
+
+        with Gateway(system, GatewayConfig(request_workers=8)) as gw:
+            futures = [gw.submit(frame) for frame in frames]
+            decisions = [decode_decision(f.result()) for f in futures]
+
+    :meth:`handle` keeps the one-call synchronous shape of
+    :class:`VerificationServer`, so a :class:`MobileClient` can be bound
+    to a gateway unchanged.
+    """
+
+    def __init__(
+        self, system: DefenseSystem, config: Optional[GatewayConfig] = None
+    ):
+        self.system = system
+        self.config = config or GatewayConfig()
+        self.metrics = MetricsRegistry(window=self.config.metrics_window)
+        component_workers = (
+            self.config.component_workers
+            if self.config.component_workers is not None
+            else 3 * self.config.request_workers
+        )
+        self._scheduler = JobScheduler(workers=component_workers)
+        self._batcher = _IdentityBatcher(
+            system.identity,
+            self.config.batch_window_s,
+            self.config.max_batch,
+            self.metrics,
+        )
+        self._queue: "queue.Queue[Optional[Tuple[bytes, Future, float]]]" = (
+            queue.Queue(maxsize=self.config.max_queue)
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._request_worker, name=f"gateway-worker-{i}", daemon=True
+            )
+            for i in range(self.config.request_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request_frame: bytes, block: bool = True) -> "Future[bytes]":
+        """Enqueue one request frame; resolves to the decision frame.
+
+        With ``block=False`` a full admission queue raises
+        :class:`~repro.errors.ConfigurationError` immediately instead of
+        applying backpressure.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("gateway has been closed")
+        future: "Future[bytes]" = Future()
+        item = (request_frame, future, time.monotonic())
+        try:
+            self._queue.put(item, block=block)
+        except queue.Full:
+            self.metrics.increment("rejected_queue_full")
+            raise ConfigurationError(
+                f"gateway queue is full ({self.config.max_queue} requests)"
+            ) from None
+        self.metrics.increment("requests_submitted")
+        return future
+
+    def handle(self, request_frame: bytes) -> bytes:
+        """Synchronous convenience wrapper (drop-in for the server)."""
+        return self.submit(request_frame).result()
+
+    def handle_many(self, request_frames: Sequence[bytes]) -> List[bytes]:
+        """Submit a burst of frames; decision frames in request order."""
+        futures = [self.submit(frame) for frame in request_frames]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # Request pipeline
+    # ------------------------------------------------------------------
+    def _request_worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            frame, future, submitted_at = item
+            try:
+                self.metrics.observe("queue_s", time.monotonic() - submitted_at)
+                self._process(frame, future)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, frame: bytes, future: "Future[bytes]") -> None:
+        t0 = time.perf_counter()
+        try:
+            capture, claimed, request_id = decode_request_full(frame)
+        except ProtocolError as exc:
+            self.metrics.increment("protocol_errors")
+            future.set_exception(exc)
+            return
+        t_decoded = time.perf_counter()
+
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        job_results = self._scheduler.run_all(
+            jobs,
+            timeout_s=self.config.component_timeout_s,
+            retries=self.config.component_retries,
+        )
+        for jr in job_results.values():
+            if jr.timed_out:
+                self.metrics.increment("component_timeouts")
+            if jr.attempts > 1:
+                self.metrics.increment("component_retries", jr.attempts - 1)
+        results = collect_detection_results(job_results)
+        t_detection = time.perf_counter()
+
+        if "identity" in self.system.enabled_components and claimed is not None:
+            try:
+                results["identity"] = self._batcher.score(claimed, capture)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via the future
+                self.metrics.increment("identity_errors")
+                future.set_exception(exc)
+                return
+        t_identity = time.perf_counter()
+
+        accepted = all(r.passed for r in results.values())
+        payload: Dict[str, Tuple[bool, float, str]] = {
+            name: (r.passed, r.score, r.detail) for name, r in results.items()
+        }
+        decision_frame = encode_decision(accepted, payload, request_id=request_id)
+        t_done = time.perf_counter()
+
+        self.metrics.observe("decode_s", t_decoded - t0)
+        self.metrics.observe("detection_s", t_detection - t_decoded)
+        self.metrics.observe("identity_s", t_identity - t_detection)
+        self.metrics.observe("encode_s", t_done - t_identity)
+        self.metrics.observe("total_s", t_done - t0)
+        self.metrics.increment("requests_completed")
+        self.metrics.increment("accepted" if accepted else "rejected")
+        future.set_result(decision_frame)
+
+    # ------------------------------------------------------------------
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------
+    def metrics_summary(self) -> Dict[str, object]:
+        """Registry summary plus the system's sound-field cache counters."""
+        summary = self.metrics.summary()
+        cache = self.system.soundfield_cache_stats
+        summary["soundfield_cache"] = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+        }
+        return summary
+
+    def close(self) -> None:
+        """Drain queued requests, stop the workers, free the scheduler."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=30.0)
+        self._scheduler.shutdown()
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

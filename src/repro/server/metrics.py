@@ -1,0 +1,168 @@
+"""Serving-path metrics: latency histograms and throughput counters.
+
+The single-request :class:`RequestStats` of the original prototype kept
+one number per stage; a concurrent gateway needs distributions.  A
+:class:`Histogram` keeps running aggregates (count/sum/min/max) over the
+full stream plus a bounded window of recent samples for percentiles, and
+a :class:`MetricsRegistry` names a thread-safe collection of histograms
+and counters — enough to rerun the Fig. 15 auth-time bench against the
+gateway and read off p50/p95 per stage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RequestStats:
+    """Server-side timing for one request (seconds)."""
+
+    decode_s: float
+    detection_s: float
+    identity_s: float
+    total_s: float
+
+
+class Histogram:
+    """Streaming histogram of float samples.
+
+    Aggregates (count, sum, min, max) cover every recorded sample;
+    percentiles are computed over a sliding window of the most recent
+    ``window`` samples, which bounds memory for a long-lived gateway.
+    """
+
+    def __init__(self, window: int = 4096):
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self._window = window
+        self._samples = np.empty(window, dtype=float)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._samples[self._count % self._window] = value
+        self._count += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Percentile over the recent-sample window (p in [0, 100])."""
+        if self._count == 0:
+            return 0.0
+        filled = self._samples[: min(self._count, self._window)]
+        return float(np.percentile(filled, p))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named histograms + monotonic counters."""
+
+    def __init__(self, window: int = 4096):
+        self._window = window
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, int] = {}
+        self._started_at = time.monotonic()
+
+    # -- histograms ----------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(self._window)
+            hist.record(value)
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(self._window)
+            return hist
+
+    def time(self, name: str) -> "_Timer":
+        """Context manager recording a duration into histogram ``name``."""
+        return _Timer(self, name)
+
+    # -- counters ------------------------------------------------------
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def throughput(self, counter_name: str = "requests_completed") -> float:
+        """Completed requests per second since the registry was created."""
+        elapsed = self.uptime_s
+        return self.counter(counter_name) / elapsed if elapsed > 0 else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            hists = {name: h.summary() for name, h in self._histograms.items()}
+            counters = dict(self._counters)
+        return {"histograms": hists, "counters": counters}
+
+
+class _Timer:
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self._name = name
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._t0 is not None
+        self._registry.observe(self._name, time.perf_counter() - self._t0)

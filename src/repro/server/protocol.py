@@ -38,6 +38,12 @@ _KIND_REQUEST = 1
 _KIND_DECISION = 2
 _HEADER = struct.Struct("<2sBBLL")
 
+#: Upper bound on the (compressed) payload a peer may declare.  A capture
+#: is a few hundred kB; anything near this limit is malformed or hostile
+#: (zlib decompression bombs), and the guard rejects it before the
+#: payload is decompressed or even sliced.
+MAX_PAYLOAD_BYTES = 32 * 1024 * 1024
+
 
 def _pack_array(x: np.ndarray) -> Dict[str, object]:
     arr = np.asarray(x, dtype=np.float32)
@@ -74,6 +80,11 @@ def _unframe(frame: bytes, expected_kind: int) -> dict:
         raise ProtocolError(f"unsupported protocol version {version}")
     if kind != expected_kind:
         raise ProtocolError(f"expected frame kind {expected_kind}, got {kind}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        )
     payload = frame[_HEADER.size :]
     if len(payload) != length:
         raise ProtocolError("frame length mismatch")
@@ -86,11 +97,19 @@ def _unframe(frame: bytes, expected_kind: int) -> dict:
 
 
 def encode_request(
-    capture: SensorCapture, claimed_speaker: Optional[str]
+    capture: SensorCapture,
+    claimed_speaker: Optional[str],
+    request_id: str = "",
 ) -> bytes:
-    """Serialise a verification request (capture + claim)."""
+    """Serialise a verification request (capture + claim).
+
+    ``request_id`` is an opaque client-chosen correlation token; the
+    server echoes it into the decision frame so concurrent clients can
+    match responses to requests.
+    """
     body = {
         "claimed_speaker": claimed_speaker,
+        "request_id": request_id,
         "audio": _pack_array(capture.audio),
         "audio_secondary": (
             _pack_array(capture.audio_secondary)
@@ -113,7 +132,15 @@ def encode_request(
 
 
 def decode_request(frame: bytes) -> Tuple[SensorCapture, Optional[str]]:
-    """Parse a request frame back into a capture + claimed identity.
+    """Parse a request frame back into a capture + claimed identity."""
+    capture, claimed, _ = decode_request_full(frame)
+    return capture, claimed
+
+
+def decode_request_full(
+    frame: bytes,
+) -> Tuple[SensorCapture, Optional[str], str]:
+    """Parse a request frame into capture, claimed identity, request id.
 
     The trajectory ground truth is not transmitted (the phone does not
     know it); a trivial two-pose placeholder path is attached because the
@@ -151,7 +178,7 @@ def decode_request(frame: bytes) -> Tuple[SensorCapture, Optional[str]]:
         metadata=dict(body.get("metadata", {})),
         audio_secondary=audio_secondary,
     )
-    return capture, body.get("claimed_speaker")
+    return capture, body.get("claimed_speaker"), str(body.get("request_id", ""))
 
 
 def encode_decision(

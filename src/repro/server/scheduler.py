@@ -5,16 +5,26 @@ accelerate the process of defending against the machine-based voice
 impersonation attack" — the three machine-detection components are
 independent given a capture, so the backend fans them out and joins the
 results.
+
+The serving gateway additionally needs the pool to survive misbehaving
+components: every job can carry a per-job execution timeout (a hung
+component degrades to a :class:`JobResult` holding a
+:class:`~repro.errors.ComponentTimeoutError` while a replacement worker
+thread keeps the pool at capacity) and a bounded retry budget for jobs
+that crash.  Timeouts are *not* retried — a component that hung once is
+overwhelmingly likely to hang again, and retrying it would tie up another
+worker for a full timeout window.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import queue
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ComponentTimeoutError, ConfigurationError
 
 
 @dataclass
@@ -24,86 +34,247 @@ class JobResult:
     name: str
     value: Any = None
     error: Optional[BaseException] = None
+    #: How many times the job ran (1 + crash retries).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        return isinstance(self.error, ComponentTimeoutError)
+
+
+class _Job:
+    """Internal per-attempt record shared between waiter and worker."""
+
+    __slots__ = ("name", "fn", "started_evt", "done_evt", "started_at", "result", "abandoned")
+
+    def __init__(self, name: str, fn: Callable[[], Any]):
+        self.name = name
+        self.fn = fn
+        self.started_evt = threading.Event()
+        self.done_evt = threading.Event()
+        self.started_at: Optional[float] = None
+        self.result: Optional[JobResult] = None
+        #: Set by the waiter on timeout (or by shutdown(drain=False)).
+        #: A queued abandoned job is skipped; a running one retires its
+        #: worker when it eventually returns (a replacement was spawned).
+        self.abandoned = False
 
 
 class JobScheduler:
     """Run named callables on a fixed pool of worker threads.
 
     The pool is created lazily on first use and torn down with
-    :meth:`shutdown` (or by the context-manager protocol).  Jobs raising
-    exceptions report them in their :class:`JobResult` instead of killing
-    the worker.
+    :meth:`shutdown` (or by the context-manager protocol, which drains
+    in-flight jobs).  Jobs raising exceptions report them in their
+    :class:`JobResult` instead of killing the worker.  Once shut down, the
+    scheduler is closed for good: :meth:`run_all` raises
+    :class:`~repro.errors.ConfigurationError`.
     """
 
-    def __init__(self, workers: int = 3):
+    def __init__(
+        self,
+        workers: int = 3,
+        default_timeout_s: Optional[float] = None,
+        default_retries: int = 0,
+    ):
         if workers <= 0:
             raise ConfigurationError("need at least one worker")
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ConfigurationError("default_timeout_s must be positive")
+        if default_retries < 0:
+            raise ConfigurationError("default_retries must be >= 0")
         self._workers = workers
-        self._queue: "queue.Queue[Optional[Tuple[str, Callable[[], Any], List[JobResult], threading.Semaphore]]]" = (
-            queue.Queue()
-        )
+        self._default_timeout_s = default_timeout_s
+        self._default_retries = default_retries
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._started = False
+        self._closed = False
+        self._spawned = 0
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _spawn_worker_locked(self) -> None:
+        t = threading.Thread(
+            target=self._worker, name=f"verify-worker-{self._spawned}", daemon=True
+        )
+        self._spawned += 1
+        t.start()
+        self._threads.append(t)
 
     def _ensure_started(self) -> None:
         with self._lock:
+            if self._closed:
+                raise ConfigurationError("scheduler has been shut down")
             if self._started:
                 return
-            for i in range(self._workers):
-                t = threading.Thread(
-                    target=self._worker, name=f"verify-worker-{i}", daemon=True
-                )
-                t.start()
-                self._threads.append(t)
+            for _ in range(self._workers):
+                self._spawn_worker_locked()
             self._started = True
 
     def _worker(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is None:
+            job = self._queue.get()
+            if job is None:
                 self._queue.task_done()
                 return
-            name, fn, sink, done = item
+            with self._lock:
+                if job.abandoned:
+                    # Timed out while still queued — never ran, skip it.
+                    self._queue.task_done()
+                    continue
+                job.started_at = time.monotonic()
+            job.started_evt.set()
             try:
-                result = JobResult(name=name, value=fn())
+                result = JobResult(name=job.name, value=job.fn())
             except BaseException as exc:  # noqa: BLE001 - reported, not rethrown
-                result = JobResult(name=name, error=exc)
-            sink.append(result)
-            done.release()
+                result = JobResult(name=job.name, error=exc)
+            with self._lock:
+                retire = job.abandoned
+                if not retire:
+                    job.result = result
+            job.done_evt.set()
             self._queue.task_done()
+            if retire:
+                # The waiter gave up on this job and spawned a replacement
+                # worker; exit to keep the pool at its configured size.
+                return
 
-    def run_all(self, jobs: Dict[str, Callable[[], Any]]) -> Dict[str, JobResult]:
-        """Run every job, block until all finish, return results by name."""
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _submit(self, name: str, fn: Callable[[], Any]) -> _Job:
+        job = _Job(name, fn)
+        self._queue.put(job)
+        return job
+
+    def _await(self, job: _Job, timeout_s: Optional[float]) -> JobResult:
+        if timeout_s is None:
+            job.done_evt.wait()
+            assert job.result is not None
+            return job.result
+        # Phase 1: wait for a worker to pick the job up.  Replacement
+        # workers keep the pool at capacity, so queue delay is transient;
+        # a full timeout window with no pickup still counts as a timeout.
+        if job.started_at is None and not job.started_evt.wait(timeout_s):
+            with self._lock:
+                if job.started_at is None:
+                    job.abandoned = True
+                    return JobResult(
+                        name=job.name,
+                        error=ComponentTimeoutError(
+                            f"{job.name!r} was not scheduled within {timeout_s:.3f}s"
+                        ),
+                    )
+        # Phase 2: the execution budget counts from the actual start.
+        assert job.started_at is not None
+        remaining = job.started_at + timeout_s - time.monotonic()
+        if remaining > 0:
+            job.done_evt.wait(remaining)
+        with self._lock:
+            if job.result is not None:
+                return job.result
+            job.abandoned = True
+            # The worker is stuck inside job.fn; replace it so the pool
+            # keeps serving other requests.
+            self._spawn_worker_locked()
+        return JobResult(
+            name=job.name,
+            error=ComponentTimeoutError(
+                f"{job.name!r} exceeded its {timeout_s:.3f}s execution budget"
+            ),
+        )
+
+    def run_all(
+        self,
+        jobs: Dict[str, Callable[[], Any]],
+        timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Dict[str, JobResult]:
+        """Run every job, block until all finish, return results by name.
+
+        ``timeout_s`` bounds each job's *execution* time (defaulting to the
+        scheduler-wide default; ``None`` means wait forever).  ``retries``
+        re-runs jobs that raised, up to that many extra attempts; timeouts
+        are never retried.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("scheduler has been shut down")
         if not jobs:
             return {}
         self._ensure_started()
-        sink: List[JobResult] = []
-        done = threading.Semaphore(0)
-        for name, fn in jobs.items():
-            self._queue.put((name, fn, sink, done))
-        for _ in jobs:
-            done.acquire()
-        return {r.name: r for r in sink}
+        effective_timeout = (
+            self._default_timeout_s if timeout_s is None else timeout_s
+        )
+        budget = self._default_retries if retries is None else retries
+        attempts = {name: 1 for name in jobs}
+        pending = {name: self._submit(name, fn) for name, fn in jobs.items()}
+        results: Dict[str, JobResult] = {}
+        while pending:
+            name, job = next(iter(pending.items()))
+            del pending[name]
+            result = self._await(job, effective_timeout)
+            result.attempts = attempts[name]
+            if not result.ok and not result.timed_out and attempts[name] <= budget:
+                attempts[name] += 1
+                pending[name] = self._submit(name, jobs[name])
+            else:
+                results[name] = result
+        return results
 
-    def shutdown(self) -> None:
-        """Stop the workers (idempotent)."""
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers (idempotent); the scheduler stays closed.
+
+        With ``drain`` (the default, and what the context manager does)
+        queued and in-flight jobs run to completion before the workers
+        exit.  With ``drain=False`` queued-but-unstarted jobs are
+        cancelled: their waiters receive a :class:`JobResult` carrying a
+        :class:`~repro.errors.ConfigurationError`.
+        """
         with self._lock:
-            if not self._started:
+            if self._closed:
                 return
-            for _ in self._threads:
-                self._queue.put(None)
-            for t in self._threads:
-                t.join(timeout=5.0)
+            self._closed = True
+            threads = list(self._threads)
+        if not drain:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not None:
+                    with self._lock:
+                        job.abandoned = True
+                        job.result = JobResult(
+                            name=job.name,
+                            error=ConfigurationError("scheduler shut down"),
+                        )
+                    job.done_evt.set()
+                self._queue.task_done()
+        for _ in threads:
+            self._queue.put(None)
+        for t in threads:
+            t.join(timeout=5.0)
+        with self._lock:
             self._threads.clear()
             self._started = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "JobScheduler":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
+        self.shutdown(drain=True)

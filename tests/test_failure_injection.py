@@ -1,9 +1,17 @@
-"""Failure injection: degraded captures and degenerate inputs.
+"""Failure injection: degraded captures, degenerate inputs, hung components.
 
 The pipeline must degrade to *rejection with a reason*, never to an
 unhandled exception — a capture that cannot be verified is treated like
 an attack, which is the safe default for an authentication system.
+
+The hung-component machinery (:class:`HangingVerifier`,
+:class:`HungComponentSystem`, the ``hung_system`` fixture) is shared with
+the gateway tests: it wraps a trained system so that one chosen user's
+sound-field verifier blocks until released, simulating a wedged model.
 """
+
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -14,10 +22,62 @@ from repro.core import (
     LoudspeakerDetector,
     recover_trajectory,
 )
+from repro.core.decision import ComponentResult
 from repro.errors import CaptureError, ConfigurationError, SignalError
 from repro.physics.geometry import Pose, SampledPath
 from repro.sensors.base import SensorSeries
 from repro.world.scene import SensorCapture
+
+
+class HangingVerifier:
+    """A sound-field verifier stand-in that blocks until released."""
+
+    def __init__(self, release: threading.Event, max_hang_s: float = 60.0):
+        self._release = release
+        self._max_hang_s = max_hang_s
+        self.calls = 0
+
+    def verify(self, capture) -> ComponentResult:
+        self.calls += 1
+        self._release.wait(self._max_hang_s)
+        return ComponentResult(
+            name="soundfield",
+            passed=False,
+            score=float("-inf"),
+            detail="hung verifier released",
+        )
+
+
+class HungComponentSystem:
+    """Proxy over a trained system that hangs one user's sound-field model.
+
+    Everything else delegates to the wrapped
+    :class:`~repro.core.pipeline.DefenseSystem`, so concurrent requests
+    for other users are served normally.
+    """
+
+    def __init__(self, system, hung_user: str, release: threading.Event):
+        self._system = system
+        self._hung_user = hung_user
+        self.hanging_verifier = HangingVerifier(release)
+
+    def __getattr__(self, name):
+        return getattr(self._system, name)
+
+    def soundfield_for(self, speaker_id: str):
+        if speaker_id == self._hung_user:
+            return self.hanging_verifier
+        return self._system.soundfield_for(speaker_id)
+
+
+@pytest.fixture()
+def hung_system(small_world):
+    """(proxy system, hung user id, release event); released on teardown."""
+    release = threading.Event()
+    users = sorted(small_world.users)
+    proxy = HungComponentSystem(small_world.system, users[-1], release)
+    yield proxy, users[-1], release
+    release.set()
 
 
 def _degraded_capture(genuine, **overrides):
@@ -158,3 +218,70 @@ class TestDegenerateInputs:
         )
         report = small_world.system.verify(capture, world_user)
         assert not report.accepted
+
+
+class TestHungComponent:
+    """A wedged component must degrade, not stall the serving path."""
+
+    def test_hung_component_times_out_and_rejects(
+        self, hung_system, world_user, world_genuine_capture
+    ):
+        from repro.server import Gateway, GatewayConfig, decode_decision, encode_request
+
+        proxy, hung_user, _release = hung_system
+        # The budget must sit far below the 60 s hang window yet leave
+        # healthy components ample room under full-suite CPU contention.
+        config = GatewayConfig(
+            request_workers=4,
+            component_timeout_s=5.0,
+            component_retries=0,
+            batch_window_s=0.05,
+        )
+        frames = [
+            encode_request(world_genuine_capture, hung_user, request_id="hung"),
+            encode_request(world_genuine_capture, world_user, request_id="ok-1"),
+            encode_request(world_genuine_capture, world_user, request_id="ok-2"),
+        ]
+        t0 = time.perf_counter()
+        with Gateway(proxy, config) as gateway:
+            decisions = [decode_decision(f) for f in gateway.handle_many(frames)]
+        wall_s = time.perf_counter() - t0
+
+        by_id = {d["request_id"]: d for d in decisions}
+        hung = by_id["hung"]
+        assert hung["accepted"] is False
+        assert hung["components"]["soundfield"]["passed"] is False
+        assert "execution budget" in hung["components"]["soundfield"]["detail"]
+        # The healthy requests were untouched by the hung neighbour.
+        for rid in ("ok-1", "ok-2"):
+            assert by_id[rid]["components"]["soundfield"]["passed"] is True
+        # The timeout cut the hang off: nowhere near the 60 s hang window.
+        assert wall_s < 20.0
+
+    def test_timed_out_worker_is_replaced(self, hung_system, world_user,
+                                          world_genuine_capture):
+        """After a timeout the scheduler still has capacity for new jobs."""
+        from repro.server import Gateway, GatewayConfig, decode_decision, encode_request
+
+        proxy, hung_user, _release = hung_system
+        config = GatewayConfig(
+            request_workers=2,
+            component_workers=3,
+            component_timeout_s=5.0,
+            batch_window_s=0.01,
+        )
+        with Gateway(proxy, config) as gateway:
+            first = decode_decision(
+                gateway.handle(
+                    encode_request(world_genuine_capture, hung_user, request_id="a")
+                )
+            )
+            # The hung job is still occupying its original worker thread,
+            # but a replacement was spawned: a full healthy request fits.
+            second = decode_decision(
+                gateway.handle(
+                    encode_request(world_genuine_capture, world_user, request_id="b")
+                )
+            )
+        assert first["accepted"] is False
+        assert second["components"]["soundfield"]["passed"] is True

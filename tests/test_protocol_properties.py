@@ -1,0 +1,177 @@
+"""Property-style round-trip tests for the wire protocol.
+
+Seeded ``numpy`` generators drive randomized capture shapes, degenerate
+score payloads, corruption, truncation, and oversized-frame handling —
+no extra dependencies, fully deterministic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.physics.geometry import Pose, SampledPath
+from repro.sensors.base import SensorSeries
+from repro.server.protocol import (
+    MAX_PAYLOAD_BYTES,
+    _HEADER,
+    _MAGIC,
+    decode_decision,
+    decode_request,
+    decode_request_full,
+    encode_decision,
+    encode_request,
+)
+from repro.world.scene import SensorCapture
+
+
+def _random_capture(rng: np.random.Generator) -> SensorCapture:
+    """A structurally valid capture with randomized shapes and content."""
+    n_audio = int(rng.integers(200, 20_000))
+    n_sensor = int(rng.integers(8, 200))
+    duration = float(rng.uniform(0.2, 3.0))
+    times = np.linspace(0.0, duration, n_sensor)
+    path = SampledPath(
+        [0.0, duration],
+        [Pose(np.zeros(3), np.eye(3)), Pose(np.zeros(3), np.eye(3))],
+    )
+    return SensorCapture(
+        audio=rng.normal(0.0, 1.0, n_audio),
+        audio_sample_rate=int(rng.choice([16_000, 44_100, 48_000])),
+        pilot_hz=float(rng.uniform(17_000.0, 22_000.0)),
+        magnetometer=SensorSeries(times, rng.normal(0.0, 40.0, (n_sensor, 3))),
+        accelerometer=SensorSeries(times, rng.normal(0.0, 2.0, (n_sensor, 3))),
+        gyroscope=SensorSeries(times, rng.normal(0.0, 1.0, (n_sensor, 3))),
+        path=path,
+        source_kind=str(rng.choice(["human", "loudspeaker", "unknown"])),
+        environment_name=f"env-{int(rng.integers(0, 100))}",
+        metadata={"trial": int(rng.integers(0, 1_000_000))},
+        audio_secondary=(
+            rng.normal(0.0, 1.0, n_audio) if rng.random() < 0.5 else None
+        ),
+    )
+
+
+class TestRequestRoundTripProperties:
+    def test_random_capture_shapes_roundtrip(self):
+        rng = np.random.default_rng(20260806)
+        for trial in range(8):
+            capture = _random_capture(rng)
+            claimed = None if trial % 4 == 0 else f"user-{trial}"
+            frame = encode_request(capture, claimed, request_id=f"rid-{trial}")
+            decoded, got_claimed, request_id = decode_request_full(frame)
+            assert got_claimed == claimed
+            assert request_id == f"rid-{trial}"
+            # The wire narrows to float32; the decode must be exact at
+            # float32 resolution for every stream.
+            assert np.array_equal(
+                decoded.audio, capture.audio.astype(np.float32).astype(float)
+            )
+            if capture.audio_secondary is None:
+                assert decoded.audio_secondary is None
+            else:
+                assert np.array_equal(
+                    decoded.audio_secondary,
+                    capture.audio_secondary.astype(np.float32).astype(float),
+                )
+            for stream in ("magnetometer", "accelerometer", "gyroscope"):
+                orig = getattr(capture, stream)
+                got = getattr(decoded, stream)
+                assert got.values.shape == orig.values.shape
+                assert np.array_equal(
+                    got.values, orig.values.astype(np.float32).astype(float)
+                )
+            assert decoded.audio_sample_rate == capture.audio_sample_rate
+            assert decoded.metadata == capture.metadata
+            assert decoded.source_kind == capture.source_kind
+
+    def test_request_id_default_is_empty(self):
+        rng = np.random.default_rng(7)
+        frame = encode_request(_random_capture(rng), "alice")
+        _, claimed, request_id = decode_request_full(frame)
+        assert claimed == "alice"
+        assert request_id == ""
+
+
+class TestDecisionPayloadProperties:
+    def test_degenerate_scores_roundtrip(self):
+        cases = {
+            "nan": float("nan"),
+            "pos_inf": float("inf"),
+            "neg_inf": float("-inf"),
+            "zero": 0.0,
+            "tiny": 5e-324,
+            "huge": 1.7e308,
+        }
+        frame = encode_decision(
+            False,
+            {name: (False, score, "edge") for name, score in cases.items()},
+            request_id="edge-scores",
+        )
+        decision = decode_decision(frame)
+        assert decision["request_id"] == "edge-scores"
+        got = {k: v["score"] for k, v in decision["components"].items()}
+        assert math.isnan(got["nan"])
+        assert got["pos_inf"] == float("inf")
+        assert got["neg_inf"] == float("-inf")
+        assert got["zero"] == 0.0
+        assert got["tiny"] == 5e-324
+        assert got["huge"] == 1.7e308
+
+    def test_empty_component_payload_roundtrip(self):
+        decision = decode_decision(encode_decision(True, {}))
+        assert decision["accepted"] is True
+        assert decision["components"] == {}
+
+    def test_random_score_values_roundtrip_bitwise(self):
+        rng = np.random.default_rng(99)
+        scores = rng.normal(0.0, 1e6, 64).tolist()
+        frame = encode_decision(
+            True, {f"c{i}": (True, s, "") for i, s in enumerate(scores)}
+        )
+        decision = decode_decision(frame)
+        for i, s in enumerate(scores):
+            assert decision["components"][f"c{i}"]["score"] == s
+
+
+class TestFrameDamageProperties:
+    @pytest.fixture(scope="class")
+    def valid_frame(self):
+        rng = np.random.default_rng(4242)
+        return encode_request(_random_capture(rng), "bob", request_id="dmg")
+
+    def test_truncation_at_any_point_rejected(self, valid_frame):
+        rng = np.random.default_rng(11)
+        cuts = {0, 1, _HEADER.size - 1, _HEADER.size, len(valid_frame) - 1} | {
+            int(c) for c in rng.integers(0, len(valid_frame), 16)
+        }
+        for cut in sorted(cuts):
+            if cut >= len(valid_frame):
+                continue
+            with pytest.raises(ProtocolError):
+                decode_request(valid_frame[:cut])
+
+    def test_single_byte_corruption_rejected(self, valid_frame):
+        rng = np.random.default_rng(13)
+        for _ in range(16):
+            pos = int(rng.integers(0, len(valid_frame)))
+            flip = int(rng.integers(1, 256))
+            damaged = bytearray(valid_frame)
+            damaged[pos] ^= flip
+            with pytest.raises(ProtocolError):
+                decode_request(bytes(damaged))
+
+    def test_oversized_declared_payload_rejected(self):
+        header = _HEADER.pack(_MAGIC, 1, 1, MAX_PAYLOAD_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(header + b"x" * 32)
+
+    def test_oversized_real_frame_rejected_cheaply(self, valid_frame):
+        """A frame *declaring* a bomb-sized payload dies before inflation."""
+        magic, version, kind, _length, crc = _HEADER.unpack(
+            valid_frame[: _HEADER.size]
+        )
+        bad_header = _HEADER.pack(magic, version, kind, 2**31 - 1, crc)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_request(bad_header + valid_frame[_HEADER.size :])

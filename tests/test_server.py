@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ComponentTimeoutError, ConfigurationError, ProtocolError
 from repro.server import (
     JobScheduler,
     MobileClient,
@@ -117,6 +117,168 @@ class TestScheduler:
         scheduler.run_all({"x": lambda: 1})
         scheduler.shutdown()
         scheduler.shutdown()
+
+    def test_run_all_after_shutdown_rejected(self):
+        scheduler = JobScheduler()
+        scheduler.run_all({"x": lambda: 1})
+        scheduler.shutdown()
+        with pytest.raises(ConfigurationError):
+            scheduler.run_all({"y": lambda: 2})
+        # Even an empty submission is a misuse of a closed scheduler.
+        with pytest.raises(ConfigurationError):
+            scheduler.run_all({})
+        assert scheduler.closed
+
+    def test_context_exit_drains_in_flight_jobs(self):
+        """Jobs already running when the context exits still deliver."""
+        entered = threading.Event()
+        outcome = {}
+
+        def slow():
+            entered.set()
+            time.sleep(0.3)
+            return "finished"
+
+        scheduler = JobScheduler(workers=1)
+
+        def runner():
+            outcome.update(scheduler.run_all({"slow": slow}))
+
+        with scheduler:
+            t = threading.Thread(target=runner)
+            t.start()
+            assert entered.wait(5.0)
+            # __exit__ runs now, while the job is mid-flight.
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert outcome["slow"].ok
+        assert outcome["slow"].value == "finished"
+
+
+class TestSchedulerTimeouts:
+    def test_hung_job_times_out_others_complete(self):
+        release = threading.Event()
+
+        def hang():
+            release.wait(30.0)
+            return "late"
+
+        try:
+            with JobScheduler(workers=2) as scheduler:
+                t0 = time.perf_counter()
+                results = scheduler.run_all(
+                    {"hang": hang, "quick": lambda: 42}, timeout_s=0.3
+                )
+                elapsed = time.perf_counter() - t0
+            assert results["quick"].ok and results["quick"].value == 42
+            assert not results["hang"].ok
+            assert results["hang"].timed_out
+            assert isinstance(results["hang"].error, ComponentTimeoutError)
+            assert elapsed < 10.0
+        finally:
+            release.set()
+
+    def test_pool_capacity_survives_timeout(self):
+        """A timed-out worker is replaced; later jobs run normally."""
+        release = threading.Event()
+        try:
+            with JobScheduler(workers=1) as scheduler:
+                first = scheduler.run_all(
+                    {"hang": lambda: release.wait(30.0)}, timeout_s=0.2
+                )
+                assert first["hang"].timed_out
+                # The lone original worker is still stuck in the hung job;
+                # this only completes if a replacement worker was spawned.
+                second = scheduler.run_all({"ok": lambda: "alive"}, timeout_s=5.0)
+            assert second["ok"].ok and second["ok"].value == "alive"
+        finally:
+            release.set()
+
+    def test_no_timeout_by_default(self):
+        with JobScheduler(workers=1) as scheduler:
+            results = scheduler.run_all({"slowish": lambda: time.sleep(0.2) or "v"})
+        assert results["slowish"].ok
+
+    def test_crash_retry_recovers(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise ValueError("transient")
+            return "recovered"
+
+        with JobScheduler(workers=1) as scheduler:
+            results = scheduler.run_all({"flaky": flaky}, retries=1)
+        assert results["flaky"].ok
+        assert results["flaky"].value == "recovered"
+        assert results["flaky"].attempts == 2
+
+    def test_retry_budget_exhausted(self):
+        def always_bad():
+            raise RuntimeError("permanent")
+
+        with JobScheduler(workers=1) as scheduler:
+            results = scheduler.run_all({"bad": always_bad}, retries=2)
+        assert not results["bad"].ok
+        assert isinstance(results["bad"].error, RuntimeError)
+        assert results["bad"].attempts == 3
+
+    def test_timeouts_are_not_retried(self):
+        calls = {"n": 0}
+        release = threading.Event()
+
+        def hang():
+            calls["n"] += 1
+            release.wait(30.0)
+
+        try:
+            with JobScheduler(workers=2) as scheduler:
+                results = scheduler.run_all({"hang": hang}, timeout_s=0.2, retries=3)
+            assert results["hang"].timed_out
+            assert calls["n"] == 1
+        finally:
+            release.set()
+
+    def test_shutdown_without_drain_cancels_queued_jobs(self):
+        started = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def blocker():
+            started.set()
+            release.wait(30.0)
+            return "first"
+
+        scheduler = JobScheduler(workers=1)
+
+        def runner():
+            outcome.update(
+                scheduler.run_all({"blocker": blocker, "queued": lambda: "second"})
+            )
+
+        t = threading.Thread(target=runner)
+        t.start()
+        try:
+            assert started.wait(5.0)
+            # Unblock the in-flight job shortly after shutdown cancels the
+            # queued one, so shutdown's thread-join returns promptly.
+            threading.Timer(0.3, release.set).start()
+            scheduler.shutdown(drain=False)  # "queued" never got a worker
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+            assert outcome["blocker"].ok
+            assert isinstance(outcome["queued"].error, ConfigurationError)
+        finally:
+            release.set()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobScheduler(workers=0)
+        with pytest.raises(ConfigurationError):
+            JobScheduler(default_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            JobScheduler(default_retries=-1)
 
 
 class TestServerRoundTrip:
