@@ -1,0 +1,211 @@
+"""Perf-regression harness: benches write ``BENCH_<name>.json``, CI diffs.
+
+Every benchmark that measures something CI should watch routes its numbers
+through :func:`write_bench`, which drops a small schema-versioned JSON
+document into the results directory (``benchmarks/results/`` by default,
+``BENCH_RESULTS_DIR`` overrides).  A committed snapshot of the same
+documents lives in ``benchmarks/baselines/``; ``python benchmarks/harness.py
+diff`` compares the two and prints per-metric deltas so a perf regression
+shows up in the CI log next to the run that introduced it.
+
+The diff is advisory by default (always exits 0): benchmark machines vary
+too much for a hard latency gate, and the golden-decision suite already
+hard-gates correctness.  Pass ``--fail-threshold`` to turn large latency
+regressions into a non-zero exit for environments stable enough to gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+#: Bump when the document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def results_dir() -> Path:
+    """Where fresh ``BENCH_*.json`` documents are written."""
+    override = os.environ.get("BENCH_RESULTS_DIR")
+    path = Path(override) if override else _BENCH_DIR / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def baselines_dir() -> Path:
+    """The committed baseline snapshots."""
+    return _BENCH_DIR / "baselines"
+
+
+def latency_summary(samples_s: Iterable[float]) -> Dict[str, float]:
+    """Median/p95/mean milliseconds over a list of per-item latencies."""
+    arr = np.asarray(list(samples_s), dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "median_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
+    return {
+        "n": int(arr.size),
+        "median_ms": float(np.median(arr) * 1e3),
+        "p95_ms": float(np.percentile(arr, 95.0) * 1e3),
+        "mean_ms": float(arr.mean() * 1e3),
+    }
+
+
+def write_bench(
+    name: str,
+    *,
+    latencies: Optional[Dict[str, Iterable[float]]] = None,
+    latency_summaries: Optional[Dict[str, Dict[str, float]]] = None,
+    throughput_rps: Optional[Dict[str, float]] = None,
+    stage_skip_rates: Optional[Dict[str, float]] = None,
+    counters: Optional[Dict[str, float]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` into the results directory.
+
+    ``latencies`` maps a label (e.g. ``"strict"``, ``"cascade_rejected"``)
+    to raw per-item latency samples in seconds; each label is stored as a
+    median/p95/mean summary.  ``latency_summaries`` takes pre-summarised
+    entries (already in milliseconds) verbatim — for callers that only
+    have histogram percentiles.  Returns the written path.
+    """
+    doc: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+    }
+    if latencies or latency_summaries:
+        latency: Dict[str, object] = {}
+        for label, samples in (latencies or {}).items():
+            latency[label] = latency_summary(samples)
+        for label, summary in (latency_summaries or {}).items():
+            latency[label] = {k: float(v) for k, v in summary.items()}
+        doc["latency"] = latency
+    if throughput_rps:
+        doc["throughput_rps"] = {k: float(v) for k, v in throughput_rps.items()}
+    if stage_skip_rates:
+        doc["stage_skip_rates"] = {
+            k: float(v) for k, v in stage_skip_rates.items()
+        }
+    if counters:
+        doc["counters"] = {k: float(v) for k, v in counters.items()}
+    if extra:
+        doc["extra"] = extra
+    path = results_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Path) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+def _flatten(doc: Dict[str, object]) -> Dict[str, float]:
+    """Flatten the numeric leaves of a bench document to dotted keys."""
+    flat: Dict[str, float] = {}
+
+    def walk(prefix: str, node: object) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            flat[prefix] = float(node)
+
+    for section in ("latency", "throughput_rps", "stage_skip_rates", "counters"):
+        if section in doc:
+            walk(section, doc[section])
+    return flat
+
+
+def diff_benches(
+    results: Optional[Path] = None, baselines: Optional[Path] = None
+) -> List[str]:
+    """Human-readable per-metric deltas, results vs committed baselines."""
+    results = Path(results) if results else results_dir()
+    baselines = Path(baselines) if baselines else baselines_dir()
+    lines: List[str] = []
+    baseline_files = sorted(baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        return [f"no baselines in {baselines}"]
+    for base_path in baseline_files:
+        new_path = results / base_path.name
+        if not new_path.exists():
+            lines.append(f"{base_path.name}: no fresh result (skipped)")
+            continue
+        base = _flatten(load_bench(base_path))
+        new = _flatten(load_bench(new_path))
+        lines.append(f"{base_path.name}:")
+        for key in sorted(set(base) | set(new)):
+            if key.endswith(".n"):
+                continue
+            b, n = base.get(key), new.get(key)
+            if b is None or n is None:
+                lines.append(f"  {key:48s} {'added' if b is None else 'removed'}")
+            elif b == 0.0:
+                lines.append(f"  {key:48s} {b:10.3f} -> {n:10.3f}")
+            else:
+                ratio = n / b
+                flag = " <-- regression?" if _is_latency(key) and ratio > 1.5 else ""
+                lines.append(
+                    f"  {key:48s} {b:10.3f} -> {n:10.3f}  ({ratio:5.2f}x){flag}"
+                )
+    return lines
+
+
+def _is_latency(key: str) -> bool:
+    return key.startswith("latency.") and key.endswith(("_ms",))
+
+
+def worst_latency_ratio(
+    results: Optional[Path] = None, baselines: Optional[Path] = None
+) -> float:
+    """Largest new/baseline ratio over latency metrics (1.0 if none)."""
+    results = Path(results) if results else results_dir()
+    baselines = Path(baselines) if baselines else baselines_dir()
+    worst = 1.0
+    for base_path in sorted(baselines.glob("BENCH_*.json")):
+        new_path = results / base_path.name
+        if not new_path.exists():
+            continue
+        base = _flatten(load_bench(base_path))
+        new = _flatten(load_bench(new_path))
+        for key, b in base.items():
+            if _is_latency(key) and b > 0 and key in new:
+                worst = max(worst, new[key] / b)
+    return worst
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff_p = sub.add_parser("diff", help="compare fresh results to baselines")
+    diff_p.add_argument("--results", type=Path, default=None)
+    diff_p.add_argument("--baselines", type=Path, default=None)
+    diff_p.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        help="exit non-zero when any latency metric regresses past this ratio",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "diff":
+        for line in diff_benches(args.results, args.baselines):
+            print(line)
+        if args.fail_threshold is not None:
+            worst = worst_latency_ratio(args.results, args.baselines)
+            if worst > args.fail_threshold:
+                print(
+                    f"FAIL: worst latency ratio {worst:.2f}x exceeds "
+                    f"threshold {args.fail_threshold:.2f}x"
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

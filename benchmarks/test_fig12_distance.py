@@ -9,6 +9,7 @@ steeply than the paper's because the sound-field model is enrolled at
 """
 
 from conftest import emit
+from harness import write_bench
 
 from repro.experiments.fig12 import run_distance_experiment
 from repro.physics.magnetics import MuMetalShield
@@ -20,6 +21,17 @@ def _format(rows):
         f"EER {r.eer_pct:5.1f}%"
         for r in rows
     ]
+
+
+def _write(name, rows):
+    write_bench(
+        name,
+        counters={
+            f"{metric}_{r.distance_cm:.0f}cm": getattr(r, f"{metric}_pct")
+            for r in rows
+            for metric in ("far", "frr", "eer")
+        },
+    )
 
 
 def test_fig12a_no_shielding(benchmark, bench_world):
@@ -42,6 +54,7 @@ def test_fig12a_no_shielding(benchmark, bench_world):
     # FAR grows with distance.
     assert max(r.far_pct for r in rows[2:]) >= rows[0].far_pct
     benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+    _write("fig12_distance", rows)
 
 
 def test_fig12b_mu_metal_shielding(benchmark, bench_world):
@@ -66,3 +79,4 @@ def test_fig12b_mu_metal_shielding(benchmark, bench_world):
     mid_far = max(r.far_pct for r in rows if r.distance_cm >= 8.0)
     assert mid_far > 0.0
     benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+    _write("fig12_distance_shielded", rows)

@@ -6,6 +6,7 @@ typed password once interaction time is counted.
 """
 
 from conftest import emit
+from harness import write_bench
 
 from repro.experiments.fig15 import run_fig15
 
@@ -29,3 +30,14 @@ def test_fig15_authentication_time(benchmark, bench_world):
     assert ours - voiceprint < 1.0
     assert abs(ours - password) < 2.0
     benchmark.extra_info["rows"] = [r.__dict__ for r in rows]
+    write_bench(
+        "fig15_auth_time",
+        latency_summaries={
+            r.scheme: {
+                "total_ms": r.mean_total_s * 1e3,
+                "server_ms": r.mean_server_s * 1e3,
+            }
+            for r in rows
+        },
+        counters={f"{r.scheme}_success_rate": r.success_rate for r in rows},
+    )

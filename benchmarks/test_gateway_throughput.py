@@ -10,6 +10,7 @@ requests/s and per-stage p50/p95 latency emitted as the baseline.
 import time
 
 from conftest import emit
+from harness import write_bench
 
 from repro.experiments.world import genuine_capture
 from repro.server import (
@@ -106,3 +107,18 @@ def test_gateway_throughput_baseline(benchmark, bench_world):
     benchmark.extra_info["stage_summaries"] = {
         k: hists[k] for k in ("queue_s", "detection_s", "identity_s", "total_s")
     }
+    write_bench(
+        "gateway",
+        latency_summaries={
+            stage[: -len("_s")]: {
+                "median_ms": hists[stage]["p50"] * 1e3,
+                "p95_ms": hists[stage]["p95"] * 1e3,
+            }
+            for stage in ("queue_s", "detection_s", "identity_s", "total_s")
+        },
+        throughput_rps={"gateway": gw_rps, "sequential": seq_rps},
+        counters={
+            "identity_batches": counters["identity_batches"],
+            "soundfield_cache_hits": cache["hits"],
+        },
+    )

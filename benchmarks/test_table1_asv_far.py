@@ -7,6 +7,7 @@ but possibly non-zero.
 """
 
 from conftest import emit
+from harness import write_bench
 
 from repro.experiments.table1 import run_table1
 
@@ -29,3 +30,11 @@ def test_table1_asv_far(benchmark):
         }
         for r in rows
     ]
+    write_bench(
+        "table1_asv_far",
+        counters={
+            f"{r.backend}_{test}_far_pct": getattr(r, f"{test}_far_pct")
+            for r in rows
+            for test in ("test1", "test2")
+        },
+    )

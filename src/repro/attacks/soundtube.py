@@ -94,6 +94,14 @@ class TubeSource:
             frequency_hz
         )
 
+    def pressure_at_many(
+        self, positions: np.ndarray, frequency_hz: float
+    ) -> np.ndarray:
+        """Batched :meth:`pressure_at` over ``(n, 3)`` positions."""
+        return self._opening.pressure_at_many(
+            positions, frequency_hz
+        ) * self.resonance_gain(frequency_hz)
+
     def magnetic_sources(self, drive=None):
         """The loudspeaker's magnet, displaced a tube-length behind."""
         displaced = self.loudspeaker.with_position(

@@ -14,6 +14,12 @@ Four cascaded verification components (paper Fig. 4):
 enrol/verify API the prototype server exposes.
 """
 
+from repro.core.cascade import (
+    DEFAULT_STAGE_POLICIES,
+    CascadePlan,
+    StagePolicy,
+    pass_boundary,
+)
 from repro.core.config import DefenseConfig
 from repro.core.decision import (
     ComponentResult,
@@ -33,9 +39,14 @@ from repro.core.dualmic import (
     distance_from_sld,
     sound_level_difference,
 )
-from repro.core.pipeline import DefenseSystem
+from repro.core.pipeline import CascadeStats, DefenseSystem
 
 __all__ = [
+    "DEFAULT_STAGE_POLICIES",
+    "CascadePlan",
+    "CascadeStats",
+    "StagePolicy",
+    "pass_boundary",
     "DefenseConfig",
     "ComponentResult",
     "Decision",

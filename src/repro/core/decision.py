@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 
 class Decision(enum.Enum):
@@ -55,19 +55,36 @@ class ComponentResult:
 
 @dataclass(frozen=True)
 class VerificationReport:
-    """Full pipeline output for one attempt."""
+    """Full pipeline output for one attempt.
+
+    ``mode`` records which engine produced the report (``"strict"`` runs
+    every enabled component; ``"cascade"`` may stop early).  ``skipped``
+    lists components the cascade never ran, ``early_exit_stage`` the
+    component whose confident rejection ended the run, and
+    ``stage_latency_s`` per-component wall time when the engine timed the
+    stages.  Strict reports leave the cascade fields at their defaults.
+    """
 
     decision: Decision
     components: Dict[str, ComponentResult] = field(default_factory=dict)
     claimed_speaker: Optional[str] = None
+    mode: str = "strict"
+    skipped: Tuple[str, ...] = ()
+    early_exit_stage: Optional[str] = None
+    stage_latency_s: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def accepted(self) -> bool:
         return self.decision is Decision.ACCEPT
 
+    @property
+    def total_latency_s(self) -> float:
+        """Summed component wall time (0.0 when stages were not timed)."""
+        return float(sum(self.stage_latency_s.values()))
+
     def component(self, name: str) -> ComponentResult:
         return self.components[name]
 
     def failed_components(self) -> list[str]:
-        """Names of components that rejected, in pipeline order."""
+        """Names of components that rejected, in evaluation order."""
         return [name for name, r in self.components.items() if not r.passed]

@@ -1,16 +1,27 @@
 """The cascade defense pipeline (paper Fig. 4).
 
 :class:`DefenseSystem` runs the four verification components over a
-capture and accepts only when every component passes.  Components run in
-the paper's order — distance, sound field, loudspeaker detection, identity
-— and in ``cascade`` mode later components are skipped once one rejects
-(the prototype's latency optimisation); benches use ``cascade=False`` to
-collect every component's score for threshold sweeps.
+capture and accepts only when every component passes.  Two engines share
+the component implementations:
+
+- :meth:`DefenseSystem.verify` — the paper-order engine.  By default it
+  runs everything (benches use this to collect every component's score
+  for threshold sweeps); ``cascade=True`` restores the prototype's
+  skip-after-first-rejection latency optimisation.
+- :meth:`DefenseSystem.verify_cascade` — the cost-ordered early-exit
+  engine (see :mod:`repro.core.cascade`): stages run cheapest-first and
+  a *confident* rejection skips everything downstream, including the
+  ASV pass.  ``strict=True`` runs every stage in paper order and is
+  bitwise-identical to :meth:`verify`'s default mode while still timing
+  the stages.  Both modes always produce the same final decision —
+  acceptance requires every stage to pass, so skipping after a
+  rejection can never flip the outcome.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
@@ -18,6 +29,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.asv.verifier import VerifierBackend
+from repro.core.cascade import CascadePlan
 from repro.core.config import DefenseConfig
 from repro.core.decision import (
     ComponentResult,
@@ -33,6 +45,20 @@ from repro.world.scene import SensorCapture
 
 #: Pipeline order, matching Fig. 4.
 COMPONENT_ORDER = ("distance", "soundfield", "magnetic", "identity")
+
+
+@dataclass
+class CascadeStats:
+    """Cumulative early-exit counters of one :class:`DefenseSystem`."""
+
+    runs: Dict[str, int] = field(default_factory=dict)
+    skips: Dict[str, int] = field(default_factory=dict)
+    early_exits: int = 0
+    verifications: int = 0
+
+    def skip_rate(self, name: str) -> float:
+        total = self.runs.get(name, 0) + self.skips.get(name, 0)
+        return self.skips.get(name, 0) / total if total else 0.0
 
 
 @dataclass
@@ -65,6 +91,11 @@ class DefenseSystem:
     #: stand-in for a production model store holding millions of users);
     #: only hot users keep a rehydrated verifier resident.
     soundfield_cache_capacity: int = 16
+    #: Stage ordering + early-exit policy of :meth:`verify_cascade`.
+    cascade_plan: CascadePlan = field(default_factory=CascadePlan)
+    cascade_stats: CascadeStats = field(
+        init=False, repr=False, default_factory=CascadeStats
+    )
     distance: DistanceVerifier = field(init=False, repr=False)
     #: Per-user fitted sound-field state — the reference sweep is text- and
     #: user-specific (paper Fig. 9 trains on *the user's* training data).
@@ -87,6 +118,7 @@ class DefenseSystem:
         if self.soundfield_cache_capacity < 1:
             raise ConfigurationError("soundfield_cache_capacity must be >= 1")
         self._soundfield_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self.distance = DistanceVerifier(self.config)
         self.magnetic = LoudspeakerDetector(self.config)
         self.identity = IdentityVerifier(
@@ -220,16 +252,44 @@ class DefenseSystem:
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
+    def run_component(
+        self,
+        name: str,
+        capture: SensorCapture,
+        claimed_speaker: Optional[str] = None,
+    ) -> ComponentResult:
+        """Run one verification component (shared by both engines)."""
+        if name == "distance":
+            return self.distance.verify(capture)
+        if name == "magnetic":
+            return self.magnetic.verify(capture)
+        if name == "soundfield":
+            if claimed_speaker is None:
+                raise ConfigurationError(
+                    "claimed_speaker required when the sound-field component runs"
+                )
+            return self.soundfield_for(claimed_speaker).verify(capture)
+        if name == "identity":
+            if claimed_speaker is None:
+                raise ConfigurationError(
+                    "claimed_speaker required when the identity component runs"
+                )
+            return self.identity.verify(capture, claimed_speaker)
+        raise ConfigurationError(f"unknown component {name!r}")
+
     def verify(
         self,
         capture: SensorCapture,
         claimed_speaker: Optional[str] = None,
         cascade: bool = False,
     ) -> VerificationReport:
-        """Run the pipeline over one capture.
+        """Run the pipeline over one capture, in paper order.
 
         ``claimed_speaker`` may be omitted when the identity component is
-        disabled (machine-detection-only benches).
+        disabled (machine-detection-only benches).  ``cascade=True``
+        skips the remaining components after the first rejection (the
+        prototype's optimisation); for the cost-ordered early-exit engine
+        see :meth:`verify_cascade`.
         """
         results: Dict[str, ComponentResult] = {}
         rejected = False
@@ -238,25 +298,77 @@ class DefenseSystem:
                 continue
             if cascade and rejected:
                 break
-            if name == "distance":
-                result = self.distance.verify(capture)
-            elif name == "soundfield":
-                if claimed_speaker is None:
-                    raise ConfigurationError(
-                        "claimed_speaker required when the sound-field component runs"
-                    )
-                result = self.soundfield_for(claimed_speaker).verify(capture)
-            elif name == "magnetic":
-                result = self.magnetic.verify(capture)
-            else:
-                if claimed_speaker is None:
-                    raise ConfigurationError(
-                        "claimed_speaker required when the identity component runs"
-                    )
-                result = self.identity.verify(capture, claimed_speaker)
+            result = self.run_component(name, capture, claimed_speaker)
             results[name] = result
             rejected = rejected or not result.passed
         decision = Decision.REJECT if rejected else Decision.ACCEPT
         return VerificationReport(
             decision=decision, components=results, claimed_speaker=claimed_speaker
+        )
+
+    def verify_cascade(
+        self,
+        capture: SensorCapture,
+        claimed_speaker: Optional[str] = None,
+        strict: bool = False,
+    ) -> VerificationReport:
+        """Run the cost-ordered early-exit cascade over one capture.
+
+        Stages run cheapest-first (per :attr:`cascade_plan`); a stage
+        that rejects with its configured margin ends the run and the
+        remaining stages are reported as ``skipped``.  The final decision
+        is always identical to the strict pipeline's: acceptance needs
+        every stage, so stopping after a rejection cannot flip it.
+
+        ``strict=True`` runs every enabled stage in paper order — the
+        component results are bitwise-identical to :meth:`verify`'s
+        default mode — while still populating per-stage latencies.
+        """
+        needs_claim = {"soundfield", "identity"} & set(self.enabled_components)
+        if needs_claim and claimed_speaker is None:
+            raise ConfigurationError(
+                "claimed_speaker required when the "
+                f"{sorted(needs_claim)[0]} component runs"
+            )
+        if strict:
+            order = tuple(
+                n for n in COMPONENT_ORDER if n in self.enabled_components
+            )
+        else:
+            order = self.cascade_plan.order(self.enabled_components)
+        results: Dict[str, ComponentResult] = {}
+        latency: Dict[str, float] = {}
+        skipped: list[str] = []
+        early_exit: Optional[str] = None
+        rejected = False
+        for name in order:
+            if early_exit is not None:
+                skipped.append(name)
+                continue
+            t0 = time.perf_counter()
+            result = self.run_component(name, capture, claimed_speaker)
+            latency[name] = time.perf_counter() - t0
+            results[name] = result
+            rejected = rejected or not result.passed
+            if not strict and self.cascade_plan.confident_reject(
+                result, self.config
+            ):
+                early_exit = name
+        with self._stats_lock:
+            stats = self.cascade_stats
+            stats.verifications += 1
+            for name in results:
+                stats.runs[name] = stats.runs.get(name, 0) + 1
+            for name in skipped:
+                stats.skips[name] = stats.skips.get(name, 0) + 1
+            if early_exit is not None and skipped:
+                stats.early_exits += 1
+        return VerificationReport(
+            decision=Decision.REJECT if rejected else Decision.ACCEPT,
+            components=results,
+            claimed_speaker=claimed_speaker,
+            mode="strict" if strict else "cascade",
+            skipped=tuple(skipped),
+            early_exit_stage=early_exit if skipped else None,
+            stage_latency_s=latency,
         )

@@ -46,15 +46,19 @@ def mel_filterbank(
     mel_points = np.linspace(hz_to_mel(low_hz), hz_to_mel(high_hz), n_filters + 2)
     hz_points = mel_to_hz(mel_points)
     bins = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
-    bank = np.zeros((n_filters, n_fft // 2 + 1))
-    for i in range(n_filters):
-        left, centre, right = bins[i], bins[i + 1], bins[i + 2]
-        centre = max(centre, left + 1)
-        right = max(right, centre + 1)
-        for j in range(left, min(centre, bank.shape[1])):
-            bank[i, j] = (j - left) / (centre - left)
-        for j in range(centre, min(right, bank.shape[1])):
-            bank[i, j] = (right - j) / (right - centre)
+    left = bins[:-2]
+    centre = np.maximum(bins[1:-1], left + 1)
+    right = np.maximum(bins[2:], centre + 1)
+    # Both triangle flanks evaluated on the full bin grid at once; the
+    # masks carve out each filter's support.
+    j = np.arange(n_fft // 2 + 1)
+    rising = (j - left[:, None]) / (centre - left)[:, None]
+    falling = (right[:, None] - j) / (right - centre)[:, None]
+    bank = np.where(
+        (j >= left[:, None]) & (j < centre[:, None]),
+        rising,
+        np.where((j >= centre[:, None]) & (j < right[:, None]), falling, 0.0),
+    )
     return bank
 
 
@@ -93,6 +97,12 @@ class MFCCExtractor:
     lifter: int = 22
     append_energy: bool = True
     append_deltas: bool = True
+    #: When set, the spectral stage (window → FFT → filterbank → DCT) runs
+    #: over blocks of this many frames instead of the whole utterance,
+    #: bounding the FFT workspace.  Results agree with whole-utterance
+    #: extraction to FFT round-off (~1e-13); deltas are always computed
+    #: over the full utterance.
+    chunk_frames: int | None = None
     _bank: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -132,6 +142,23 @@ class MFCCExtractor:
             )
         x = preemphasis(x, self.preemphasis_coefficient)
         frames = frame_signal(x, self._frame_length, self._hop_length, pad=True)
+        if self.chunk_frames is None or frames.shape[0] <= self.chunk_frames:
+            ceps = self._frames_to_ceps(frames)
+        else:
+            ceps = np.vstack(
+                [
+                    self._frames_to_ceps(frames[s : s + self.chunk_frames])
+                    for s in range(0, frames.shape[0], self.chunk_frames)
+                ]
+            )
+        if self.append_deltas:
+            d1 = delta(ceps)
+            d2 = delta(d1)
+            ceps = np.column_stack([ceps, d1, d2])
+        return ceps
+
+    def _frames_to_ceps(self, frames: np.ndarray) -> np.ndarray:
+        """Spectral stage for a block of frames (no deltas)."""
         windowed = frames * np.hamming(self._frame_length)[None, :]
         spectrum = np.abs(np.fft.rfft(windowed, n=self._n_fft, axis=1)) ** 2
         mel_energies = spectrum @ self._bank.T
@@ -141,10 +168,6 @@ class MFCCExtractor:
         if self.append_energy:
             energy = np.log(np.maximum((frames**2).sum(axis=1), 1e-12))
             ceps = np.column_stack([ceps, energy])
-        if self.append_deltas:
-            d1 = delta(ceps)
-            d2 = delta(d1)
-            ceps = np.column_stack([ceps, d1, d2])
         return ceps
 
     def extract_with_cmvn(self, waveform: np.ndarray) -> np.ndarray:

@@ -32,16 +32,20 @@ SPEED_OF_SOUND = 343.0
 P_REF = 20e-6
 
 
-def spherical_attenuation(distance: float, reference_distance: float = 0.01) -> float:
+def spherical_attenuation(distance, reference_distance: float = 0.01):
     """Amplitude attenuation of a spherical wave relative to a reference.
 
     Pressure of a point source falls off as 1/r.  ``reference_distance``
     clamps the singularity at the source; 1 cm is small compared to every
-    distance the use case produces (4–15 cm).
+    distance the use case produces (4–15 cm).  Accepts a scalar distance
+    (returns ``float``) or an array (returns an array of the same shape).
     """
     if reference_distance <= 0:
         raise ConfigurationError("reference_distance must be positive")
-    return reference_distance / max(float(distance), reference_distance)
+    if np.ndim(distance) == 0:
+        return reference_distance / max(float(distance), reference_distance)
+    d = np.asarray(distance, dtype=float)
+    return reference_distance / np.maximum(d, reference_distance)
 
 
 def pressure_to_db_spl(pressure_rms: np.ndarray) -> np.ndarray:
@@ -79,6 +83,15 @@ class PointSource:
     def pressure_at(self, position: np.ndarray, frequency_hz: float = 1000.0) -> float:
         """RMS pressure (Pa) at ``position``; frequency is ignored."""
         d = float(np.linalg.norm(np.asarray(position, float) - self.position))
+        p_ref_point = P_REF * 10.0 ** (self.level_db_spl / 20.0)
+        return p_ref_point * spherical_attenuation(d, self.reference_distance)
+
+    def pressure_at_many(
+        self, positions: np.ndarray, frequency_hz: float = 1000.0
+    ) -> np.ndarray:
+        """Batched :meth:`pressure_at` over ``(n, 3)`` positions."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        d = np.linalg.norm(pos - self.position, axis=1)
         p_ref_point = P_REF * 10.0 ** (self.level_db_spl / 20.0)
         return p_ref_point * spherical_attenuation(d, self.reference_distance)
 
@@ -122,6 +135,22 @@ class CircularPistonSource:
             gain *= 0.1
         return gain
 
+    def directivity_at_many(
+        self, positions: np.ndarray, frequency_hz: float
+    ) -> np.ndarray:
+        """Batched :meth:`directivity_at` over ``(n, 3)`` positions."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        r_vec = pos - self.position
+        r = np.linalg.norm(r_vec, axis=1)
+        safe = r >= 1e-9
+        denom = np.where(safe, r, 1.0)
+        cos_theta = np.clip((r_vec / denom[:, None]) @ self.axis, -1.0, 1.0)
+        sin_theta = np.sqrt(np.maximum(0.0, 1.0 - cos_theta**2))
+        k = 2.0 * np.pi * frequency_hz / SPEED_OF_SOUND
+        gain = np.abs(piston_directivity(k * self.aperture_radius * sin_theta))
+        gain = np.where(cos_theta < 0.0, gain * 0.1, gain)
+        return np.where(safe, gain, 1.0)
+
     def pressure_at(self, position: np.ndarray, frequency_hz: float) -> float:
         """RMS pressure (Pa) at ``position`` for a tone at ``frequency_hz``."""
         d = float(np.linalg.norm(np.asarray(position, float) - self.position))
@@ -130,6 +159,19 @@ class CircularPistonSource:
             p_on_axis
             * spherical_attenuation(d, self.reference_distance)
             * self.directivity_at(position, frequency_hz)
+        )
+
+    def pressure_at_many(
+        self, positions: np.ndarray, frequency_hz: float
+    ) -> np.ndarray:
+        """Batched :meth:`pressure_at` over ``(n, 3)`` positions."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        d = np.linalg.norm(pos - self.position, axis=1)
+        p_on_axis = P_REF * 10.0 ** (self.level_db_spl / 20.0)
+        return (
+            p_on_axis
+            * spherical_attenuation(d, self.reference_distance)
+            * self.directivity_at_many(pos, frequency_hz)
         )
 
     def intensity_profile(

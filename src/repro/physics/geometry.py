@@ -150,6 +150,36 @@ class SampledPath:
         nearest = idx if w >= 0.5 else idx - 1
         return Pose(pos, self.poses[nearest].orientation)
 
+    def sample_poses(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`pose_at`: positions ``(n, 3)`` + orientations ``(n, 3, 3)``.
+
+        Reproduces the scalar arithmetic elementwise — linear position
+        interpolation with nearest-sample orientation, end poses clamped —
+        so sensor models can vectorise without changing a single sample.
+        """
+        t = np.asarray(times, dtype=float).reshape(-1)
+        idx = np.clip(np.searchsorted(self.times, t), 1, self.times.size - 1)
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        w = (t - t0) / (t1 - t0)
+        path_positions = self.positions
+        pos = (
+            (1.0 - w)[:, None] * path_positions[idx - 1]
+            + w[:, None] * path_positions[idx]
+        )
+        nearest = np.where(w >= 0.5, idx, idx - 1)
+        low = t <= self.times[0]
+        high = t >= self.times[-1]
+        pos[low] = path_positions[0]
+        pos[high] = path_positions[-1]
+        nearest[low] = 0
+        nearest[high] = self.times.size - 1
+        orientations = np.stack([p.orientation for p in self.poses])[nearest]
+        return pos, orientations
+
+    def positions_at(self, times: np.ndarray) -> np.ndarray:
+        """Interpolated positions at ``times``, shape ``(n, 3)``."""
+        return self.sample_poses(times)[0]
+
     def distances_to(self, point: np.ndarray) -> np.ndarray:
         """Euclidean distance from every sample to ``point``."""
         point = np.asarray(point, dtype=float)

@@ -56,6 +56,42 @@ class FieldSource:
         """Field vector in µT at world ``position`` (m) and time ``t`` (s)."""
         raise NotImplementedError
 
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Field vectors for ``(n, 3)`` positions at matching ``(n,)`` times.
+
+        The base implementation loops over :meth:`field_at`; subclasses
+        override it with a batched evaluation that reproduces the scalar
+        arithmetic elementwise.  The magnetometer model samples entire
+        trajectories through this entry point.
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype=float))
+        times = np.asarray(times, dtype=float).reshape(-1)
+        return np.stack(
+            [
+                np.asarray(self.field_at(p, float(t)), dtype=float)
+                for p, t in zip(positions, times)
+            ]
+        )
+
+
+@dataclass
+class ConstantField(FieldSource):
+    """A spatially and temporally uniform field (e.g. Earth's field)."""
+
+    field_ut: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.field_ut = np.asarray(self.field_ut, dtype=float)
+        if self.field_ut.shape != (3,):
+            raise ConfigurationError("field_ut must be a 3-vector")
+
+    def field_at(self, position: np.ndarray, t: float = 0.0) -> np.ndarray:
+        return self.field_ut
+
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray) -> np.ndarray:
+        n = np.asarray(times, dtype=float).reshape(-1).size
+        return np.tile(self.field_ut, (n, 1))
+
 
 @dataclass
 class MagneticDipole(FieldSource):
@@ -91,6 +127,25 @@ class MagneticDipole(FieldSource):
         # B(r) = µ0/(4π) · (3(m·r̂)r̂ − m) / r³, in µT because MU0 is in µT·m/A.
         return (MU0 / (4.0 * np.pi)) * (3.0 * np.dot(m, r_hat) * r_hat - m) / r**3
 
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray = None) -> np.ndarray:
+        """Batched :meth:`field_at` (the dipole field is time-invariant)."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        r_vec = pos - self.position
+        r_norm = np.linalg.norm(r_vec, axis=1)
+        safe = r_norm > 1e-12
+        denom = np.where(safe, r_norm, 1.0)
+        r_hat = np.where(
+            safe[:, None], r_vec / denom[:, None], np.array([1.0, 0.0, 0.0])
+        )
+        r = np.maximum(r_norm, self.core_radius)
+        m = self.moment
+        proj = r_hat @ m
+        return (
+            (MU0 / (4.0 * np.pi))
+            * (3.0 * proj[:, None] * r_hat - m)
+            / (r**3)[:, None]
+        )
+
     def magnitude_at(self, position: np.ndarray) -> float:
         return float(np.linalg.norm(self.field_at(position)))
 
@@ -124,6 +179,20 @@ class VoiceCoilDipole(FieldSource):
         level = float(self.drive(t)) if self.drive is not None else 0.0
         level = float(np.clip(level, -1.0, 1.0))
         return level * self._static.field_at(position)
+
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float).reshape(-1)
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        if self.drive is None:
+            return np.zeros((times.size, 3))
+        try:
+            level = np.asarray(self.drive(times), dtype=float)
+            if level.shape != times.shape:
+                raise TypeError("drive is not vectorised")
+        except (TypeError, ValueError):
+            level = np.array([float(self.drive(float(t))) for t in times])
+        level = np.clip(level, -1.0, 1.0)
+        return level[:, None] * self._static.field_at_many(pos)
 
 
 @dataclass(frozen=True)
@@ -172,6 +241,10 @@ class ShieldedDipole(FieldSource):
         leaked = self.dipole.field_at(position) / self.shield.shielding_factor
         return leaked + self._induced.field_at(position)
 
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray = None) -> np.ndarray:
+        leaked = self.dipole.field_at_many(positions) / self.shield.shielding_factor
+        return leaked + self._induced.field_at_many(positions)
+
 
 @dataclass
 class EnvironmentalInterference(FieldSource):
@@ -218,6 +291,16 @@ class EnvironmentalInterference(FieldSource):
         fluctuation = self.fluctuation_ut * (self._weights * wave).sum(axis=0)
         scale = 1.0 + self.gradient_per_m * max(float(np.asarray(position)[0]), 0.0)
         return (self.bias_ut + fluctuation) * scale
+
+    def field_at_many(self, positions: np.ndarray, times: np.ndarray) -> np.ndarray:
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        t = np.asarray(times, dtype=float).reshape(-1)
+        wave = np.sin(
+            2.0 * np.pi * self._freqs * t[:, None, None] + self._phases
+        )
+        fluctuation = self.fluctuation_ut * (self._weights * wave).sum(axis=1)
+        scale = 1.0 + self.gradient_per_m * np.maximum(pos[:, 0], 0.0)
+        return (self.bias_ut + fluctuation) * scale[:, None]
 
 
 def quiet_room_interference(seed: int = 0) -> EnvironmentalInterference:

@@ -58,17 +58,31 @@ class Magnetometer:
 
         Returns body-frame readings in µT at the sensor's own rate,
         independent of the path's sampling grid.
+
+        Sources may be plain ``(position, t) → field`` callables or
+        :class:`~repro.physics.magnetics.FieldSource` objects; the latter
+        are evaluated in one batched call per source, which is what makes
+        full-capture simulation cheap.
         """
         rng = np.random.default_rng(self.seed) if rng is None else rng
         times = sample_times(path.duration, self.sample_rate, start=path.times[0])
-        readings = np.empty((times.size, 3))
-        for i, t in enumerate(times):
-            pose = path.pose_at(t)
-            total = np.zeros(3)
-            for f in field_functions:
-                total = total + np.asarray(f(pose.position, t), dtype=float)
-            body = pose.to_body(total) + self.hard_iron_ut
-            readings[i] = body
+        positions, orientations = path.sample_poses(times)
+        total = np.zeros((times.size, 3))
+        for f in field_functions:
+            if hasattr(f, "field_at_many"):
+                contrib = np.asarray(f.field_at_many(positions, times), dtype=float)
+            else:
+                contrib = np.stack(
+                    [
+                        np.asarray(f(p, float(t)), dtype=float)
+                        for p, t in zip(positions, times)
+                    ]
+                )
+            total = total + contrib
+        # Body-frame rotation R.T @ v for every sample at once.
+        readings = (
+            np.einsum("nji,nj->ni", orientations, total) + self.hard_iron_ut
+        )
         readings += rng.normal(0.0, self.noise_ut, readings.shape)
         readings = quantize(readings, self.resolution_ut)
         readings = np.clip(readings, -self.range_ut, self.range_ut)

@@ -73,6 +73,13 @@ class GatewayConfig:
     max_batch: int = 8
     #: Recent-sample window of the latency histograms.
     metrics_window: int = 4096
+    #: Serve with the cost-ordered early-exit cascade: cheap stages run
+    #: first and a confident rejection skips everything downstream
+    #: (including identity scoring).  Decisions match the strict path —
+    #: ACCEPT still requires every enabled component to pass — but
+    #: rejected requests return after the cheap stages.  ``False`` keeps
+    #: the run-everything behaviour bit-for-bit.
+    cascade: bool = False
 
     def __post_init__(self) -> None:
         if self.request_workers <= 0:
@@ -280,17 +287,8 @@ class Gateway:
             finally:
                 self._queue.task_done()
 
-    def _process(self, frame: bytes, future: "Future[bytes]") -> None:
-        t0 = time.perf_counter()
-        try:
-            capture, claimed, request_id = decode_request_full(frame)
-        except ProtocolError as exc:
-            self.metrics.increment("protocol_errors")
-            future.set_exception(exc)
-            return
-        t_decoded = time.perf_counter()
-
-        jobs = machine_detection_jobs(self.system, capture, claimed)
+    def _run_detection(self, jobs) -> Dict[str, ComponentResult]:
+        """Scheduler fan-out + fail-closed folding for detection jobs."""
         job_results = self._scheduler.run_all(
             jobs,
             timeout_s=self.config.component_timeout_s,
@@ -301,7 +299,24 @@ class Gateway:
                 self.metrics.increment("component_timeouts")
             if jr.attempts > 1:
                 self.metrics.increment("component_retries", jr.attempts - 1)
-        results = collect_detection_results(job_results)
+        return collect_detection_results(job_results)
+
+    def _process(self, frame: bytes, future: "Future[bytes]") -> None:
+        t0 = time.perf_counter()
+        try:
+            capture, claimed, request_id = decode_request_full(frame)
+        except ProtocolError as exc:
+            self.metrics.increment("protocol_errors")
+            future.set_exception(exc)
+            return
+        t_decoded = time.perf_counter()
+
+        if self.config.cascade:
+            self._process_cascade(capture, claimed, request_id, future, t0, t_decoded)
+            return
+
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        results = self._run_detection(jobs)
         t_detection = time.perf_counter()
 
         if "identity" in self.system.enabled_components and claimed is not None:
@@ -329,6 +344,96 @@ class Gateway:
         self.metrics.increment("accepted" if accepted else "rejected")
         future.set_result(decision_frame)
 
+    def _cascade_order(self, claimed: Optional[str]) -> Tuple[str, ...]:
+        """Enabled stages cheapest-first; claim-dependent stages only with
+        a claim (matching the strict path, which skips them too)."""
+        order = self.system.cascade_plan.order(self.system.enabled_components)
+        if claimed is None:
+            order = tuple(n for n in order if n not in ("identity", "soundfield"))
+        return order
+
+    def _process_cascade(
+        self,
+        capture: SensorCapture,
+        claimed: Optional[str],
+        request_id: Optional[str],
+        future: "Future[bytes]",
+        t0: float,
+        t_decoded: float,
+    ) -> None:
+        """Cost-ordered serving: cheap gates sequentially, expensive tail
+        in parallel, early exit on any confident rejection.
+
+        The final decision is identical to the strict path: ACCEPT needs
+        every enabled stage to pass, and a stage is only skipped after an
+        upstream stage has already rejected.
+        """
+        order = self._cascade_order(claimed)
+        gates = order[:-2] if len(order) > 2 else ()
+        tail = order[len(gates):]
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        results: Dict[str, ComponentResult] = {}
+        skipped: Tuple[str, ...] = ()
+
+        def run_stage(name: str) -> ComponentResult:
+            with self.metrics.time(f"stage_{name}_s"):
+                if name == "identity":
+                    return self._batcher.score(claimed, capture)
+                return self._run_detection({name: jobs[name]})[name]
+
+        for i, name in enumerate(gates):
+            try:
+                result = run_stage(name)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via the future
+                self.metrics.increment("identity_errors")
+                future.set_exception(exc)
+                return
+            results[name] = result
+            if self.system.cascade_plan.confident_reject(result, self.system.config):
+                skipped = order[i + 1 :]
+                break
+        if not skipped and tail:
+
+            def timed_job(name: str, fn):
+                def call():
+                    with self.metrics.time(f"stage_{name}_s"):
+                        return fn()
+
+                return call
+
+            tail_jobs = {
+                name: timed_job(name, jobs[name])
+                for name in tail
+                if name != "identity"
+            }
+            if tail_jobs:
+                results.update(self._run_detection(tail_jobs))
+            if "identity" in tail:
+                try:
+                    results["identity"] = run_stage("identity")
+                except BaseException as exc:  # noqa: BLE001
+                    self.metrics.increment("identity_errors")
+                    future.set_exception(exc)
+                    return
+
+        for name in skipped:
+            self.metrics.increment(f"stage_skipped_{name}")
+        if skipped:
+            self.metrics.increment("cascade_early_exits")
+
+        accepted = all(r.passed for r in results.values())
+        payload: Dict[str, Tuple[bool, float, str]] = {
+            name: (r.passed, r.score, r.detail) for name, r in results.items()
+        }
+        decision_frame = encode_decision(accepted, payload, request_id=request_id)
+        t_done = time.perf_counter()
+
+        self.metrics.observe("decode_s", t_decoded - t0)
+        self.metrics.observe("total_s", t_done - t0)
+        self.metrics.increment("requests_completed")
+        self.metrics.increment("accepted" if accepted else "rejected")
+        future.set_result(decision_frame)
+
     # ------------------------------------------------------------------
     # Reporting / lifecycle
     # ------------------------------------------------------------------
@@ -341,6 +446,8 @@ class Gateway:
             "misses": cache.misses,
             "evictions": cache.evictions,
         }
+        if self.config.cascade:
+            summary["stages"] = self.metrics.stage_report()
         return summary
 
     def close(self) -> None:

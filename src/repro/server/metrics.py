@@ -152,6 +152,40 @@ class MetricsRegistry:
             counters = dict(self._counters)
         return {"histograms": hists, "counters": counters}
 
+    def stage_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-cascade-stage runs, skips, skip rate and latency percentiles.
+
+        Aggregates the ``stage_<name>_s`` histograms and
+        ``stage_skipped_<name>`` counters the gateway cascade maintains.
+        Stages that never ran but were skipped still appear (run p50/p95
+        report 0.0).
+        """
+        with self._lock:
+            hists = {
+                name[len("stage_") : -len("_s")]: h
+                for name, h in self._histograms.items()
+                if name.startswith("stage_") and name.endswith("_s")
+            }
+            skips = {
+                name[len("stage_skipped_") :]: count
+                for name, count in self._counters.items()
+                if name.startswith("stage_skipped_")
+            }
+        report: Dict[str, Dict[str, float]] = {}
+        for stage in sorted(set(hists) | set(skips)):
+            hist = hists.get(stage)
+            runs = hist.count if hist is not None else 0
+            skipped = skips.get(stage, 0)
+            total = runs + skipped
+            report[stage] = {
+                "runs": float(runs),
+                "skipped": float(skipped),
+                "skip_rate": skipped / total if total else 0.0,
+                "p50_s": hist.percentile(50.0) if hist is not None else 0.0,
+                "p95_s": hist.percentile(95.0) if hist is not None else 0.0,
+            }
+        return report
+
 
 class _Timer:
     def __init__(self, registry: MetricsRegistry, name: str):

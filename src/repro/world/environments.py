@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.physics.magnetics import (
+    ConstantField,
     EnvironmentalInterference,
     car_interference,
     earth_field,
@@ -23,8 +24,16 @@ class Environment:
     interference: EnvironmentalInterference
     include_earth_field: bool = True
 
+    def field_sources(self):
+        """Batched field sources for the magnetometer model."""
+        sources = []
+        if self.include_earth_field:
+            sources.append(ConstantField(earth_field()))
+        sources.append(self.interference)
+        return sources
+
     def field_functions(self):
-        """Field callbacks for the magnetometer model."""
+        """Scalar field callbacks (legacy interface; prefer field_sources)."""
         funcs = []
         if self.include_earth_field:
             constant = earth_field()
@@ -37,15 +46,11 @@ class Environment:
     def ambient_sample(self, duration_s: float, rate_hz: float = 100.0) -> np.ndarray:
         """Ambient |B| samples at a fixed point — used for calibration."""
         times = np.arange(int(duration_s * rate_hz)) / rate_hz
-        origin = np.zeros(3)
-        mags = np.empty(times.size)
-        funcs = self.field_functions()
-        for i, t in enumerate(times):
-            total = np.zeros(3)
-            for f in funcs:
-                total = total + f(origin, t)
-            mags[i] = np.linalg.norm(total)
-        return mags
+        origin = np.zeros((times.size, 3))
+        total = np.zeros((times.size, 3))
+        for source in self.field_sources():
+            total = total + source.field_at_many(origin, times)
+        return np.linalg.norm(total, axis=1)
 
 
 def quiet_room_environment(seed: int = 0) -> Environment:

@@ -77,6 +77,21 @@ class MouthSource:
         gain = cardioid ** self.shadow_exponent(frequency_hz)
         return p * gain
 
+    def pressure_at_many(
+        self, positions: np.ndarray, frequency_hz: float
+    ) -> np.ndarray:
+        """Batched :meth:`pressure_at` over ``(n, 3)`` positions."""
+        pos = np.atleast_2d(np.asarray(positions, dtype=float))
+        p = self._piston.pressure_at_many(pos, frequency_hz)
+        r_vec = pos - self.position
+        r = np.linalg.norm(r_vec, axis=1)
+        safe = r >= 1e-9
+        denom = np.where(safe, r, 1.0)
+        cos_theta = np.clip((r_vec / denom[:, None]) @ self.axis, -1.0, 1.0)
+        cardioid = np.maximum(0.5 * (1.0 + cos_theta), 1e-3)
+        gain = cardioid ** self.shadow_exponent(frequency_hz)
+        return np.where(safe, p * gain, p)
+
 
 @dataclass
 class HumanSpeakerSource:

@@ -193,9 +193,14 @@ def simulate_capture(
         for low, high, centre in RENDER_BANDS:
             high = min(high, audio_sr / 2.0 * 0.95)
             band_voice = bandpass(voice, low, high, audio_sr, order=2)
-            gains = np.array(
-                [acoustic.pressure_at(p, centre) for p in positions]
-            )
+            if hasattr(acoustic, "pressure_at_many"):
+                gains = np.asarray(
+                    acoustic.pressure_at_many(positions, centre), dtype=float
+                )
+            else:
+                gains = np.array(
+                    [acoustic.pressure_at(p, centre) for p in positions]
+                )
             gain_track = np.interp(audio_times, path.times, gains)
             rendered += band_voice * gain_track
         return rendered
@@ -216,11 +221,8 @@ def simulate_capture(
         distances = path.distances_to(reflector)
         d_track = np.interp(audio_times, path.times, distances)
         direct = PILOT_DIRECT_PA * np.sin(2.0 * np.pi * pilot_hz * audio_times)
-        echo_amp = PILOT_ECHO_PA * np.array(
-            [
-                spherical_attenuation(2.0 * d, PILOT_ECHO_REF_M)
-                for d in d_track
-            ]
+        echo_amp = PILOT_ECHO_PA * spherical_attenuation(
+            2.0 * d_track, PILOT_ECHO_REF_M
         )
         echo_phase = 2.0 * np.pi * pilot_hz * (audio_times - 2.0 * d_track / SPEED_OF_SOUND)
         pressure += direct + echo_amp * np.sin(echo_phase)
@@ -245,13 +247,12 @@ def simulate_capture(
 
     # --- Magnetometer -----------------------------------------------------
     env_times, envelope = _playback_envelope(voice_waveform, voice_sample_rate)
-    drive = lambda t, _t=env_times, _e=envelope: float(np.interp(t, _t, _e))
-    field_functions = list(environment.field_functions())
-    for mag_source in source.magnetic_sources(drive):
-        field_functions.append(
-            lambda position, t, _s=mag_source: _s.field_at(position, t)
-        )
-    magnetometer = phone.magnetometer.sample(path, field_functions, rng)
+    # np.interp is array-capable, so the drive vectorises through
+    # VoiceCoilDipole.field_at_many while staying a valid scalar callback.
+    drive = lambda t, _t=env_times, _e=envelope: np.interp(t, _t, _e)
+    field_sources = list(environment.field_sources())
+    field_sources.extend(source.magnetic_sources(drive))
+    magnetometer = phone.magnetometer.sample(path, field_sources, rng)
 
     # --- Inertial sensors ---------------------------------------------------
     accelerometer = phone.accelerometer.sample(path, rng)

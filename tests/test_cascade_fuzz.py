@@ -1,0 +1,118 @@
+"""Seeded fuzz: the cascade never flips a decision, on any random scene.
+
+Random scenario draws (genuine / replay through a random Table IV
+loudspeaker / sound-tube / mimic, random hold distance, both
+electromagnetic environments, random claimed speaker) — every capture
+must produce the identical ACCEPT/REJECT from the early-exit cascade and
+the strict run-everything pipeline, and the cascade may only skip stages
+on rejected attempts.  The scene generator is seeded, so a failure
+reproduces exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import HumanMimicAttack, ReplayAttack, SoundTubeAttack
+from repro.devices import Loudspeaker, get_loudspeaker
+from repro.experiments.world import make_trajectory
+from repro.voice.profiles import random_profile
+from repro.world.environments import (
+    near_computer_environment,
+    quiet_room_environment,
+)
+from repro.world.humans import HumanSpeakerSource
+from repro.world.scene import simulate_capture
+
+FUZZ_SEED = 1234
+N_SCENES = 10
+
+#: A spread of Table IV device classes for the replay draws.
+SPEAKER_POOL = (
+    "Logitech LS21",
+    "Pioneer SP-FS52",
+    "Sony SRSX2/BLK",
+    "Apple EarPods MD827LL/A",
+    "Apple Macbook Pro A1286 internal",
+)
+
+
+def _random_scene(world, rng):
+    """One random verification attempt: (label, capture, claimed)."""
+    users = sorted(world.users)
+    victim = users[int(rng.integers(len(users)))]
+    account = world.user(victim)
+    env = (
+        quiet_room_environment(seed=0)
+        if rng.random() < 0.5
+        else near_computer_environment(seed=0)
+    )
+    distance = float(rng.uniform(0.04, 0.08))
+    kind = str(rng.choice(["genuine", "replay", "soundtube", "mimic"]))
+    if kind == "genuine":
+        waveform = world.synthesizer.synthesize_digits(
+            account.profile, account.passphrase, rng
+        ).waveform
+        source = HumanSpeakerSource(account.profile)
+        sample_rate = world.synthesizer.sample_rate
+    else:
+        stolen = account.enrolment_waveforms[
+            int(rng.integers(len(account.enrolment_waveforms)))
+        ]
+        if kind == "mimic":
+            attacker = random_profile(f"fuzz_attacker_{rng.integers(1e6)}", rng)
+            attempt = HumanMimicAttack(attacker).prepare(
+                [stolen], account.passphrase, victim, rng
+            )
+        else:
+            name = str(rng.choice(SPEAKER_POOL))
+            speaker = Loudspeaker(get_loudspeaker(name), np.zeros(3))
+            attack = (
+                SoundTubeAttack(speaker) if kind == "soundtube" else ReplayAttack(speaker)
+            )
+            attempt = attack.prepare(stolen, 16000, victim)
+        source, waveform = attempt.source, attempt.waveform
+        sample_rate = attempt.sample_rate
+    capture = simulate_capture(
+        world.phone,
+        source,
+        env,
+        make_trajectory(distance),
+        waveform,
+        sample_rate,
+        rng,
+    )
+    return f"{kind}@{distance * 100:.1f}cm/{env.name}", capture, victim
+
+
+@pytest.fixture(scope="module")
+def fuzz_reports(small_world):
+    """(label, strict, cascade) per seeded scene, computed once."""
+    rows = []
+    for i in range(N_SCENES):
+        rng = np.random.default_rng(FUZZ_SEED + i)
+        label, capture, claimed = _random_scene(small_world, rng)
+        strict = small_world.system.verify_cascade(capture, claimed, strict=True)
+        cascade = small_world.system.verify_cascade(capture, claimed, strict=False)
+        rows.append((label, strict, cascade))
+    return rows
+
+
+@pytest.mark.parametrize("scene_index", range(N_SCENES))
+def test_cascade_never_flips_random_scene(fuzz_reports, scene_index):
+    label, strict, cascade = fuzz_reports[scene_index]
+    assert cascade.decision == strict.decision, label
+    if cascade.skipped:
+        assert not cascade.accepted, label
+        assert cascade.early_exit_stage not in cascade.skipped, label
+    # Whatever the cascade did run scored exactly as strict did.
+    for name, result in cascade.components.items():
+        assert result.score == strict.components[name].score, (label, name)
+
+
+def test_fuzz_covers_both_outcomes(fuzz_reports):
+    """The seeded scene set exercises accepts *and* early-exit rejects."""
+    decisions = {strict.decision for _, strict, _ in fuzz_reports}
+    assert len(decisions) == 2, "fuzz set collapsed to one outcome"
+    assert any(
+        cascade.early_exit_stage is not None for _, _, cascade in fuzz_reports
+    ), "fuzz set never triggered an early exit"

@@ -200,3 +200,64 @@ class TestGatewayMetrics:
         assert summary["counters"]["requests_completed"] == 4
         cache = summary["soundfield_cache"]
         assert cache["hits"] + cache["misses"] > 0
+
+
+class TestGatewayCascade:
+    """The cascade-mode gateway: same decisions, early exits on attacks."""
+
+    def test_cascade_decisions_equal_sequential(
+        self, small_world, request_frames, sequential_decisions
+    ):
+        config = GatewayConfig(
+            request_workers=10, batch_window_s=0.05, max_batch=4, cascade=True
+        )
+        with Gateway(small_world.system, config) as gateway:
+            frames = gateway.handle_many(request_frames)
+            summary = gateway.metrics_summary()
+        decisions = [decode_decision(f) for f in frames]
+        for got, expected in zip(decisions, sequential_decisions):
+            assert got["accepted"] == expected["accepted"]
+            assert got["request_id"] == expected["request_id"]
+            # Every stage the cascade did run scored bitwise equal.
+            for name, comp in got["components"].items():
+                assert comp == expected["components"][name], name
+        counters = summary["counters"]
+        assert counters["requests_completed"] == len(request_frames)
+        # The replay frames are confidently rejected by the cheap
+        # magnetometer gate, so the burst must record early exits.
+        assert counters["cascade_early_exits"] >= 1
+
+    def test_cascade_skips_only_rejected_requests(
+        self, small_world, request_frames, sequential_decisions
+    ):
+        config = GatewayConfig(request_workers=4, cascade=True)
+        with Gateway(small_world.system, config) as gateway:
+            frames = gateway.handle_many(request_frames)
+        for frame, expected in zip(frames, sequential_decisions):
+            decision = decode_decision(frame)
+            ran = set(decision["components"])
+            if ran != set(expected["components"]):
+                # A stage was skipped: only allowed on rejections.
+                assert not decision["accepted"]
+
+    def test_cascade_stage_report(self, small_world, request_frames):
+        config = GatewayConfig(request_workers=4, cascade=True)
+        with Gateway(small_world.system, config) as gateway:
+            gateway.handle_many(request_frames)
+            summary = gateway.metrics_summary()
+        stages = summary["stages"]
+        # The cheap magnetometer gate runs on every request.
+        assert stages["magnetic"]["runs"] == len(request_frames)
+        assert stages["magnetic"]["skipped"] == 0
+        for name, row in stages.items():
+            assert 0.0 <= row["skip_rate"] <= 1.0, name
+            assert row["p95_s"] >= row["p50_s"] >= 0.0, name
+
+    def test_strict_mode_summary_has_no_stage_section(
+        self, small_world, request_frames
+    ):
+        config = GatewayConfig(request_workers=2)
+        with Gateway(small_world.system, config) as gateway:
+            gateway.handle_many(request_frames[:2])
+            summary = gateway.metrics_summary()
+        assert "stages" not in summary
