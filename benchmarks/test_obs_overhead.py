@@ -1,0 +1,103 @@
+"""Tracing overhead on the verification pipeline (ISSUE 4 acceptance).
+
+Runs the ISSUE-3 scenario set (genuine attempts plus the Table IV replay
+sweep, sound-tube included) through ``DefenseSystem.verify_cascade``
+twice — once untraced (``NULL_TRACER``) and once with a live ``Tracer``
+attached — and requires the workload-weighted latency ratio to stay
+under 1.05 (<5% overhead) plus an absolute sub-half-millisecond budget
+on the early-exit fast path.  Numbers land in ``BENCH_obs.json`` for
+the CI perf diff.
+
+The traced run keeps span recording on but no JSONL exporter in the
+timed loop; export happens off the hot path via ``drain_completed``.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from harness import write_bench
+from test_pipeline_cascade import REPEATS, _scenarios
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+def _time_verify(system, capture, claimed):
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        system.verify_cascade(capture, claimed)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_tracing_overhead_under_five_percent(bench_world):
+    system = bench_world.system
+    rows = _scenarios(bench_world)
+    tracer = Tracer(max_completed=4096)
+
+    untraced_s, traced_s = {}, {}
+    try:
+        for label, capture, claimed, _ in rows:
+            # Interleave per scenario so cache/thermal drift hits both
+            # arms equally instead of biasing whichever runs second.
+            system.set_tracer(NULL_TRACER)
+            untraced_s[label] = _time_verify(system, capture, claimed)
+            system.set_tracer(tracer)
+            traced_s[label] = _time_verify(system, capture, claimed)
+    finally:
+        # bench_world is session-scoped; leave it untraced for the rest.
+        system.set_tracer(NULL_TRACER)
+
+    ratios = {label: traced_s[label] / untraced_s[label] for label in untraced_s}
+    # Relative overhead is only meaningful on scenarios long enough to
+    # measure: the magnetic fast path rejects in ~0.2 ms, where even a
+    # handful of 5 us spans reads as 20%+.  The workload-weighted ratio
+    # is the acceptance metric; the fast path gets an absolute budget.
+    overhead_ratio = sum(traced_s.values()) / sum(untraced_s.values())
+    fast_deltas_s = [
+        traced_s[label] - untraced_s[label]
+        for label in untraced_s
+        if untraced_s[label] < 0.010
+    ]
+    fast_overhead_s = float(np.median(fast_deltas_s)) if fast_deltas_s else 0.0
+
+    traces = tracer.drain_completed()
+    assert traces, "traced runs should have produced completed traces"
+    span_counts = [len(spans) for spans in traces]
+
+    emit(
+        "Tracing overhead (verify_cascade)",
+        [
+            f"workload overhead ratio: {overhead_ratio:.3f}   "
+            f"fast-path absolute overhead: {fast_overhead_s * 1e6:.0f} us",
+            *(
+                f"{label:16s}: untraced {untraced_s[label] * 1e3:7.1f} ms   "
+                f"traced {traced_s[label] * 1e3:7.1f} ms   "
+                f"({ratios[label]:.2f}x)"
+                for label, _, _, _ in rows
+            ),
+            f"traces recorded: {len(traces)} "
+            f"(spans/trace: {min(span_counts)}-{max(span_counts)})",
+        ],
+    )
+
+    write_bench(
+        "obs",
+        latencies={
+            "untraced": list(untraced_s.values()),
+            "traced": list(traced_s.values()),
+        },
+        counters={"traces_recorded": len(traces)},
+        extra={
+            "overhead_ratio": overhead_ratio,
+            "fast_path_overhead_us": fast_overhead_s * 1e6,
+            "per_scenario_ratio": ratios,
+        },
+    )
+
+    # ISSUE 4 acceptance: tracing-on costs < 5% latency on the workload,
+    # and at most 0.5 ms absolute on the sub-10ms early-exit path.
+    assert overhead_ratio < 1.05
+    assert fast_overhead_s < 0.0005

@@ -44,13 +44,18 @@ class ComponentResult:
 
     ``score`` is continuous ("higher is more genuine-like" for every
     component, so benches can sweep thresholds); ``passed`` is the
-    thresholded decision the cascade uses.
+    thresholded decision the cascade uses.  ``evidence`` is the
+    structured decision provenance — the measured values next to the
+    paper thresholds they were compared against (e.g. the estimated
+    distance vs ``Dt``, the magnetometer peak vs ``Mt``) — consumed by
+    :class:`repro.obs.provenance.DecisionRecord` and the audit log.
     """
 
     name: str
     passed: bool
     score: float
     detail: str = ""
+    evidence: Mapping[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

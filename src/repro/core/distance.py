@@ -4,17 +4,20 @@ Ensures the phone ended its motion close enough to the sound source for
 the magnetometer check to be meaningful.  The continuous score is the
 negated estimated distance (higher = closer = more genuine-compatible);
 the pass decision compares the estimate against ``Dt`` with the
-configured margin.
+configured margin.  The result's evidence mapping records the estimate,
+the circle-fit quality and the thresholds, so an audit log can replay
+the comparison offline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.core.trajectory_recovery import RecoveredTrajectory, recover_trajectory
 from repro.errors import CaptureError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.world.scene import SensorCapture
 
 
@@ -23,10 +26,12 @@ class DistanceVerifier:
     """Recovers the trajectory and thresholds the final distance."""
 
     config: DefenseConfig
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     def estimate(self, capture: SensorCapture) -> RecoveredTrajectory:
         """Expose the full recovery for callers that need the trajectory."""
-        return recover_trajectory(capture)
+        with self.tracer.span("dsp.trajectory_recovery"):
+            return recover_trajectory(capture)
 
     def verify(self, capture: SensorCapture) -> ComponentResult:
         """Pass iff the recovered final distance is within ``Dt``."""
@@ -49,4 +54,12 @@ class DistanceVerifier:
                 f"estimated {recovered.end_distance * 100:.1f} cm "
                 f"(limit {limit * 100:.1f} cm)"
             ),
+            evidence={
+                "estimated_distance_m": recovered.end_distance,
+                "Dt_m": self.config.distance_threshold_m,
+                "distance_margin": self.config.distance_margin,
+                "limit_m": limit,
+                "circle_fit_residual_m": recovered.circle_residual,
+                "arc_radius_m": recovered.arc_radius,
+            },
         )

@@ -18,6 +18,7 @@ from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.dsp.filters import lowpass
 from repro.errors import CaptureError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.world.scene import SensorCapture
 
 
@@ -51,6 +52,7 @@ class IdentityVerifier:
     backend: VerifierBackend = VerifierBackend.GMM_UBM
     n_components: int = 32
     seed: int = 0
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
     verifier: SpeakerVerifier = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -91,10 +93,12 @@ class IdentityVerifier:
         return self.enroll_waveforms(speaker_id, waves)
 
     def score(self, capture: SensorCapture, claimed_speaker: str) -> float:
-        voice = extract_voice(
-            capture.audio, capture.audio_sample_rate, self.verifier.sample_rate
-        )
-        return self.verifier.verify(claimed_speaker, voice)
+        with self.tracer.span("dsp.extract_voice"):
+            voice = extract_voice(
+                capture.audio, capture.audio_sample_rate, self.verifier.sample_rate
+            )
+        with self.tracer.span("asv.llr_score"):
+            return self.verifier.verify(claimed_speaker, voice)
 
     def verify(self, capture: SensorCapture, claimed_speaker: str) -> ComponentResult:
         try:
@@ -148,4 +152,8 @@ class IdentityVerifier:
             passed=passed,
             score=score,
             detail=f"LLR {score:.2f} vs threshold {self.config.asv_threshold:.2f}",
+            evidence={
+                "llr": score,
+                "asv_threshold": self.config.asv_threshold,
+            },
         )

@@ -15,7 +15,7 @@ centimetres blows through both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.dsp.filters import moving_average
 from repro.errors import CaptureError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.world.scene import SensorCapture
 
 
@@ -68,9 +69,11 @@ class LoudspeakerDetector:
     """
 
     config: DefenseConfig
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     def signature(self, capture: SensorCapture) -> MagneticSignature:
-        return magnetic_signature(capture)
+        with self.tracer.span("dsp.magnetic_signature"):
+            return magnetic_signature(capture)
 
     def detection_strength(self, signature: MagneticSignature) -> float:
         """Max of the two threshold ratios; ≥ 1 means loudspeaker."""
@@ -101,4 +104,13 @@ class LoudspeakerDetector:
                 f"rate {sig.max_rate_ut_s:.0f} µT/s "
                 f"(βt={self.config.rate_threshold_ut_s:.0f})"
             ),
+            evidence={
+                "peak_anomaly_ut": sig.peak_anomaly_ut,
+                "Mt_ut": self.config.magnetic_threshold_ut,
+                "max_rate_ut_s": sig.max_rate_ut_s,
+                "beta_t_ut_s": self.config.rate_threshold_ut_s,
+                "baseline_ut": sig.baseline_ut,
+                "ambient_std_ut": sig.ambient_std_ut,
+                "detection_strength": strength,
+            },
         )

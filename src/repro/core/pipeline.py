@@ -24,7 +24,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,11 @@ from repro.core.identity import IdentityVerifier
 from repro.core.magnetic import LoudspeakerDetector
 from repro.core.soundfield import SoundFieldVerifier
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.world.scene import SensorCapture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.obs.provenance import DecisionRecord
 
 #: Pipeline order, matching Fig. 4.
 COMPONENT_ORDER = ("distance", "soundfield", "magnetic", "identity")
@@ -93,6 +97,11 @@ class DefenseSystem:
     soundfield_cache_capacity: int = 16
     #: Stage ordering + early-exit policy of :meth:`verify_cascade`.
     cascade_plan: CascadePlan = field(default_factory=CascadePlan)
+    #: Request tracer.  The default :data:`~repro.obs.trace.NULL_TRACER`
+    #: is a shared no-op; install a live one with :meth:`set_tracer` and
+    #: every verification emits nested stage + DSP-kernel spans carrying
+    #: the components' evidence.
+    tracer: Tracer = field(default=NULL_TRACER, repr=False)
     cascade_stats: CascadeStats = field(
         init=False, repr=False, default_factory=CascadeStats
     )
@@ -127,6 +136,22 @@ class DefenseSystem:
             n_components=self.asv_components,
             seed=self.seed,
         )
+        self.set_tracer(self.tracer)
+
+    def set_tracer(self, tracer: Tracer) -> "DefenseSystem":
+        """Install a tracer on the system and every component it owns.
+
+        Cached sound-field verifiers are updated too; verifiers
+        rehydrated later inherit the tracer in :meth:`soundfield_for`.
+        """
+        self.tracer = tracer
+        self.distance.tracer = tracer
+        self.magnetic.tracer = tracer
+        self.identity.tracer = tracer
+        with self._soundfield_lock:
+            for verifier in self._soundfield_cache.values():
+                verifier.tracer = tracer
+        return self
 
     # ------------------------------------------------------------------
     # Training / enrolment
@@ -183,6 +208,7 @@ class DefenseSystem:
 
     def _cache_put(self, speaker_id: str, verifier: SoundFieldVerifier) -> None:
         """Insert into the LRU (lock held by caller), evicting if full."""
+        verifier.tracer = self.tracer
         self._soundfield_cache[speaker_id] = verifier
         self._soundfield_cache.move_to_end(speaker_id)
         while len(self._soundfield_cache) > self.soundfield_cache_capacity:
@@ -258,7 +284,33 @@ class DefenseSystem:
         capture: SensorCapture,
         claimed_speaker: Optional[str] = None,
     ) -> ComponentResult:
-        """Run one verification component (shared by both engines)."""
+        """Run one verification component (shared by both engines).
+
+        With a live tracer the stage runs inside a ``stage.<name>`` span
+        (DSP kernels open child spans of their own) whose attributes
+        carry the verdict and the component's evidence mapping.
+        """
+        with self.tracer.span(f"stage.{name}") as span:
+            result = self._dispatch_component(name, capture, claimed_speaker)
+            if self.tracer.enabled:
+                span.set_attrs(
+                    {
+                        "passed": result.passed,
+                        "score": result.score,
+                        "detail": result.detail,
+                        "evidence": dict(result.evidence),
+                    }
+                )
+                if not result.passed:
+                    span.status = "error" if result.score == float("-inf") else "ok"
+            return result
+
+    def _dispatch_component(
+        self,
+        name: str,
+        capture: SensorCapture,
+        claimed_speaker: Optional[str],
+    ) -> ComponentResult:
         if name == "distance":
             return self.distance.verify(capture)
         if name == "magnetic":
@@ -293,15 +345,24 @@ class DefenseSystem:
         """
         results: Dict[str, ComponentResult] = {}
         rejected = False
-        for name in COMPONENT_ORDER:
-            if name not in self.enabled_components:
-                continue
-            if cascade and rejected:
-                break
-            result = self.run_component(name, capture, claimed_speaker)
-            results[name] = result
-            rejected = rejected or not result.passed
-        decision = Decision.REJECT if rejected else Decision.ACCEPT
+        with self.tracer.span("verify") as root:
+            for name in COMPONENT_ORDER:
+                if name not in self.enabled_components:
+                    continue
+                if cascade and rejected:
+                    break
+                result = self.run_component(name, capture, claimed_speaker)
+                results[name] = result
+                rejected = rejected or not result.passed
+            decision = Decision.REJECT if rejected else Decision.ACCEPT
+            if self.tracer.enabled:
+                root.set_attrs(
+                    {
+                        "decision": decision.value,
+                        "claimed_speaker": claimed_speaker,
+                        "mode": "strict",
+                    }
+                )
         return VerificationReport(
             decision=decision, components=results, claimed_speaker=claimed_speaker
         )
@@ -341,19 +402,45 @@ class DefenseSystem:
         skipped: list[str] = []
         early_exit: Optional[str] = None
         rejected = False
-        for name in order:
-            if early_exit is not None:
-                skipped.append(name)
-                continue
-            t0 = time.perf_counter()
-            result = self.run_component(name, capture, claimed_speaker)
-            latency[name] = time.perf_counter() - t0
-            results[name] = result
-            rejected = rejected or not result.passed
-            if not strict and self.cascade_plan.confident_reject(
-                result, self.config
-            ):
-                early_exit = name
+        with self.tracer.span("verify") as root:
+            for name in order:
+                if early_exit is not None:
+                    skipped.append(name)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            f"stage.{name}",
+                            status="skipped",
+                            attrs={
+                                "skip_reason": (
+                                    f"upstream stage {early_exit!r} rejected "
+                                    "confidently"
+                                ),
+                                "cost_saved_ms": self.cascade_plan.estimated_cost_ms(
+                                    (name,)
+                                ),
+                            },
+                        )
+                    continue
+                t0 = time.perf_counter()
+                result = self.run_component(name, capture, claimed_speaker)
+                latency[name] = time.perf_counter() - t0
+                results[name] = result
+                rejected = rejected or not result.passed
+                if not strict and self.cascade_plan.confident_reject(
+                    result, self.config
+                ):
+                    early_exit = name
+            if self.tracer.enabled:
+                root.set_attrs(
+                    {
+                        "decision": (
+                            Decision.REJECT if rejected else Decision.ACCEPT
+                        ).value,
+                        "claimed_speaker": claimed_speaker,
+                        "mode": "strict" if strict else "cascade",
+                        "early_exit_stage": early_exit if skipped else None,
+                    }
+                )
         with self._stats_lock:
             stats = self.cascade_stats
             stats.verifications += 1
@@ -371,4 +458,20 @@ class DefenseSystem:
             skipped=tuple(skipped),
             early_exit_stage=early_exit if skipped else None,
             stage_latency_s=latency,
+        )
+
+    def decision_record(
+        self,
+        report: VerificationReport,
+        request_id: str = "",
+        trace_id: str = "",
+    ) -> "DecisionRecord":
+        """Audit-grade provenance of one report (see :meth:`DecisionRecord.explain`)."""
+        from repro.obs.provenance import DecisionRecord
+
+        return DecisionRecord.from_report(
+            report,
+            cascade_plan=self.cascade_plan,
+            request_id=request_id,
+            trace_id=trace_id,
         )

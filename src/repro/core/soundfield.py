@@ -19,7 +19,7 @@ operates on features of that *delta trace*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.dsp.signal import frame_signal
 from repro.errors import CaptureError, NotFittedError
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSVM
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sensors.fusion import OrientationFilter
 from repro.world.scene import RENDER_BANDS, SensorCapture
 
@@ -199,6 +200,8 @@ class SoundFieldVerifier:
     #: global threshold does not transfer across users.
     threshold_: float | None = field(default=None, repr=False)
     _fitted: bool = field(default=False, repr=False)
+    #: Tracing hook (not part of the fitted state; never snapshotted).
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     @property
     def reference(self) -> SweepTrace:
@@ -351,6 +354,34 @@ class SoundFieldVerifier:
         novelty_headroom = (self.novelty_limit - self._novelty(feats)) * self.novelty_scale
         return min(svm_score, novelty_headroom)
 
+    def score_evidence(self, capture: SensorCapture) -> Dict[str, float]:
+        """The component's full scoring evidence for one capture.
+
+        Keys: ``svm_margin`` (raw SVM decision value), ``novelty``
+        (genuine-cluster |z| statistic) and ``novelty_headroom`` (its
+        scaled distance to the limit), plus the combined ``score`` =
+        min(svm_margin, novelty_headroom) that :meth:`score` returns.
+        """
+        if not self._fitted:
+            raise NotFittedError("SoundFieldVerifier used before fit")
+        with self.tracer.span("dsp.sweep_features"):
+            feats = self.features(capture)
+        with self.tracer.span("dsp.soundfield_svm"):
+            svm_score = float(
+                self._svm.decision_function(
+                    self._scaler.transform(feats[None, :])
+                )[0]
+            )
+            novelty = self._novelty(feats)
+        headroom = (self.novelty_limit - novelty) * self.novelty_scale
+        return {
+            "svm_margin": svm_score,
+            "novelty": novelty,
+            "novelty_limit": self.novelty_limit,
+            "novelty_headroom": headroom,
+            "score": min(svm_score, headroom),
+        }
+
     def score(self, capture: SensorCapture) -> float:
         """min(SVM margin, scaled novelty headroom); ≥ threshold passes."""
         if not self._fitted:
@@ -366,16 +397,20 @@ class SoundFieldVerifier:
 
     def verify(self, capture: SensorCapture) -> ComponentResult:
         try:
-            score = self.score(capture)
+            evidence = self.score_evidence(capture)
         except CaptureError as exc:
             return ComponentResult(
                 name="soundfield", passed=False, score=float("-inf"), detail=str(exc)
             )
+        score = evidence.pop("score")
         threshold = self.decision_threshold
         passed = score >= threshold
+        evidence["threshold"] = threshold
+        evidence["combined_score"] = score
         return ComponentResult(
             name="soundfield",
             passed=passed,
             score=score - threshold,
             detail=f"margin {score:.2f} vs calibrated threshold {threshold:.2f}",
+            evidence=evidence,
         )

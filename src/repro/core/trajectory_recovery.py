@@ -48,6 +48,9 @@ class RecoveredTrajectory:
     arc_radius: float
     circle_center: tuple[float, float]
     circle_radius: float
+    #: RMS distance of the sweep points from the fitted circle (m) — the
+    #: fit quality the audit trail records next to the distance verdict.
+    circle_residual: float
     end_distance: float
 
     @property
@@ -158,6 +161,13 @@ def recover_trajectory(
     except ConfigurationError:
         cx, cy, circle_radius = 0.0, 0.0, arc_radius
         end_distance = float(radius_t[-1])
+    circle_residual = float(
+        np.sqrt(
+            np.mean(
+                (np.hypot(xs[sweep] - cx, ys[sweep] - cy) - circle_radius) ** 2
+            )
+        )
+    )
 
     return RecoveredTrajectory(
         times=gyro_times,
@@ -168,5 +178,6 @@ def recover_trajectory(
         arc_radius=float(arc_radius),
         circle_center=(float(cx), float(cy)),
         circle_radius=float(circle_radius),
+        circle_residual=circle_residual,
         end_distance=end_distance,
     )

@@ -1,0 +1,57 @@
+"""Observability: request tracing, decision provenance, telemetry export.
+
+The serving path's verdicts must be auditable offline — which stage
+fired, on what evidence, against which paper threshold (``Dt``, ``Mt``,
+``βt``, the ASV LLR threshold) — and its score distributions monitored
+online.  This subpackage provides the four pieces the ISSUE-4 tentpole
+names:
+
+- :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` with
+  thread-local nesting and a zero-cost :data:`NULL_TRACER` default;
+- :mod:`repro.obs.provenance` — structured per-stage evidence folded
+  into :class:`DecisionRecord` with a human-readable ``explain()``;
+- :mod:`repro.obs.exporters` — rotating JSONL trace/audit sinks and the
+  Prometheus text exposition of a metrics registry;
+- :mod:`repro.obs.drift` — rolling + P²-sketched per-stage score
+  statistics with threshold-crossing :class:`DriftAlert`\\ s.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    render_trace,
+    spans_from_dicts,
+)
+from repro.obs.provenance import DecisionRecord, StageProvenance
+from repro.obs.exporters import (
+    AuditJsonlExporter,
+    JsonlRotatingWriter,
+    TraceJsonlExporter,
+    parse_prometheus,
+    prometheus_exposition,
+    read_jsonl,
+)
+from repro.obs.drift import DriftAlert, DriftMonitor, DriftRegistry, P2Quantile
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "render_trace",
+    "spans_from_dicts",
+    "DecisionRecord",
+    "StageProvenance",
+    "AuditJsonlExporter",
+    "JsonlRotatingWriter",
+    "TraceJsonlExporter",
+    "parse_prometheus",
+    "prometheus_exposition",
+    "read_jsonl",
+    "DriftAlert",
+    "DriftMonitor",
+    "DriftRegistry",
+    "P2Quantile",
+]

@@ -1,0 +1,276 @@
+"""Online score-drift monitors for the verification stages.
+
+An EER shift in the serving corpus should be visible from the gateway's
+telemetry, without rerunning the Table 1 sweep.  Each stage's continuous
+score stream feeds a :class:`DriftMonitor`:
+
+- **rolling statistics** — mean/std over a bounded ring of the most
+  recent scores (what the distribution looks like *now*);
+- a **P² quantile sketch** (Jain & Chlamtac 1985) — streaming p50/p95
+  estimates over the *whole* stream in O(1) memory, no sample buffer;
+- a **frozen reference** — the first ``baseline`` scores fix the
+  expected mean/std, and a :class:`DriftAlert` fires whenever the
+  rolling mean wanders more than ``z_threshold`` reference standard
+  deviations from the reference mean (threshold-crossing semantics: the
+  alert state holds while the distribution stays shifted).
+
+:class:`DriftRegistry` keys monitors by stage name and is thread-safe —
+gateway request workers record concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["P2Quantile", "DriftAlert", "DriftMonitor", "DriftRegistry"]
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (no buffer).
+
+    Keeps five markers whose heights converge on the ``p``-quantile of
+    the stream; memory and update cost are O(1) regardless of how many
+    scores a long-lived gateway sees.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError("p must be in (0, 1)")
+        self.p = p
+        self._initial: List[float] = []
+        self._q: List[float] = []  # marker heights
+        self._n: List[int] = []  # marker positions (1-based)
+        self._np: List[float] = []  # desired positions
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def update(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._q = list(self._initial)
+                self._n = [1, 2, 3, 4, 5]
+                self._np = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ]
+            return
+        # Locate the cell containing x, clamping the extremes.
+        if x < self._q[0]:
+            self._q[0] = x
+            k = 0
+        elif x >= self._q[4]:
+            self._q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= self._q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # Adjust the three interior markers.
+        for i in range(1, 4):
+            d = self._np[i] - self._n[i]
+            if (d >= 1 and self._n[i + 1] - self._n[i] > 1) or (
+                d <= -1 and self._n[i - 1] - self._n[i] < -1
+            ):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if self._q[i - 1] < candidate < self._q[i + 1]:
+                    self._q[i] = candidate
+                else:
+                    self._q[i] = self._linear(i, step)
+                self._n[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        n, q = self._n, self._q
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        n, q = self._n, self._q
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (exact below 5 samples)."""
+        if self.count == 0:
+            return 0.0
+        if len(self._initial) < 5:
+            return float(np.percentile(self._initial, self.p * 100.0))
+        return self._q[2]
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One stage's score distribution has left its reference band."""
+
+    stage: str
+    kind: str
+    rolling_mean: float
+    reference_mean: float
+    reference_std: float
+    zscore: float
+
+    def __str__(self) -> str:
+        return (
+            f"drift[{self.stage}] {self.kind}: rolling mean "
+            f"{self.rolling_mean:.4g} is {self.zscore:.2f} ref-sigma from "
+            f"reference {self.reference_mean:.4g} (ref std "
+            f"{self.reference_std:.4g})"
+        )
+
+
+class DriftMonitor:
+    """Rolling + sketched statistics of one score stream, with alerting."""
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 256,
+        baseline: int = 64,
+        z_threshold: float = 3.0,
+        min_std: float = 1e-6,
+    ):
+        if window <= 1:
+            raise ConfigurationError("window must be > 1")
+        if baseline <= 1:
+            raise ConfigurationError("baseline must be > 1")
+        if z_threshold <= 0:
+            raise ConfigurationError("z_threshold must be positive")
+        self.name = name
+        self.window = window
+        self.baseline = baseline
+        self.z_threshold = z_threshold
+        self.min_std = min_std
+        self._ring = np.empty(window, dtype=float)
+        self.count = 0
+        self.reference_mean: Optional[float] = None
+        self.reference_std: Optional[float] = None
+        self._p50 = P2Quantile(0.5)
+        self._p95 = P2Quantile(0.95)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return  # -inf error scores would poison every statistic
+        self._ring[self.count % self.window] = value
+        self.count += 1
+        self._p50.update(value)
+        self._p95.update(value)
+        if self.count == self.baseline and self.reference_mean is None:
+            recent = self._ring[: self.count]
+            self.reference_mean = float(recent.mean())
+            self.reference_std = max(float(recent.std()), self.min_std)
+
+    def set_reference(self, mean: float, std: float) -> None:
+        """Pin the reference externally (e.g. from offline calibration)."""
+        self.reference_mean = float(mean)
+        self.reference_std = max(float(std), self.min_std)
+
+    def _recent(self) -> np.ndarray:
+        return self._ring[: min(self.count, self.window)]
+
+    @property
+    def rolling_mean(self) -> float:
+        return float(self._recent().mean()) if self.count else 0.0
+
+    @property
+    def rolling_std(self) -> float:
+        return float(self._recent().std()) if self.count else 0.0
+
+    def zscore(self) -> float:
+        """Rolling-mean displacement in reference standard deviations."""
+        if self.reference_mean is None or self.reference_std is None:
+            return 0.0
+        return abs(self.rolling_mean - self.reference_mean) / self.reference_std
+
+    def alert(self) -> Optional[DriftAlert]:
+        """A :class:`DriftAlert` while the threshold is crossed."""
+        if self.reference_mean is None or self.count <= self.baseline:
+            return None
+        z = self.zscore()
+        if z <= self.z_threshold:
+            return None
+        assert self.reference_std is not None
+        return DriftAlert(
+            stage=self.name,
+            kind="mean_shift",
+            rolling_mean=self.rolling_mean,
+            reference_mean=self.reference_mean,
+            reference_std=self.reference_std,
+            zscore=z,
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "rolling_mean": self.rolling_mean,
+            "rolling_std": self.rolling_std,
+            "p50": self._p50.value,
+            "p95": self._p95.value,
+            "reference_mean": (
+                self.reference_mean if self.reference_mean is not None else 0.0
+            ),
+            "reference_std": (
+                self.reference_std if self.reference_std is not None else 0.0
+            ),
+            "zscore": self.zscore(),
+        }
+
+
+class DriftRegistry:
+    """Per-stage drift monitors, created on first record (thread-safe)."""
+
+    def __init__(
+        self,
+        window: int = 256,
+        baseline: int = 64,
+        z_threshold: float = 3.0,
+    ):
+        self._window = window
+        self._baseline = baseline
+        self._z_threshold = z_threshold
+        self._lock = threading.Lock()
+        self._monitors: Dict[str, DriftMonitor] = {}
+
+    def monitor(self, stage: str) -> DriftMonitor:
+        with self._lock:
+            mon = self._monitors.get(stage)
+            if mon is None:
+                mon = self._monitors[stage] = DriftMonitor(
+                    stage, self._window, self._baseline, self._z_threshold
+                )
+            return mon
+
+    def record(self, stage: str, value: float) -> None:
+        mon = self.monitor(stage)
+        with self._lock:
+            mon.record(value)
+
+    def alerts(self) -> List[DriftAlert]:
+        with self._lock:
+            monitors = list(self._monitors.values())
+            return [a for a in (m.alert() for m in monitors) if a is not None]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            monitors = dict(self._monitors)
+            return {name: mon.snapshot() for name, mon in monitors.items()}

@@ -1,0 +1,268 @@
+"""Telemetry exporters: rotating JSONL sinks and Prometheus text format.
+
+- :class:`JsonlRotatingWriter` — append-only JSON-lines file with
+  size-based rotation (``file``, ``file.1`` … ``file.N``), thread-safe.
+- :class:`TraceJsonlExporter` — subscribes to a
+  :class:`~repro.obs.trace.Tracer` and writes one line per completed
+  trace (``{"trace_id": ..., "spans": [...]}``); together with the audit
+  log this makes a rejected request fully reconstructable offline.
+- :class:`AuditJsonlExporter` — one line per
+  :class:`~repro.obs.provenance.DecisionRecord`.
+- :func:`prometheus_exposition` — renders a
+  :class:`~repro.server.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (counters, histogram summaries with quantiles,
+  uptime and throughput gauges); :func:`parse_prometheus` is the inverse
+  used by scrape clients and the round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.provenance import DecisionRecord
+from repro.obs.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.metrics import MetricsRegistry
+
+__all__ = [
+    "JsonlRotatingWriter",
+    "TraceJsonlExporter",
+    "AuditJsonlExporter",
+    "read_jsonl",
+    "prometheus_exposition",
+    "parse_prometheus",
+]
+
+
+class JsonlRotatingWriter:
+    """Append JSON objects as lines; rotate when the file grows too big.
+
+    Rotation renames ``path`` to ``path.1`` (shifting older backups up to
+    ``path.<backups>``, dropping the oldest) and starts a fresh file, so
+    a long-lived gateway's disk use stays bounded at roughly
+    ``max_bytes * (backups + 1)``.
+    """
+
+    def __init__(
+        self, path: os.PathLike, max_bytes: int = 16 * 1024 * 1024, backups: int = 3
+    ):
+        if max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive")
+        if backups < 0:
+            raise ConfigurationError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._size = self.path.stat().st_size if self.path.exists() else 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, obj: object) -> None:
+        line = json.dumps(obj, sort_keys=True) + "\n"
+        with self._lock:
+            if self._size + len(line) > self.max_bytes and self._size > 0:
+                self._rotate_locked()
+            self._fh.write(line)
+            self._fh.flush()
+            self._size += len(line)
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for i in range(self.backups - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    os.replace(src, self.path.with_name(f"{self.path.name}.{i + 1}"))
+            if self.path.exists():
+                os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlRotatingWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: os.PathLike) -> List[dict]:
+    """Load every row of a JSONL file (rotation backups not included)."""
+    rows: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+class TraceJsonlExporter:
+    """Write each completed trace of a tracer as one JSONL row."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        path: os.PathLike,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 3,
+    ):
+        self._tracer = tracer
+        self._writer = JsonlRotatingWriter(path, max_bytes, backups)
+        tracer.add_listener(self._on_trace)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    def _on_trace(self, spans: List[Span]) -> None:
+        if not spans:
+            return
+        self._writer.write(
+            {
+                "trace_id": spans[0].trace_id,
+                "spans": [s.to_dict() for s in spans],
+            }
+        )
+
+    def close(self) -> None:
+        self._tracer.remove_listener(self._on_trace)
+        self._writer.close()
+
+    def __enter__(self) -> "TraceJsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AuditJsonlExporter:
+    """Write decision audit records (one JSONL row per decision)."""
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 3,
+    ):
+        self._writer = JsonlRotatingWriter(path, max_bytes, backups)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    def write(self, record: DecisionRecord) -> None:
+        self._writer.write(record.to_dict())
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "AuditJsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_QUANTILES: Tuple[Tuple[str, float], ...] = (("0.5", 50.0), ("0.95", 95.0))
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def prometheus_exposition(
+    registry: "MetricsRegistry", prefix: str = "repro"
+) -> str:
+    """Render a metrics registry in the Prometheus text format (0.0.4).
+
+    Counters become ``<prefix>_<name>_total`` counters; histograms become
+    summaries (``{quantile=...}``, ``_sum``, ``_count``) named
+    ``<prefix>_<name>``.  Uptime and both throughput readings (lifetime
+    and windowed — see
+    :meth:`~repro.server.metrics.MetricsRegistry.windowed_throughput`)
+    are exported as gauges.
+    """
+    lines: List[str] = []
+    summary = registry.summary()
+    counters: Dict[str, int] = summary["counters"]  # type: ignore[assignment]
+    for name in sorted(counters):
+        metric = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    histograms: Dict[str, Dict[str, float]] = summary["histograms"]  # type: ignore[assignment]
+    for name in sorted(histograms):
+        stats = histograms[name]
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for label, pct in _QUANTILES:
+            value = stats.get(f"p{int(pct)}", 0.0)
+            lines.append(f'{metric}{{quantile="{label}"}} {_fmt(value)}')
+        lines.append(f"{metric}_sum {_fmt(stats['mean'] * stats['count'])}")
+        lines.append(f"{metric}_count {int(stats['count'])}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(f"{metric}_min {_fmt(stats['min'])}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_fmt(stats['max'])}")
+    lines.append(f"# TYPE {prefix}_uptime_seconds gauge")
+    lines.append(f"{prefix}_uptime_seconds {_fmt(registry.uptime_s)}")
+    lines.append(f"# TYPE {prefix}_throughput_rps gauge")
+    lines.append(f"{prefix}_throughput_rps {_fmt(registry.throughput())}")
+    lines.append(f"# TYPE {prefix}_windowed_throughput_rps gauge")
+    lines.append(
+        f"{prefix}_windowed_throughput_rps {_fmt(registry.windowed_throughput())}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse text-format exposition into ``{metric: {labelset: value}}``.
+
+    The label set key is the raw ``{...}`` string (empty string for
+    unlabelled samples).  Raises :class:`~repro.errors.ConfigurationError`
+    on malformed lines, so exporter regressions fail loudly.
+    """
+    metrics: Dict[str, Dict[str, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad exposition line: {raw!r}") from exc
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ConfigurationError(f"bad exposition line: {raw!r}")
+            name, labels = name_part.split("{", 1)
+            labels = "{" + labels
+        else:
+            name, labels = name_part, ""
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ConfigurationError(f"bad metric name in line: {raw!r}")
+        metrics.setdefault(name, {})[labels] = value
+    return metrics

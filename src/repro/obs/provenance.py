@@ -1,0 +1,272 @@
+"""Decision provenance: structured evidence behind every verdict.
+
+The cascade's ACCEPT/REJECT used to surface as a bare boolean; a
+production authentication system has to answer "*why* was this request
+rejected" offline, from the audit record alone.  Each
+:class:`~repro.core.decision.ComponentResult` now carries a structured
+``evidence`` mapping (the measured values next to the paper thresholds
+they were compared against — ``Dt``, ``Mt``, ``βt``, the ASV LLR
+threshold, the calibrated sound-field threshold), and this module folds
+one verification's results into a :class:`DecisionRecord`:
+
+- per-stage :class:`StageProvenance` rows, including **skip rows** for
+  stages the cascade never ran (which stage's confident rejection ended
+  the run, and how much modelled cost the skip saved);
+- :meth:`DecisionRecord.explain` — a human-readable rationale;
+- :meth:`DecisionRecord.to_dict`/:meth:`from_dict` — a JSON-stable form
+  for the audit log, lossless for offline reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.decision import ComponentResult, Decision, VerificationReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cascade import CascadePlan
+
+__all__ = ["StageProvenance", "DecisionRecord"]
+
+
+@dataclass(frozen=True)
+class StageProvenance:
+    """One stage's contribution to a decision.
+
+    ``status`` is ``"pass"``, ``"reject"``, ``"error"`` (the stage ran
+    but degraded to a scored rejection) or ``"skipped"`` (cascaded out).
+    Skipped rows carry the ``skip_reason`` and the cost-model estimate of
+    what the skip saved; ran rows carry the component's evidence mapping.
+    """
+
+    name: str
+    status: str
+    score: Optional[float] = None
+    detail: str = ""
+    evidence: Mapping[str, float] = field(default_factory=dict)
+    skip_reason: str = ""
+    cost_saved_ms: float = 0.0
+
+    @property
+    def ran(self) -> bool:
+        return self.status != "skipped"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "score": self.score,
+            "detail": self.detail,
+            "evidence": dict(self.evidence),
+            "skip_reason": self.skip_reason,
+            "cost_saved_ms": self.cost_saved_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "StageProvenance":
+        score = row.get("score")
+        return cls(
+            name=str(row["name"]),
+            status=str(row["status"]),
+            score=None if score is None else float(score),  # type: ignore[arg-type]
+            detail=str(row.get("detail", "")),
+            evidence={
+                str(k): float(v)  # type: ignore[arg-type]
+                for k, v in dict(row.get("evidence", {})).items()  # type: ignore[arg-type]
+            },
+            skip_reason=str(row.get("skip_reason", "")),
+            cost_saved_ms=float(row.get("cost_saved_ms", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def _stage_status(result: ComponentResult) -> str:
+    if result.passed:
+        return "pass"
+    if result.score == float("-inf"):
+        return "error"
+    return "reject"
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """The audit-grade record of one verification decision."""
+
+    decision: str
+    claimed_speaker: Optional[str]
+    mode: str
+    stages: Tuple[StageProvenance, ...]
+    early_exit_stage: Optional[str] = None
+    request_id: str = ""
+    trace_id: str = ""
+    stage_latency_s: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision == Decision.ACCEPT.value
+
+    def stage(self, name: str) -> StageProvenance:
+        for row in self.stages:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        accepted: bool,
+        components: Mapping[str, ComponentResult],
+        claimed_speaker: Optional[str] = None,
+        mode: str = "strict",
+        skipped: Tuple[str, ...] = (),
+        early_exit_stage: Optional[str] = None,
+        cascade_plan: Optional["CascadePlan"] = None,
+        request_id: str = "",
+        trace_id: str = "",
+        stage_latency_s: Optional[Mapping[str, float]] = None,
+    ) -> "DecisionRecord":
+        """Fold raw component results + cascade skip info into a record."""
+        rows: List[StageProvenance] = []
+        for name, result in components.items():
+            rows.append(
+                StageProvenance(
+                    name=name,
+                    status=_stage_status(result),
+                    score=result.score,
+                    detail=result.detail,
+                    evidence=dict(result.evidence),
+                )
+            )
+        for name in skipped:
+            reason = (
+                f"upstream stage {early_exit_stage!r} rejected confidently"
+                if early_exit_stage
+                else "upstream rejection ended the cascade"
+            )
+            saved = (
+                cascade_plan.estimated_cost_ms((name,))
+                if cascade_plan is not None
+                else 0.0
+            )
+            rows.append(
+                StageProvenance(
+                    name=name,
+                    status="skipped",
+                    skip_reason=reason,
+                    cost_saved_ms=saved,
+                )
+            )
+        return cls(
+            decision=(Decision.ACCEPT if accepted else Decision.REJECT).value,
+            claimed_speaker=claimed_speaker,
+            mode=mode,
+            stages=tuple(rows),
+            early_exit_stage=early_exit_stage,
+            request_id=request_id,
+            trace_id=trace_id,
+            stage_latency_s=dict(stage_latency_s or {}),
+        )
+
+    @classmethod
+    def from_report(
+        cls,
+        report: VerificationReport,
+        cascade_plan: Optional["CascadePlan"] = None,
+        request_id: str = "",
+        trace_id: str = "",
+    ) -> "DecisionRecord":
+        """Build from a :class:`VerificationReport` (pipeline engines)."""
+        return cls.build(
+            accepted=report.accepted,
+            components=report.components,
+            claimed_speaker=report.claimed_speaker,
+            mode=report.mode,
+            skipped=report.skipped,
+            early_exit_stage=report.early_exit_stage,
+            cascade_plan=cascade_plan,
+            request_id=request_id,
+            trace_id=trace_id,
+            stage_latency_s=report.stage_latency_s,
+        )
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decision": self.decision,
+            "claimed_speaker": self.claimed_speaker,
+            "mode": self.mode,
+            "stages": [row.to_dict() for row in self.stages],
+            "early_exit_stage": self.early_exit_stage,
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "stage_latency_s": dict(self.stage_latency_s),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "DecisionRecord":
+        return cls(
+            decision=str(row["decision"]),
+            claimed_speaker=(
+                None
+                if row.get("claimed_speaker") is None
+                else str(row["claimed_speaker"])
+            ),
+            mode=str(row.get("mode", "strict")),
+            stages=tuple(
+                StageProvenance.from_dict(r)
+                for r in row.get("stages", [])  # type: ignore[union-attr]
+            ),
+            early_exit_stage=(
+                None
+                if row.get("early_exit_stage") is None
+                else str(row["early_exit_stage"])
+            ),
+            request_id=str(row.get("request_id", "")),
+            trace_id=str(row.get("trace_id", "")),
+            stage_latency_s={
+                str(k): float(v)  # type: ignore[arg-type]
+                for k, v in dict(row.get("stage_latency_s", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+    # -- rendering -----------------------------------------------------
+    def explain(self) -> str:
+        """Human-readable verdict rationale, one stage per line."""
+        head = (
+            f"{self.decision.upper()}"
+            + (f" claim={self.claimed_speaker!r}" if self.claimed_speaker else "")
+            + f" mode={self.mode}"
+            + (f" request_id={self.request_id}" if self.request_id else "")
+            + (f" trace={self.trace_id}" if self.trace_id else "")
+        )
+        lines = [head]
+        for row in self.stages:
+            latency = self.stage_latency_s.get(row.name)
+            timing = f" [{latency * 1e3:.1f} ms]" if latency is not None else ""
+            if row.status == "skipped":
+                saved = (
+                    f", ~{row.cost_saved_ms:.1f} ms saved"
+                    if row.cost_saved_ms
+                    else ""
+                )
+                lines.append(
+                    f"  - {row.name}: SKIPPED ({row.skip_reason}{saved})"
+                )
+                continue
+            verdict = {"pass": "PASS", "reject": "REJECT", "error": "ERROR"}[
+                row.status
+            ]
+            evidence = ", ".join(
+                f"{k}={v:.4g}" for k, v in row.evidence.items()
+            )
+            body = row.detail or evidence
+            extra = f" ({evidence})" if row.detail and evidence else ""
+            lines.append(f"  - {row.name}: {verdict}{timing} — {body}{extra}")
+        if self.early_exit_stage:
+            lines.append(
+                f"  early exit after {self.early_exit_stage!r}: remaining "
+                "stages skipped (decision already final — ACCEPT requires "
+                "every stage to pass)"
+            )
+        return "\n".join(lines)

@@ -23,14 +23,27 @@ This subpackage reproduces that architecture in-process and scales it:
 - :mod:`repro.server.client` — the mobile-app side: packs captures,
   submits them, and measures round-trip authentication time (Fig. 15),
   plus a concurrent load generator for gateway benches.
+
+Observability (tracing, decision provenance, drift monitors, JSONL and
+Prometheus exporters) lives in :mod:`repro.obs`; the gateway accepts a
+tracer/drift registry/audit log and serves telemetry-scrape frames.
 """
 
 from repro.server.protocol import (
+    KIND_DECISION,
+    KIND_REQUEST,
+    KIND_TELEMETRY_REQUEST,
+    KIND_TELEMETRY_RESPONSE,
     decode_decision,
     decode_request,
     decode_request_full,
+    decode_telemetry_request,
+    decode_telemetry_response,
     encode_decision,
     encode_request,
+    encode_telemetry_request,
+    encode_telemetry_response,
+    frame_kind,
 )
 from repro.server.scheduler import JobResult, JobScheduler
 from repro.server.metrics import Histogram, MetricsRegistry, RequestStats
@@ -44,11 +57,20 @@ from repro.server.client import (
 )
 
 __all__ = [
+    "KIND_DECISION",
+    "KIND_REQUEST",
+    "KIND_TELEMETRY_REQUEST",
+    "KIND_TELEMETRY_RESPONSE",
     "decode_decision",
     "decode_request",
     "decode_request_full",
+    "decode_telemetry_request",
+    "decode_telemetry_response",
     "encode_decision",
     "encode_request",
+    "encode_telemetry_request",
+    "encode_telemetry_response",
+    "frame_kind",
     "JobResult",
     "JobScheduler",
     "Histogram",

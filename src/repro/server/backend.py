@@ -110,7 +110,10 @@ class VerificationServer:
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()
         }
-        frame = encode_decision(accepted, payload, request_id=request_id)
+        evidence = {name: dict(r.evidence) for name, r in results.items()}
+        frame = encode_decision(
+            accepted, payload, request_id=request_id, evidence=evidence
+        )
         t_done = time.perf_counter()
         self.last_stats = RequestStats(
             decode_s=t_decoded - t0,

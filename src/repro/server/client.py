@@ -23,7 +23,12 @@ from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from repro.server.protocol import decode_decision, encode_request
+from repro.server.protocol import (
+    decode_decision,
+    decode_telemetry_response,
+    encode_request,
+    encode_telemetry_request,
+)
 from repro.world.scene import SensorCapture
 
 
@@ -101,6 +106,21 @@ class MobileClient:
     ) -> List[TimingReport]:
         """Authenticate a batch (one trial per capture)."""
         return [self.authenticate(c, claimed_speaker) for c in captures]
+
+    def scrape_metrics(
+        self,
+        sections: Tuple[str, ...] = ("summary", "prometheus"),
+    ) -> dict:
+        """Fetch the serving side's telemetry over the wire protocol.
+
+        Sends a telemetry-request frame through the same handler used for
+        verification (the gateway answers it without queueing) and
+        returns the section name → value mapping; the ``"prometheus"``
+        section is the text exposition, parseable with
+        :func:`repro.obs.exporters.parse_prometheus`.
+        """
+        response = self.server.handle(encode_telemetry_request(sections))
+        return dict(decode_telemetry_response(response).get("telemetry", {}))
 
 
 @dataclass

@@ -41,12 +41,23 @@ from repro.core.decision import ComponentResult
 from repro.core.identity import IdentityVerifier
 from repro.core.pipeline import DefenseSystem
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.drift import DriftRegistry
+from repro.obs.exporters import AuditJsonlExporter, prometheus_exposition
+from repro.obs.provenance import DecisionRecord
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.server.backend import (
     collect_detection_results,
     machine_detection_jobs,
 )
 from repro.server.metrics import MetricsRegistry
-from repro.server.protocol import decode_request_full, encode_decision
+from repro.server.protocol import (
+    KIND_TELEMETRY_REQUEST,
+    decode_request_full,
+    decode_telemetry_request,
+    encode_decision,
+    encode_telemetry_response,
+    frame_kind,
+)
 from repro.server.scheduler import JobScheduler
 from repro.world.scene import SensorCapture
 
@@ -99,15 +110,23 @@ class GatewayConfig:
 
 
 class _BatchEntry:
-    """One request's slot in an identity micro-batch."""
+    """One request's slot in an identity micro-batch.
 
-    __slots__ = ("capture", "done", "result", "error")
+    ``batch_span_id``/``batch_size`` are filled by the leader after the
+    batch runs: followers belong to *other* traces, so they link to the
+    leader's batch span by id (the span-link idiom) instead of nesting
+    under it.
+    """
+
+    __slots__ = ("capture", "done", "result", "error", "batch_span_id", "batch_size")
 
     def __init__(self, capture: SensorCapture):
         self.capture = capture
         self.done = threading.Event()
         self.result: Optional[ComponentResult] = None
         self.error: Optional[BaseException] = None
+        self.batch_span_id: str = ""
+        self.batch_size: int = 0
 
 
 class _Bucket:
@@ -138,15 +157,19 @@ class _IdentityBatcher:
         window_s: float,
         max_batch: int,
         metrics: MetricsRegistry,
+        tracer: Tracer = NULL_TRACER,
     ):
         self._identity = identity
         self._window_s = window_s
         self._max_batch = max_batch
         self._metrics = metrics
+        self._tracer = tracer
         self._lock = threading.Lock()
         self._buckets: Dict[str, _Bucket] = {}
 
-    def score(self, claimed: str, capture: SensorCapture) -> ComponentResult:
+    def score(
+        self, claimed: str, capture: SensorCapture, span: Optional[Span] = None
+    ) -> ComponentResult:
         entry = _BatchEntry(capture)
         with self._lock:
             bucket = self._buckets.get(claimed)
@@ -164,6 +187,14 @@ class _IdentityBatcher:
             self._run_batch(claimed, entries)
         else:
             entry.done.wait()
+        if span is not None and self._tracer.enabled and entry.batch_size > 1:
+            span.set_attrs(
+                {
+                    "batch_span_id": entry.batch_span_id,
+                    "batch_size": entry.batch_size,
+                    "batch_role": "leader" if leader else "follower",
+                }
+            )
         if entry.error is not None:
             raise entry.error
         assert entry.result is not None
@@ -174,21 +205,31 @@ class _IdentityBatcher:
         self._metrics.observe("identity_batch_size", len(entries))
         if len(entries) > 1:
             self._metrics.increment("identity_batched_requests", len(entries))
-        try:
-            results = self._identity.verify_batch(
-                [e.capture for e in entries], claimed
-            )
-            for e, result in zip(entries, results):
-                e.result = result
-        except BaseException:  # noqa: BLE001 - refuse collective failure
-            for e in entries:
-                try:
-                    e.result = self._identity.verify(e.capture, claimed)
-                except BaseException as exc:  # noqa: BLE001 - delivered per entry
-                    e.error = exc
-        finally:
-            for e in entries:
-                e.done.set()
+        with self._tracer.span(
+            "identity.batch",
+            attrs=(
+                {"batch_size": len(entries), "claimed_speaker": claimed}
+                if self._tracer.enabled
+                else None
+            ),
+        ) as batch_span:
+            try:
+                results = self._identity.verify_batch(
+                    [e.capture for e in entries], claimed
+                )
+                for e, result in zip(entries, results):
+                    e.result = result
+            except BaseException:  # noqa: BLE001 - refuse collective failure
+                for e in entries:
+                    try:
+                        e.result = self._identity.verify(e.capture, claimed)
+                    except BaseException as exc:  # noqa: BLE001 - per entry
+                        e.error = exc
+            finally:
+                for e in entries:
+                    e.batch_span_id = batch_span.span_id
+                    e.batch_size = len(entries)
+                    e.done.set()
 
 
 class Gateway:
@@ -206,11 +247,28 @@ class Gateway:
     """
 
     def __init__(
-        self, system: DefenseSystem, config: Optional[GatewayConfig] = None
+        self,
+        system: DefenseSystem,
+        config: Optional[GatewayConfig] = None,
+        tracer: Optional[Tracer] = None,
+        drift: Optional[DriftRegistry] = None,
+        audit: Optional[AuditJsonlExporter] = None,
     ):
         self.system = system
         self.config = config or GatewayConfig()
         self.metrics = MetricsRegistry(window=self.config.metrics_window)
+        #: Request tracer; the shared no-op by default, so serving pays
+        #: nothing until a real tracer is attached.  An enabled tracer is
+        #: also pushed into the system's components, so DSP kernel spans
+        #: nest under the request's stage spans.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.system.set_tracer(self.tracer)
+        #: Per-stage score-drift monitors (always on: a record is a lock
+        #: and a ring-buffer write).
+        self.drift = drift if drift is not None else DriftRegistry()
+        #: Optional decision audit log (one JSONL row per decision).
+        self.audit = audit
         component_workers = (
             self.config.component_workers
             if self.config.component_workers is not None
@@ -222,10 +280,11 @@ class Gateway:
             self.config.batch_window_s,
             self.config.max_batch,
             self.metrics,
+            tracer=self.tracer,
         )
-        self._queue: "queue.Queue[Optional[Tuple[bytes, Future, float]]]" = (
-            queue.Queue(maxsize=self.config.max_queue)
-        )
+        self._queue: (
+            "queue.Queue[Optional[Tuple[bytes, Future, float, Optional[Span]]]]"
+        ) = queue.Queue(maxsize=self.config.max_queue)
         self._lock = threading.Lock()
         self._closed = False
         self._threads = [
@@ -246,15 +305,36 @@ class Gateway:
         With ``block=False`` a full admission queue raises
         :class:`~repro.errors.ConfigurationError` immediately instead of
         applying backpressure.
+
+        Telemetry-request frames (see
+        :func:`~repro.server.protocol.encode_telemetry_request`) are
+        answered immediately from the registry — a metrics scrape never
+        queues behind verification work and resolves to a telemetry
+        response frame instead of a decision frame.
         """
         with self._lock:
             if self._closed:
                 raise ConfigurationError("gateway has been closed")
+        try:
+            kind = frame_kind(request_frame)
+        except ProtocolError:
+            kind = 0  # malformed header: let the worker surface the error
         future: "Future[bytes]" = Future()
-        item = (request_frame, future, time.monotonic())
+        if kind == KIND_TELEMETRY_REQUEST:
+            try:
+                future.set_result(self._handle_telemetry(request_frame))
+            except ProtocolError as exc:
+                self.metrics.increment("protocol_errors")
+                future.set_exception(exc)
+            return future
+        root = self.tracer.begin("request") if self.tracer.enabled else None
+        item = (request_frame, future, time.monotonic(), root)
         try:
             self._queue.put(item, block=block)
         except queue.Full:
+            if root is not None:
+                root.set_attr("error", "queue full")
+                self.tracer.end(root, status="error")
             self.metrics.increment("rejected_queue_full")
             raise ConfigurationError(
                 f"gateway queue is full ({self.config.max_queue} requests)"
@@ -280,12 +360,33 @@ class Gateway:
             if item is None:
                 self._queue.task_done()
                 return
-            frame, future, submitted_at = item
+            frame, future, submitted_at, root = item
             try:
-                self.metrics.observe("queue_s", time.monotonic() - submitted_at)
-                self._process(frame, future)
+                waited = time.monotonic() - submitted_at
+                self.metrics.observe("queue_s", waited)
+                if root is not None:
+                    self._retro_span(root, "queue", waited)
+                self._process(frame, future, root)
             finally:
                 self._queue.task_done()
+
+    def _retro_span(
+        self,
+        parent: Span,
+        name: str,
+        duration_s: float,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record an already-elapsed interval as a child span.
+
+        The queue wait cannot run a span's own clock (no code executes
+        while the request sits in the queue), so the measured duration is
+        written in after the fact and the start is backdated to match.
+        """
+        span = self.tracer.child(parent, name, attrs)
+        self.tracer.end(span)
+        span.duration_s = duration_s
+        span.start_wall -= duration_s
 
     def _run_detection(self, jobs) -> Dict[str, ComponentResult]:
         """Scheduler fan-out + fail-closed folding for detection jobs."""
@@ -301,38 +402,119 @@ class Gateway:
                 self.metrics.increment("component_retries", jr.attempts - 1)
         return collect_detection_results(job_results)
 
-    def _process(self, frame: bytes, future: "Future[bytes]") -> None:
+    def _traced_job(self, name: str, fn, parent: Optional[Span]):
+        """Wrap a component job so its stage span opens in the *executing*
+        thread — DSP kernel spans then nest under it via the thread-local
+        stack even though the job runs on a scheduler worker."""
+
+        def call():
+            with self.tracer.span(f"stage.{name}", parent=parent) as span:
+                result = fn()
+                span.set_attrs({"passed": result.passed, "score": result.score})
+                return result
+
+        return call
+
+    def _record_drift(self, results: Dict[str, ComponentResult]) -> None:
+        for name, result in results.items():
+            self.drift.record(name, result.score)  # non-finite are filtered
+
+    def _finalize(
+        self,
+        root: Optional[Span],
+        accepted: bool,
+        results: Dict[str, ComponentResult],
+        claimed: Optional[str],
+        request_id: Optional[str],
+        mode: str,
+        skipped: Tuple[str, ...] = (),
+        early_exit: Optional[str] = None,
+    ) -> None:
+        """Audit-log the decision and close the request's root span."""
+        if self.audit is not None:
+            self.audit.write(
+                DecisionRecord.build(
+                    accepted=accepted,
+                    components=results,
+                    claimed_speaker=claimed,
+                    mode=mode,
+                    skipped=skipped,
+                    early_exit_stage=early_exit,
+                    cascade_plan=self.system.cascade_plan,
+                    request_id=request_id or "",
+                    trace_id=root.trace_id if root is not None else "",
+                )
+            )
+        if root is not None:
+            root.set_attr("decision", "accept" if accepted else "reject")
+            if early_exit is not None:
+                root.set_attr("early_exit_stage", early_exit)
+            self.tracer.end(root)
+
+    def _process(
+        self, frame: bytes, future: "Future[bytes]", root: Optional[Span] = None
+    ) -> None:
         t0 = time.perf_counter()
         try:
-            capture, claimed, request_id = decode_request_full(frame)
+            with self.tracer.span("decode", parent=root):
+                capture, claimed, request_id = decode_request_full(frame)
         except ProtocolError as exc:
             self.metrics.increment("protocol_errors")
+            if root is not None:
+                root.set_attr("error", repr(exc))
+                self.tracer.end(root, status="error")
             future.set_exception(exc)
             return
         t_decoded = time.perf_counter()
+        if root is not None:
+            root.set_attrs(
+                {
+                    "request_id": request_id,
+                    "claimed_speaker": claimed,
+                    "mode": "cascade" if self.config.cascade else "strict",
+                }
+            )
 
         if self.config.cascade:
-            self._process_cascade(capture, claimed, request_id, future, t0, t_decoded)
+            self._process_cascade(
+                capture, claimed, request_id, future, t0, t_decoded, root
+            )
             return
 
         jobs = machine_detection_jobs(self.system, capture, claimed)
+        if self.tracer.enabled:
+            jobs = {
+                name: self._traced_job(name, fn, root)
+                for name, fn in jobs.items()
+            }
         results = self._run_detection(jobs)
         t_detection = time.perf_counter()
 
         if "identity" in self.system.enabled_components and claimed is not None:
             try:
-                results["identity"] = self._batcher.score(claimed, capture)
+                with self.tracer.span("stage.identity", parent=root) as ispan:
+                    result = self._batcher.score(claimed, capture, span=ispan)
+                    ispan.set_attrs(
+                        {"passed": result.passed, "score": result.score}
+                    )
+                results["identity"] = result
             except BaseException as exc:  # noqa: BLE001 - surfaced via the future
                 self.metrics.increment("identity_errors")
+                if root is not None:
+                    self.tracer.end(root, status="error")
                 future.set_exception(exc)
                 return
         t_identity = time.perf_counter()
 
+        self._record_drift(results)
         accepted = all(r.passed for r in results.values())
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()
         }
-        decision_frame = encode_decision(accepted, payload, request_id=request_id)
+        evidence = {name: dict(r.evidence) for name, r in results.items()}
+        decision_frame = encode_decision(
+            accepted, payload, request_id=request_id, evidence=evidence
+        )
         t_done = time.perf_counter()
 
         self.metrics.observe("decode_s", t_decoded - t0)
@@ -342,6 +524,7 @@ class Gateway:
         self.metrics.observe("total_s", t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
+        self._finalize(root, accepted, results, claimed, request_id, mode="strict")
         future.set_result(decision_frame)
 
     def _cascade_order(self, claimed: Optional[str]) -> Tuple[str, ...]:
@@ -360,6 +543,7 @@ class Gateway:
         future: "Future[bytes]",
         t0: float,
         t_decoded: float,
+        root: Optional[Span] = None,
     ) -> None:
         """Cost-ordered serving: cheap gates sequentially, expensive tail
         in parallel, early exit on any confident rejection.
@@ -374,30 +558,48 @@ class Gateway:
         jobs = machine_detection_jobs(self.system, capture, claimed)
         results: Dict[str, ComponentResult] = {}
         skipped: Tuple[str, ...] = ()
+        early_exit: Optional[str] = None
 
         def run_stage(name: str) -> ComponentResult:
             with self.metrics.time(f"stage_{name}_s"):
                 if name == "identity":
-                    return self._batcher.score(claimed, capture)
-                return self._run_detection({name: jobs[name]})[name]
+                    with self.tracer.span("stage.identity", parent=root) as span:
+                        result = self._batcher.score(claimed, capture, span=span)
+                        span.set_attrs(
+                            {"passed": result.passed, "score": result.score}
+                        )
+                    return result
+                job = jobs[name]
+                if self.tracer.enabled:
+                    job = self._traced_job(name, job, root)
+                return self._run_detection({name: job})[name]
 
         for i, name in enumerate(gates):
             try:
                 result = run_stage(name)
             except BaseException as exc:  # noqa: BLE001 - surfaced via the future
                 self.metrics.increment("identity_errors")
+                if root is not None:
+                    self.tracer.end(root, status="error")
                 future.set_exception(exc)
                 return
             results[name] = result
             if self.system.cascade_plan.confident_reject(result, self.system.config):
                 skipped = order[i + 1 :]
+                early_exit = name
                 break
         if not skipped and tail:
 
             def timed_job(name: str, fn):
+                traced = (
+                    self._traced_job(name, fn, root)
+                    if self.tracer.enabled
+                    else fn
+                )
+
                 def call():
                     with self.metrics.time(f"stage_{name}_s"):
-                        return fn()
+                        return traced()
 
                 return call
 
@@ -413,38 +615,94 @@ class Gateway:
                     results["identity"] = run_stage("identity")
                 except BaseException as exc:  # noqa: BLE001
                     self.metrics.increment("identity_errors")
+                    if root is not None:
+                        self.tracer.end(root, status="error")
                     future.set_exception(exc)
                     return
 
         for name in skipped:
             self.metrics.increment(f"stage_skipped_{name}")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    f"stage.{name}",
+                    parent=root,
+                    status="skipped",
+                    attrs={
+                        "skip_reason": (
+                            f"upstream stage {early_exit!r} rejected confidently"
+                        ),
+                        "cost_saved_ms": self.system.cascade_plan.estimated_cost_ms(
+                            (name,)
+                        ),
+                    },
+                )
         if skipped:
             self.metrics.increment("cascade_early_exits")
 
+        self._record_drift(results)
         accepted = all(r.passed for r in results.values())
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()
         }
-        decision_frame = encode_decision(accepted, payload, request_id=request_id)
+        evidence = {name: dict(r.evidence) for name, r in results.items()}
+        decision_frame = encode_decision(
+            accepted, payload, request_id=request_id, evidence=evidence
+        )
         t_done = time.perf_counter()
 
         self.metrics.observe("decode_s", t_decoded - t0)
         self.metrics.observe("total_s", t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
+        self._finalize(
+            root,
+            accepted,
+            results,
+            claimed,
+            request_id,
+            mode="cascade",
+            skipped=skipped,
+            early_exit=early_exit,
+        )
         future.set_result(decision_frame)
 
     # ------------------------------------------------------------------
     # Reporting / lifecycle
     # ------------------------------------------------------------------
+    def _handle_telemetry(self, frame: bytes) -> bytes:
+        """Answer a telemetry-scrape frame from the live registry."""
+        sections, request_id = decode_telemetry_request(frame)
+        telemetry: Dict[str, object] = {}
+        for section in sections:
+            if section == "summary":
+                telemetry["summary"] = self.metrics_summary()
+            elif section == "prometheus":
+                telemetry["prometheus"] = prometheus_exposition(self.metrics)
+            elif section == "stages":
+                telemetry["stages"] = self.metrics.stage_report()
+            elif section == "drift":
+                telemetry["drift"] = {
+                    "stages": self.drift.snapshot(),
+                    "alerts": [str(a) for a in self.drift.alerts()],
+                }
+            # Unknown sections are omitted so old clients can probe.
+        self.metrics.increment("telemetry_scrapes")
+        return encode_telemetry_response(telemetry, request_id)
+
     def metrics_summary(self) -> Dict[str, object]:
-        """Registry summary plus the system's sound-field cache counters."""
+        """Registry summary plus cache counters, throughput and drift."""
         summary = self.metrics.summary()
         cache = self.system.soundfield_cache_stats
         summary["soundfield_cache"] = {
             "hits": cache.hits,
             "misses": cache.misses,
             "evictions": cache.evictions,
+        }
+        summary["throughput_rps"] = self.metrics.throughput()
+        summary["windowed_throughput_rps"] = self.metrics.windowed_throughput()
+        summary["drift"] = {
+            "stages": self.drift.snapshot(),
+            "alerts": [str(a) for a in self.drift.alerts()],
         }
         if self.config.cascade:
             summary["stages"] = self.metrics.stage_report()

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -101,11 +102,15 @@ class Histogram:
 class MetricsRegistry:
     """Thread-safe named histograms + monotonic counters."""
 
+    #: Recent-increment events kept per counter for windowed rates.
+    EVENT_WINDOW = 4096
+
     def __init__(self, window: int = 4096):
         self._window = window
         self._lock = threading.Lock()
         self._histograms: Dict[str, Histogram] = {}
         self._counters: Dict[str, int] = {}
+        self._events: Dict[str, Deque[Tuple[float, int]]] = {}
         self._started_at = time.monotonic()
 
     # -- histograms ----------------------------------------------------
@@ -129,8 +134,13 @@ class MetricsRegistry:
 
     # -- counters ------------------------------------------------------
     def increment(self, name: str, by: int = 1) -> None:
+        now = time.monotonic()
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
+            events = self._events.get(name)
+            if events is None:
+                events = self._events[name] = deque(maxlen=self.EVENT_WINDOW)
+            events.append((now, by))
 
     def counter(self, name: str) -> int:
         with self._lock:
@@ -146,6 +156,32 @@ class MetricsRegistry:
         elapsed = self.uptime_s
         return self.counter(counter_name) / elapsed if elapsed > 0 else 0.0
 
+    def windowed_throughput(
+        self,
+        counter_name: str = "requests_completed",
+        window_s: float = 60.0,
+    ) -> float:
+        """Rate of a counter over (at most) the last ``window_s`` seconds.
+
+        Unlike :meth:`throughput`, which averages over the registry's whole
+        lifetime, this reflects the *current* load: an idle gateway decays
+        to zero within one window.  The rate is computed from a bounded
+        ring of recent increment events, so a burst larger than
+        ``EVENT_WINDOW`` increments under-counts (the lifetime counter
+        never does).
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        now = time.monotonic()
+        cutoff = now - window_s
+        with self._lock:
+            events = self._events.get(counter_name)
+            total = (
+                sum(by for ts, by in events if ts >= cutoff) if events else 0
+            )
+        span = min(window_s, max(now - self._started_at, 1e-9))
+        return total / span
+
     def summary(self) -> Dict[str, object]:
         with self._lock:
             hists = {name: h.summary() for name, h in self._histograms.items()}
@@ -153,26 +189,35 @@ class MetricsRegistry:
         return {"histograms": hists, "counters": counters}
 
     def stage_report(self) -> Dict[str, Dict[str, float]]:
-        """Per-cascade-stage runs, skips, skip rate and latency percentiles.
+        """Per-cascade-stage runs, skips, errors and latency percentiles.
 
-        Aggregates the ``stage_<name>_s`` histograms and
-        ``stage_skipped_<name>`` counters the gateway cascade maintains.
-        Stages that never ran but were skipped still appear (run p50/p95
-        report 0.0).
+        Aggregates the ``stage_<name>_s`` histograms plus the
+        ``stage_skipped_<name>`` and ``stage_errors_<name>`` counters the
+        gateway cascade maintains.  Error-path histograms
+        (``stage_<name>_error_s``) are deliberately excluded from the
+        ok-path percentiles.  Stages that never ran but were skipped
+        still appear (run p50/p95 report 0.0).
         """
         with self._lock:
             hists = {
                 name[len("stage_") : -len("_s")]: h
                 for name, h in self._histograms.items()
-                if name.startswith("stage_") and name.endswith("_s")
+                if name.startswith("stage_")
+                and name.endswith("_s")
+                and not name.endswith("_error_s")
             }
             skips = {
                 name[len("stage_skipped_") :]: count
                 for name, count in self._counters.items()
                 if name.startswith("stage_skipped_")
             }
+            errors = {
+                name[len("stage_errors_") :]: count
+                for name, count in self._counters.items()
+                if name.startswith("stage_errors_")
+            }
         report: Dict[str, Dict[str, float]] = {}
-        for stage in sorted(set(hists) | set(skips)):
+        for stage in sorted(set(hists) | set(skips) | set(errors)):
             hist = hists.get(stage)
             runs = hist.count if hist is not None else 0
             skipped = skips.get(stage, 0)
@@ -181,6 +226,7 @@ class MetricsRegistry:
                 "runs": float(runs),
                 "skipped": float(skipped),
                 "skip_rate": skipped / total if total else 0.0,
+                "errors": float(errors.get(stage, 0)),
                 "p50_s": hist.percentile(50.0) if hist is not None else 0.0,
                 "p95_s": hist.percentile(95.0) if hist is not None else 0.0,
             }
@@ -188,6 +234,18 @@ class MetricsRegistry:
 
 
 class _Timer:
+    """Duration recorder that labels the outcome of the timed block.
+
+    A block that exits cleanly records into the named histogram as
+    before.  A block that raises records into a *separate* error
+    histogram and bumps an error counter instead, so error latencies
+    (often bimodal: instant validation failures vs full timeouts) never
+    pollute the ok-path percentiles.  For a stage histogram
+    ``stage_<x>_s`` the error series are ``stage_<x>_error_s`` and
+    ``stage_errors_<x>``; any other name ``n`` gets ``n_error`` and
+    ``errors_<n>``.  The exception always propagates.
+    """
+
     def __init__(self, registry: MetricsRegistry, name: str):
         self._registry = registry
         self._name = name
@@ -197,6 +255,22 @@ class _Timer:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         assert self._t0 is not None
-        self._registry.observe(self._name, time.perf_counter() - self._t0)
+        elapsed = time.perf_counter() - self._t0
+        if exc_type is None:
+            self._registry.observe(self._name, elapsed)
+            return
+        name = self._name
+        if name.startswith("stage_") and name.endswith("_s"):
+            stage = name[len("stage_") : -len("_s")]
+            self._registry.observe(f"stage_{stage}_error_s", elapsed)
+            self._registry.increment(f"stage_errors_{stage}")
+        else:
+            self._registry.observe(f"{name}_error", elapsed)
+            self._registry.increment(f"errors_{name}")

@@ -11,10 +11,17 @@ Frame layout (all integers little-endian):
 
     magic   2 bytes  b"RV"
     version 1 byte
-    kind    1 byte   (1 = request, 2 = decision)
+    kind    1 byte   (1 = request, 2 = decision,
+                      3 = telemetry request, 4 = telemetry response)
     length  4 bytes  payload length
     crc32   4 bytes  of the compressed payload
     payload zlib-compressed body
+
+Telemetry frames let a client scrape the serving side's metrics over the
+same channel it authenticates on (the in-process analogue of hitting a
+``/metrics`` endpoint): the request names the sections it wants, the
+response carries them as a JSON object (and the Prometheus text
+exposition as a string field).
 """
 
 from __future__ import annotations
@@ -36,7 +43,15 @@ _MAGIC = b"RV"
 _VERSION = 1
 _KIND_REQUEST = 1
 _KIND_DECISION = 2
+_KIND_TELEMETRY_REQUEST = 3
+_KIND_TELEMETRY_RESPONSE = 4
 _HEADER = struct.Struct("<2sBBLL")
+
+#: Public frame-kind values (the return values of :func:`frame_kind`).
+KIND_REQUEST = _KIND_REQUEST
+KIND_DECISION = _KIND_DECISION
+KIND_TELEMETRY_REQUEST = _KIND_TELEMETRY_REQUEST
+KIND_TELEMETRY_RESPONSE = _KIND_TELEMETRY_RESPONSE
 
 #: Upper bound on the (compressed) payload a peer may declare.  A capture
 #: is a few hundred kB; anything near this limit is malformed or hostile
@@ -94,6 +109,23 @@ def _unframe(frame: bytes, expected_kind: int) -> dict:
         return json.loads(zlib.decompress(payload).decode("utf-8"))
     except (zlib.error, json.JSONDecodeError) as exc:
         raise ProtocolError(f"payload decode failed: {exc}") from exc
+
+
+def frame_kind(frame: bytes) -> int:
+    """Peek at a frame's kind byte without decoding the payload.
+
+    Lets a server demultiplex verification and telemetry traffic on the
+    same channel.  Validates only the header prefix (length + magic +
+    version); full integrity checks happen when the frame is decoded.
+    """
+    if len(frame) < _HEADER.size:
+        raise ProtocolError("frame shorter than header")
+    magic, version, kind, _, _ = _HEADER.unpack(frame[: _HEADER.size])
+    if magic != _MAGIC:
+        raise ProtocolError("bad magic")
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    return int(kind)
 
 
 def encode_request(
@@ -185,15 +217,29 @@ def encode_decision(
     accepted: bool,
     component_results: Dict[str, Tuple[bool, float, str]],
     request_id: str = "",
+    evidence: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> bytes:
-    """Serialise the server's decision."""
+    """Serialise the server's decision.
+
+    ``evidence`` optionally attaches each component's structured
+    measurement-vs-threshold mapping (see
+    :attr:`repro.core.decision.ComponentResult.evidence`) so a client can
+    audit the decision offline without access to server logs.
+    """
+    components: Dict[str, Dict[str, object]] = {}
+    for name, (passed, score, detail) in component_results.items():
+        entry: Dict[str, object] = {
+            "passed": passed,
+            "score": score,
+            "detail": detail,
+        }
+        if evidence is not None:
+            entry["evidence"] = dict(evidence.get(name, {}))
+        components[name] = entry
     body = {
         "accepted": accepted,
         "request_id": request_id,
-        "components": {
-            name: {"passed": passed, "score": score, "detail": detail}
-            for name, (passed, score, detail) in component_results.items()
-        },
+        "components": components,
     }
     return _frame(_KIND_DECISION, body)
 
@@ -201,3 +247,44 @@ def encode_decision(
 def decode_decision(frame: bytes) -> dict:
     """Parse a decision frame."""
     return _unframe(frame, _KIND_DECISION)
+
+
+#: Telemetry sections a scrape may request.
+TELEMETRY_SECTIONS = ("summary", "prometheus", "stages", "drift")
+
+
+def encode_telemetry_request(
+    sections: Tuple[str, ...] = ("summary", "prometheus"),
+    request_id: str = "",
+) -> bytes:
+    """Serialise a metrics-scrape request.
+
+    ``sections`` selects what the server should include (see
+    :data:`TELEMETRY_SECTIONS`); unknown sections are silently omitted
+    from the response, which lets clients probe newer servers safely.
+    """
+    for section in sections:
+        if not isinstance(section, str):
+            raise ProtocolError("telemetry sections must be strings")
+    body = {"sections": list(sections), "request_id": request_id}
+    return _frame(_KIND_TELEMETRY_REQUEST, body)
+
+
+def decode_telemetry_request(frame: bytes) -> Tuple[Tuple[str, ...], str]:
+    """Parse a telemetry request into (sections, request_id)."""
+    body = _unframe(frame, _KIND_TELEMETRY_REQUEST)
+    sections = body.get("sections", [])
+    if not isinstance(sections, list):
+        raise ProtocolError("telemetry sections must be a list")
+    return tuple(str(s) for s in sections), str(body.get("request_id", ""))
+
+
+def encode_telemetry_response(telemetry: dict, request_id: str = "") -> bytes:
+    """Serialise a telemetry response (section name → JSON value)."""
+    body = {"request_id": request_id, "telemetry": telemetry}
+    return _frame(_KIND_TELEMETRY_RESPONSE, body)
+
+
+def decode_telemetry_response(frame: bytes) -> dict:
+    """Parse a telemetry response frame."""
+    return _unframe(frame, _KIND_TELEMETRY_RESPONSE)

@@ -1,0 +1,122 @@
+"""Metrics registry edge cases: wraparound, concurrency, outcome labels."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.metrics import Histogram, MetricsRegistry
+
+
+def test_stage_report_with_skip_only_stage():
+    registry = MetricsRegistry()
+    registry.increment("stage_skipped_soundfield", 3)
+    report = registry.stage_report()
+    assert report["soundfield"]["runs"] == 0.0
+    assert report["soundfield"]["skipped"] == 3.0
+    assert report["soundfield"]["skip_rate"] == 1.0
+    assert report["soundfield"]["p50_s"] == 0.0
+
+
+def test_histogram_window_wraparound():
+    hist = Histogram(window=8)
+    for i in range(20):
+        hist.record(float(i))
+    # Lifetime aggregates cover every sample...
+    assert hist.count == 20
+    assert hist.min == 0.0 and hist.max == 19.0
+    assert hist.sum == float(sum(range(20)))
+    # ...while percentiles cover only the most recent window (12..19).
+    assert hist.percentile(50.0) == pytest.approx(np.percentile(range(12, 20), 50))
+    assert hist.percentile(0.0) == 12.0
+
+
+def test_concurrent_observe_keeps_every_sample():
+    registry = MetricsRegistry(window=16384)
+    n_threads, per_thread = 8, 500
+
+    def observe() -> None:
+        for i in range(per_thread):
+            registry.observe("total_s", float(i))
+
+    threads = [threading.Thread(target=observe) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert registry.histogram("total_s").count == n_threads * per_thread
+
+
+def test_timer_labels_ok_and_error_outcomes_separately():
+    registry = MetricsRegistry()
+    with registry.time("stage_distance_s"):
+        pass
+    with pytest.raises(RuntimeError):
+        with registry.time("stage_distance_s"):
+            raise RuntimeError("boom")
+    # The ok-path histogram saw exactly the clean run; the error landed
+    # in its own histogram plus a counter.
+    assert registry.histogram("stage_distance_s").count == 1
+    assert registry.histogram("stage_distance_error_s").count == 1
+    assert registry.counter("stage_errors_distance") == 1
+
+
+def test_timer_error_labeling_for_generic_names():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        with registry.time("decode_s"):
+            raise ValueError("bad frame")
+    assert registry.histogram("decode_s").count == 0
+    assert registry.histogram("decode_s_error").count == 1
+    assert registry.counter("errors_decode_s") == 1
+
+
+def test_stage_report_excludes_error_histograms_and_counts_errors():
+    registry = MetricsRegistry()
+    with registry.time("stage_magnetic_s"):
+        pass
+    with pytest.raises(RuntimeError):
+        with registry.time("stage_magnetic_s"):
+            raise RuntimeError("boom")
+    report = registry.stage_report()
+    assert set(report) == {"magnetic"}  # no phantom "magnetic_error" stage
+    assert report["magnetic"]["runs"] == 1.0
+    assert report["magnetic"]["errors"] == 1.0
+
+
+def test_windowed_throughput_reflects_recent_rate():
+    registry = MetricsRegistry()
+    for _ in range(10):
+        registry.increment("requests_completed")
+    # Let uptime dominate the microseconds between the two rate reads;
+    # both divide by uptime, so near-zero uptime makes them diverge.
+    time.sleep(0.05)
+    rate = registry.windowed_throughput(window_s=60.0)
+    assert rate > 0.0
+    # All ten increments happened "now", far inside the window, so the
+    # windowed rate matches the lifetime throughput.
+    assert rate == pytest.approx(registry.throughput(), rel=0.5)
+
+
+def test_windowed_throughput_excludes_old_events():
+    registry = MetricsRegistry()
+    registry._events["old"] = deque([(time.monotonic() - 120.0, 5)])
+    registry._counters["old"] = 5
+    assert registry.windowed_throughput("old", window_s=60.0) == 0.0
+    assert registry.throughput("old") > 0.0  # lifetime rate still sees it
+
+
+def test_windowed_throughput_rejects_bad_window():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.windowed_throughput(window_s=0.0)
+
+
+def test_windowed_throughput_of_unknown_counter_is_zero():
+    registry = MetricsRegistry()
+    assert registry.windowed_throughput("never_incremented") == 0.0

@@ -1,0 +1,116 @@
+"""Drift monitors: P² sketch accuracy, reference freezing, alerting."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import DriftMonitor, DriftRegistry, P2Quantile
+
+
+def test_p2_quantile_tracks_numpy_percentiles():
+    rng = np.random.default_rng(42)
+    data = rng.normal(0.0, 1.0, 5000)
+    p50, p95 = P2Quantile(0.5), P2Quantile(0.95)
+    for x in data:
+        p50.update(x)
+        p95.update(x)
+    assert abs(p50.value - np.percentile(data, 50)) < 0.05
+    assert abs(p95.value - np.percentile(data, 95)) < 0.15
+
+
+def test_p2_quantile_exact_below_five_samples():
+    q = P2Quantile(0.5)
+    assert q.value == 0.0  # empty
+    for x in (3.0, 1.0, 2.0):
+        q.update(x)
+    assert q.value == 2.0  # exact median of {1, 2, 3}
+
+
+def test_p2_quantile_rejects_degenerate_p():
+    with pytest.raises(ConfigurationError):
+        P2Quantile(0.0)
+    with pytest.raises(ConfigurationError):
+        P2Quantile(1.0)
+
+
+def test_monitor_freezes_reference_then_alerts_on_shift():
+    rng = np.random.default_rng(7)
+    monitor = DriftMonitor("identity", window=64, baseline=32, z_threshold=3.0)
+    for x in rng.normal(0.0, 1.0, 32):
+        monitor.record(x)
+    assert monitor.reference_mean is not None
+    assert monitor.alert() is None  # in-distribution: no alert
+    for x in rng.normal(0.0, 1.0, 32):
+        monitor.record(x)
+    assert monitor.alert() is None
+    # The serving distribution shifts by five sigma: alert fires and
+    # holds while the rolling window stays shifted.
+    for x in rng.normal(5.0, 1.0, 64):
+        monitor.record(x)
+    alert = monitor.alert()
+    assert alert is not None
+    assert alert.kind == "mean_shift"
+    assert alert.stage == "identity"
+    assert alert.zscore > 3.0
+    assert "identity" in str(alert)
+
+
+def test_monitor_ignores_nonfinite_scores():
+    monitor = DriftMonitor("distance", window=16, baseline=4)
+    for x in (1.0, float("-inf"), float("nan"), 2.0):
+        monitor.record(x)
+    assert monitor.count == 2  # only the finite samples landed
+    assert monitor.rolling_mean == pytest.approx(1.5)
+
+
+def test_monitor_snapshot_keys():
+    monitor = DriftMonitor("magnetic", window=16, baseline=4)
+    for x in (0.1, 0.2, 0.3, 0.4, 0.5):
+        monitor.record(x)
+    snap = monitor.snapshot()
+    for key in (
+        "count",
+        "rolling_mean",
+        "rolling_std",
+        "p50",
+        "p95",
+        "reference_mean",
+        "reference_std",
+        "zscore",
+    ):
+        assert key in snap
+    assert snap["count"] == 5.0
+
+
+def test_monitor_external_reference():
+    monitor = DriftMonitor("soundfield", window=16, baseline=8, z_threshold=2.0)
+    monitor.set_reference(mean=0.0, std=1.0)
+    for _ in range(monitor.baseline + 1):
+        monitor.record(10.0)
+    alert = monitor.alert()
+    assert alert is not None and alert.reference_mean == 0.0
+
+
+def test_registry_creates_monitors_per_stage_and_is_thread_safe():
+    registry = DriftRegistry(window=128, baseline=16)
+    stages = ("distance", "magnetic", "identity", "soundfield")
+
+    def feed(stage: str) -> None:
+        rng = np.random.default_rng(hash(stage) % 2**32)
+        for x in rng.normal(0.0, 1.0, 200):
+            registry.record(stage, x)
+
+    threads = [threading.Thread(target=feed, args=(s,)) for s in stages]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snapshot = registry.snapshot()
+    assert set(snapshot) == set(stages)
+    for stats in snapshot.values():
+        assert stats["count"] == 200.0
+    assert registry.alerts() == []  # nothing drifted

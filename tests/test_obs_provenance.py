@@ -1,0 +1,136 @@
+"""Decision provenance: per-stage evidence vs paper thresholds, explain()."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.decision import ComponentResult
+from repro.obs import DecisionRecord, StageProvenance
+
+
+def test_distance_evidence_records_estimate_vs_dt(small_world, world_genuine_capture):
+    config = small_world.system.config
+    result = small_world.system.distance.verify(world_genuine_capture)
+    evidence = result.evidence
+    assert evidence["Dt_m"] == config.distance_threshold_m
+    assert evidence["limit_m"] == config.distance_threshold_m * config.distance_margin
+    assert evidence["estimated_distance_m"] == -result.score
+    assert result.passed == (evidence["estimated_distance_m"] <= evidence["limit_m"])
+    assert evidence["circle_fit_residual_m"] >= 0.0
+
+
+def test_magnetic_evidence_records_anomaly_vs_mt(small_world, world_replay_capture):
+    config = small_world.system.config
+    result = small_world.system.magnetic.verify(world_replay_capture)
+    evidence = result.evidence
+    assert evidence["Mt_ut"] == config.magnetic_threshold_ut
+    assert evidence["beta_t_ut_s"] == config.rate_threshold_ut_s
+    # A PC-loudspeaker replay blows through the paper thresholds.
+    assert not result.passed
+    assert evidence["detection_strength"] >= 1.0
+    assert evidence["detection_strength"] == max(
+        evidence["peak_anomaly_ut"] / evidence["Mt_ut"],
+        evidence["max_rate_ut_s"] / evidence["beta_t_ut_s"],
+    )
+
+
+def test_identity_evidence_records_llr_vs_threshold(
+    small_world, world_user, world_genuine_capture
+):
+    config = small_world.system.config
+    result = small_world.system.identity.verify(world_genuine_capture, world_user)
+    assert result.evidence["asv_threshold"] == config.asv_threshold
+    assert result.evidence["llr"] == result.score
+    assert result.passed == (result.evidence["llr"] >= config.asv_threshold)
+
+
+def test_soundfield_evidence_records_svm_margin(
+    small_world, world_user, world_genuine_capture
+):
+    verifier = small_world.system.soundfield_for(world_user)
+    result = verifier.verify(world_genuine_capture)
+    evidence = result.evidence
+    assert "svm_margin" in evidence and "novelty" in evidence
+    # Headroom is the scaled distance to the novelty limit: positive
+    # exactly while the capture stays inside the genuine cluster.
+    assert (evidence["novelty_headroom"] > 0) == (
+        evidence["novelty"] < evidence["novelty_limit"]
+    )
+    combined = min(evidence["svm_margin"], evidence["novelty_headroom"])
+    assert evidence["combined_score"] == combined
+    # The reported score is the margin over the calibrated threshold.
+    assert result.score == combined - evidence["threshold"]
+    assert result.passed == (combined >= evidence["threshold"])
+
+
+def test_decision_record_from_cascade_report(
+    small_world, world_user, world_replay_capture
+):
+    system = small_world.system
+    report = system.verify_cascade(world_replay_capture, world_user)
+    record = system.decision_record(report, request_id="r1", trace_id="t1")
+    assert not record.accepted
+    assert record.mode == "cascade"
+    assert record.request_id == "r1" and record.trace_id == "t1"
+    assert record.early_exit_stage == report.early_exit_stage
+    # Skip rows carry the reason and the modelled cost saved.
+    skip_rows = [row for row in record.stages if row.status == "skipped"]
+    assert {row.name for row in skip_rows} == set(report.skipped)
+    for row in skip_rows:
+        assert record.early_exit_stage in row.skip_reason
+        assert row.cost_saved_ms > 0.0
+        assert not row.ran
+    # Ran rows carry the component evidence verbatim.
+    for name, result in report.components.items():
+        assert dict(record.stage(name).evidence) == dict(result.evidence)
+
+
+def test_decision_record_roundtrips_through_json(
+    small_world, world_user, world_replay_capture
+):
+    system = small_world.system
+    report = system.verify_cascade(world_replay_capture, world_user)
+    record = system.decision_record(report, request_id="rt")
+    rehydrated = DecisionRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+    assert rehydrated == record
+
+
+def test_explain_renders_every_stage(small_world, world_user, world_replay_capture):
+    system = small_world.system
+    report = system.verify_cascade(world_replay_capture, world_user)
+    record = system.decision_record(report, request_id="x9")
+    text = record.explain()
+    assert text.startswith("REJECT")
+    assert "request_id=x9" in text
+    for name in report.components:
+        assert f"- {name}:" in text
+    for name in report.skipped:
+        assert f"- {name}: SKIPPED" in text
+    if report.early_exit_stage:
+        assert f"early exit after {report.early_exit_stage!r}" in text
+
+
+def test_explain_marks_degraded_stage_as_error():
+    broken = ComponentResult(
+        name="distance",
+        passed=False,
+        score=float("-inf"),
+        detail="component error: boom",
+    )
+    record = DecisionRecord.build(accepted=False, components={"distance": broken})
+    assert record.stage("distance").status == "error"
+    assert "distance: ERROR" in record.explain()
+
+
+def test_stage_provenance_roundtrip_preserves_fields():
+    row = StageProvenance(
+        name="magnetic",
+        status="reject",
+        score=-3.5,
+        detail="anomaly",
+        evidence={"peak_anomaly_ut": 21.0, "Mt_ut": 6.0},
+    )
+    back = StageProvenance.from_dict(json.loads(json.dumps(row.to_dict())))
+    assert back == row
+    assert math.isclose(back.evidence["peak_anomaly_ut"], 21.0)

@@ -1,0 +1,195 @@
+"""Tracer unit tests: nesting, cross-thread spans, null no-op, JSONL export."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlRotatingWriter,
+    Tracer,
+    TraceJsonlExporter,
+    read_jsonl,
+    render_trace,
+    spans_from_dicts,
+)
+
+
+def test_span_nesting_is_thread_local():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild") as grandchild:
+                assert tracer.current() is grandchild
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    assert child.trace_id == root.trace_id == grandchild.trace_id
+    traces = tracer.drain_completed()
+    assert len(traces) == 1
+    assert [s.name for s in traces[0]] == ["root", "child", "grandchild"]
+    assert all(s.finished for s in traces[0])
+    assert all(s.duration_s >= 0.0 for s in traces[0])
+
+
+def test_sibling_spans_share_a_parent():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+    assert a.parent_id == root.span_id
+    assert b.parent_id == root.span_id
+
+
+def test_exception_marks_span_status_error():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("root"):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+    spans = tracer.drain_completed()[0]
+    by_name = {s.name: s for s in spans}
+    assert by_name["bad"].status == "error"
+    assert "boom" in str(by_name["bad"].attrs["error"])
+    assert by_name["root"].status == "error"
+
+
+def test_cross_thread_spans_via_explicit_parent():
+    """The gateway idiom: begin() in one thread, stage spans in workers."""
+    tracer = Tracer()
+    root = tracer.begin("request")
+
+    def worker():
+        # Explicit parent crosses the thread; the inner span then nests
+        # via the worker thread's own local stack (the DSP-kernel case).
+        with tracer.span("stage", parent=root):
+            with tracer.span("kernel"):
+                pass
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    tracer.end(root)
+    spans = tracer.drain_completed()[0]
+    by_name = {s.name: s for s in spans}
+    assert by_name["stage"].parent_id == root.span_id
+    assert by_name["kernel"].parent_id == by_name["stage"].span_id
+    assert by_name["kernel"].trace_id == root.trace_id
+
+
+def test_trace_completes_only_when_root_ends():
+    tracer = Tracer()
+    seen = []
+    tracer.add_listener(seen.append)
+    root = tracer.begin("request")
+    child = tracer.child(root, "stage")
+    tracer.end(child)
+    assert seen == []  # child ended, trace still open
+    tracer.end(root)
+    assert len(seen) == 1
+    assert [s.name for s in seen[0]] == ["request", "stage"]
+
+
+def test_event_records_skipped_stage():
+    tracer = Tracer()
+    root = tracer.begin("request")
+    span = tracer.event(
+        "stage.soundfield",
+        parent=root,
+        status="skipped",
+        attrs={"skip_reason": "upstream rejection"},
+    )
+    tracer.end(root)
+    assert span.status == "skipped"
+    spans = tracer.drain_completed()[0]
+    skipped = [s for s in spans if s.status == "skipped"]
+    assert len(skipped) == 1
+    assert skipped[0].attrs["skip_reason"] == "upstream rejection"
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.begin("x")
+    NULL_TRACER.end(span)
+    with NULL_TRACER.span("y") as s:
+        s.set_attr("a", 1)
+        s.set_attrs({"b": 2})
+    assert s.attrs == {}
+    assert NULL_TRACER.current() is None
+    assert NULL_TRACER.drain_completed() == []
+    NULL_TRACER.add_listener(lambda spans: None)  # no-op, no state kept
+
+
+def test_completed_buffer_is_bounded():
+    tracer = Tracer(max_completed=4)
+    for i in range(10):
+        with tracer.span(f"r{i}"):
+            pass
+    traces = tracer.drain_completed()
+    assert len(traces) == 4  # oldest six were dropped
+    assert [t[0].name for t in traces] == ["r6", "r7", "r8", "r9"]
+
+
+def test_render_trace_shows_tree_and_skip_reason():
+    tracer = Tracer()
+    with tracer.span("request"):
+        with tracer.span("stage.magnetic"):
+            pass
+        tracer.event(
+            "stage.identity",
+            status="skipped",
+            attrs={"skip_reason": "upstream rejected"},
+        )
+    spans = tracer.drain_completed()[0]
+    text = render_trace(spans)
+    lines = text.splitlines()
+    assert lines[0].startswith("request")
+    assert lines[1].startswith("  stage.magnetic")
+    assert "[skipped]" in text
+    assert "upstream rejected" in text
+
+
+def test_spans_roundtrip_through_dicts():
+    tracer = Tracer()
+    with tracer.span("request", attrs={"request_id": "r1"}):
+        with tracer.span("decode"):
+            pass
+    spans = tracer.drain_completed()[0]
+    rehydrated = spans_from_dicts([s.to_dict() for s in spans])
+    assert [s.name for s in rehydrated] == [s.name for s in spans]
+    assert [s.span_id for s in rehydrated] == [s.span_id for s in spans]
+    assert rehydrated[0].attrs == {"request_id": "r1"}
+    assert render_trace(rehydrated).splitlines()[0].startswith("request")
+
+
+def test_jsonl_writer_rotates_and_bounds_backups(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with JsonlRotatingWriter(path, max_bytes=200, backups=2) as writer:
+        for i in range(50):
+            writer.write({"i": i, "pad": "x" * 20})
+    assert path.exists()
+    assert (tmp_path / "log.jsonl.1").exists()
+    assert (tmp_path / "log.jsonl.2").exists()
+    assert not (tmp_path / "log.jsonl.3").exists()
+    rows = read_jsonl(path)
+    assert rows and rows[-1]["i"] == 49  # newest rows live in the head file
+
+
+def test_trace_jsonl_exporter_writes_completed_traces(tmp_path):
+    tracer = Tracer()
+    with TraceJsonlExporter(tracer, tmp_path / "traces.jsonl") as exporter:
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        rows = read_jsonl(exporter.path)
+    assert len(rows) == 1
+    spans = spans_from_dicts(rows[0]["spans"])
+    assert [s.name for s in spans] == ["a", "b"]
+    assert rows[0]["trace_id"] == spans[0].trace_id
+    # Closed exporter stops listening: new traces are not written.
+    with tracer.span("c"):
+        pass
+    assert len(read_jsonl(tmp_path / "traces.jsonl")) == 1
