@@ -1,0 +1,58 @@
+"""Project-aware static analysis and runtime sanitizers.
+
+Two halves share this package:
+
+- **Static side** — an AST lint framework (:mod:`repro.analysis.engine`)
+  carrying the project rules that keep the reproduction trustworthy:
+  paper constants flow from :mod:`repro.core.config`, shared serving
+  state is touched only under its declared lock (the ``guarded-by``
+  convention), DSP stays deterministic (no global RNG) and NaN-safe
+  (no global ``np.seterr``; floors or ``np.errstate`` around logs and
+  divides), and the package DAG has no back-edges.  Run it with::
+
+      python -m repro.analysis src/repro
+
+- **Runtime side** — :mod:`repro.analysis.sanitize`: opt-in NaN/Inf
+  guards over DSP kernel outputs and decision frames, plus the
+  lock-order assertion harness the gateway tests use.  Disabled, the
+  guards cost one module-flag check.
+
+This ``__init__`` stays import-light on purpose: production modules
+import :mod:`repro.analysis.sanitize`, and pulling the whole lint
+framework (argparse, rule tables) into the serving path for that would
+be waste.  The lint API is re-exported lazily instead.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULE_REGISTRY",
+    "run_analysis",
+    "sanitize",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in ("Finding", "LintReport"):
+        from repro.analysis import findings
+
+        return getattr(findings, name)
+    if name == "RULE_REGISTRY":
+        from repro.analysis.registry import RULE_REGISTRY
+
+        return RULE_REGISTRY
+    if name == "run_analysis":
+        from repro.analysis.engine import run_analysis
+
+        return run_analysis
+    if name == "sanitize":
+        # importlib, not ``from repro.analysis import sanitize``: the
+        # from-import re-enters this __getattr__ before the submodule
+        # attribute exists and recurses.
+        return importlib.import_module("repro.analysis.sanitize")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

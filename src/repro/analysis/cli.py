@@ -1,0 +1,105 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes are stable for CI: **0** — clean tree (justified suppressions
+allowed), **1** — at least one unsuppressed finding, **2** — usage or
+internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.findings import LintReport
+from repro.analysis.registry import RULE_REGISTRY
+from repro.errors import ReproError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-aware static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the human report",
+    )
+    return parser
+
+
+def _merge(reports: Sequence[LintReport]) -> LintReport:
+    merged = LintReport(rules_run=reports[0].rules_run if reports else ())
+    for rep in reports:
+        merged.findings.extend(rep.findings)
+        merged.files_checked += rep.files_checked
+    return merged
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        import repro.analysis.rules  # noqa: F401  (register the rule set)
+
+        for rule in RULE_REGISTRY:
+            print(f"{rule.id:<18s} {rule.description}")
+        return EXIT_CLEAN
+
+    rule_ids: Optional[List[str]] = None
+    if args.rules is not None:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    try:
+        reports = [run_analysis(Path(p), rule_ids) for p in args.paths]
+    except ReproError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    report = _merge(reports)
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render(verbose_suppressed=args.show_suppressed))
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report.to_json() + "\n", encoding="utf-8")
+    return EXIT_FINDINGS if report.active else EXIT_CLEAN

@@ -1,0 +1,133 @@
+"""Finding records and report rendering (human text + stable JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``suppressed`` findings were matched by a justified
+    ``# repro: ignore[<rule>]`` comment: they do not fail the run but are
+    counted in the report, so suppression debt stays visible.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule}]{tag} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that fail the run (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def counts_by_rule(self) -> Dict[str, Dict[str, int]]:
+        counts: Dict[str, Dict[str, int]] = {}
+        for f in self.findings:
+            row = counts.setdefault(f.rule, {"active": 0, "suppressed": 0})
+            row["suppressed" if f.suppressed else "active"] += 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean (suppressions allowed), 1 = unsuppressed findings."""
+        return 1 if self.active else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        ordered = sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+        )
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "active_findings": len(self.active),
+            "suppressed_findings": len(self.suppressed),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in ordered],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self, verbose_suppressed: bool = False) -> str:
+        lines: List[str] = []
+        for f in sorted(
+            self.active, key=lambda f: (f.path, f.line, f.rule, f.message)
+        ):
+            lines.append(f.render())
+        if verbose_suppressed:
+            for f in sorted(
+                self.suppressed, key=lambda f: (f.path, f.line, f.rule)
+            ):
+                lines.append(f.render())
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        by_rule = self.counts_by_rule()
+        suppressed_note = ""
+        if self.suppressed:
+            per_rule = ", ".join(
+                f"{rule}={row['suppressed']}"
+                for rule, row in sorted(by_rule.items())
+                if row["suppressed"]
+            )
+            suppressed_note = f"; {len(self.suppressed)} suppressed ({per_rule})"
+        return (
+            f"repro.analysis: {len(self.active)} finding(s) in "
+            f"{self.files_checked} file(s){suppressed_note}"
+        )
+
+
+def report_from_dict(row: Mapping[str, object]) -> LintReport:
+    """Rehydrate a report from its JSON form (for CI diff tooling)."""
+    findings = [
+        Finding(
+            rule=str(f["rule"]),
+            path=str(f["path"]),
+            line=int(f["line"]),  # type: ignore[arg-type]
+            message=str(f["message"]),
+            suppressed=bool(f.get("suppressed", False)),
+            justification=str(f.get("justification", "")),
+        )
+        for f in row.get("findings", [])  # type: ignore[union-attr]
+    ]
+    return LintReport(
+        findings=findings,
+        files_checked=int(row.get("files_checked", 0)),  # type: ignore[arg-type]
+        rules_run=tuple(row.get("rules_run", ())),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,69 @@
+"""Rule registry: rules self-register under a stable kebab-case id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleContext
+    from repro.analysis.findings import Finding
+
+#: A rule is a callable from one parsed module to its findings.
+RuleFn = Callable[["ModuleContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered checker."""
+
+    id: str
+    description: str
+    check: RuleFn
+
+
+class RuleRegistry:
+    """Ordered, name-unique collection of rules."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule_id: str, description: str) -> Callable[[RuleFn], RuleFn]:
+        """Decorator: ``@RULE_REGISTRY.register("my-rule", "...")``."""
+        if not rule_id or rule_id != rule_id.lower():
+            raise ConfigurationError(f"rule ids are kebab-case: {rule_id!r}")
+
+        def deco(fn: RuleFn) -> RuleFn:
+            if rule_id in self._rules:
+                raise ConfigurationError(f"duplicate rule id {rule_id!r}")
+            self._rules[rule_id] = Rule(rule_id, description, fn)
+            return fn
+
+        return deco
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown rule {rule_id!r}") from None
+
+    def select(self, rule_ids: "Iterable[str] | None" = None) -> List[Rule]:
+        if rule_ids is None:
+            return list(self._rules.values())
+        return [self.get(r) for r in rule_ids]
+
+    def ids(self) -> List[str]:
+        return list(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The process-wide registry; importing :mod:`repro.analysis.rules`
+#: populates it with the project rule set.
+RULE_REGISTRY = RuleRegistry()

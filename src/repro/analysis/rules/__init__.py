@@ -1,0 +1,33 @@
+"""The project rule set.
+
+Importing this package registers every rule on
+:data:`repro.analysis.registry.RULE_REGISTRY`:
+
+================== ====================================================
+``paper-constant``  threshold/sample-rate literals outside their home
+``guarded-by``      annotated shared attribute touched without its lock
+``lock-blocking``   blocking call while a lock is held
+``global-rng``      global/unseeded RNG inside the library
+``global-seterr``   process-wide ``np.seterr`` mutation
+``numeric-errstate`` unguarded ``np.log``/``np.divide`` in kernels
+``layering``        module-level import against the architecture DAG
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
+    constants,
+    determinism,
+    layering,
+    numerics,
+    threading_rules,
+)
+
+__all__ = [
+    "constants",
+    "determinism",
+    "layering",
+    "numerics",
+    "threading_rules",
+]

@@ -1,0 +1,143 @@
+"""``paper-constant``: threshold literals must flow from their home.
+
+The paper's operating point (``Dt`` = 0.06 m, ``Mt``, ``βt``, the ASV
+LLR threshold, the 16 kHz audio rate) is configuration, not folklore: a
+copy of one of those numbers in a comparison, assignment, keyword
+argument or parameter default silently detaches from
+``DefenseConfig``/``repro.constants`` and drifts when the config
+changes.  A guarded value is only an error when it appears *next to a
+name that carries its meaning* (``distance``, ``mt``, ``sample_rate``,
+…), so coincidental equal literals — a 0.06 shimmer amount, a device
+spec row — stay legal.  Legal homes: ``core/config.py`` and
+``constants.py`` of the linted tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.project import PaperConstant, is_constant_home
+from repro.analysis.registry import RULE_REGISTRY
+
+_NAME_SPLIT = re.compile(r"[^a-z0-9]+")
+
+#: Tokens this short must match a whole name part ("dt" must not match
+#: inside "width"); longer tokens match as substrings of the full name.
+_SHORT_TOKEN_LEN = 3
+
+
+def _token_matches(token: str, name: str) -> bool:
+    name = name.lower()
+    if len(token) > _SHORT_TOKEN_LEN or "_" in token:
+        return token in name
+    return token in _NAME_SPLIT.split(name)
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _context_names(ctx: ModuleContext, node: ast.AST) -> List[str]:
+    """Names that give the literal meaning: the other side of a compare,
+    the assignment target, the keyword/parameter name."""
+    names: List[str] = []
+    prev: ast.AST = node
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.Compare):
+            operands: List[ast.expr] = [anc.left, *anc.comparators]
+            for op in operands:
+                if op is not prev:
+                    names.extend(_names_in(op))
+        elif isinstance(anc, ast.keyword) and anc.arg is not None:
+            names.append(anc.arg)
+        elif isinstance(anc, ast.arguments):
+            names.extend(_param_for_default(anc, prev))
+        elif isinstance(anc, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                anc.targets
+                if isinstance(anc, ast.Assign)
+                else [anc.target]
+            )
+            for target in targets:
+                names.extend(_names_in(target))
+            break  # statement boundary
+        elif isinstance(anc, ast.stmt):
+            break  # any other statement ends the meaningful context
+        prev = anc
+    return names
+
+
+def _param_for_default(args: ast.arguments, default: ast.AST) -> List[str]:
+    """Parameter name whose default is ``default``, if any."""
+    pos = args.posonlyargs + args.args
+    for arg, node in zip(pos[len(pos) - len(args.defaults):], args.defaults):
+        if node is default:
+            return [arg.arg]
+    for arg, node in zip(args.kwonlyargs, args.kw_defaults):
+        if node is default:
+            return [arg.arg]
+    return []
+
+
+def _literal_value(ctx: ModuleContext, node: ast.Constant) -> Tuple[float, ast.AST]:
+    """The effective numeric value, folding a unary minus parent."""
+    value = float(node.value)
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.USub):
+        return -value, parent
+    return value, node
+
+
+def _matching_constants(
+    constants: Sequence[PaperConstant], value: float
+) -> List[PaperConstant]:
+    return [c for c in constants if c.value == value]
+
+
+@RULE_REGISTRY.register(
+    "paper-constant",
+    "paper threshold/sample-rate literal re-hardcoded outside its home",
+)
+def check_paper_constants(ctx: ModuleContext) -> Iterable[Finding]:
+    if is_constant_home(ctx.relpath):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        if isinstance(node.value, bool) or not isinstance(
+            node.value, (int, float)
+        ):
+            continue
+        value, anchor = _literal_value(ctx, node)
+        candidates = _matching_constants(ctx.constants, value)
+        if not candidates:
+            continue
+        names = _context_names(ctx, anchor)
+        if not names:
+            continue
+        for constant in candidates:
+            hits = [
+                t
+                for t in constant.tokens
+                if any(_token_matches(t, n) for n in names)
+            ]
+            if hits:
+                yield ctx.finding(
+                    "paper-constant",
+                    node,
+                    (
+                        f"literal {node.value!r} duplicates "
+                        f"{constant.name} (context: "
+                        f"{', '.join(sorted(set(names))[:4])}); import it "
+                        "from core.config / repro.constants instead"
+                    ),
+                )
+                break

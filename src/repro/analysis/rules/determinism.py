@@ -1,0 +1,109 @@
+"""``global-rng``: DSP and evaluation must be replayable bit-for-bit.
+
+Every stochastic quantity in the library flows from an explicitly
+seeded ``numpy.random.Generator`` threaded through call signatures.
+Three ways of breaking that are errors anywhere under ``src/repro``:
+
+- the legacy **global numpy RNG** (``np.random.normal`` and friends,
+  ``np.random.seed``) — hidden cross-module state, order-dependent;
+- the stdlib ``random`` module's **module-level functions**
+  (``random.random``, ``random.seed``, …) — same hidden state;
+- **wall-clock / OS-entropy seeding**: ``np.random.default_rng()``
+  with no arguments, ``random.Random()`` with no arguments, or any RNG
+  seeded from ``time.time()``.
+
+Constructing a ``Generator`` from an explicit seed
+(``np.random.default_rng(seed)``) is the sanctioned idiom and passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RULE_REGISTRY
+
+#: np.random attributes that do NOT touch the global RNG.
+_NP_RANDOM_OK = frozenset({"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64", "Philox"})
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _seeded_from_wall_clock(call: ast.Call) -> bool:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Call):
+                chain = _attr_chain(sub.func)
+                if chain in ("time.time", "time.time_ns", "time.monotonic"):
+                    return True
+    return False
+
+
+@RULE_REGISTRY.register(
+    "global-rng",
+    "global or wall-clock-seeded RNG; thread an explicit Generator instead",
+)
+def check_global_rng(ctx: ModuleContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        parts = chain.split(".")
+        # np.random.<fn> / numpy.random.<fn> module functions.
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            fn = parts[2]
+            if fn == "default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        "global-rng",
+                        node,
+                        "np.random.default_rng() without a seed draws from "
+                        "OS entropy; pass an explicit seed or Generator",
+                    )
+                elif _seeded_from_wall_clock(node):
+                    yield ctx.finding(
+                        "global-rng", node, "RNG seeded from the wall clock"
+                    )
+            elif fn not in _NP_RANDOM_OK:
+                yield ctx.finding(
+                    "global-rng",
+                    node,
+                    f"np.random.{fn} uses the hidden global RNG; thread an "
+                    "explicit numpy.random.Generator through the call",
+                )
+        # stdlib random module functions.
+        elif len(parts) == 2 and parts[0] == "random":
+            fn = parts[1]
+            if fn == "Random":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        "global-rng",
+                        node,
+                        "random.Random() without a seed is wall-clock seeded",
+                    )
+                elif _seeded_from_wall_clock(node):
+                    yield ctx.finding(
+                        "global-rng", node, "RNG seeded from the wall clock"
+                    )
+            elif fn not in ("Random", "SystemRandom"):
+                yield ctx.finding(
+                    "global-rng",
+                    node,
+                    f"random.{fn} uses the hidden module-level RNG; use a "
+                    "seeded numpy.random.Generator",
+                )
+        elif chain in ("np.random.default_rng", "numpy.random.default_rng"):
+            pass  # covered above

@@ -1,0 +1,83 @@
+"""``layering``: module-level imports must respect the architecture DAG.
+
+The bitwise-equivalence guarantees of the serving path rest on a clean
+dependency order — ``physics``/``sensors``/``world`` feed ``core``,
+``core`` feeds ``server``, and the observability package sits *below*
+``core`` (components carry tracers) and therefore reaches back up to
+``core``/``server`` types only lazily.  A top-level import against the
+ranks in :data:`repro.analysis.project.PACKAGE_RANKS` is a back-edge:
+it either creates an import cycle outright or quietly inverts a layer
+so the next refactor does.
+
+Lazy imports — inside a function body or an ``if TYPE_CHECKING:``
+block — are exempt: they cannot run at import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.project import package_of, rank_of
+from repro.analysis.registry import RULE_REGISTRY
+
+
+def _imported_repro_package(node: ast.AST) -> Optional[str]:
+    """Top-level ``repro`` subpackage named by an import, else ``None``."""
+    if isinstance(node, ast.ImportFrom):
+        if node.level:  # relative import; resolved by the caller's package
+            return None
+        mod = node.module or ""
+        parts = mod.split(".")
+        if parts[0] == "repro" and len(parts) >= 2:
+            return parts[1]
+        if parts[0] == "repro":
+            return None  # "from repro import x" — ambiguous, skip
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) >= 2:
+                return parts[1]
+    return None
+
+
+@RULE_REGISTRY.register(
+    "layering",
+    "module-level import that points up (or sideways) in the package DAG",
+)
+def check_layering(ctx: ModuleContext) -> Iterable[Finding]:
+    own_pkg = package_of(ctx.relpath)
+    own_rank = rank_of(own_pkg)
+    if own_rank is None:
+        return  # outside the mapped tree (fixtures, scratch files)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        target = _imported_repro_package(node)
+        if target is None or target == own_pkg:
+            continue
+        target_rank = rank_of(target)
+        if target_rank is None:
+            yield ctx.finding(
+                "layering",
+                node,
+                f"import of unmapped package repro.{target}; add it to "
+                "repro.analysis.project.PACKAGE_RANKS",
+            )
+            continue
+        if target_rank < own_rank:
+            continue
+        if ctx.is_lazy(node):
+            continue  # function-level / TYPE_CHECKING back-edges are legal
+        yield ctx.finding(
+            "layering",
+            node,
+            (
+                f"repro.{own_pkg} (rank {own_rank}) imports repro.{target} "
+                f"(rank {target_rank}) at module level — a back-edge in the "
+                "architecture DAG; move the import into the function that "
+                "needs it or under TYPE_CHECKING"
+            ),
+        )

@@ -1,0 +1,104 @@
+"""Numeric-discipline rules: ``global-seterr`` and ``numeric-errstate``.
+
+**global-seterr** — ``np.seterr(...)`` mutates process-wide float-error
+handling and silently changes behaviour for every other caller in the
+process; it is banned everywhere in the library.  The scoped
+``with np.errstate(...):`` context is the sanctioned tool.
+
+**numeric-errstate** — inside the decision-making kernels
+(:data:`repro.analysis.project.NUMERIC_KERNEL_PACKAGES`, i.e. ``core``
+and ``physics``), a call to ``np.log`` / ``np.log10`` / ``np.log2`` /
+``np.divide`` / ``np.true_divide`` must be visibly guarded: either its
+first argument is floored/clamped in place (``np.maximum(x, floor)``,
+``np.clip``, ``np.abs``) or the call sits inside a
+``with np.errstate(...):`` block that states the intended handling.  An
+unguarded log of a silently-zero power spectrum is exactly how NaN
+reaches a decision frame.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.project import in_numeric_kernel_scope
+from repro.analysis.registry import RULE_REGISTRY
+
+_GUARDED_CALLS = frozenset({"maximum", "clip", "abs", "fmax", "exp"})
+_LOG_FNS = frozenset({"log", "log10", "log2", "log1p", "divide", "true_divide"})
+
+
+def _np_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` of an ``np.<attr>``/``numpy.<attr>`` expression."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+@RULE_REGISTRY.register(
+    "global-seterr",
+    "process-wide np.seterr mutation; use a scoped np.errstate context",
+)
+def check_global_seterr(ctx: ModuleContext) -> Iterable[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and _np_attr(node.func) == "seterr":
+            yield ctx.finding(
+                "global-seterr",
+                node,
+                "np.seterr mutates process-global error handling; wrap the "
+                "computation in 'with np.errstate(...):' instead",
+            )
+
+
+def _first_arg_guarded(call: ast.Call) -> bool:
+    """True when the log/divide input is visibly floored or clamped."""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if isinstance(arg, ast.Call):
+        attr = _np_attr(arg.func)
+        if attr in _GUARDED_CALLS:
+            return True
+    return False
+
+
+def _inside_errstate(ctx: ModuleContext, node: ast.AST) -> bool:
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) and _np_attr(expr.func) == "errstate":
+                    return True
+    return False
+
+
+@RULE_REGISTRY.register(
+    "numeric-errstate",
+    "unguarded np.log/np.divide in a decision kernel (core/, physics/)",
+)
+def check_numeric_errstate(ctx: ModuleContext) -> Iterable[Finding]:
+    if not in_numeric_kernel_scope(ctx.relpath):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        attr = _np_attr(node.func)
+        if attr not in _LOG_FNS:
+            continue
+        if _first_arg_guarded(node) or _inside_errstate(ctx, node):
+            continue
+        yield ctx.finding(
+            "numeric-errstate",
+            node,
+            (
+                f"np.{attr} without a visible floor (np.maximum/np.clip on "
+                "its input) or an enclosing 'with np.errstate(...):' — a "
+                "zero/negative input would push NaN/-inf into a decision"
+            ),
+        )

@@ -1,0 +1,69 @@
+"""Per-line ``# repro: ignore[<rule>]`` suppressions.
+
+Syntax (one per line, on the offending line)::
+
+    risky_call()  # repro: ignore[<rule-id>]: <why this is safe>
+
+The justification after the second colon is **mandatory**: an
+unexplained suppression is itself a finding (``bare-suppression``), and
+a suppression that matches nothing is reported as ``unused-suppression``
+so stale escapes cannot accumulate.  ``ignore[*]`` suppresses every rule
+on the line (same justification requirement).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[a-z*][a-z0-9*,\- ]*)\]"
+    r"(?::\s*(?P<why>.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: Sequence[str]
+    justification: str
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+class SuppressionIndex:
+    """All suppressions of one file, keyed by line."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Suppression] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESSION_RE.search(text)
+            if m is None:
+                continue
+            rules = tuple(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            why = (m.group("why") or "").strip()
+            self._by_line[lineno] = Suppression(lineno, rules, why)
+
+    def lookup(self, line: int, rule: str) -> "Suppression | None":
+        supp = self._by_line.get(line)
+        if supp is not None and supp.matches(rule):
+            supp.used = True
+            return supp
+        return None
+
+    def all(self) -> List[Suppression]:
+        return [self._by_line[k] for k in sorted(self._by_line)]
+
+    def bare(self) -> List[Suppression]:
+        """Suppressions missing the mandatory justification."""
+        return [s for s in self.all() if not s.justification]
+
+    def unused(self) -> List[Suppression]:
+        return [s for s in self.all() if not s.used]

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.dsp.signal import frame_signal
 from repro.dsp.vad import trim_silence
 from repro.errors import NotFittedError, SignalError
@@ -71,7 +72,7 @@ def replay_features(waveform: np.ndarray, sample_rate: int) -> np.ndarray:
 class AudioReplayDetector:
     """Train-on-devices, test-on-the-world replay classifier."""
 
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
     _scaler: StandardScaler = field(default_factory=StandardScaler, repr=False)
     _svm: LinearSVM = field(default_factory=lambda: LinearSVM(lambda_reg=1e-2), repr=False)
     _fitted: bool = field(default=False, repr=False)

@@ -16,6 +16,7 @@ from repro.asv.gmm import DiagonalGMM
 from repro.asv.isv import ISVModel
 from repro.asv.scoring import llr_score, llr_score_batch
 from repro.asv.ubm import UniversalBackgroundModel, map_adapt
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.dsp.mel import MFCCExtractor
 from repro.dsp.vad import trim_silence
 from repro.errors import ConfigurationError, NotFittedError
@@ -45,7 +46,7 @@ class SpeakerVerifier:
     def __init__(
         self,
         backend: VerifierBackend = VerifierBackend.GMM_UBM,
-        sample_rate: int = 16000,
+        sample_rate: int = DEFAULT_SAMPLE_RATE_HZ,
         n_components: int = 32,
         isv_rank: int = 10,
         relevance_factor: float = 4.0,

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackAttempt
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.errors import ConfigurationError
 from repro.voice.analysis import estimate_profile
 from repro.voice.profiles import SpeakerProfile
@@ -45,7 +46,7 @@ class HumanMimicAttack:
     fidelity: float = 0.45
     formant_limit: float = 0.025
     effort_variability: float = 1.0
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fidelity <= 1.0:

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackAttempt
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.devices.loudspeaker import Loudspeaker
 from repro.errors import ConfigurationError
 from repro.voice.analysis import estimate_profile
@@ -39,7 +40,7 @@ class MorphingAttack:
     attacker_profile: SpeakerProfile
     fidelity: float = 0.95
     artifact_bandwidth: float = 1.25
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fidelity <= 1.0:

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.attacks.base import AttackAttempt
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.devices.loudspeaker import Loudspeaker
 from repro.voice.analysis import estimate_profile
 from repro.voice.profiles import SpeakerProfile
@@ -29,7 +30,7 @@ class SynthesisAttack:
     """TTS in the victim's estimated voice, played through a loudspeaker."""
 
     loudspeaker: Loudspeaker
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
     #: Synthetic speech is over-stable: micro-variability far below human.
     synthetic_jitter: float = 0.002
     synthetic_shimmer: float = 0.008

@@ -1,0 +1,22 @@
+"""Shared physical constants with exactly one definition site.
+
+Paper-derived *thresholds* (``Dt``, ``Mt``, ``βt``, …) live on
+:class:`repro.core.config.DefenseConfig`, where they are tunable.  The
+values here are *invariants of the modelled hardware and protocol* — not
+knobs — and sit at the bottom of the import DAG so every layer (``dsp``,
+``voice``, ``asv``, ``core``, …) can share them without creating a
+cycle.  The ``paper-constant`` lint rule treats this module and
+``core/config.py`` as the only files allowed to spell these numbers.
+"""
+
+from __future__ import annotations
+
+#: Narrowband ASV/speech processing rate (Hz).  The paper's Spear ASV
+#: system and every speech kernel in this repo operate at 16 kHz; audio
+#: is downsampled to this rate before feature extraction.
+DEFAULT_SAMPLE_RATE_HZ: int = 16000
+
+#: Lower edge of the inaudible ranging-pilot band (Hz).  The pilot must
+#: sit at or above 16 kHz so adults cannot hear it (§V of the paper);
+#: device calibration picks the highest clean tone above this floor.
+PILOT_BAND_MIN_HZ: float = 16000.0

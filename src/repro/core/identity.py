@@ -14,6 +14,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.asv.verifier import SpeakerVerifier, VerifierBackend
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.dsp.filters import lowpass
@@ -23,7 +24,7 @@ from repro.world.scene import SensorCapture
 
 
 def extract_voice(
-    audio: np.ndarray, audio_sample_rate: int, target_rate: int = 16000
+    audio: np.ndarray, audio_sample_rate: int, target_rate: int = DEFAULT_SAMPLE_RATE_HZ
 ) -> np.ndarray:
     """Isolate the speech band of a capture and resample for the ASV.
 

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.asv.verifier import VerifierBackend
 from repro.core.cascade import CascadePlan
 from repro.core.config import DefenseConfig
@@ -102,19 +103,19 @@ class DefenseSystem:
     #: every verification emits nested stage + DSP-kernel spans carrying
     #: the components' evidence.
     tracer: Tracer = field(default=NULL_TRACER, repr=False)
-    cascade_stats: CascadeStats = field(
+    cascade_stats: CascadeStats = field(  # guarded-by: _stats_lock
         init=False, repr=False, default_factory=CascadeStats
     )
     distance: DistanceVerifier = field(init=False, repr=False)
     #: Per-user fitted sound-field state — the reference sweep is text- and
     #: user-specific (paper Fig. 9 trains on *the user's* training data).
-    _soundfield_store: Dict[str, dict] = field(
+    _soundfield_store: Dict[str, dict] = field(  # guarded-by: _soundfield_lock
         init=False, repr=False, default_factory=dict
     )
-    _soundfield_cache: "OrderedDict[str, SoundFieldVerifier]" = field(
+    _soundfield_cache: "OrderedDict[str, SoundFieldVerifier]" = field(  # guarded-by: _soundfield_lock
         init=False, repr=False, default_factory=OrderedDict
     )
-    soundfield_cache_stats: SoundFieldCacheStats = field(
+    soundfield_cache_stats: SoundFieldCacheStats = field(  # guarded-by: _soundfield_lock
         init=False, repr=False, default_factory=SoundFieldCacheStats
     )
     magnetic: LoudspeakerDetector = field(init=False, repr=False)
@@ -179,7 +180,7 @@ class DefenseSystem:
         verifier.fit_captures(genuine_captures, impostor_captures)
         with self._soundfield_lock:
             self._soundfield_store[speaker_id] = verifier.state_dict()
-            self._cache_put(speaker_id, verifier)
+            self._cache_put_locked(speaker_id, verifier)
         return self
 
     def import_soundfield_state(
@@ -206,7 +207,7 @@ class DefenseSystem:
                     f"no sound-field model for {speaker_id!r}; call fit_soundfield"
                 ) from None
 
-    def _cache_put(self, speaker_id: str, verifier: SoundFieldVerifier) -> None:
+    def _cache_put_locked(self, speaker_id: str, verifier: SoundFieldVerifier) -> None:
         """Insert into the LRU (lock held by caller), evicting if full."""
         verifier.tracer = self.tracer
         self._soundfield_cache[speaker_id] = verifier
@@ -237,7 +238,7 @@ class DefenseSystem:
                 ) from None
             self.soundfield_cache_stats.misses += 1
             verifier = SoundFieldVerifier.from_state(self.config, state)
-            self._cache_put(speaker_id, verifier)
+            self._cache_put_locked(speaker_id, verifier)
             return verifier
 
     def enroll(
@@ -303,7 +304,7 @@ class DefenseSystem:
                 )
                 if not result.passed:
                     span.status = "error" if result.score == float("-inf") else "ok"
-            return result
+            return sanitize.check_result(result)
 
     def _dispatch_component(
         self,

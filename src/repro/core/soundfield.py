@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.dsp.align import align_to_reference
@@ -163,7 +164,10 @@ def soundfield_features(
     capture: SensorCapture, reference: SweepTrace
 ) -> np.ndarray:
     """Convenience wrapper: capture → delta features against a reference."""
-    return delta_features(extract_sweep_trace(capture), reference)
+    return sanitize.check_array(
+        "soundfield.delta_features",
+        delta_features(extract_sweep_trace(capture), reference),
+    )
 
 
 @dataclass

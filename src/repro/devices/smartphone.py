@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import PILOT_BAND_MIN_HZ
 from repro.errors import ConfigurationError
 from repro.sensors.imu import Accelerometer, Gyroscope
 from repro.sensors.magnetometer import Magnetometer
@@ -36,7 +37,7 @@ class SmartphoneSpec:
     def __post_init__(self) -> None:
         if self.audio_sample_rate <= 0:
             raise ConfigurationError("audio_sample_rate must be positive")
-        if not 16000.0 <= self.max_pilot_hz < self.audio_sample_rate / 2.0:
+        if not PILOT_BAND_MIN_HZ <= self.max_pilot_hz < self.audio_sample_rate / 2.0:
             raise ConfigurationError(
                 "max_pilot_hz must be >= 16 kHz (inaudible) and below Nyquist"
             )

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.fftpack import dct
 
+from repro.analysis import sanitize
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.dsp.filters import preemphasis
 from repro.dsp.signal import frame_signal
 from repro.errors import ConfigurationError, SignalError
@@ -86,7 +88,7 @@ class MFCCExtractor:
     ``append_deltas`` — a 40-dimensional vector per frame.
     """
 
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
     frame_ms: float = 25.0
     hop_ms: float = 10.0
     n_filters: int = 24
@@ -155,7 +157,7 @@ class MFCCExtractor:
             d1 = delta(ceps)
             d2 = delta(d1)
             ceps = np.column_stack([ceps, d1, d2])
-        return ceps
+        return sanitize.check_array("mel.mfcc", ceps)
 
     def _frames_to_ceps(self, frames: np.ndarray) -> np.ndarray:
         """Spectral stage for a block of frames (no deltas)."""

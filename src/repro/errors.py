@@ -40,3 +40,25 @@ class ComponentTimeoutError(ReproError):
     the serving-path scheduler when a component hangs: the request must
     degrade to a scored rejection instead of stalling the gateway.
     """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis driver could not complete a run.
+
+    Covers unreadable roots and internal rule failures — *not* lint
+    findings, which are data (:class:`repro.analysis.findings.Finding`),
+    not exceptions.
+    """
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer caught a non-finite value in a guarded path.
+
+    Only raised when sanitizing is enabled (``REPRO_SANITIZE=1`` or
+    :func:`repro.analysis.sanitize.enable`); production builds never see
+    this class.
+    """
+
+
+class LockOrderError(ReproError):
+    """The lock-order harness observed locks acquired out of rank order."""

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.attacks.replay import ReplayAttack
+from repro.core.config import DefenseConfig
 from repro.devices.loudspeaker import Loudspeaker
 from repro.devices.registry import get_loudspeaker
 from repro.experiments.runner import TrialOutcome, evaluate_outcomes
@@ -23,8 +24,11 @@ from repro.experiments.world import ExperimentWorld, attack_capture, genuine_cap
 from repro.physics.magnetics import MuMetalShield
 from repro.world.environments import Environment
 
-#: Paper's tested distances (cm → m).
-DISTANCES_M = (0.04, 0.06, 0.08, 0.10, 0.12, 0.14)
+#: Paper's tested distances (cm → m): a 2 cm grid from ``Dt − 2 cm`` to
+#: ``Dt + 8 cm``, derived from the configured threshold so re-tuning
+#: ``Dt`` keeps the sweep centred on the decision boundary.
+_DT_M = DefenseConfig().distance_threshold_m
+DISTANCES_M = tuple(round(_DT_M + 0.02 * k, 2) for k in range(-1, 5))
 
 #: A spread of Table IV loudspeakers across device classes.
 ATTACK_SPEAKERS = (

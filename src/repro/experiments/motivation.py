@@ -25,6 +25,7 @@ from repro.attacks.morphing import MorphingAttack
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.synthesis import SynthesisAttack
 from repro.asv.replay_baseline import AudioReplayDetector
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.core.identity import extract_voice
 from repro.devices.loudspeaker import Loudspeaker
 from repro.devices.registry import get_loudspeaker
@@ -60,9 +61,9 @@ def run_motivation(
     #     using capture-channel audio on both sides (a deployed detector
     #     trains on what the phone's microphone records).
     def voice_of(capture):
-        return extract_voice(capture.audio, capture.audio_sample_rate, 16000)
+        return extract_voice(capture.audio, capture.audio_sample_rate, DEFAULT_SAMPLE_RATE_HZ)
 
-    detector = AudioReplayDetector(sample_rate=16000)
+    detector = AudioReplayDetector(sample_rate=DEFAULT_SAMPLE_RATE_HZ)
     genuine_train, replay_train = [], []
     for uid in user_ids:
         account = world.user(uid)

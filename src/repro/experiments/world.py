@@ -34,11 +34,15 @@ from repro.world.trajectory import UseCaseTrajectory
 #: Factory loudspeakers used to build sound-field training negatives.
 FACTORY_NEGATIVE_SPEAKERS = ("Apple EarPods MD827LL/A", "Logitech LS21")
 
+#: How much farther than the final position the approach starts (m).  A
+#: motion-shape choice, unrelated to the ``Dt`` decision threshold.
+_START_GAP_M = 0.06
+
 
 def make_trajectory(end_distance: float) -> UseCaseTrajectory:
     """The use-case motion ending at ``end_distance`` metres."""
     return UseCaseTrajectory(
-        start_distance=max(0.15, end_distance + 0.06),
+        start_distance=max(0.15, end_distance + _START_GAP_M),
         end_distance=end_distance,
     )
 

@@ -249,7 +249,7 @@ class DriftRegistry:
         self._baseline = baseline
         self._z_threshold = z_threshold
         self._lock = threading.Lock()
-        self._monitors: Dict[str, DriftMonitor] = {}
+        self._monitors: Dict[str, DriftMonitor] = {}  # guarded-by: _lock
 
     def monitor(self, stage: str) -> DriftMonitor:
         with self._lock:

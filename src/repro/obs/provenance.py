@@ -22,10 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.decision import ComponentResult, Decision, VerificationReport
-
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cascade import CascadePlan
+    from repro.core.decision import ComponentResult, VerificationReport
 
 __all__ = ["StageProvenance", "DecisionRecord"]
 
@@ -80,7 +79,7 @@ class StageProvenance:
         )
 
 
-def _stage_status(result: ComponentResult) -> str:
+def _stage_status(result: "ComponentResult") -> str:
     if result.passed:
         return "pass"
     if result.score == float("-inf"):
@@ -103,6 +102,8 @@ class DecisionRecord:
 
     @property
     def accepted(self) -> bool:
+        from repro.core.decision import Decision  # lazy: obs sits below core
+
         return self.decision == Decision.ACCEPT.value
 
     def stage(self, name: str) -> StageProvenance:
@@ -127,6 +128,8 @@ class DecisionRecord:
         stage_latency_s: Optional[Mapping[str, float]] = None,
     ) -> "DecisionRecord":
         """Fold raw component results + cascade skip info into a record."""
+        from repro.core.decision import Decision  # lazy: obs sits below core
+
         rows: List[StageProvenance] = []
         for name, result in components.items():
             rows.append(

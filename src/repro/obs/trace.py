@@ -140,11 +140,11 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         #: Open traces: trace_id -> spans in start order.
-        self._open: Dict[str, List[Span]] = {}
+        self._open: Dict[str, List[Span]] = {}  # guarded-by: _lock
         #: Root span id per open trace (its end completes the trace).
-        self._roots: Dict[str, str] = {}
-        self._completed: "deque[List[Span]]" = deque(maxlen=max_completed)
-        self._listeners: List[Callable[[List[Span]], None]] = []
+        self._roots: Dict[str, str] = {}  # guarded-by: _lock
+        self._completed: "deque[List[Span]]" = deque(maxlen=max_completed)  # guarded-by: _lock
+        self._listeners: List[Callable[[List[Span]], None]] = []  # guarded-by: _lock
 
     # -- propagation ---------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -172,14 +172,18 @@ class Tracer:
             except ValueError:
                 pass
         completed: Optional[List[Span]] = None
+        listeners: List[Callable[[List[Span]], None]] = []
         with self._lock:
             if self._roots.get(span.trace_id) == span.span_id:
                 completed = self._open.pop(span.trace_id, None)
                 del self._roots[span.trace_id]
                 if completed is not None:
                     self._completed.append(completed)
+                    listeners = list(self._listeners)
         if completed is not None:
-            for listener in list(self._listeners):
+            # Listeners run outside the lock: they are user code and may
+            # re-enter the tracer (e.g. open an export span).
+            for listener in listeners:
                 listener(completed)
 
     # -- span creation -------------------------------------------------
@@ -258,13 +262,15 @@ class Tracer:
 
     # -- completed traces ----------------------------------------------
     def add_listener(self, listener: Callable[[List[Span]], None]) -> None:
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def remove_listener(self, listener: Callable[[List[Span]], None]) -> None:
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     def drain_completed(self) -> List[List[Span]]:
         """Pop every buffered completed trace (oldest first)."""

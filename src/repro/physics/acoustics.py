@@ -51,7 +51,9 @@ def spherical_attenuation(distance, reference_distance: float = 0.01):
 def pressure_to_db_spl(pressure_rms: np.ndarray) -> np.ndarray:
     """Convert RMS pressure (Pa) to dB SPL, flooring at 0 dB."""
     p = np.maximum(np.asarray(pressure_rms, dtype=float), P_REF)
-    return 20.0 * np.log10(p / P_REF)
+    with np.errstate(divide="raise", invalid="raise"):
+        # p >= P_REF > 0, so the ratio is >= 1 and the log is total.
+        return 20.0 * np.log10(p / P_REF)
 
 
 def piston_directivity(ka_sin_theta: np.ndarray) -> np.ndarray:

@@ -37,6 +37,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitize
 from repro.core.decision import ComponentResult
 from repro.core.identity import IdentityVerifier
 from repro.core.pipeline import DefenseSystem
@@ -165,7 +166,7 @@ class _IdentityBatcher:
         self._metrics = metrics
         self._tracer = tracer
         self._lock = threading.Lock()
-        self._buckets: Dict[str, _Bucket] = {}
+        self._buckets: Dict[str, _Bucket] = {}  # guarded-by: _lock
 
     def score(
         self, claimed: str, capture: SensorCapture, span: Optional[Span] = None
@@ -286,7 +287,7 @@ class Gateway:
             "queue.Queue[Optional[Tuple[bytes, Future, float, Optional[Span]]]]"
         ) = queue.Queue(maxsize=self.config.max_queue)
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
         self._threads = [
             threading.Thread(
                 target=self._request_worker, name=f"gateway-worker-{i}", daemon=True
@@ -507,6 +508,7 @@ class Gateway:
         t_identity = time.perf_counter()
 
         self._record_drift(results)
+        sanitize.check_results(results)
         accepted = all(r.passed for r in results.values())
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()
@@ -640,6 +642,7 @@ class Gateway:
             self.metrics.increment("cascade_early_exits")
 
         self._record_drift(results)
+        sanitize.check_results(results)
         accepted = all(r.passed for r in results.values())
         payload: Dict[str, Tuple[bool, float, str]] = {
             name: (r.passed, r.score, r.detail) for name, r in results.items()

@@ -108,9 +108,9 @@ class MetricsRegistry:
     def __init__(self, window: int = 4096):
         self._window = window
         self._lock = threading.Lock()
-        self._histograms: Dict[str, Histogram] = {}
-        self._counters: Dict[str, int] = {}
-        self._events: Dict[str, Deque[Tuple[float, int]]] = {}
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
+        self._counters: Dict[str, int] = {}  # guarded-by: _lock
+        self._events: Dict[str, Deque[Tuple[float, int]]] = {}  # guarded-by: _lock
         self._started_at = time.monotonic()
 
     # -- histograms ----------------------------------------------------

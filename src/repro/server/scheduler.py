@@ -91,11 +91,11 @@ class JobScheduler:
         self._default_timeout_s = default_timeout_s
         self._default_retries = default_retries
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
-        self._threads: List[threading.Thread] = []
+        self._threads: List[threading.Thread] = []  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._started = False
-        self._closed = False
-        self._spawned = 0
+        self._started = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._spawned = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Worker pool
@@ -271,7 +271,8 @@ class JobScheduler:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def __enter__(self) -> "JobScheduler":
         return self

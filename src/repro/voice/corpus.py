@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.errors import ConfigurationError
 from repro.voice.profiles import SpeakerProfile, random_profile
 from repro.voice.synthesis import Synthesizer, Utterance
@@ -89,7 +90,7 @@ class SyntheticCorpus:
 def make_passphrase_corpus(
     n_speakers: int = 5,
     repetitions: int = 5,
-    sample_rate: int = 16000,
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ,
     seed: int = 100,
 ) -> SyntheticCorpus:
     """Test 1 corpus: each speaker repeats a unique 6-digit pass-phrase.
@@ -116,7 +117,7 @@ def make_passphrase_corpus(
 def make_background_corpus(
     n_speakers: int = 20,
     utterances_per_speaker: int = 4,
-    sample_rate: int = 16000,
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ,
     seed: int = 200,
 ) -> SyntheticCorpus:
     """Voxforge-style background population for UBM training."""
@@ -139,7 +140,7 @@ def make_background_corpus(
 def make_arctic_style_corpus(
     n_speakers: int = 6,
     renditions: int = 2,
-    sample_rate: int = 16000,
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ,
     seed: int = 300,
 ) -> SyntheticCorpus:
     """CMU-Arctic-style corpus: held-out speakers, identical fixed prompts.

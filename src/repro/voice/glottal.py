@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.errors import ConfigurationError, SignalError
 
 
@@ -57,7 +58,7 @@ class GlottalSource:
     source roll-off; steeper tilt reads as a breathier, darker voice.
     """
 
-    sample_rate: int = 16000
+    sample_rate: int = DEFAULT_SAMPLE_RATE_HZ
     open_quotient: float = 0.6
     speed_quotient: float = 3.0
     jitter: float = 0.01

@@ -31,6 +31,7 @@ from repro.voice.formants import (
     FormantResonator,
     phoneme_sequence_for_digits,
 )
+from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.voice.glottal import GlottalSource
 from repro.voice.profiles import SpeakerProfile
 
@@ -64,7 +65,7 @@ class Synthesizer:
     #: Closure silence inserted before stop consonants.
     STOP_GAP_MS = 30.0
 
-    def __init__(self, sample_rate: int = 16000):
+    def __init__(self, sample_rate: int = DEFAULT_SAMPLE_RATE_HZ):
         if sample_rate <= 0:
             raise ConfigurationError("sample_rate must be positive")
         self.sample_rate = sample_rate

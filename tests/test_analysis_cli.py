@@ -1,0 +1,110 @@
+"""CLI contract, report serialisation, and the self-lint gate.
+
+The self-lint test is the repo's own acceptance bar: the tree under
+``src/repro`` must produce zero unsuppressed findings, and every
+suppression that does exist must carry a justification.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.analysis.engine import run_analysis
+from repro.analysis.findings import report_from_dict
+from repro.analysis.project import (
+    CONFIG_FIELD_TOKENS,
+    FALLBACK_CONSTANTS,
+    load_paper_constants,
+)
+from repro.core.config import DefenseConfig
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_name_the_rule(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import numpy as np\nnp.random.seed(1)\n")
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+        assert "[global-rng]" in capsys.readouterr().out
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("import numpy as np\nnp.seterr(all='ignore')\n")
+        out = tmp_path / "report" / "lint.json"
+        code = main([str(tmp_path), "--format", "json", "--output", str(out)])
+        assert code == EXIT_FINDINGS
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads(out.read_text())
+        assert stdout_report == file_report
+        assert stdout_report["active_findings"] == 1
+        rehydrated = report_from_dict(file_report)
+        assert rehydrated.active[0].rule == "global-seterr"
+
+    def test_rules_filter(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import numpy as np\nnp.random.seed(1)\nnp.seterr(all='ignore')\n"
+        )
+        assert main([str(tmp_path), "--rules", "global-seterr"]) == EXIT_FINDINGS
+        report = run_analysis(tmp_path, ["global-seterr"])
+        assert {f.rule for f in report.active} == {"global-seterr"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in (
+            "paper-constant",
+            "guarded-by",
+            "lock-blocking",
+            "global-rng",
+            "global-seterr",
+            "numeric-errstate",
+            "layering",
+        ):
+            assert rule_id in out
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean(self):
+        """The acceptance gate: zero unsuppressed findings on our tree."""
+        report = run_analysis(REPO_SRC)
+        assert report.render() and report.active == [], report.render()
+
+    def test_every_suppression_in_tree_is_justified(self):
+        report = run_analysis(REPO_SRC)
+        for finding in report.suppressed:
+            assert finding.justification.strip(), finding.render()
+
+    def test_all_rules_ran(self):
+        report = run_analysis(REPO_SRC)
+        assert set(report.rules_run) == {
+            "paper-constant",
+            "guarded-by",
+            "lock-blocking",
+            "global-rng",
+            "global-seterr",
+            "numeric-errstate",
+            "layering",
+        }
+        assert report.files_checked > 100
+
+
+class TestProjectModel:
+    def test_fallback_constants_match_defense_config(self):
+        """The fixture fallback table must track the real config."""
+        config = DefenseConfig()
+        by_name = {c.name: c for c in FALLBACK_CONSTANTS}
+        for field_name in CONFIG_FIELD_TOKENS:
+            assert by_name[field_name].value == getattr(config, field_name)
+
+    def test_loaded_constants_cover_config_and_physical(self):
+        names = {c.name for c in load_paper_constants(REPO_SRC)}
+        assert set(CONFIG_FIELD_TOKENS) <= names
+        assert {"DEFAULT_SAMPLE_RATE_HZ", "PILOT_BAND_MIN_HZ"} <= names

@@ -1,0 +1,379 @@
+"""Per-rule tests for the static-analysis framework.
+
+Every project rule gets a seeded-violation fixture (the rule must fire),
+a clean twin (it must not), and a suppression path (a justified
+``repro: ignore`` comment downgrades the finding without hiding it).
+Fixture trees are written to ``tmp_path`` so the rules see exactly the
+project-relative layout (``server/gateway.py`` etc.) they scope by.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import lint_anchor, run_analysis
+
+
+def lint_tree(tmp_path, files, rules=None):
+    """Write ``files`` (relpath -> source) under tmp_path and lint it."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_analysis(tmp_path, rules)
+
+
+def rules_fired(report):
+    return {f.rule for f in report.active}
+
+
+class TestPaperConstantRule:
+    def test_rehardcoded_distance_threshold_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"experiments/sweep.py": "DISTANCE_CUTOFF = 0.06\n"},
+            rules=["paper-constant"],
+        )
+        (finding,) = report.active
+        assert finding.rule == "paper-constant"
+        assert "distance_threshold_m" in finding.message
+
+    def test_sample_rate_default_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"voice/synth.py": "def synth(sample_rate: int = 16000):\n    return sample_rate\n"},
+            rules=["paper-constant"],
+        )
+        assert rules_fired(report) == {"paper-constant"}
+
+    def test_coincidental_literal_is_clean(self, tmp_path):
+        # 0.06 next to names carrying no threshold concept: legal.
+        report = lint_tree(
+            tmp_path,
+            {"voice/shimmer.py": "SHIMMER_DEPTH = 0.06\nwobble = 6.0\n"},
+            rules=["paper-constant"],
+        )
+        assert report.active == []
+
+    def test_constant_home_is_exempt(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/config.py": "class DefenseConfig:\n    distance_threshold_m: float = 0.06\n",
+                "constants.py": "DEFAULT_SAMPLE_RATE_HZ = 16000\n",
+            },
+            rules=["paper-constant"],
+        )
+        assert report.active == []
+
+    def test_constants_are_read_from_the_linted_tree(self, tmp_path):
+        # A tree configured with Dt = 0.05 guards 0.05, not the default.
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/config.py": "class DefenseConfig:\n    distance_threshold_m: float = 0.05\n",
+                "experiments/sweep.py": "max_distance = 0.05\n",
+            },
+            rules=["paper-constant"],
+        )
+        assert rules_fired(report) == {"paper-constant"}
+
+    def test_justified_suppression_downgrades(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "experiments/sweep.py": (
+                    "DISTANCE_CUTOFF = 0.06"
+                    "  # repro: ignore[paper-constant]: device spec, not Dt\n"
+                )
+            },
+            rules=["paper-constant"],
+        )
+        assert report.active == []
+        (finding,) = report.suppressed
+        assert finding.justification == "device spec, not Dt"
+
+
+class TestGuardedByRule:
+    GUARDED_CLASS = """
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {{}}  # guarded-by: _lock
+
+            def add(self, key, value):
+                {add_body}
+    """
+
+    def test_unguarded_access_fires(self, tmp_path):
+        src = self.GUARDED_CLASS.format(add_body="self._items[key] = value")
+        report = lint_tree(tmp_path, {"server/metrics.py": src}, rules=["guarded-by"])
+        (finding,) = report.active
+        assert "._items" in finding.message or "_items" in finding.message
+
+    def test_access_under_lock_is_clean(self, tmp_path):
+        src = self.GUARDED_CLASS.format(
+            add_body="with self._lock:\n                    self._items[key] = value"
+        )
+        report = lint_tree(tmp_path, {"server/metrics.py": src}, rules=["guarded-by"])
+        assert report.active == []
+
+    def test_locked_suffix_method_is_exempt(self, tmp_path):
+        src = """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def _add_locked(self, key, value):
+                    self._items[key] = value
+        """
+        report = lint_tree(tmp_path, {"server/metrics.py": src}, rules=["guarded-by"])
+        assert report.active == []
+
+    def test_closure_does_not_inherit_the_lock(self, tmp_path):
+        # The closure body runs after the with-block exits.
+        src = """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def deferred(self, key):
+                    with self._lock:
+                        def later():
+                            return self._items[key]
+                    return later
+        """
+        report = lint_tree(tmp_path, {"server/metrics.py": src}, rules=["guarded-by"])
+        assert rules_fired(report) == {"guarded-by"}
+
+    def test_outside_guarded_modules_not_enforced(self, tmp_path):
+        src = self.GUARDED_CLASS.format(add_body="self._items[key] = value")
+        report = lint_tree(tmp_path, {"voice/cache.py": src}, rules=["guarded-by"])
+        assert report.active == []
+
+
+class TestLockBlockingRule:
+    def test_sleep_under_lock_fires(self, tmp_path):
+        src = """
+            import threading
+            import time
+
+            lock = threading.Lock()
+
+            def poll():
+                with lock:
+                    time.sleep(1.0)
+        """
+        report = lint_tree(tmp_path, {"server/util.py": src}, rules=["lock-blocking"])
+        assert rules_fired(report) == {"lock-blocking"}
+
+    def test_unbounded_join_and_get_fire(self, tmp_path):
+        src = """
+            def drain(self):
+                with self._lock:
+                    self._queue.join()
+                    item = self._queue.get()
+        """
+        report = lint_tree(tmp_path, {"server/util.py": src}, rules=["lock-blocking"])
+        assert len(report.active) == 2
+
+    def test_bounded_waits_are_clean(self, tmp_path):
+        src = """
+            def drain(self):
+                with self._lock:
+                    self._evt.wait(timeout=0.5)
+                    t = self._queue.get(timeout=1.0)
+                    u = self._queue.get_nowait()
+                    self._thread.join(2.0)
+        """
+        report = lint_tree(tmp_path, {"server/util.py": src}, rules=["lock-blocking"])
+        assert report.active == []
+
+    def test_blocking_call_outside_lock_is_clean(self, tmp_path):
+        src = """
+            def drain(self):
+                self._queue.join()
+        """
+        report = lint_tree(tmp_path, {"server/util.py": src}, rules=["lock-blocking"])
+        assert report.active == []
+
+
+class TestGlobalRngRule:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "np.random.seed(1)",
+            "x = np.random.normal(0, 1, 10)",
+            "r = random.random()",
+            "rng = np.random.default_rng()",
+            "rng = np.random.default_rng(time.time())",
+            "r = random.Random()",
+        ],
+    )
+    def test_nondeterministic_rng_fires(self, tmp_path, stmt):
+        src = f"import random\nimport time\nimport numpy as np\n{stmt}\n"
+        report = lint_tree(tmp_path, {"dsp/noise.py": src}, rules=["global-rng"])
+        assert rules_fired(report) == {"global-rng"}
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "rng = np.random.default_rng(42)",
+            "rng = np.random.default_rng(seed)",
+            "gen = np.random.Generator(np.random.PCG64(7))",
+            "r = random.Random(13)",
+        ],
+    )
+    def test_explicitly_seeded_rng_is_clean(self, tmp_path, stmt):
+        src = f"import random\nimport numpy as np\nseed = 3\n{stmt}\n"
+        report = lint_tree(tmp_path, {"dsp/noise.py": src}, rules=["global-rng"])
+        assert report.active == []
+
+
+class TestNumericRules:
+    def test_global_seterr_fires_anywhere(self, tmp_path):
+        src = "import numpy as np\nnp.seterr(all='ignore')\n"
+        report = lint_tree(tmp_path, {"voice/kernel.py": src}, rules=["global-seterr"])
+        assert rules_fired(report) == {"global-seterr"}
+
+    def test_unguarded_log_in_kernel_fires(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def spectrum_db(power):
+                return 10.0 * np.log10(power)
+        """
+        report = lint_tree(tmp_path, {"core/feature.py": src}, rules=["numeric-errstate"])
+        assert rules_fired(report) == {"numeric-errstate"}
+
+    def test_floored_log_is_clean(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def spectrum_db(power):
+                return 10.0 * np.log10(np.maximum(power, 1e-12))
+        """
+        report = lint_tree(tmp_path, {"core/feature.py": src}, rules=["numeric-errstate"])
+        assert report.active == []
+
+    def test_errstate_context_is_clean(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def spectrum_db(power):
+                with np.errstate(divide="ignore"):
+                    return 10.0 * np.log10(power)
+        """
+        report = lint_tree(tmp_path, {"physics/feature.py": src}, rules=["numeric-errstate"])
+        assert report.active == []
+
+    def test_rule_scoped_to_kernels_only(self, tmp_path):
+        src = "import numpy as np\n\ndef f(x):\n    return np.log(x)\n"
+        report = lint_tree(tmp_path, {"experiments/plot.py": src}, rules=["numeric-errstate"])
+        assert report.active == []
+
+
+class TestLayeringRule:
+    def test_upward_import_fires(self, tmp_path):
+        src = "from repro.server.gateway import Gateway\n"
+        report = lint_tree(tmp_path, {"core/pipeline.py": src}, rules=["layering"])
+        (finding,) = report.active
+        assert "back-edge" in finding.message
+
+    def test_downward_import_is_clean(self, tmp_path):
+        src = "from repro.core.pipeline import DefenseSystem\n"
+        report = lint_tree(tmp_path, {"server/gateway.py": src}, rules=["layering"])
+        assert report.active == []
+
+    def test_lazy_and_type_checking_imports_are_exempt(self, tmp_path):
+        src = """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.decision import Decision
+
+            def build():
+                from repro.core.decision import Decision
+                return Decision
+        """
+        report = lint_tree(tmp_path, {"obs/provenance.py": src}, rules=["layering"])
+        assert report.active == []
+
+    def test_unmapped_package_is_reported(self, tmp_path):
+        src = "from repro.mystery import thing\n"
+        report = lint_tree(tmp_path, {"core/pipeline.py": src}, rules=["layering"])
+        (finding,) = report.active
+        assert "unmapped" in finding.message
+
+
+class TestSuppressionAccounting:
+    def test_bare_suppression_is_a_finding_and_does_not_silence(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"experiments/sweep.py": "DISTANCE_CUTOFF = 0.06  # repro: ignore[paper-constant]\n"},
+        )
+        fired = rules_fired(report)
+        assert "paper-constant" in fired  # not silenced
+        assert "bare-suppression" in fired
+
+    def test_unused_suppression_is_a_finding(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"voice/clean.py": "x = 1  # repro: ignore[global-rng]: historical\n"},
+        )
+        assert rules_fired(report) == {"unused-suppression"}
+
+    def test_wildcard_suppression_covers_all_rules(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/feature.py": (
+                    "import numpy as np\n"
+                    "y = np.log(np.random.normal())"
+                    "  # repro: ignore[*]: fixture for the docs\n"
+                )
+            },
+        )
+        assert report.active == []
+        assert {f.rule for f in report.suppressed} >= {"global-rng", "numeric-errstate"}
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        report = lint_tree(tmp_path, {"voice/broken.py": "def f(:\n"})
+        assert rules_fired(report) == {"parse-error"}
+
+
+class TestPathAnchoring:
+    def test_single_file_lint_keeps_project_relative_scope(self, tmp_path):
+        # Anchoring walks up through __init__.py chains, so linting one
+        # file still applies module-scoped rules correctly.
+        pkg = tmp_path / "pkg"
+        (pkg / "server").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "server" / "__init__.py").write_text("")
+        target = pkg / "server" / "metrics.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+                class Registry:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}  # guarded-by: _lock
+
+                    def add(self, key, value):
+                        self._items[key] = value
+                """
+            )
+        )
+        assert lint_anchor(target) == pkg
+        report = run_analysis(target, ["guarded-by"])
+        assert rules_fired(report) == {"guarded-by"}
