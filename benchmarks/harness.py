@@ -8,10 +8,14 @@ documents lives in ``benchmarks/baselines/``; ``python benchmarks/harness.py
 diff`` compares the two and prints per-metric deltas so a perf regression
 shows up in the CI log next to the run that introduced it.
 
-The diff is advisory by default (always exits 0): benchmark machines vary
-too much for a hard latency gate, and the golden-decision suite already
-hard-gates correctness.  Pass ``--fail-threshold`` to turn large latency
-regressions into a non-zero exit for environments stable enough to gate.
+The diff is advisory by default for *timing*: benchmark machines vary
+too much for a hard latency gate.  Pass ``--fail-threshold`` to turn
+large latency regressions into a non-zero exit for environments stable
+enough to gate.  **Decision checksums are never advisory**: benches that
+serve real frames record a digest of their decisions per serving mode
+(``decision_checksums``), and a checksum that differs from the committed
+baseline is decision drift — a correctness bug wearing a perf costume —
+so ``diff`` exits non-zero on any mismatch regardless of thresholds.
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ def write_bench(
     throughput_rps: Optional[Dict[str, float]] = None,
     stage_skip_rates: Optional[Dict[str, float]] = None,
     counters: Optional[Dict[str, float]] = None,
+    decision_checksums: Optional[Dict[str, str]] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` into the results directory.
@@ -73,7 +78,11 @@ def write_bench(
     to raw per-item latency samples in seconds; each label is stored as a
     median/p95/mean summary.  ``latency_summaries`` takes pre-summarised
     entries (already in milliseconds) verbatim — for callers that only
-    have histogram percentiles.  Returns the written path.
+    have histogram percentiles.  ``decision_checksums`` maps a serving
+    mode (``"sequential"``, ``"sharded_4"``, ...) to the
+    :func:`repro.server.decisions_checksum` digest of the decisions that
+    mode produced, so the diff can flag decision drift.  Returns the
+    written path.
     """
     doc: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
@@ -94,6 +103,10 @@ def write_bench(
         }
     if counters:
         doc["counters"] = {k: float(v) for k, v in counters.items()}
+    if decision_checksums:
+        doc["decision_checksums"] = {
+            k: str(v) for k, v in decision_checksums.items()
+        }
     if extra:
         doc["extra"] = extra
     path = results_dir() / f"BENCH_{name}.json"
@@ -161,6 +174,36 @@ def _is_latency(key: str) -> bool:
     return key.startswith("latency.") and key.endswith(("_ms",))
 
 
+def decision_drift(
+    results: Optional[Path] = None, baselines: Optional[Path] = None
+) -> List[str]:
+    """Decision-checksum mismatches, fresh results vs committed baselines.
+
+    Only modes present in **both** documents are compared (a new mode in
+    a fresh result is an addition, not drift; a baseline mode with no
+    fresh counterpart means that bench leg didn't run).  Any returned
+    line is a hard failure for :func:`main`'s ``diff`` command: the same
+    frames decided differently than the committed snapshot.
+    """
+    results = Path(results) if results else results_dir()
+    baselines = Path(baselines) if baselines else baselines_dir()
+    drift: List[str] = []
+    for base_path in sorted(baselines.glob("BENCH_*.json")):
+        new_path = results / base_path.name
+        if not new_path.exists():
+            continue
+        base = load_bench(base_path).get("decision_checksums") or {}
+        new = load_bench(new_path).get("decision_checksums") or {}
+        for mode in sorted(set(base) & set(new)):
+            if base[mode] != new[mode]:
+                drift.append(
+                    f"{base_path.name}: decision checksum drift in mode "
+                    f"{mode!r}: baseline {base[mode][:16]}... != "
+                    f"fresh {new[mode][:16]}..."
+                )
+    return drift
+
+
 def worst_latency_ratio(
     results: Optional[Path] = None, baselines: Optional[Path] = None
 ) -> float:
@@ -196,6 +239,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "diff":
         for line in diff_benches(args.results, args.baselines):
             print(line)
+        drift = decision_drift(args.results, args.baselines)
+        for line in drift:
+            print(f"FAIL: {line}")
+        if drift:
+            return 1
         if args.fail_threshold is not None:
             worst = worst_latency_ratio(args.results, args.baselines)
             if worst > args.fail_threshold:

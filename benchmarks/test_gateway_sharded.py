@@ -1,0 +1,143 @@
+"""Sharded-gateway throughput vs threaded/sequential (DESIGN.md §10).
+
+A concurrent burst through the process-sharded tier at N ∈ {2, 4}
+shards, timed against the sequential :class:`VerificationServer` and the
+threaded :class:`Gateway` on the same frames.  Every mode's decisions
+are digested with :func:`~repro.server.decisions_checksum` and must
+agree bit for bit — the throughput claim is only meaningful if the
+shards compute the *same function* — and the digests land in
+``BENCH_gateway_sharded.json`` so the harness diff catches drift.
+
+The ≥2x-over-threaded bar is asserted only on machines with ≥4 CPUs:
+process sharding buys parallelism across cores, and on a 1-core CI
+container every mode is serialized onto the same clock, so the bar
+would measure the scheduler, not the tier.  The 8-core ≥10x-over-
+sequential target is documented (with measured numbers) in
+EXPERIMENTS.md.
+"""
+
+import os
+import time
+
+from conftest import emit
+from harness import write_bench
+
+from repro.experiments.world import genuine_capture
+from repro.server import (
+    Gateway,
+    GatewayConfig,
+    ShardedGateway,
+    VerificationServer,
+    decisions_checksum,
+    decode_decision,
+    encode_request,
+)
+
+N_REQUESTS = 24
+SHARD_COUNTS = (2, 4)
+#: Below this the ≥2x bar measures core contention, not the shard tier.
+MIN_CPUS_FOR_SPEEDUP_GATE = 4
+
+
+def _frames(world):
+    users = sorted(world.users)
+    frames = []
+    for i in range(N_REQUESTS):
+        user_id = users[i % len(users)]
+        capture = genuine_capture(world, user_id, 0.05)
+        frames.append(encode_request(capture, user_id, request_id=f"req-{i}"))
+    return frames
+
+
+def _run_all_modes(world):
+    frames = _frames(world)
+    decisions = {}
+    elapsed = {}
+
+    server = VerificationServer(world.system)
+    try:
+        t0 = time.perf_counter()
+        decisions["sequential"] = [server.handle(f) for f in frames]
+        elapsed["sequential"] = time.perf_counter() - t0
+    finally:
+        server.close()
+
+    with Gateway(
+        world.system, GatewayConfig(request_workers=4)
+    ) as gateway:
+        t0 = time.perf_counter()
+        decisions["threaded"] = gateway.handle_many(frames)
+        elapsed["threaded"] = time.perf_counter() - t0
+
+    for shards in SHARD_COUNTS:
+        mode = f"sharded_{shards}"
+        with ShardedGateway(
+            world.system, GatewayConfig(shards=shards)
+        ) as gateway:
+            t0 = time.perf_counter()
+            decisions[mode] = gateway.handle_many(frames)
+            elapsed[mode] = time.perf_counter() - t0
+            assert gateway.shard_generations == [0] * shards
+
+    return decisions, elapsed
+
+
+def test_gateway_sharded_throughput(benchmark, bench_world):
+    decisions, elapsed = benchmark.pedantic(
+        _run_all_modes, args=(bench_world,), rounds=1, iterations=1
+    )
+    rps = {mode: N_REQUESTS / s for mode, s in elapsed.items()}
+    checksums = {
+        mode: decisions_checksum([decode_decision(f) for f in frames])
+        for mode, frames in decisions.items()
+    }
+    cores = os.cpu_count() or 1
+
+    emit(
+        f"Sharded gateway throughput ({N_REQUESTS}-request burst, "
+        f"{cores} CPUs)",
+        [
+            *(
+                f"{mode:12s}: {rps[mode]:6.1f} req/s "
+                f"({rps[mode] / rps['threaded']:.2f}x threaded, "
+                f"{rps[mode] / rps['sequential']:.2f}x sequential)"
+                for mode in sorted(rps)
+            ),
+            f"decision checksum: {checksums['sequential'][:16]}... "
+            f"(all {len(checksums)} modes identical)",
+        ],
+    )
+
+    # Correctness first: every mode decided the same frames identically.
+    reference = checksums["sequential"]
+    for mode, checksum in checksums.items():
+        assert checksum == reference, (mode, checksum, reference)
+
+    best_sharded = max(rps[f"sharded_{n}"] for n in SHARD_COUNTS)
+    if cores >= MIN_CPUS_FOR_SPEEDUP_GATE:
+        # The CI bar: shards beat the GIL-bound thread pool ≥2x.
+        assert best_sharded >= 2.0 * rps["threaded"], (rps, cores)
+    else:
+        # Starved of cores, sharding can't win — but it must not
+        # collapse either (frame handoff overhead stays bounded).
+        assert best_sharded >= 0.4 * rps["threaded"], (rps, cores)
+
+    benchmark.extra_info["throughput_rps"] = rps
+    benchmark.extra_info["cpu_count"] = cores
+    write_bench(
+        "gateway_sharded",
+        throughput_rps=rps,
+        decision_checksums=checksums,
+        extra={
+            "cpu_count": cores,
+            "n_requests": N_REQUESTS,
+            "speedup_vs_threaded": {
+                f"sharded_{n}": rps[f"sharded_{n}"] / rps["threaded"]
+                for n in SHARD_COUNTS
+            },
+            "speedup_vs_sequential": {
+                f"sharded_{n}": rps[f"sharded_{n}"] / rps["sequential"]
+                for n in SHARD_COUNTS
+            },
+        },
+    )

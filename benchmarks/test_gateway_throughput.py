@@ -18,6 +18,7 @@ from repro.server import (
     GatewayConfig,
     VerificationServer,
     decode_decision,
+    decisions_checksum,
     encode_request,
 )
 
@@ -95,6 +96,11 @@ def test_gateway_throughput_baseline(benchmark, bench_world):
     assert len(out["concurrent"]) == N_REQUESTS >= 8
     for got, expected in zip(out["concurrent"], out["sequential"]):
         assert decode_decision(got) == decode_decision(expected)
+    checksums = {
+        mode: decisions_checksum([decode_decision(f) for f in out[mode]])
+        for mode in ("sequential", "concurrent")
+    }
+    assert checksums["concurrent"] == checksums["sequential"]
     # Batching and the cache actually engaged during the burst.
     assert counters["identity_batches"] < N_REQUESTS
     assert hists["identity_batch_size"]["max"] >= 2
@@ -120,5 +126,11 @@ def test_gateway_throughput_baseline(benchmark, bench_world):
         counters={
             "identity_batches": counters["identity_batches"],
             "soundfield_cache_hits": cache["hits"],
+        },
+        # Same frames, so both modes must carry the same digest; the
+        # harness diff hard-fails if a future run drifts from baseline.
+        decision_checksums={
+            "sequential": checksums["sequential"],
+            "gateway": checksums["concurrent"],
         },
     )

@@ -83,6 +83,18 @@ GUARDED_MODULES: Tuple[str, ...] = (
 #: and divides (the numeric-discipline rule's scope).
 NUMERIC_KERNEL_PACKAGES: FrozenSet[str] = frozenset({"core", "physics"})
 
+#: Modules whose code runs inside forked shard processes.  Import-time
+#: state they create — locks, RNGs, caches — is instantiated in the
+#: *parent* and captured pre-fork into every child: a lock can be copied
+#: mid-acquisition, an RNG stream duplicates across shards, and a cache
+#: silently diverges per process.  The ``fork-safety`` rule bans such
+#: state at module (and class-body) level in these files; mutable state
+#: belongs in ``__init__``-built objects constructed after the fork.
+FORK_SAFE_MODULES: Tuple[str, ...] = (
+    "server/shard.py",
+    "server/router.py",
+)
+
 #: Files allowed to carry the paper constants literally: the config
 #: module that *defines* them and the constants module physical values
 #: live in.
@@ -215,6 +227,10 @@ def is_constant_home(relpath: str) -> bool:
 
 def is_guarded_module(relpath: str) -> bool:
     return relpath.replace("\\", "/") in GUARDED_MODULES
+
+
+def is_fork_safe_module(relpath: str) -> bool:
+    return relpath.replace("\\", "/") in FORK_SAFE_MODULES
 
 
 def in_numeric_kernel_scope(relpath: str) -> bool:

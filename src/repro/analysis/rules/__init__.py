@@ -7,6 +7,7 @@ Importing this package registers every rule on
 ``paper-constant``  threshold/sample-rate literals outside their home
 ``guarded-by``      annotated shared attribute touched without its lock
 ``lock-blocking``   blocking call while a lock is held
+``fork-safety``     import-time lock/RNG/cache state in shard modules
 ``global-rng``      global/unseeded RNG inside the library
 ``global-seterr``   process-wide ``np.seterr`` mutation
 ``numeric-errstate`` unguarded ``np.log``/``np.divide`` in kernels

@@ -1,4 +1,4 @@
-"""Thread-safety rules: ``guarded-by`` and ``lock-blocking``.
+"""Thread-safety rules: ``guarded-by``, ``lock-blocking``, ``fork-safety``.
 
 **guarded-by** — the serving path documents which lock protects each
 piece of shared state with an annotation on the attribute's defining
@@ -21,6 +21,20 @@ expression whose name contains ``lock``), calls that can block
 indefinitely are errors: ``time.sleep``, zero-argument ``.join()`` /
 ``.wait()`` / ``.get()`` / ``.result()`` (no timeout).  A bounded wait
 (``.join(timeout=...)``) is fine.
+
+**fork-safety** — in the modules listed in
+:data:`repro.analysis.project.FORK_SAFE_MODULES` (code that runs inside
+forked shard workers), no lock, RNG, queue, or mutable cache may be
+created at import time: such state is instantiated once in the parent
+and captured pre-fork into every child, where a copied lock can be held
+by a thread that no longer exists, a duplicated RNG stream breaks shard
+independence, and a shared-looking cache silently diverges per process.
+Flagged at module and class-body level: synchronisation-primitive and
+queue constructors, RNG constructors/seeding (``default_rng``,
+``RandomState``, ``random.Random``, ``random.seed``), memoising
+decorators (``lru_cache``/``cache``), and empty mutable container
+literals (a module-level ``{}`` is a cache waiting to happen).  Mutable
+state belongs on instances built *after* the fork.
 """
 
 from __future__ import annotations
@@ -31,7 +45,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.analysis.engine import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.project import is_guarded_module
+from repro.analysis.project import is_fork_safe_module, is_guarded_module
 from repro.analysis.registry import RULE_REGISTRY
 
 _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?(\w+)")
@@ -220,3 +234,111 @@ def check_lock_blocking(ctx: ModuleContext) -> Iterable[Finding]:
 
     for top in ctx.tree.body:
         yield from walk(top, False)
+
+
+# ----------------------------------------------------------------------
+# fork-safety
+# ----------------------------------------------------------------------
+#: Constructor names whose import-time instantiation is a fork hazard.
+_FORK_HOSTILE_CONSTRUCTORS: FrozenSet[str] = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
+    "default_rng", "RandomState", "Random", "Generator",
+    "OrderedDict", "defaultdict", "deque", "Counter",
+})
+
+#: Call names that seed or memoise at import time.
+_FORK_HOSTILE_CALLS: FrozenSet[str] = frozenset({"seed", "lru_cache", "cache"})
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """Trailing name of a ``Call``'s callee (``threading.Lock`` → Lock)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _fork_hazard(node: ast.expr) -> Optional[str]:
+    """Why an import-time value expression is fork-hostile, else None."""
+    name = _call_name(node)
+    if name in _FORK_HOSTILE_CONSTRUCTORS:
+        return f"{name}() instantiated at import time"
+    if name in _FORK_HOSTILE_CALLS:
+        return f"{name}() called at import time"
+    if (
+        name in ("dict", "list", "set")
+        and isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+    ):
+        return f"empty mutable {name}() at import time"
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)) and not (
+        node.keys if isinstance(node, ast.Dict) else node.elts
+    ):
+        literal = {ast.Dict: "{}", ast.List: "[]", ast.Set: "set()"}[type(node)]
+        return f"empty mutable {literal} at import time"
+    return None
+
+
+@RULE_REGISTRY.register(
+    "fork-safety",
+    "import-time lock/RNG/cache state in a module forked into shards",
+)
+def check_fork_safety(ctx: ModuleContext) -> Iterable[Finding]:
+    if not is_fork_safe_module(ctx.relpath):
+        return
+    # Module body plus class bodies: both execute at import time, in the
+    # parent, before any shard is forked.
+    scopes: List[ast.AST] = [ctx.tree]
+    scopes.extend(n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef))
+    for scope in scopes:
+        body = scope.body  # type: ignore[attr-defined]
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in stmt.decorator_list:
+                    name = _call_name(deco) or (
+                        deco.attr if isinstance(deco, ast.Attribute)
+                        else deco.id if isinstance(deco, ast.Name) else None
+                    )
+                    if name in _FORK_HOSTILE_CALLS:
+                        yield ctx.finding(
+                            "fork-safety",
+                            deco,
+                            (
+                                f"@{name} memoises in the parent process; "
+                                "every forked shard inherits (then forks "
+                                "away from) that cache — memoise on a "
+                                "post-fork instance instead"
+                            ),
+                        )
+                continue
+            values: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                values = [stmt.value]
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                values = [stmt.value]
+            elif isinstance(stmt, ast.Expr):
+                values = [stmt.value]
+            for value in values:
+                for node in ast.walk(value):
+                    if not isinstance(node, ast.expr):
+                        continue
+                    reason = _fork_hazard(node)
+                    if reason is not None:
+                        yield ctx.finding(
+                            "fork-safety",
+                            node,
+                            (
+                                f"{reason} in a module forked into shard "
+                                "processes: the state is captured pre-fork "
+                                "(a copied lock may be held by a thread "
+                                "that does not exist in the child, an RNG "
+                                "stream duplicates across shards) — build "
+                                "it after the fork, in __init__"
+                            ),
+                        )

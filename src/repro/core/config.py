@@ -6,11 +6,17 @@ threshold ``Dt = 6 cm`` (from Fig. 12), a magnetic strength threshold
 measurements), and the ASV acceptance threshold.  The defaults below are
 the values our simulated evaluation selects by the same procedure (the
 Fig. 12 bench re-derives ``Dt``).
+
+:class:`GatewayConfig` — the serving-tier knobs — lives here too, next
+to the decision thresholds it serves: both are part of a deployment's
+frozen configuration, and both travel across process boundaries when the
+sharded gateway spawns or replaces shard workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 
@@ -73,3 +79,87 @@ class DefenseConfig:
             magnetic_threshold_ut=self.magnetic_threshold_ut * scale,
             rate_threshold_ut_s=self.rate_threshold_ut_s * scale,
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-stable form (audit provenance, cross-process handoff)."""
+        return dict(asdict(self))
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, Any]) -> "DefenseConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored so newer audit rows stay loadable by
+        older code; validation re-runs in ``__post_init__``.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in row.items() if k in known})
+
+
+@dataclass
+class GatewayConfig:
+    """Knobs of the concurrent serving path (threaded and sharded).
+
+    ``shards=0`` (the default) keeps the single-process thread-pool
+    gateway.  ``shards=N`` with ``N >= 1`` selects the shared-nothing
+    process-shard tier: requests are routed by consistent hash on the
+    claimed speaker id to one of ``N`` forked worker processes, each
+    owning its slice of the per-user sound-field LRU and ASV traffic.
+    """
+
+    #: Request-level concurrency: how many requests are in flight at once.
+    request_workers: int = 4
+    #: Workers of the shared component scheduler; ``None`` sizes the pool
+    #: at three per request worker (one per machine-detection component).
+    component_workers: Optional[int] = None
+    #: Bound of the admission queue; a full queue rejects (backpressure).
+    max_queue: int = 64
+    #: Per-component execution budget; ``None`` waits forever.
+    component_timeout_s: Optional[float] = 30.0
+    #: Extra attempts for a component job that *crashed* (timeouts are
+    #: never retried — see the scheduler docs).
+    component_retries: int = 1
+    #: How long the first request of an identity batch waits for peers.
+    batch_window_s: float = 0.05
+    #: Flush an identity batch as soon as it reaches this many requests.
+    max_batch: int = 8
+    #: Recent-sample window of the latency histograms.
+    metrics_window: int = 4096
+    #: Serve with the cost-ordered early-exit cascade: cheap stages run
+    #: first and a confident rejection skips everything downstream
+    #: (including identity scoring).  Decisions match the strict path —
+    #: ACCEPT still requires every enabled component to pass — but
+    #: rejected requests return after the cheap stages.  ``False`` keeps
+    #: the run-everything behaviour bit-for-bit.
+    cascade: bool = False
+    #: Number of shared-nothing shard processes (0 = threaded gateway).
+    shards: int = 0
+    #: Bound of each shard's work queue (per-shard backpressure).
+    shard_queue_depth: int = 32
+    #: How often the shard supervisor polls worker liveness (seconds).
+    health_check_interval_s: float = 0.1
+    #: Enable in-band chaos hooks (``__chaos_exit__`` request metadata
+    #: kills the handling shard mid-request).  Test-only; never enable
+    #: in production configs.
+    chaos_hooks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.request_workers <= 0:
+            raise ConfigurationError("request_workers must be positive")
+        if self.component_workers is not None and self.component_workers <= 0:
+            raise ConfigurationError("component_workers must be positive")
+        if self.max_queue <= 0:
+            raise ConfigurationError("max_queue must be positive")
+        if self.component_timeout_s is not None and self.component_timeout_s <= 0:
+            raise ConfigurationError("component_timeout_s must be positive")
+        if self.component_retries < 0:
+            raise ConfigurationError("component_retries must be >= 0")
+        if self.batch_window_s < 0:
+            raise ConfigurationError("batch_window_s must be >= 0")
+        if self.max_batch <= 0:
+            raise ConfigurationError("max_batch must be positive")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be >= 0")
+        if self.shard_queue_depth <= 0:
+            raise ConfigurationError("shard_queue_depth must be positive")
+        if self.health_check_interval_s <= 0:
+            raise ConfigurationError("health_check_interval_s must be positive")

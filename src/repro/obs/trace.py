@@ -21,6 +21,7 @@ handed to registered listeners — see
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import uuid
@@ -44,6 +45,21 @@ _ID_COUNTER = itertools.count(1)
 
 def _new_id() -> str:
     return f"{_ID_PREFIX}{next(_ID_COUNTER):08x}"
+
+
+def _reset_ids_after_fork() -> None:
+    """Give a forked child its own id namespace.
+
+    A forked shard inherits the parent's prefix *and* counter position,
+    so without this, parent and shard would mint colliding span ids and
+    cross-process parent linkage would be ambiguous.
+    """
+    global _ID_PREFIX, _ID_COUNTER
+    _ID_PREFIX = uuid.uuid4().hex[:8]
+    _ID_COUNTER = itertools.count(1)
+
+
+os.register_at_fork(after_in_child=_reset_ids_after_fork)
 
 
 class Span:
@@ -247,6 +263,56 @@ class Tracer:
             span.status = status
         self._finish(span)
 
+    # -- cross-process linkage -----------------------------------------
+    def remote_child(
+        self,
+        trace_id: str,
+        parent_span_id: str,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Open a span whose parent lives in *another process*.
+
+        A shard worker receives ``(trace_id, parent_span_id)`` with each
+        request and hangs its local spans under the gateway's request
+        span.  The remote root never ends locally, so the trace never
+        auto-completes here — the shard pops its fragment with
+        :meth:`take_trace` and ships the dicts back for
+        :meth:`ingest` on the parent side.
+        """
+        span = Span(trace_id, name, parent_span_id, attrs)
+        with self._lock:
+            self._open.setdefault(trace_id, []).append(span)
+        return span
+
+    def take_trace(self, trace_id: str) -> List[Span]:
+        """Pop the locally-collected spans of a remotely-rooted trace."""
+        with self._lock:
+            if self._roots.get(trace_id) is not None:
+                return []  # locally rooted: completes via _finish
+            return self._open.pop(trace_id, [])
+
+    def ingest(self, rows: List[Dict[str, object]]) -> None:
+        """Re-home span dicts produced in another process.
+
+        Spans whose trace is still open here join it (and complete with
+        it); spans of already-completed/unknown traces are buffered as
+        their own completed fragment so they are never silently lost.
+        """
+        if not rows:
+            return
+        spans = spans_from_dicts(rows)
+        orphans: List[Span] = []
+        with self._lock:
+            for span in spans:
+                trace = self._open.get(span.trace_id)
+                if trace is not None:
+                    trace.append(span)
+                else:
+                    orphans.append(span)
+            if orphans:
+                self._completed.append(orphans)
+
     def event(
         self,
         name: str,
@@ -343,6 +409,15 @@ class NullTracer(Tracer):
 
     def event(self, name, parent=None, attrs=None, status="ok"):  # type: ignore[override]
         return _NULL_SPAN
+
+    def remote_child(self, trace_id, parent_span_id, name, attrs=None):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def take_trace(self, trace_id):  # type: ignore[override]
+        return []
+
+    def ingest(self, rows) -> None:  # type: ignore[override]
+        pass
 
     def current(self):  # type: ignore[override]
         return None

@@ -17,9 +17,14 @@ This subpackage reproduces that architecture in-process and scales it:
   :class:`repro.core.pipeline.DefenseSystem`;
 - :mod:`repro.server.gateway` — the concurrent verification gateway:
   bounded admission queue, request-worker pool, same-speaker identity
-  micro-batching, and per-stage metrics;
+  micro-batching, and per-stage metrics; plus the shared-nothing
+  :class:`~repro.server.gateway.ShardedGateway` process tier
+  (``GatewayConfig(shards=N)``);
+- :mod:`repro.server.router` — consistent-hash speaker → shard routing;
+- :mod:`repro.server.shard` — the forked shard worker's serving loop;
 - :mod:`repro.server.metrics` — latency histograms and throughput
-  counters shared by the serving paths;
+  counters shared by the serving paths, with cross-process snapshot
+  merging for the shard tier;
 - :mod:`repro.server.client` — the mobile-app side: packs captures,
   submits them, and measures round-trip authentication time (Fig. 15),
   plus a concurrent load generator for gateway benches.
@@ -44,11 +49,20 @@ from repro.server.protocol import (
     encode_telemetry_request,
     encode_telemetry_response,
     frame_kind,
+    peek_request_meta,
+    decision_fingerprint,
+    decisions_checksum,
 )
-from repro.server.scheduler import JobResult, JobScheduler
+from repro.server.scheduler import JobResult, JobScheduler, ShardSupervisor
 from repro.server.metrics import Histogram, MetricsRegistry, RequestStats
 from repro.server.backend import VerificationServer
-from repro.server.gateway import Gateway, GatewayConfig
+from repro.server.router import ConsistentHashRouter
+from repro.server.gateway import (
+    Gateway,
+    GatewayConfig,
+    ShardedGateway,
+    create_gateway,
+)
 from repro.server.client import (
     LoadGenerator,
     MobileClient,
@@ -71,14 +85,21 @@ __all__ = [
     "encode_telemetry_request",
     "encode_telemetry_response",
     "frame_kind",
+    "peek_request_meta",
+    "decision_fingerprint",
+    "decisions_checksum",
     "JobResult",
     "JobScheduler",
+    "ShardSupervisor",
     "Histogram",
     "MetricsRegistry",
     "RequestStats",
     "VerificationServer",
+    "ConsistentHashRouter",
     "Gateway",
     "GatewayConfig",
+    "ShardedGateway",
+    "create_gateway",
     "LoadGenerator",
     "MobileClient",
     "TimingReport",

@@ -31,7 +31,37 @@ __all__ = [
     "VerificationServer",
     "machine_detection_jobs",
     "collect_detection_results",
+    "cascade_order",
+    "cascade_split",
 ]
+
+
+def cascade_order(
+    system: DefenseSystem, claimed: Optional[str]
+) -> Tuple[str, ...]:
+    """Enabled stages cheapest-first; claim-dependent stages only with a
+    claim (matching the strict path, which skips them too)."""
+    order = system.cascade_plan.order(system.enabled_components)
+    if claimed is None:
+        order = tuple(n for n in order if n not in ("identity", "soundfield"))
+    return order
+
+
+def cascade_split(
+    order: Tuple[str, ...],
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Split a cost order into sequential gates and a parallel tail.
+
+    The gateway's cascade runs the cheap leading stages one at a time
+    (each may exit early) and the two most expensive stages together.
+    Every serving mode — threaded gateway and process shards — must use
+    this exact split, because the gate set determines which stages can
+    early-exit and therefore which downstream stages get *skipped*;
+    a different split would produce different skip sets and break the
+    bitwise cross-mode decision equivalence the test harness enforces.
+    """
+    gates = order[:-2] if len(order) > 2 else ()
+    return gates, order[len(gates) :]
 
 
 def machine_detection_jobs(

@@ -30,14 +30,16 @@ mean-per-slice over row-independent likelihoods.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import sanitize
+from repro.core.config import GatewayConfig
 from repro.core.decision import ComponentResult
 from repro.core.identity import IdentityVerifier
 from repro.core.pipeline import DefenseSystem
@@ -47,6 +49,8 @@ from repro.obs.exporters import AuditJsonlExporter, prometheus_exposition
 from repro.obs.provenance import DecisionRecord
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.server.backend import (
+    cascade_order,
+    cascade_split,
     collect_detection_results,
     machine_detection_jobs,
 )
@@ -58,56 +62,19 @@ from repro.server.protocol import (
     encode_decision,
     encode_telemetry_response,
     frame_kind,
+    peek_request_meta,
 )
-from repro.server.scheduler import JobScheduler
+from repro.server.router import ConsistentHashRouter
+from repro.server.scheduler import JobScheduler, ShardSupervisor
+from repro.server.shard import shard_main
 from repro.world.scene import SensorCapture
 
-
-@dataclass
-class GatewayConfig:
-    """Knobs of the concurrent serving path."""
-
-    #: Request-level concurrency: how many requests are in flight at once.
-    request_workers: int = 4
-    #: Workers of the shared component scheduler; ``None`` sizes the pool
-    #: at three per request worker (one per machine-detection component).
-    component_workers: Optional[int] = None
-    #: Bound of the admission queue; a full queue rejects (backpressure).
-    max_queue: int = 64
-    #: Per-component execution budget; ``None`` waits forever.
-    component_timeout_s: Optional[float] = 30.0
-    #: Extra attempts for a component job that *crashed* (timeouts are
-    #: never retried — see the scheduler docs).
-    component_retries: int = 1
-    #: How long the first request of an identity batch waits for peers.
-    batch_window_s: float = 0.05
-    #: Flush an identity batch as soon as it reaches this many requests.
-    max_batch: int = 8
-    #: Recent-sample window of the latency histograms.
-    metrics_window: int = 4096
-    #: Serve with the cost-ordered early-exit cascade: cheap stages run
-    #: first and a confident rejection skips everything downstream
-    #: (including identity scoring).  Decisions match the strict path —
-    #: ACCEPT still requires every enabled component to pass — but
-    #: rejected requests return after the cheap stages.  ``False`` keeps
-    #: the run-everything behaviour bit-for-bit.
-    cascade: bool = False
-
-    def __post_init__(self) -> None:
-        if self.request_workers <= 0:
-            raise ConfigurationError("request_workers must be positive")
-        if self.component_workers is not None and self.component_workers <= 0:
-            raise ConfigurationError("component_workers must be positive")
-        if self.max_queue <= 0:
-            raise ConfigurationError("max_queue must be positive")
-        if self.component_timeout_s is not None and self.component_timeout_s <= 0:
-            raise ConfigurationError("component_timeout_s must be positive")
-        if self.component_retries < 0:
-            raise ConfigurationError("component_retries must be >= 0")
-        if self.batch_window_s < 0:
-            raise ConfigurationError("batch_window_s must be >= 0")
-        if self.max_batch <= 0:
-            raise ConfigurationError("max_batch must be positive")
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "ShardedGateway",
+    "create_gateway",
+]
 
 
 class _BatchEntry:
@@ -529,14 +496,6 @@ class Gateway:
         self._finalize(root, accepted, results, claimed, request_id, mode="strict")
         future.set_result(decision_frame)
 
-    def _cascade_order(self, claimed: Optional[str]) -> Tuple[str, ...]:
-        """Enabled stages cheapest-first; claim-dependent stages only with
-        a claim (matching the strict path, which skips them too)."""
-        order = self.system.cascade_plan.order(self.system.enabled_components)
-        if claimed is None:
-            order = tuple(n for n in order if n not in ("identity", "soundfield"))
-        return order
-
     def _process_cascade(
         self,
         capture: SensorCapture,
@@ -554,9 +513,8 @@ class Gateway:
         every enabled stage to pass, and a stage is only skipped after an
         upstream stage has already rejected.
         """
-        order = self._cascade_order(claimed)
-        gates = order[:-2] if len(order) > 2 else ()
-        tail = order[len(gates):]
+        order = cascade_order(self.system, claimed)
+        gates, tail = cascade_split(order)
         jobs = machine_detection_jobs(self.system, capture, claimed)
         results: Dict[str, ComponentResult] = {}
         skipped: Tuple[str, ...] = ()
@@ -728,3 +686,496 @@ class Gateway:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class _PendingRequest:
+    """Parent-side bookkeeping for one request handed to a shard."""
+
+    __slots__ = ("future", "shard_id", "request_id", "claimed", "submitted_at", "root")
+
+    def __init__(
+        self,
+        future: "Future[bytes]",
+        shard_id: int,
+        request_id: str,
+        claimed: Optional[str],
+        root: Optional[Span],
+    ):
+        self.future = future
+        self.shard_id = shard_id
+        self.request_id = request_id
+        self.claimed = claimed
+        self.submitted_at = time.monotonic()
+        self.root = root
+
+
+class ShardedGateway:
+    """Shared-nothing process-shard serving tier.
+
+    ``GatewayConfig(shards=N)`` forks N :mod:`~repro.server.shard`
+    worker processes, each owning the speakers the consistent-hash
+    router assigns to it — a speaker's sound-field LRU entry and ASV
+    traffic live in exactly one process, so shards share no model state
+    and the GIL stops being the scaling ceiling.
+
+    The parent process never verifies anything: it peeks the claimed
+    speaker off each request frame (cheap JSON-only decode), routes the
+    frame bytes verbatim onto the owning shard's bounded queue
+    (pickled once, by the queue itself), and collects decision frames,
+    provenance rows, and trace fragments off each shard's private
+    result pipe (single writer, no cross-process lock — a dying shard
+    cannot wedge its peers' replies).  A health monitor replaces dead
+    shards and fails their in-flight requests **closed** with a
+    provenance-carrying rejection frame.
+
+    Decisions are bitwise-equal to every other serving mode — the shard
+    runs the same shared stage helpers — which
+    ``tests/test_shard_equivalence.py`` enforces.
+    """
+
+    def __init__(
+        self,
+        system: DefenseSystem,
+        config: Optional[GatewayConfig] = None,
+        tracer: Optional[Tracer] = None,
+        drift: Optional[DriftRegistry] = None,
+        audit: Optional[AuditJsonlExporter] = None,
+    ):
+        self.system = system
+        self.config = config if config is not None else GatewayConfig(shards=1)
+        if self.config.shards < 1:
+            raise ConfigurationError(
+                "ShardedGateway needs GatewayConfig(shards >= 1); "
+                "shards=0 selects the threaded Gateway"
+            )
+        self.metrics = MetricsRegistry(window=self.config.metrics_window)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Parent-side drift registry: shard-local scores stay in the
+        #: shards (scorer state must not cross the fork boundary).
+        self.drift = drift if drift is not None else DriftRegistry()
+        self.audit = audit
+        self.router = ConsistentHashRouter(self.config.shards)
+        # Fork the shards FIRST, while this process is still
+        # single-threaded: forking after the collector/monitor threads
+        # exist risks copying a lock mid-acquisition into the child.
+        self._supervisor = ShardSupervisor(
+            self.config.shards,
+            shard_main,
+            (system, self.config),
+            self.config.shard_queue_depth,
+        )
+        self._lock = threading.Lock()
+        self._closed = False  # guarded-by: _lock
+        self._seq = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}  # guarded-by: _lock
+        #: Control-message waiters: seq -> (event, reply holder).
+        self._controls: Dict[int, Tuple[threading.Event, List[object]]] = {}  # guarded-by: _lock
+        self._stop = threading.Event()
+        #: Set once every shard has exited during close(); the
+        #: collector drains the remaining pipe messages, then returns.
+        self._drain = threading.Event()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="shard-collector", daemon=True
+        )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="shard-monitor", daemon=True
+        )
+        self._collector.start()
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request_frame: bytes, block: bool = True) -> "Future[bytes]":
+        """Route one frame to its owning shard; resolves to the decision.
+
+        Telemetry frames are answered from the merged registries without
+        queueing behind verification work, like the threaded gateway.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("gateway has been closed")
+        try:
+            kind = frame_kind(request_frame)
+        except ProtocolError:
+            kind = 0
+        future: "Future[bytes]" = Future()
+        if kind == KIND_TELEMETRY_REQUEST:
+            try:
+                future.set_result(self._handle_telemetry(request_frame))
+            except ProtocolError as exc:
+                self.metrics.increment("protocol_errors")
+                future.set_exception(exc)
+            return future
+        try:
+            claimed, request_id = peek_request_meta(request_frame)
+        except ProtocolError as exc:
+            self.metrics.increment("protocol_errors")
+            future.set_exception(exc)
+            return future
+        shard_id = self.router.route(claimed)
+        root: Optional[Span] = None
+        if self.tracer.enabled:
+            root = self.tracer.begin(
+                "request",
+                attrs={
+                    "request_id": request_id,
+                    "claimed_speaker": claimed,
+                    "mode": "sharded",
+                    "shard_id": shard_id,
+                },
+            )
+        trace_ctx = (
+            (root.trace_id, root.span_id) if root is not None else None
+        )
+        seq = next(self._seq)
+        entry = _PendingRequest(future, shard_id, request_id, claimed, root)
+        message = ("request", seq, request_frame, trace_ctx)
+        # A shard can die between us reading its queue and finishing the
+        # put, in which case the frame sits on an abandoned queue.  The
+        # generation counter detects that: retry on the replacement's
+        # fresh queue (decisions are deterministic, so a retried frame
+        # can never double-count — the abandoned copy is never read).
+        for _ in range(5):
+            with self._lock:
+                if self._closed:
+                    raise ConfigurationError("gateway has been closed")
+                generation = self._supervisor.generations[shard_id]
+                work_queue = self._supervisor.work_queues[shard_id]
+                self._pending[seq] = entry
+            try:
+                work_queue.put(message, block=block)
+            except queue.Full:
+                with self._lock:
+                    self._pending.pop(seq, None)
+                if root is not None:
+                    root.set_attr("error", "queue full")
+                    self.tracer.end(root, status="error")
+                self.metrics.increment("rejected_queue_full")
+                raise ConfigurationError(
+                    f"shard {shard_id} queue is full "
+                    f"({self.config.shard_queue_depth} requests)"
+                ) from None
+            with self._lock:
+                if future.done():
+                    # The crash handler failed this request closed (or a
+                    # very fast shard already answered).
+                    break
+                if self._supervisor.generations[shard_id] == generation:
+                    break
+                # Shard replaced mid-put: reclaim and retry.
+                self._pending.pop(seq, None)
+        else:
+            self._fail_closed(
+                entry,
+                shard_id,
+                f"shard {shard_id} kept crashing during submission",
+            )
+        self.metrics.increment("requests_submitted")
+        return future
+
+    def handle(self, request_frame: bytes) -> bytes:
+        """Synchronous convenience wrapper (drop-in for the server)."""
+        return self.submit(request_frame).result()
+
+    def handle_many(self, request_frames: Sequence[bytes]) -> List[bytes]:
+        """Submit a burst of frames; decision frames in request order."""
+        futures = [self.submit(frame) for frame in request_frames]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Multiplex every shard's result pipe (and their successors').
+
+        The collector is the sole reader: it closes a pipe when the
+        shard's death (or drain) EOFs it, and picks up a replacement's
+        fresh pipe on the next snapshot of the supervisor's reader
+        list.  Crash *policy* stays with the health monitor — EOF here
+        only retires the transport.
+        """
+        while True:
+            readers = [
+                conn
+                for conn in self._supervisor.result_readers
+                if not conn.closed
+            ]
+            if not readers:
+                if self._drain.is_set():
+                    return
+                # Every live pipe EOFed at once (mass crash); wait for
+                # the monitor to fork replacements.
+                time.sleep(self.config.health_check_interval_s)
+                continue
+            for conn in _connection_wait(readers, timeout=0.2):
+                try:
+                    message = conn.recv()  # type: ignore[union-attr]
+                except (EOFError, OSError):
+                    # Shard exited (possibly mid-send). The monitor
+                    # handles replacement; we just retire the pipe.
+                    conn.close()  # type: ignore[union-attr]
+                    continue
+                self._dispatch(message)
+
+    def _dispatch(self, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "decision":
+            _, seq, shard_id, frame, record_row, span_rows = message
+            with self._lock:
+                entry = self._pending.pop(seq, None)
+            if entry is None:
+                return  # already failed closed by the crash handler
+            self.metrics.observe(
+                "shard_rtt_s", time.monotonic() - entry.submitted_at
+            )
+            self.metrics.increment("requests_collected")
+            if span_rows:
+                self.tracer.ingest(span_rows)
+            if self.audit is not None and record_row:
+                self.audit.write(DecisionRecord.from_dict(record_row))
+            if entry.root is not None:
+                self.tracer.end(entry.root)
+            entry.future.set_result(frame)
+        elif kind == "decision_error":
+            _, seq, shard_id, err_kind, detail = message
+            with self._lock:
+                entry = self._pending.pop(seq, None)
+            if entry is None:
+                return
+            if err_kind == "protocol":
+                self.metrics.increment("protocol_errors")
+                exc: Exception = ProtocolError(detail)
+            else:
+                self.metrics.increment("shard_errors")
+                exc = ConfigurationError(
+                    f"shard {shard_id} failed internally: {detail}"
+                )
+            if entry.root is not None:
+                entry.root.set_attr("error", detail)
+                self.tracer.end(entry.root, status="error")
+            entry.future.set_exception(exc)
+        elif kind == "metrics":
+            _, seq, shard_id, snapshot = message
+            with self._lock:
+                control = self._controls.pop(seq, None)
+            if control is not None:
+                control[1].append(snapshot)
+                control[0].set()
+        # "pong"/"stopped" need no parent-side action.
+
+    # ------------------------------------------------------------------
+    # Health / crash handling
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.health_check_interval_s):
+            for shard_id in range(self._supervisor.shards):
+                if self._stop.is_set():
+                    return
+                if not self._supervisor.is_alive(shard_id):
+                    self._handle_crash(shard_id)
+
+    def _handle_crash(self, shard_id: int) -> None:
+        exit_code = self._supervisor.exitcode(shard_id)
+        with self._lock:
+            if self._closed:
+                return
+            stranded = [
+                (seq, entry)
+                for seq, entry in self._pending.items()
+                if entry.shard_id == shard_id
+            ]
+            for seq, _ in stranded:
+                del self._pending[seq]
+            # Replace under the lock so submit()'s generation check and
+            # the queue swap are atomic with the pending sweep.
+            self._supervisor.replace(shard_id)
+        self.metrics.increment("shard_crashes")
+        detail = (
+            f"shard {shard_id} crashed (exit code {exit_code}) with the "
+            f"request in flight; failing closed"
+        )
+        for _, entry in stranded:
+            self._fail_closed(entry, shard_id, detail)
+
+    def _fail_closed(
+        self, entry: _PendingRequest, shard_id: int, detail: str
+    ) -> None:
+        """Resolve a stranded request with a provenance-carrying
+        rejection frame (never an exception: fail *closed*, not open)."""
+        if entry.future.done():
+            return
+        result = ComponentResult(
+            name="shard",
+            passed=False,
+            score=float("-inf"),
+            detail=detail,
+            evidence={"shard_id": float(shard_id)},
+        )
+        frame = encode_decision(
+            False,
+            {"shard": (result.passed, result.score, result.detail)},
+            request_id=entry.request_id,
+            evidence={"shard": dict(result.evidence)},
+        )
+        if self.audit is not None:
+            self.audit.write(
+                DecisionRecord.build(
+                    accepted=False,
+                    components={"shard": result},
+                    claimed_speaker=entry.claimed,
+                    mode="sharded",
+                    cascade_plan=self.system.cascade_plan,
+                    request_id=entry.request_id,
+                    trace_id=(
+                        entry.root.trace_id if entry.root is not None else ""
+                    ),
+                )
+            )
+        if entry.root is not None:
+            entry.root.set_attr("error", detail)
+            self.tracer.end(entry.root, status="error")
+        self.metrics.increment("requests_failed_closed")
+        self.metrics.increment("rejected")
+        entry.future.set_result(frame)
+
+    def kill_shard(self, shard_id: int) -> None:
+        """SIGKILL one shard (chaos testing); the health monitor detects
+        the death, fails its in-flight requests closed, and forks the
+        replacement."""
+        self._supervisor.kill(shard_id)
+
+    @property
+    def shard_generations(self) -> List[int]:
+        """Replacement count per shard slot (0 = original process)."""
+        return list(self._supervisor.generations)
+
+    # ------------------------------------------------------------------
+    # Metrics / telemetry
+    # ------------------------------------------------------------------
+    def _gather_shard_snapshots(
+        self, timeout_s: float = 30.0
+    ) -> List[Dict[str, object]]:
+        """Ask every live shard for a metrics snapshot (in-band control
+        message, so a snapshot reflects a consistent drain point)."""
+        waiters: List[Tuple[threading.Event, List[object]]] = []
+        with self._lock:
+            for shard_id in range(self._supervisor.shards):
+                if not self._supervisor.is_alive(shard_id):
+                    continue
+                seq = next(self._seq)
+                control: Tuple[threading.Event, List[object]] = (
+                    threading.Event(),
+                    [],
+                )
+                self._controls[seq] = control
+                try:
+                    self._supervisor.work_queues[shard_id].put_nowait(
+                        ("metrics", seq)
+                    )
+                except queue.Full:
+                    del self._controls[seq]
+                    continue
+                waiters.append(control)
+        deadline = time.monotonic() + timeout_s
+        snapshots: List[Dict[str, object]] = []
+        for event, holder in waiters:
+            if event.wait(max(0.0, deadline - time.monotonic())) and holder:
+                snapshots.append(holder[0])  # type: ignore[arg-type]
+        return snapshots
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Whole-system registry: parent-side series + every shard's."""
+        return self.metrics.merged(*self._gather_shard_snapshots())
+
+    def _handle_telemetry(self, frame: bytes) -> bytes:
+        sections, request_id = decode_telemetry_request(frame)
+        merged = self.merged_metrics()
+        telemetry: Dict[str, object] = {}
+        for section in sections:
+            if section == "summary":
+                telemetry["summary"] = self._summarize(merged)
+            elif section == "prometheus":
+                telemetry["prometheus"] = prometheus_exposition(merged)
+            elif section == "stages":
+                telemetry["stages"] = merged.stage_report()
+            elif section == "drift":
+                telemetry["drift"] = {
+                    "stages": self.drift.snapshot(),
+                    "alerts": [str(a) for a in self.drift.alerts()],
+                }
+        self.metrics.increment("telemetry_scrapes")
+        return encode_telemetry_response(telemetry, request_id)
+
+    def _summarize(self, merged: MetricsRegistry) -> Dict[str, object]:
+        summary = merged.summary()
+        summary["throughput_rps"] = merged.throughput()
+        summary["windowed_throughput_rps"] = merged.windowed_throughput()
+        summary["shards"] = {
+            "count": self.config.shards,
+            "generations": self.shard_generations,
+            "alive": [
+                self._supervisor.is_alive(i)
+                for i in range(self._supervisor.shards)
+            ],
+        }
+        if self.config.cascade:
+            summary["stages"] = merged.stage_report()
+        return summary
+
+    def metrics_summary(self) -> Dict[str, object]:
+        """Merged registry summary plus shard liveness/generations."""
+        return self._summarize(self.merged_metrics())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain every shard queue, stop the workers and the threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Stop the monitor first: shard exits during shutdown must not
+        # read as crashes (which would fork pointless replacements).
+        self._stop.set()
+        self._monitor.join(timeout=30.0)
+        self._supervisor.request_stop()
+        self._supervisor.join(timeout_s=30.0)
+        # Every shard has exited, so every result pipe either holds
+        # buffered messages or is at EOF: the collector drains the
+        # former, closes on the latter, then observes the drain flag.
+        self._drain.set()
+        self._collector.join(timeout=30.0)
+        self._supervisor.close_queues()
+        # Anything still pending after the drain fails closed.
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for entry in leftovers:
+            if not entry.future.done():
+                self._fail_closed(
+                    entry, entry.shard_id, "gateway closed with request in flight"
+                )
+
+    def __enter__(self) -> "ShardedGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def create_gateway(
+    system: DefenseSystem,
+    config: Optional[GatewayConfig] = None,
+    tracer: Optional[Tracer] = None,
+    drift: Optional[DriftRegistry] = None,
+    audit: Optional[AuditJsonlExporter] = None,
+) -> Union[Gateway, "ShardedGateway"]:
+    """The serving tier a config asks for: ``shards=0`` → threaded
+    :class:`Gateway`, ``shards>=1`` → :class:`ShardedGateway`."""
+    if config is not None and config.shards > 0:
+        return ShardedGateway(
+            system, config, tracer=tracer, drift=drift, audit=audit
+        )
+    return Gateway(system, config, tracer=tracer, drift=drift, audit=audit)

@@ -88,6 +88,57 @@ class Histogram:
         filled = self._samples[: min(self._count, self._window)]
         return float(np.percentile(filled, p))
 
+    # -- cross-process merge -------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Picklable full state: aggregates plus the recent window in
+        chronological order (shard → parent metrics handoff)."""
+        filled = min(self._count, self._window)
+        if self._count <= self._window:
+            recent = self._samples[:filled]
+        else:
+            pivot = self._count % self._window
+            recent = np.concatenate(
+                (self._samples[pivot:], self._samples[:pivot])
+            )
+        return {
+            "window": self._window,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "recent": [float(v) for v in recent],
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one.
+
+        Aggregates add exactly; the recent windows are concatenated
+        (ours first, theirs second) and truncated to the newest
+        ``window`` samples, preserving the invariant that percentiles
+        see ``min(count, window)`` samples.  After a merge the ring's
+        eviction order is approximate — acceptable, since the window
+        only feeds order-insensitive percentiles.
+        """
+        count = int(state["count"])  # type: ignore[arg-type]
+        if count == 0:
+            return
+        self._sum += float(state["sum"])  # type: ignore[arg-type]
+        if state["min"] is not None:
+            self._min = min(self._min, float(state["min"]))  # type: ignore[arg-type]
+        if state["max"] is not None:
+            self._max = max(self._max, float(state["max"]))  # type: ignore[arg-type]
+        ours = min(self._count, self._window)
+        combined = list(self._samples[:ours]) + list(state["recent"])  # type: ignore[arg-type]
+        kept = combined[-self._window :]
+        self._samples[: len(kept)] = kept
+        self._count += count
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        hist = cls(int(state["window"]))  # type: ignore[arg-type]
+        hist.merge_state(state)
+        return hist
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": float(self._count),
@@ -187,6 +238,67 @@ class MetricsRegistry:
             hists = {name: h.summary() for name, h in self._histograms.items()}
             counters = dict(self._counters)
         return {"histograms": hists, "counters": counters}
+
+    # -- cross-process merge -------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable point-in-time state of every series.
+
+        Shard workers ship this over the result queue; the parent folds
+        the snapshots together with :meth:`merge_snapshot` so
+        ``stage_report()``/exposition stay whole-system.  Event
+        timestamps are ``time.monotonic()`` values — comparable across
+        processes on one host (CLOCK_MONOTONIC is system-wide on
+        Linux), which is the only place shards exist.
+        """
+        with self._lock:
+            return {
+                "window": self._window,
+                "started_at": self._started_at,
+                "histograms": {
+                    name: h.state_dict()
+                    for name, h in self._histograms.items()
+                },
+                "counters": dict(self._counters),
+                "events": {
+                    name: list(events)
+                    for name, events in self._events.items()
+                },
+            }
+
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` (typically from another process) in."""
+        with self._lock:
+            for name, state in snap["histograms"].items():  # type: ignore[union-attr]
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram(self._window)
+                hist.merge_state(state)
+            for name, value in snap["counters"].items():  # type: ignore[union-attr]
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, rows in snap["events"].items():  # type: ignore[union-attr]
+                events = self._events.get(name)
+                if events is None:
+                    events = self._events[name] = deque(
+                        maxlen=self.EVENT_WINDOW
+                    )
+                merged = sorted(
+                    list(events) + [(float(ts), int(by)) for ts, by in rows]
+                )
+                events.clear()
+                events.extend(merged[-self.EVENT_WINDOW :])
+            # Whole-system uptime starts at the oldest participant.
+            self._started_at = min(
+                self._started_at, float(snap["started_at"])  # type: ignore[arg-type]
+            )
+
+    def merged(self, *snapshots: Dict[str, object]) -> "MetricsRegistry":
+        """A new registry combining this one with shard snapshots,
+        leaving this registry untouched."""
+        combined = MetricsRegistry(self._window)
+        combined.merge_snapshot(self.snapshot())
+        for snap in snapshots:
+            combined.merge_snapshot(snap)
+        return combined
 
     def stage_report(self) -> Dict[str, Dict[str, float]]:
         """Per-cascade-stage runs, skips, errors and latency percentiles.

@@ -27,10 +27,11 @@ exposition as a string field).
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import struct
 import zlib
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -126,6 +127,24 @@ def frame_kind(frame: bytes) -> int:
     if version != _VERSION:
         raise ProtocolError(f"unsupported protocol version {version}")
     return int(kind)
+
+
+def peek_request_meta(frame: bytes) -> Tuple[Optional[str], str]:
+    """(claimed_speaker, request_id) of a request frame, nothing else.
+
+    The sharded gateway routes on the claimed speaker but must not pay
+    for array unpacking in the routing thread — the frame bytes are
+    forwarded verbatim to the owning shard, which does the full decode.
+    This decompresses and parses the JSON body (full integrity checks
+    included) but touches none of the array fields, which is where the
+    real decode cost lives.
+    """
+    body = _unframe(frame, _KIND_REQUEST)
+    claimed = body.get("claimed_speaker")
+    return (
+        None if claimed is None else str(claimed),
+        str(body.get("request_id", "")),
+    )
 
 
 def encode_request(
@@ -247,6 +266,34 @@ def encode_decision(
 def decode_decision(frame: bytes) -> dict:
     """Parse a decision frame."""
     return _unframe(frame, _KIND_DECISION)
+
+
+def decision_fingerprint(decision: dict) -> str:
+    """Canonical sha256 of one decoded decision body.
+
+    Serialisation is key-sorted compact JSON, so two decisions hash
+    equal iff their decoded dictionaries are equal — float scores
+    compare at full ``repr`` precision, making this a *bitwise*
+    equivalence check across serving modes.
+    """
+    canonical = json.dumps(
+        decision, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def decisions_checksum(decisions: "Iterable[dict]") -> str:
+    """Order-insensitive checksum over a set of decoded decisions.
+
+    Hashes each decision with :func:`decision_fingerprint`, sorts the
+    digests, and hashes the concatenation — so serving modes that
+    complete requests in different orders (threaded, sharded) still
+    produce identical checksums when and only when every individual
+    decision matches.  Benchmarks persist this next to throughput
+    numbers so the bench diff CLI catches silent decision drift.
+    """
+    digests = sorted(decision_fingerprint(d) for d in decisions)
+    return hashlib.sha256("".join(digests).encode("ascii")).hexdigest()
 
 
 #: Telemetry sections a scrape may request.

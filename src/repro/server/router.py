@@ -1,0 +1,80 @@
+"""Consistent-hash routing of requests onto shard processes.
+
+The sharded gateway pins every claimed speaker to exactly one shard
+process, so that user's sound-field model and ASV traffic live in a
+single process (shared-nothing ownership; no cross-process model
+movement).  The assignment must be
+
+- **deterministic across processes and runs** — routing uses a keyed
+  ``blake2b`` digest, never Python's per-process salted ``hash()``, so a
+  restarted gateway (or a replacement shard forked mid-flight) routes
+  every speaker exactly as before;
+- **uniform** — each shard places ``vnodes`` points on the ring, which
+  keeps the per-shard key share within a few percent of ``1/N`` (the
+  router property test pins a chi-square bound);
+- **stable under resharding** — growing ``N`` shards to ``N + 1`` moves
+  only the keys the new shard's points capture, about ``1/(N+1)`` of
+  them; the remaining assignments are untouched (also pinned by test).
+
+This module must stay fork-safe: shard workers are forked from the
+gateway process, so no module-level lock/RNG/cache state may exist here
+(enforced by the ``fork-safety`` static-analysis rule).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConsistentHashRouter"]
+
+#: Ring points per shard.  More points smooth the per-shard share at the
+#: cost of a (one-off) larger ring sort; 1024 keeps the key share
+#: statistically indistinguishable from uniform (chi-square well under
+#: the 99.9% bound) for shard counts up to 16, at a few ms of build.
+DEFAULT_VNODES = 1024
+
+
+def _point(key: str) -> int:
+    """Position of ``key`` on the 64-bit ring (process-independent)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRouter:
+    """Immutable speaker-id → shard-index map over a hash ring."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES):
+        if shards < 1:
+            raise ConfigurationError("router needs at least one shard")
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be positive")
+        self.shards = shards
+        self.vnodes = vnodes
+        ring: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(vnodes):
+                ring.append((_point(f"shard:{shard}:vnode:{v}"), shard))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners = [s for _, s in ring]
+
+    def route(self, speaker_id: Optional[str]) -> int:
+        """The shard owning ``speaker_id`` (claim-less requests route on
+        the empty string, so they still land deterministically)."""
+        point = _point(speaker_id if speaker_id is not None else "")
+        i = bisect.bisect_right(self._points, point)
+        if i == len(self._points):  # wrap around the ring
+            i = 0
+        return self._owners[i]
+
+    def assignments(self, speaker_ids: Iterable[str]) -> Dict[str, int]:
+        """Route a batch of keys (for rebalancing / ownership reports)."""
+        return {key: self.route(key) for key in speaker_ids}
+
+    def resized(self, shards: int) -> "ConsistentHashRouter":
+        """A router over a different shard count, same vnode density."""
+        return ConsistentHashRouter(shards, vnodes=self.vnodes)

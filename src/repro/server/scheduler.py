@@ -18,9 +18,10 @@ worker for a full timeout window.
 
 from __future__ import annotations
 
+import multiprocessing
+import queue
 import threading
 import time
-import queue
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -279,3 +280,162 @@ class JobScheduler:
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown(drain=True)
+
+
+class ShardSupervisor:
+    """Lifecycle of the gateway's shard processes.
+
+    Owns one bounded work queue per shard (per-shard backpressure) and
+    one private result *pipe* per shard, forks the workers, and
+    replaces dead ones.  Workers are forked — never pickled — so they
+    inherit the trained system copy-on-write; replacements fork from
+    the *current* parent, which in sharded mode never runs verification
+    itself, so no component lock can be mid-acquisition at fork time.
+
+    Results deliberately do **not** travel over a shared
+    ``multiprocessing.Queue``: its write end is guarded by a POSIX
+    semaphore that every shard's feeder thread takes, and a shard
+    SIGKILLed inside that critical section leaves the semaphore held
+    forever — wedging every *other* shard's replies too.  A one-way
+    pipe per shard has a single writer, so no cross-process lock
+    exists to poison; a shard dying mid-send surfaces as ``EOFError``/
+    ``OSError`` on the parent's reader instead of a silent hang.  For
+    that EOF to be prompt, exactly one process may hold a pipe's write
+    end: the parent closes its copy right after each fork, and workers
+    close the other shards' ends at startup.
+
+    The supervisor is mechanism, not policy: the gateway decides *when*
+    to replace a shard (its health monitor) and what to do with the
+    requests a dead shard leaves behind.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        target: Callable[..., None],
+        target_args: tuple,
+        queue_depth: int,
+    ):
+        if shards < 1:
+            raise ConfigurationError("need at least one shard")
+        self._ctx = multiprocessing.get_context("fork")
+        self._target = target
+        self._target_args = target_args
+        self._queue_depth = queue_depth
+        self.work_queues = [
+            self._ctx.Queue(maxsize=queue_depth) for _ in range(shards)
+        ]
+        pipes = [self._ctx.Pipe(duplex=False) for _ in range(shards)]
+        #: One reader per shard slot; swapped for a fresh one on
+        #: replacement.  The collector is the sole reader and closes a
+        #: reader once it sees EOF.
+        self.result_readers = [reader for reader, _ in pipes]
+        self._procs: List[Optional[multiprocessing.process.BaseProcess]] = [
+            None
+        ] * shards
+        #: Bumped on every replacement; lets tests assert a respawn
+        #: happened and telemetry report crash counts per slot.
+        self.generations = [0] * shards
+        writers = [writer for _, writer in pipes]
+        for i in range(shards):
+            self._spawn(i, writers[i], writers)
+        for writer in writers:
+            writer.close()
+
+    @property
+    def shards(self) -> int:
+        return len(self.work_queues)
+
+    def _spawn(
+        self,
+        shard_id: int,
+        result_writer: "multiprocessing.connection.Connection",
+        all_writers: List["multiprocessing.connection.Connection"],
+    ) -> None:
+        stray = [w for w in all_writers if w is not result_writer]
+        proc = self._ctx.Process(
+            target=self._target,
+            args=(shard_id, *self._target_args,
+                  self.work_queues[shard_id], result_writer, stray),
+            name=f"shard-{shard_id}-gen{self.generations[shard_id]}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[shard_id] = proc
+
+    # -- health / lifecycle --------------------------------------------
+    def is_alive(self, shard_id: int) -> bool:
+        proc = self._procs[shard_id]
+        return proc is not None and proc.is_alive()
+
+    def exitcode(self, shard_id: int) -> Optional[int]:
+        proc = self._procs[shard_id]
+        return None if proc is None else proc.exitcode
+
+    def replace(self, shard_id: int) -> None:
+        """Reap a dead shard and fork its replacement.
+
+        The replacement gets a **fresh work queue**: a shard killed
+        while blocked in ``get()`` dies holding the old queue's reader
+        lock (POSIX semaphores do not release on process death), so a
+        successor sharing that queue could deadlock forever.  Requests
+        stranded on the abandoned queue are the caller's to fail closed
+        — it tracks them in its pending map.  The result pipe is
+        replaced for the same reason the work queue is: its old reader
+        may hold a partial message from the death, and the abandoned
+        objects carry no locks anyone can block on.
+        """
+        proc = self._procs[shard_id]
+        if proc is not None:
+            proc.join(timeout=5.0)
+        # The abandoned queue's feeder thread may be blocked forever in
+        # send() — its only consumer is dead, so a full pipe never
+        # drains.  Cancel the interpreter-exit join of that feeder or
+        # shutdown hangs in multiprocessing's _exit_function.  The queue
+        # itself stays open: a submit racing with this replacement may
+        # still put() onto it (harmless — the generation check retries
+        # on the fresh queue, and the abandoned copy is never read).
+        self.work_queues[shard_id].cancel_join_thread()
+        self.work_queues[shard_id] = self._ctx.Queue(maxsize=self._queue_depth)
+        reader, writer = self._ctx.Pipe(duplex=False)
+        self.result_readers[shard_id] = reader
+        self.generations[shard_id] += 1
+        # Earlier writer copies were closed after their forks, so the
+        # replacement inherits no stray write end but its own.
+        self._spawn(shard_id, writer, [writer])
+        writer.close()
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL a shard (chaos/testing; no graceful drain)."""
+        proc = self._procs[shard_id]
+        if proc is not None:
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    def request_stop(self) -> None:
+        """Ask every live shard to drain its queue and exit."""
+        for shard_id in range(self.shards):
+            if self.is_alive(shard_id):
+                self.work_queues[shard_id].put(("stop",))
+
+    def join(self, timeout_s: float = 30.0) -> None:
+        """Wait for every shard to exit (killing stragglers)."""
+        deadline = time.monotonic() + timeout_s
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
+
+    def close_queues(self) -> None:
+        """Release queue resources — only after every consumer is done."""
+        for wq in self.work_queues:
+            # A straggler shard killed during join() can leave buffered
+            # frames nobody will ever read; don't let interpreter exit
+            # block joining that queue's feeder thread.
+            wq.cancel_join_thread()
+            wq.close()
+        for reader in self.result_readers:
+            if not reader.closed:
+                reader.close()

@@ -1,0 +1,404 @@
+"""Shard worker process: the verification loop of one gateway shard.
+
+A :class:`~repro.server.gateway.ShardedGateway` forks N of these, each
+owning the speakers a :class:`~repro.server.router.ConsistentHashRouter`
+assigns to it.  The worker inherits the trained
+:class:`~repro.core.pipeline.DefenseSystem` by fork copy-on-write (the
+models are never pickled or re-trained) and builds **all of its mutable
+serving state after the fork** — metrics registry, job scheduler, drift
+registry, tracer — so no parent-held lock, RNG, or cache is ever shared
+across the process boundary.  The ``fork-safety`` static-analysis rule
+enforces this shape.
+
+Request frames arrive pickled-once over the shard's bounded work queue
+and are decoded here; decisions travel back — as encoded decision
+frames plus a provenance row and the shard's trace-span fragment —
+over the shard's **private result pipe**.  Each pipe has exactly one
+writer, so no cross-process lock guards it: a shard SIGKILLed mid-send
+cannot poison a shared semaphore (the way a shared result queue's
+write lock can), and the parent instead observes a clean EOF.  The
+verification paths replicate the threaded gateway stage for stage
+(shared helpers from :mod:`repro.server.backend`), so a shard's decision
+frame is byte-identical to every other serving mode's.
+
+Wire messages (tuples; the queues pickle them):
+
+    work:    ("request", seq, frame, trace_ctx)   trace_ctx: (trace_id,
+                                                  parent_span_id) | None
+             ("metrics", seq)                     → metrics snapshot
+             ("ping", seq)                        → liveness probe
+             ("stop",)                            drain + exit
+    result:  ("decision", seq, shard_id, frame, record_row, span_rows)
+             ("decision_error", seq, shard_id, kind, message)
+             ("metrics", seq, shard_id, snapshot)
+             ("pong", seq, shard_id)
+             ("stopped", shard_id)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.analysis import sanitize
+from repro.core.config import GatewayConfig
+from repro.core.decision import ComponentResult
+from repro.core.pipeline import DefenseSystem
+from repro.errors import ProtocolError
+from repro.obs.drift import DriftRegistry
+from repro.obs.provenance import DecisionRecord
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+from repro.server.backend import (
+    cascade_order,
+    cascade_split,
+    collect_detection_results,
+    machine_detection_jobs,
+)
+from repro.server.metrics import MetricsRegistry
+from repro.server.protocol import decode_request_full, encode_decision
+from repro.server.scheduler import JobScheduler
+from repro.world.scene import SensorCapture
+
+__all__ = ["ShardWorker", "shard_main", "CHAOS_EXIT_CODE", "CHAOS_METADATA_KEY"]
+
+#: Exit status of a chaos-killed shard (distinguishable from a real crash).
+CHAOS_EXIT_CODE = 13
+
+#: Request-metadata key that triggers the in-band chaos kill (only when
+#: the gateway was built with ``GatewayConfig(chaos_hooks=True)``).
+CHAOS_METADATA_KEY = "__chaos_exit__"
+
+
+class ShardWorker:
+    """Per-process serving state + the verification paths of one shard.
+
+    Everything mutable is constructed in ``__init__``, which runs in the
+    child process after the fork.
+    """
+
+    def __init__(self, shard_id: int, system: DefenseSystem, config: GatewayConfig):
+        self.shard_id = shard_id
+        self.system = system
+        self.config = config
+        self.metrics = MetricsRegistry(window=config.metrics_window)
+        self.drift = DriftRegistry()
+        #: Real tracer used only for requests that arrive with a trace
+        #: context; untraced requests run against the shared no-op, so
+        #: they pay nothing (``self.tracer`` is swapped per request —
+        #: safe because a shard serves one request at a time).
+        self._span_tracer = Tracer()
+        self.tracer: Tracer = NULL_TRACER
+        self.scheduler = JobScheduler(workers=3)
+
+    # -- request processing --------------------------------------------
+    def process(
+        self, frame: bytes, trace_ctx: Optional[Tuple[str, str]]
+    ) -> Tuple[bytes, Dict[str, object], list]:
+        """One request frame → (decision frame, provenance row, spans)."""
+        t0 = time.perf_counter()
+        self.tracer = self._span_tracer if trace_ctx is not None else NULL_TRACER
+        root: Optional[Span] = None
+        if trace_ctx is not None:
+            trace_id, parent_span_id = trace_ctx
+            root = self.tracer.remote_child(
+                trace_id,
+                parent_span_id,
+                "shard.process",
+                attrs={"shard_id": self.shard_id},
+            )
+        try:
+            try:
+                capture, claimed, request_id = decode_request_full(frame)
+            except ProtocolError:
+                self.metrics.increment("protocol_errors")
+                if root is not None:
+                    self.tracer.end(root, status="error")
+                raise
+            if self.config.chaos_hooks and capture.metadata.get(CHAOS_METADATA_KEY):
+                os._exit(CHAOS_EXIT_CODE)
+            t_decoded = time.perf_counter()
+            if root is not None:
+                root.set_attrs(
+                    {
+                        "request_id": request_id,
+                        "claimed_speaker": claimed,
+                        "mode": "cascade" if self.config.cascade else "strict",
+                    }
+                )
+            if self.config.cascade:
+                out = self._process_cascade(
+                    capture, claimed, request_id, t0, t_decoded, root
+                )
+            else:
+                out = self._process_strict(
+                    capture, claimed, request_id, t0, t_decoded, root
+                )
+        finally:
+            spans = (
+                [s.to_dict() for s in self.tracer.take_trace(trace_ctx[0])]
+                if trace_ctx is not None
+                else []
+            )
+        return out[0], out[1], spans
+
+    def _traced_job(self, name: str, fn, parent: Optional[Span]):
+        """Stage span opened in the executing thread (mirrors the
+        threaded gateway), so kernel spans nest under it."""
+
+        def call():
+            with self.tracer.span(f"stage.{name}", parent=parent) as span:
+                result = fn()
+                span.set_attrs({"passed": result.passed, "score": result.score})
+                return result
+
+        return call
+
+    def _run_detection(self, jobs) -> Dict[str, ComponentResult]:
+        job_results = self.scheduler.run_all(
+            jobs,
+            timeout_s=self.config.component_timeout_s,
+            retries=self.config.component_retries,
+        )
+        for jr in job_results.values():
+            if jr.timed_out:
+                self.metrics.increment("component_timeouts")
+            if jr.attempts > 1:
+                self.metrics.increment("component_retries", jr.attempts - 1)
+        return collect_detection_results(job_results)
+
+    def _finish(
+        self,
+        accepted: bool,
+        results: Dict[str, ComponentResult],
+        claimed: Optional[str],
+        request_id: Optional[str],
+        mode: str,
+        root: Optional[Span],
+        skipped: Tuple[str, ...] = (),
+        early_exit: Optional[str] = None,
+    ) -> Tuple[bytes, Dict[str, object]]:
+        self._record_drift(results)
+        sanitize.check_results(results)
+        payload: Dict[str, Tuple[bool, float, str]] = {
+            name: (r.passed, r.score, r.detail) for name, r in results.items()
+        }
+        evidence = {name: dict(r.evidence) for name, r in results.items()}
+        decision_frame = encode_decision(
+            accepted, payload, request_id=request_id, evidence=evidence
+        )
+        record = DecisionRecord.build(
+            accepted=accepted,
+            components=results,
+            claimed_speaker=claimed,
+            mode=mode,
+            skipped=skipped,
+            early_exit_stage=early_exit,
+            cascade_plan=self.system.cascade_plan,
+            request_id=request_id or "",
+            trace_id=root.trace_id if root is not None else "",
+        )
+        if root is not None:
+            root.set_attr("decision", "accept" if accepted else "reject")
+            if early_exit is not None:
+                root.set_attr("early_exit_stage", early_exit)
+            self.tracer.end(root)
+        return decision_frame, record.to_dict()
+
+    def _record_drift(self, results: Dict[str, ComponentResult]) -> None:
+        for name, result in results.items():
+            self.drift.record(name, result.score)
+
+    def _process_strict(
+        self,
+        capture: SensorCapture,
+        claimed: Optional[str],
+        request_id: Optional[str],
+        t0: float,
+        t_decoded: float,
+        root: Optional[Span],
+    ) -> Tuple[bytes, Dict[str, object]]:
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        if self.tracer.enabled and root is not None:
+            jobs = {
+                name: self._traced_job(name, fn, root)
+                for name, fn in jobs.items()
+            }
+        results = self._run_detection(jobs)
+        t_detection = time.perf_counter()
+        if "identity" in self.system.enabled_components and claimed is not None:
+            with self.tracer.span("stage.identity", parent=root) as ispan:
+                result = self.system.identity.verify(capture, claimed)
+                ispan.set_attrs({"passed": result.passed, "score": result.score})
+            results["identity"] = result
+        t_identity = time.perf_counter()
+        accepted = all(r.passed for r in results.values())
+        out = self._finish(
+            accepted, results, claimed, request_id, "strict", root
+        )
+        t_done = time.perf_counter()
+        self.metrics.observe("decode_s", t_decoded - t0)
+        self.metrics.observe("detection_s", t_detection - t_decoded)
+        self.metrics.observe("identity_s", t_identity - t_detection)
+        self.metrics.observe("encode_s", t_done - t_identity)
+        self.metrics.observe("total_s", t_done - t0)
+        self.metrics.increment("requests_completed")
+        self.metrics.increment("accepted" if accepted else "rejected")
+        return out
+
+    def _process_cascade(
+        self,
+        capture: SensorCapture,
+        claimed: Optional[str],
+        request_id: Optional[str],
+        t0: float,
+        t_decoded: float,
+        root: Optional[Span],
+    ) -> Tuple[bytes, Dict[str, object]]:
+        order = cascade_order(self.system, claimed)
+        gates, tail = cascade_split(order)
+        jobs = machine_detection_jobs(self.system, capture, claimed)
+        results: Dict[str, ComponentResult] = {}
+        skipped: Tuple[str, ...] = ()
+        early_exit: Optional[str] = None
+
+        def run_stage(name: str) -> ComponentResult:
+            with self.metrics.time(f"stage_{name}_s"):
+                if name == "identity":
+                    with self.tracer.span("stage.identity", parent=root) as span:
+                        result = self.system.identity.verify(capture, claimed)
+                        span.set_attrs(
+                            {"passed": result.passed, "score": result.score}
+                        )
+                    return result
+                job = jobs[name]
+                if self.tracer.enabled and root is not None:
+                    job = self._traced_job(name, job, root)
+                return self._run_detection({name: job})[name]
+
+        for i, name in enumerate(gates):
+            result = run_stage(name)
+            results[name] = result
+            if self.system.cascade_plan.confident_reject(result, self.system.config):
+                skipped = order[i + 1 :]
+                early_exit = name
+                break
+        if not skipped and tail:
+
+            def timed_job(name: str, fn):
+                traced = (
+                    self._traced_job(name, fn, root)
+                    if self.tracer.enabled and root is not None
+                    else fn
+                )
+
+                def call():
+                    with self.metrics.time(f"stage_{name}_s"):
+                        return traced()
+
+                return call
+
+            tail_jobs = {
+                name: timed_job(name, jobs[name])
+                for name in tail
+                if name != "identity"
+            }
+            if tail_jobs:
+                results.update(self._run_detection(tail_jobs))
+            if "identity" in tail:
+                results["identity"] = run_stage("identity")
+
+        for name in skipped:
+            self.metrics.increment(f"stage_skipped_{name}")
+            if self.tracer.enabled and root is not None:
+                self.tracer.event(
+                    f"stage.{name}",
+                    parent=root,
+                    status="skipped",
+                    attrs={
+                        "skip_reason": (
+                            f"upstream stage {early_exit!r} rejected confidently"
+                        ),
+                        "cost_saved_ms": self.system.cascade_plan.estimated_cost_ms(
+                            (name,)
+                        ),
+                    },
+                )
+        if skipped:
+            self.metrics.increment("cascade_early_exits")
+        accepted = all(r.passed for r in results.values())
+        out = self._finish(
+            accepted,
+            results,
+            claimed,
+            request_id,
+            "cascade",
+            root,
+            skipped=skipped,
+            early_exit=early_exit,
+        )
+        t_done = time.perf_counter()
+        self.metrics.observe("decode_s", t_decoded - t0)
+        self.metrics.observe("total_s", t_done - t0)
+        self.metrics.increment("requests_completed")
+        self.metrics.increment("accepted" if accepted else "rejected")
+        return out
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+
+def shard_main(
+    shard_id: int,
+    system: DefenseSystem,
+    config: GatewayConfig,
+    work_queue: "object",
+    result_conn: "object",
+    stray_writers: "object" = (),
+) -> None:
+    """Entry point of a shard process: serve until the drain sentinel.
+
+    The work queue is single-consumer FIFO, so every message enqueued
+    before the ``("stop",)`` sentinel is served before the shard exits —
+    that *is* the drain protocol.
+
+    Results go back over this shard's private one-way pipe.  Only this
+    process may hold its write end (``stray_writers`` are the *other*
+    shards' ends this fork inherited — closed immediately), so the pipe
+    needs no cross-process lock and the parent sees a prompt EOF if the
+    shard dies.
+    """
+    for writer in stray_writers:  # type: ignore[attr-defined]
+        writer.close()
+    worker = ShardWorker(shard_id, system, config)
+    send = result_conn.send  # type: ignore[attr-defined]
+    try:
+        while True:
+            message = work_queue.get()  # type: ignore[attr-defined]
+            kind = message[0]
+            if kind == "stop":
+                send(("stopped", shard_id))
+                return
+            if kind == "ping":
+                send(("pong", message[1], shard_id))
+                continue
+            if kind == "metrics":
+                send(("metrics", message[1], shard_id, worker.metrics.snapshot()))
+                continue
+            if kind != "request":  # pragma: no cover - future message kinds
+                continue
+            _, seq, frame, trace_ctx = message
+            try:
+                decision_frame, record_row, span_rows = worker.process(
+                    frame, trace_ctx
+                )
+            except ProtocolError as exc:
+                send(("decision_error", seq, shard_id, "protocol", str(exc)))
+                continue
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                send(("decision_error", seq, shard_id, "internal", repr(exc)))
+                continue
+            send(("decision", seq, shard_id, decision_frame, record_row, span_rows))
+    finally:
+        result_conn.close()  # type: ignore[attr-defined]
+        worker.close()

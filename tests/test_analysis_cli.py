@@ -92,6 +92,7 @@ class TestSelfLint:
             "global-seterr",
             "numeric-errstate",
             "layering",
+            "fork-safety",
         }
         assert report.files_checked > 100
 

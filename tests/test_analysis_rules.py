@@ -377,3 +377,101 @@ class TestPathAnchoring:
         assert lint_anchor(target) == pkg
         report = run_analysis(target, ["guarded-by"])
         assert rules_fired(report) == {"guarded-by"}
+
+
+class TestForkSafetyRule:
+    def test_module_level_lock_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "server/shard.py": """
+                import threading
+                _STATE_LOCK = threading.Lock()
+                """
+            },
+            rules=["fork-safety"],
+        )
+        (finding,) = report.active
+        assert finding.rule == "fork-safety"
+        assert "Lock()" in finding.message
+
+    def test_module_level_rng_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "server/router.py": """
+                import numpy as np
+                _RNG = np.random.default_rng(7)
+                """
+            },
+            rules=["fork-safety"],
+        )
+        assert rules_fired(report) == {"fork-safety"}
+
+    def test_empty_module_cache_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"server/shard.py": "_MODEL_CACHE = {}\n"},
+            rules=["fork-safety"],
+        )
+        assert rules_fired(report) == {"fork-safety"}
+
+    def test_lru_cache_decorator_fires(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "server/router.py": """
+                import functools
+
+                @functools.lru_cache(maxsize=64)
+                def ring_points(shards):
+                    return shards
+                """
+            },
+            rules=["fork-safety"],
+        )
+        (finding,) = report.active
+        assert "memoises in the parent process" in finding.message
+
+    def test_class_body_state_fires(self, tmp_path):
+        # Class attributes are created at import time too.
+        report = lint_tree(
+            tmp_path,
+            {
+                "server/shard.py": """
+                class Worker:
+                    _seen = set()
+                """
+            },
+            rules=["fork-safety"],
+        )
+        assert rules_fired(report) == {"fork-safety"}
+
+    def test_post_fork_instance_state_is_clean(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "server/shard.py": """
+                import threading
+
+                CHAOS_EXIT_CODE = 13
+                __all__ = ["Worker", "CHAOS_EXIT_CODE"]
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._cache = {}
+                        self._seen = []
+                """
+            },
+            rules=["fork-safety"],
+        )
+        assert report.active == []
+
+    def test_outside_fork_safe_modules_not_enforced(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"server/gateway.py": "import threading\n_LOCK = threading.Lock()\n"},
+            rules=["fork-safety"],
+        )
+        assert report.active == []

@@ -1,0 +1,163 @@
+"""Chaos tests: shard death mid-request and the recovery contract.
+
+A shard killed with a request in flight must (1) fail that request
+**closed** with a provenance-carrying rejection frame — an error frame
+that says which shard died and why the request was rejected, never a
+hung future or a silent accept; (2) be replaced by the health monitor
+(generation bump); and (3) leave the tier serving its speakers with
+bitwise-unchanged decisions.
+
+Two kill paths are exercised: the in-band chaos hook (the shard calls
+``os._exit`` *after* dequeuing the request, so the request is provably
+in flight) and an out-of-band SIGKILL while idle — the latter is the
+nastier one, because POSIX semaphore state dies with the process (see
+the result-pipe design notes in :mod:`repro.server.scheduler`).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.exporters import AuditJsonlExporter
+from repro.obs.trace import Tracer
+from repro.server import (
+    GatewayConfig,
+    ShardedGateway,
+    decode_decision,
+    encode_request,
+)
+from repro.server.shard import CHAOS_EXIT_CODE, CHAOS_METADATA_KEY
+from tests.test_golden_decisions import BASE_SEED, build_cell
+
+
+@pytest.fixture(scope="module")
+def chaos_frames(small_world):
+    """A known-good frame and its chaos twin (same capture, poisoned
+    metadata that makes the owning shard exit mid-request)."""
+    rng = np.random.default_rng(BASE_SEED)
+    capture, claimed = build_cell(small_world, "quiet_room", "genuine", rng)
+    good = encode_request(capture, claimed, request_id="good")
+    capture.metadata[CHAOS_METADATA_KEY] = True
+    boom = encode_request(capture, claimed, request_id="boom")
+    return good, boom, claimed
+
+
+def _wait_for_generation(gateway, shard_id, minimum, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if gateway.shard_generations[shard_id] >= minimum:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_chaos_kill_fails_closed_and_recovers(
+    small_world, chaos_frames, tmp_path
+):
+    good, boom, claimed = chaos_frames
+    audit_path = tmp_path / "audit.jsonl"
+    audit = AuditJsonlExporter(str(audit_path))
+    tracer = Tracer()
+    config = GatewayConfig(shards=2, chaos_hooks=True)
+    with ShardedGateway(
+        small_world.system, config, tracer=tracer, audit=audit
+    ) as gateway:
+        victim = gateway.router.route(claimed)
+        baseline = decode_decision(gateway.handle(good))
+        assert baseline["accepted"]
+
+        # The in-flight request fails closed with provenance.
+        rejected = decode_decision(gateway.handle(boom))
+        assert not rejected["accepted"]
+        assert rejected["request_id"] == "boom"
+        shard_component = rejected["components"]["shard"]
+        assert not shard_component["passed"]
+        assert f"shard {victim} crashed" in shard_component["detail"]
+        assert f"exit code {CHAOS_EXIT_CODE}" in shard_component["detail"]
+        assert shard_component["evidence"]["shard_id"] == float(victim)
+
+        # The monitor replaced the dead shard...
+        assert _wait_for_generation(gateway, victim, 1)
+        generations = gateway.shard_generations
+        assert generations[victim] == 1
+        assert sum(generations) == 1  # no collateral replacements
+
+        # ... and the replacement decides bitwise-identically.
+        assert decode_decision(gateway.handle(good)) == baseline
+
+        summary = gateway.metrics_summary()
+        assert summary["counters"]["shard_crashes"] == 1
+        assert summary["counters"]["requests_failed_closed"] == 1
+        assert all(summary["shards"]["alive"])
+
+    audit.close()
+    rows = [json.loads(line) for line in open(audit_path, encoding="utf-8")]
+    fail_closed = [
+        r for r in rows if r["mode"] == "sharded" and r["decision"] == "reject"
+    ]
+    assert len(fail_closed) == 1
+    assert fail_closed[0]["request_id"] == "boom"
+    (stage,) = fail_closed[0]["stages"]
+    assert stage["name"] == "shard"
+    assert stage["status"] == "error"  # -inf score → error provenance
+
+
+def test_sigkill_idle_shard_is_replaced_and_serving_resumes(
+    small_world, chaos_frames
+):
+    good, _, claimed = chaos_frames
+    with ShardedGateway(
+        small_world.system, GatewayConfig(shards=2)
+    ) as gateway:
+        baseline = decode_decision(gateway.handle(good))
+        victim = gateway.router.route(claimed)
+
+        for round_no in (1, 2):  # two rounds: replacement must survive
+            gateway.kill_shard(victim)
+            assert _wait_for_generation(gateway, victim, round_no)
+            assert decode_decision(gateway.handle(good)) == baseline
+
+        # The other shard never got replaced.
+        other = 1 - victim
+        assert gateway.shard_generations[other] == 0
+
+
+def test_sigkill_with_requests_in_flight_fails_them_closed(
+    small_world, chaos_frames
+):
+    """Kill while requests sit on the victim's queue: each one must
+    resolve (fail-closed frame), never hang."""
+    good, _, claimed = chaos_frames
+    with ShardedGateway(
+        small_world.system, GatewayConfig(shards=2)
+    ) as gateway:
+        baseline = decode_decision(gateway.handle(good))
+        victim = gateway.router.route(claimed)
+        futures = [gateway.submit(good) for _ in range(4)]
+        gateway.kill_shard(victim)
+        decisions = [decode_decision(f.result(timeout=60)) for f in futures]
+        for decision in decisions:
+            # Either the shard answered before dying or the crash
+            # handler failed the request closed — both resolve, and
+            # neither invents an accept that the pipeline didn't make.
+            if "shard" in decision["components"]:
+                assert not decision["accepted"]
+            else:
+                assert decision == baseline
+        # Serving resumes for the victim's speakers.
+        assert _wait_for_generation(gateway, victim, 1)
+        assert decode_decision(gateway.handle(good)) == baseline
+
+
+def test_chaos_hooks_off_ignores_poisoned_metadata(small_world, chaos_frames):
+    """The chaos hook must be dark in production configs."""
+    good, boom, _ = chaos_frames
+    with ShardedGateway(
+        small_world.system, GatewayConfig(shards=2)
+    ) as gateway:
+        expected = decode_decision(gateway.handle(good))
+        survived = decode_decision(gateway.handle(boom))
+    assert survived["accepted"] == expected["accepted"]
+    assert gateway.shard_generations == [0, 0]

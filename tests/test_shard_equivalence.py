@@ -1,0 +1,200 @@
+"""Bitwise cross-mode equivalence harness (tier-1 gate for the shard tier).
+
+Every serving mode — the sequential :class:`VerificationServer`, the
+threaded :class:`Gateway` (strict and cascade), and the process-sharded
+:class:`ShardedGateway` for N ∈ {1, 2, 4} — must produce **bitwise
+identical** decision frames for the same request frames: the frozen
+golden-decision matrix plus :data:`RANDOM_DRAWS` randomized scenario
+draws.  The comparison is three-layered:
+
+- decoded decision dicts compare equal (components, scores, evidence);
+- :func:`decision_fingerprint`/:func:`decisions_checksum` digests match
+  (the same digests the throughput benches record, so a drift caught
+  here is the same drift the bench diff would flag);
+- the audit :class:`DecisionRecord` rows match stage for stage once the
+  per-run fields (trace id, wall-clock stage latencies) are normalized.
+
+The sharded tier must hold the identity **through a forced shard crash
+and replacement**: after SIGKILLing a shard mid-stream, replayed frames
+must still decide bitwise-identically on the replacement.
+
+``SHARD_EQUIV_N`` (e.g. ``SHARD_EQUIV_N=2``) restricts the shard counts
+exercised, so a CI matrix can run one N per leg.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.exporters import AuditJsonlExporter
+from repro.server import (
+    Gateway,
+    GatewayConfig,
+    ShardedGateway,
+    VerificationServer,
+    decode_decision,
+    decision_fingerprint,
+    decisions_checksum,
+    encode_request,
+)
+from tests.test_golden_decisions import (
+    BASE_SEED,
+    CELLS,
+    ENVIRONMENTS,
+    SCENARIOS,
+    build_cell,
+)
+
+#: Randomized scenario draws appended to the golden matrix (the gate
+#: requires >= 50).  Drawn from a fixed seed so every mode sees the
+#: exact same bytes — randomized across *scenarios*, frozen across runs.
+RANDOM_DRAWS = 50
+DRAW_SEED = 7000
+
+SHARD_COUNTS = [1, 2, 4]
+if os.environ.get("SHARD_EQUIV_N"):
+    SHARD_COUNTS = [
+        int(n) for n in os.environ["SHARD_EQUIV_N"].split(",") if n.strip()
+    ]
+
+
+@pytest.fixture(scope="module")
+def frames(small_world):
+    """Golden-matrix frames plus the randomized draws, encoded once."""
+    out = []
+    for i, (env_name, scenario) in enumerate(CELLS):
+        rng = np.random.default_rng(BASE_SEED + i)
+        capture, claimed = build_cell(small_world, env_name, scenario, rng)
+        out.append(encode_request(capture, claimed, request_id=f"golden-{i}"))
+    draw_rng = np.random.default_rng(DRAW_SEED)
+    for d in range(RANDOM_DRAWS):
+        env_name = ENVIRONMENTS[int(draw_rng.integers(len(ENVIRONMENTS)))]
+        scenario = SCENARIOS[int(draw_rng.integers(len(SCENARIOS)))]
+        cell_rng = np.random.default_rng(int(draw_rng.integers(2**32)))
+        capture, claimed = build_cell(small_world, env_name, scenario, cell_rng)
+        out.append(encode_request(capture, claimed, request_id=f"draw-{d}"))
+    return out
+
+
+@pytest.fixture(scope="module")
+def sequential_decisions(small_world, frames):
+    """The reference: one-at-a-time strict decisions."""
+    server = VerificationServer(small_world.system)
+    try:
+        return [decode_decision(server.handle(f)) for f in frames]
+    finally:
+        server.close()
+
+
+def _audit_rows(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh]
+
+
+def _normalized(record_row):
+    """A DecisionRecord row minus the fields that vary per run/process."""
+    row = dict(record_row)
+    row.pop("trace_id", None)
+    row.pop("stage_latency_s", None)
+    return row
+
+
+def _serve_sharded(system, frames, shards, cascade=False, audit_path=None):
+    audit = AuditJsonlExporter(audit_path) if audit_path else None
+    config = GatewayConfig(shards=shards, cascade=cascade)
+    with ShardedGateway(system, config, audit=audit) as gateway:
+        decisions = [
+            decode_decision(f) for f in gateway.handle_many(frames)
+        ]
+        generations = gateway.shard_generations
+    if audit is not None:
+        audit.close()
+    return decisions, generations
+
+
+def test_threaded_gateway_matches_sequential(
+    small_world, frames, sequential_decisions
+):
+    with Gateway(small_world.system, GatewayConfig(request_workers=4)) as gw:
+        threaded = [decode_decision(f) for f in gw.handle_many(frames)]
+    assert threaded == sequential_decisions
+    assert decisions_checksum(threaded) == decisions_checksum(
+        sequential_decisions
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_strict_matches_sequential(
+    small_world, frames, sequential_decisions, shards, tmp_path
+):
+    audit_path = tmp_path / f"audit-sharded-{shards}.jsonl"
+    sharded, generations = _serve_sharded(
+        small_world.system, frames, shards, audit_path=str(audit_path)
+    )
+    assert generations == [0] * shards  # no crashes during a clean run
+    # Layer 1: decoded decision dicts are equal, frame for frame.
+    assert sharded == sequential_decisions
+    # Layer 2: the bench-recorded digests agree.
+    for ours, ref in zip(sharded, sequential_decisions):
+        assert decision_fingerprint(ours) == decision_fingerprint(ref)
+    assert decisions_checksum(sharded) == decisions_checksum(
+        sequential_decisions
+    )
+    # Layer 3: every audit DecisionRecord row carries the same stages,
+    # scores, and verdicts (per-run fields normalized away).
+    rows = {r["request_id"]: _normalized(r) for r in _audit_rows(audit_path)}
+    assert len(rows) == len(frames)
+    for decision in sequential_decisions:
+        row = rows[decision["request_id"]]
+        assert (row["decision"] == "accept") == decision["accepted"]
+        by_stage = {s["name"]: s for s in row["stages"]}
+        for name, comp in decision["components"].items():
+            assert by_stage[name]["score"] == comp["score"]
+            assert (by_stage[name]["status"] == "pass") == comp["passed"]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_cascade_matches_threaded_cascade(
+    small_world, frames, sequential_decisions, shards
+):
+    with Gateway(
+        small_world.system, GatewayConfig(request_workers=4, cascade=True)
+    ) as gw:
+        threaded = [decode_decision(f) for f in gw.handle_many(frames)]
+    sharded, _ = _serve_sharded(
+        small_world.system, frames, shards, cascade=True
+    )
+    assert sharded == threaded
+    assert decisions_checksum(sharded) == decisions_checksum(threaded)
+    # Cascade skips stages but never flips the verdict.
+    assert [d["accepted"] for d in sharded] == [
+        d["accepted"] for d in sequential_decisions
+    ]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_equivalence_survives_shard_crash_and_replacement(
+    small_world, frames, sequential_decisions, shards
+):
+    """SIGKILL a shard mid-stream; replayed frames must still decide
+    bitwise-identically on the replacement process."""
+    config = GatewayConfig(shards=shards)
+    with ShardedGateway(small_world.system, config) as gateway:
+        warmup = [decode_decision(f) for f in gateway.handle_many(frames[:5])]
+        assert warmup == sequential_decisions[:5]
+        gateway.kill_shard(0)
+        deadline_gens = None
+        for _ in range(100):  # wait for the monitor to replace shard 0
+            deadline_gens = gateway.shard_generations
+            if deadline_gens[0] >= 1:
+                break
+            time.sleep(0.05)
+        assert deadline_gens is not None and deadline_gens[0] >= 1
+        replayed = [decode_decision(f) for f in gateway.handle_many(frames)]
+    assert replayed == sequential_decisions
+    assert decisions_checksum(replayed) == decisions_checksum(
+        sequential_decisions
+    )
