@@ -174,6 +174,55 @@ def _is_latency(key: str) -> bool:
     return key.startswith("latency.") and key.endswith(("_ms",))
 
 
+def speedup_rows(
+    results: Optional[Path] = None, baselines: Optional[Path] = None
+) -> List[str]:
+    """One grep-able ``BENCH-SPEEDUP`` row per bench with fresh results.
+
+    Each row aggregates the bench's ``latency.*.median_ms`` metrics into a
+    geometric-mean baseline/new speedup (>1 means the fresh run is
+    faster), plus the best and worst individual metric, e.g.::
+
+        BENCH-SPEEDUP pipeline geomean 3.19x over 3 medians (best cascade_genuine 3.61x, worst strict_rejected 3.24x)
+
+    ``grep '^BENCH-SPEEDUP'`` on a CI log recovers the whole per-bench
+    summary without parsing the metric-by-metric diff above it.
+    """
+    results = Path(results) if results else results_dir()
+    baselines = Path(baselines) if baselines else baselines_dir()
+    rows: List[str] = []
+    for base_path in sorted(baselines.glob("BENCH_*.json")):
+        new_path = results / base_path.name
+        if not new_path.exists():
+            continue
+        base = _flatten(load_bench(base_path))
+        new = _flatten(load_bench(new_path))
+        name = base_path.stem[len("BENCH_") :]
+        speedups: Dict[str, float] = {}
+        for key, b in base.items():
+            if (
+                key.startswith("latency.")
+                and key.endswith(".median_ms")
+                and b > 0
+                and new.get(key, 0) > 0
+            ):
+                label = key[len("latency.") : -len(".median_ms")]
+                speedups[label] = b / new[key]
+        if not speedups:
+            rows.append(f"BENCH-SPEEDUP {name} no comparable latency medians")
+            continue
+        ratios = np.array(list(speedups.values()))
+        geomean = float(np.exp(np.mean(np.log(ratios))))
+        best = max(speedups, key=speedups.get)
+        worst = min(speedups, key=speedups.get)
+        rows.append(
+            f"BENCH-SPEEDUP {name} geomean {geomean:.2f}x over "
+            f"{len(speedups)} medians (best {best} {speedups[best]:.2f}x, "
+            f"worst {worst} {speedups[worst]:.2f}x)"
+        )
+    return rows
+
+
 def decision_drift(
     results: Optional[Path] = None, baselines: Optional[Path] = None
 ) -> List[str]:
@@ -238,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "diff":
         for line in diff_benches(args.results, args.baselines):
+            print(line)
+        for line in speedup_rows(args.results, args.baselines):
             print(line)
         drift = decision_drift(args.results, args.baselines)
         for line in drift:

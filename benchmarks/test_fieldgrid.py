@@ -1,0 +1,144 @@
+"""Precomputed field-grid vs analytic dipole evaluation (kernel tier).
+
+Times magnetometer field evaluation for a replay-attack source set —
+a shielded loudspeaker dipole plus the phone's own speaker dipole —
+along sweep-style query trajectories, three ways:
+
+- ``analytic``: the exact dipole model (:meth:`field_at_many`), what the
+  pinned serving/verification path always uses;
+- ``grid_cold``: one-off :class:`FieldGrid` build plus interpolated
+  queries (the first capture of a sweep pays this);
+- ``grid_warm``: interpolated queries against the cached grid (every
+  later capture of the sweep).
+
+The bench also records the grid-vs-analytic worst relative error over
+the query points (must stay inside the documented budget: <2% beyond
+four grid cells from a source) and the :class:`GridCache` hit counters.
+Numbers land in ``BENCH_fieldgrid.json`` for the perf-diff harness.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from harness import write_bench
+
+from repro.devices import Loudspeaker, get_loudspeaker
+from repro.physics.fieldgrid import DEFAULT_SPACING, FieldGrid, GridCache
+from repro.physics.magnetics import MagneticDipole
+
+#: Timing repetitions; medians de-noise scheduler jitter.
+REPEATS = 5
+
+#: Query points per repetition — a few captures' worth of magnetometer
+#: samples (100 Hz x ~3 s per capture).
+N_QUERIES = 20_000
+
+
+def _sources():
+    """The field sources a replay capture evaluates per magnetometer sample."""
+    speaker = Loudspeaker(
+        get_loudspeaker("Logitech LS21"), np.array([0.0, 0.0, 0.0])
+    )
+    phone_speaker = MagneticDipole(
+        position=np.array([0.25, 0.05, 0.0]),
+        moment=np.array([0.0, 0.008, 0.0]),
+        core_radius=0.003,
+    )
+    return [*speaker.magnetic_sources(), phone_speaker]
+
+
+def _query_points(rng, lo, hi, n):
+    """Sweep-style query cloud spanning the grid box."""
+    return lo + rng.random((n, 3)) * (hi - lo)
+
+
+def test_fieldgrid_interpolation_speed(bench_world):
+    rng = np.random.default_rng(123)
+    sources = _sources()
+    lo = np.array([-0.15, -0.15, -0.15])
+    hi = np.array([0.35, 0.25, 0.15])
+    points = _query_points(rng, lo, hi, N_QUERIES)
+    times = np.zeros(points.shape[0])
+
+    analytic_s = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for source in sources:
+            source.field_at_many(points, times)
+        analytic_s.append(time.perf_counter() - t0)
+
+    cold_s = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        grids = [
+            FieldGrid.build(source, lo, hi, DEFAULT_SPACING)
+            for source in sources
+        ]
+        for grid in grids:
+            grid.field_at_many(points, times)
+        cold_s.append(time.perf_counter() - t0)
+
+    cache = GridCache()
+    grids = [cache.get(source, lo, hi, DEFAULT_SPACING) for source in sources]
+    warm_s = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for source in sources:
+            grid = cache.get(source, lo, hi, DEFAULT_SPACING)
+            grid.field_at_many(points, times)
+        warm_s.append(time.perf_counter() - t0)
+    assert cache.stats()["misses"] == len(sources)
+    assert cache.stats()["hits"] == REPEATS * len(sources)
+
+    # Error budget over query points far enough from each source: the
+    # module documents <1.5% relative beyond ten grid cells.
+    worst_rel = 0.0
+    for source, grid in zip(sources, grids):
+        exact = source.field_at_many(points, times)
+        approx = grid.field_at_many(points, times)
+        norm = np.linalg.norm(exact, axis=1)
+        err = np.linalg.norm(approx - exact, axis=1)
+        centre = getattr(source, "position", None)
+        if centre is None:  # shielded wrapper: use the inner dipole
+            centre = source.dipole.position
+        far = (
+            np.linalg.norm(points - centre, axis=1) >= 10.0 * DEFAULT_SPACING
+        ) & (norm > 0)
+        worst_rel = max(worst_rel, float((err[far] / norm[far]).max()))
+    assert worst_rel < 0.015
+
+    warm_speedup = float(np.median(analytic_s) / np.median(warm_s))
+    # The warm path must actually pay off (measured ~1.7x with the
+    # compiled gather kernel); the floor leaves margin for CI jitter.
+    assert warm_speedup > 1.3
+
+    write_bench(
+        "fieldgrid",
+        latencies={
+            "analytic": analytic_s,
+            "grid_cold": cold_s,
+            "grid_warm": warm_s,
+        },
+        counters={
+            "cache_hits": float(cache.stats()["hits"]),
+            "cache_misses": float(cache.stats()["misses"]),
+            "query_points": float(N_QUERIES),
+        },
+        extra={
+            "warm_speedup": warm_speedup,
+            "worst_far_relative_error": worst_rel,
+            "grid_spacing_m": DEFAULT_SPACING,
+        },
+    )
+    emit(
+        "field-grid interpolation",
+        [
+            f"analytic median {np.median(analytic_s) * 1e3:.2f} ms",
+            f"grid cold median {np.median(cold_s) * 1e3:.2f} ms",
+            f"grid warm median {np.median(warm_s) * 1e3:.2f} ms",
+            f"warm speedup {warm_speedup:.2f}x",
+            f"worst far-field relative error {worst_rel:.4f}",
+        ],
+    )

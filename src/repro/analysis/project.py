@@ -52,6 +52,7 @@ PHYSICAL_CONSTANT_TOKENS: Mapping[str, Tuple[str, ...]] = {
 PACKAGE_RANKS: Mapping[str, int] = {
     "errors": 0,
     "constants": 0,
+    "ckernel": 0,
     "analysis": 1,
     "physics": 1,
     "ml": 1,

@@ -50,6 +50,55 @@ def llr_score_batch(
     return scores
 
 
+def llr_score_multi(
+    speaker_models: Sequence[DiagonalGMM],
+    ubm: DiagonalGMM,
+    features_list: Sequence[np.ndarray],
+) -> List[float]:
+    """Score utterances claiming *different* speakers in one fused pass.
+
+    ``speaker_models[i]`` is the model utterance ``i`` claims (the same
+    object may appear many times).  The shared UBM evaluates **all**
+    frames in a single stacked call; each distinct speaker model
+    evaluates its claimants' frames in one grouped call.  Frame-level
+    likelihoods are row-independent, so every per-utterance mean — and
+    therefore every score — is bitwise-equal to calling
+    :func:`llr_score` per utterance, which is what lets the gateway
+    batch identity scoring across concurrent users.
+    """
+    if len(speaker_models) != len(features_list):
+        raise ValueError("speaker_models and features_list must align")
+    if not features_list:
+        return []
+    segments = [np.asarray(f, dtype=float) for f in features_list]
+    lengths = [s.shape[0] for s in segments]
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    stacked = np.vstack(segments)
+    bg = ubm.frame_log_likelihoods(stacked)
+
+    # Group utterances by model identity; each group's frames are stacked
+    # once and the group model runs one vectorised pass over them.
+    groups: dict[int, List[int]] = {}
+    model_by_id: dict[int, DiagonalGMM] = {}
+    for i, model in enumerate(speaker_models):
+        groups.setdefault(id(model), []).append(i)
+        model_by_id[id(model)] = model
+    scores: List[float] = [0.0] * len(segments)
+    for key, members in groups.items():
+        model = model_by_id[key]
+        spk = model.frame_log_likelihoods(
+            np.vstack([segments[i] for i in members])
+        )
+        start = 0
+        for i in members:
+            stop = start + lengths[i]
+            scores[i] = float(spk[start:stop].mean()) - float(
+                bg[offsets[i] : offsets[i + 1]].mean()
+            )
+            start = stop
+    return scores
+
+
 def zt_normalize(
     raw_score: float,
     cohort_scores: np.ndarray,

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.asv.gmm import DiagonalGMM
 from repro.asv.isv import ISVModel
-from repro.asv.scoring import llr_score, llr_score_batch
+from repro.asv.scoring import llr_score, llr_score_batch, llr_score_multi
 from repro.asv.ubm import UniversalBackgroundModel, map_adapt
 from repro.constants import DEFAULT_SAMPLE_RATE_HZ
 from repro.dsp.mel import MFCCExtractor
@@ -171,4 +171,47 @@ class SpeakerVerifier:
             raise ConfigurationError(f"speaker {claimed_speaker!r} not enrolled")
         return llr_score_batch(
             self._speaker_models[claimed_speaker], self.ubm.gmm, features_list
+        )
+
+    def verify_multi(
+        self, claims: Sequence[str], waveforms: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Score utterances claiming (possibly) different identities at once."""
+        return self.verify_features_multi(
+            claims, [self.features(w) for w in waveforms]
+        )
+
+    def verify_features_multi(
+        self, claims: Sequence[str], features_list: Sequence[np.ndarray]
+    ) -> List[float]:
+        """Cross-speaker batched :meth:`verify_features`.
+
+        ``claims[i]`` is the identity utterance ``i`` claims.  GMM-UBM
+        claims share a single stacked UBM pass plus one grouped pass per
+        distinct claimed model (:func:`repro.asv.scoring.llr_score_multi`);
+        ISV falls back to per-utterance scoring.  All claims are validated
+        up front so an un-enrolled speaker fails the whole call — the
+        gateway's sequential fallback then reproduces the per-request
+        error.  Scores are bitwise-equal to the sequential path.
+        """
+        if len(claims) != len(features_list):
+            raise ConfigurationError("claims and features_list must align")
+        if not features_list:
+            return []
+        if self.backend is VerifierBackend.ISV:
+            for claimed in claims:
+                if claimed not in self._speaker_offsets:
+                    raise ConfigurationError(f"speaker {claimed!r} not enrolled")
+            assert self._isv is not None
+            return [
+                self._isv.score(self._speaker_offsets[claimed], f)
+                for claimed, f in zip(claims, features_list)
+            ]
+        for claimed in claims:
+            if claimed not in self._speaker_models:
+                raise ConfigurationError(f"speaker {claimed!r} not enrolled")
+        return llr_score_multi(
+            [self._speaker_models[claimed] for claimed in claims],
+            self.ubm.gmm,
+            features_list,
         )

@@ -1,0 +1,66 @@
+"""Build-and-cache helper for optional compiled C kernels.
+
+Hot inner loops that numpy cannot express efficiently (sequential
+recurrences, scattered gathers) live as small C sources compiled on
+first use with the system compiler.  Each kernel module owns its source
+string and ctypes bindings; this helper owns the shared mechanics:
+
+- the shared object is cached under ``$REPRO_KERNEL_CACHE`` (or the
+  system temp dir) keyed by a content hash of source + flags, so a
+  rebuild only happens when the kernel actually changes;
+- compilation failures (no compiler, sandboxed temp dir) degrade to
+  ``None`` and callers fall back to their pure-numpy path — the kernels
+  are replicas of the numpy semantics, never the only implementation.
+
+``-ffp-contract=off`` is load-bearing in the default flags: FMA
+contraction would reassociate roundings and break the bitwise equality
+the kernel tests pin against the numpy/scipy reference paths.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Sequence
+
+DEFAULT_CFLAGS = ("-O2", "-ffp-contract=off", "-shared", "-fPIC")
+
+
+def load_library(
+    stem: str, source: str, cflags: Sequence[str] = DEFAULT_CFLAGS
+) -> ctypes.CDLL | None:
+    """Compile (or reuse a cached build of) a kernel; ``None`` on failure."""
+    tag = hashlib.blake2b(
+        (source + " ".join(cflags)).encode(), digest_size=12
+    ).hexdigest()
+    cache_dir = os.environ.get("REPRO_KERNEL_CACHE", tempfile.gettempdir())
+    so_path = os.path.join(cache_dir, f"repro_{stem}_{tag}.so")
+    if not os.path.exists(so_path):
+        src_path = os.path.join(cache_dir, f"repro_{stem}_{tag}.c")
+        try:
+            with open(src_path, "w") as fh:
+                fh.write(source)
+        except OSError:
+            return None
+        tmp_so = so_path + f".tmp{os.getpid()}"
+        for compiler in ("cc", "gcc", "clang"):
+            try:
+                subprocess.run(
+                    [compiler, *cflags, "-o", tmp_so, src_path],
+                    check=True,
+                    capture_output=True,
+                    timeout=60,
+                )
+                os.replace(tmp_so, so_path)
+                break
+            except (OSError, subprocess.SubprocessError):
+                continue
+        else:
+            return None
+    try:
+        return ctypes.CDLL(so_path)
+    except OSError:
+        return None

@@ -122,6 +122,12 @@ class GatewayConfig:
     batch_window_s: float = 0.05
     #: Flush an identity batch as soon as it reaches this many requests.
     max_batch: int = 8
+    #: Stack concurrent requests claiming *different* speakers into one
+    #: identity batch (single shared UBM likelihood pass plus one grouped
+    #: pass per distinct claimed model).  Off by default: per-speaker
+    #: buckets.  Scores are bitwise-equal either way — frame likelihoods
+    #: are row-independent — so this is purely a throughput knob.
+    cross_speaker_batching: bool = False
     #: Recent-sample window of the latency histograms.
     metrics_window: int = 4096
     #: Serve with the cost-ordered early-exit cascade: cheap stages run

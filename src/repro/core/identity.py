@@ -146,6 +146,47 @@ class IdentityVerifier:
             results[i] = self._result_from_score(score)
         return results
 
+    def verify_multi(
+        self, captures: Sequence[SensorCapture], claims: Sequence[str]
+    ) -> list[ComponentResult]:
+        """Verify captures claiming (possibly) different identities at once.
+
+        The cross-speaker counterpart of :meth:`verify_batch`: the gateway
+        stacks *all* concurrent requests into one call regardless of which
+        speaker each claims, sharing a single UBM likelihood pass across
+        the whole batch.  Results stay bitwise-equal to per-capture
+        :meth:`verify`; captures whose voice cannot be extracted degrade
+        to the same rejection.
+        """
+        if len(captures) != len(claims):
+            raise CaptureError("captures and claims must align")
+        voices: list[np.ndarray] = []
+        batch_claims: list[str] = []
+        scorable: list[int] = []
+        results: list[ComponentResult] = [None] * len(captures)  # type: ignore[list-item]
+        for i, (capture, claimed) in enumerate(zip(captures, claims)):
+            try:
+                voices.append(
+                    extract_voice(
+                        capture.audio,
+                        capture.audio_sample_rate,
+                        self.verifier.sample_rate,
+                    )
+                )
+                batch_claims.append(claimed)
+                scorable.append(i)
+            except CaptureError as exc:
+                results[i] = ComponentResult(
+                    name="identity",
+                    passed=False,
+                    score=float("-inf"),
+                    detail=str(exc),
+                )
+        scores = self.verifier.verify_multi(batch_claims, voices)
+        for i, score in zip(scorable, scores):
+            results[i] = self._result_from_score(score)
+        return results
+
     def _result_from_score(self, score: float) -> ComponentResult:
         passed = score >= self.config.asv_threshold
         return ComponentResult(

@@ -27,9 +27,9 @@ from repro.analysis import sanitize
 from repro.core.config import DefenseConfig
 from repro.core.decision import ComponentResult
 from repro.dsp.align import align_to_reference
-from repro.dsp.filters import bandpass, lowpass
-from repro.dsp.signal import frame_signal
+from repro.dsp.filters import lowpass, zero_phase_batch
 from repro.errors import CaptureError, NotFittedError
+from repro.ml.linalg import lstsq_1rhs
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSVM
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -89,12 +89,25 @@ def extract_sweep_trace(
     # exactly when the voice is quiet (large source distances).
     audio = lowpass(capture.audio, 8000.0, sr, order=6)
 
+    # All render-band filters run over the same signal with the same
+    # order, so the batch path can interleave their recurrences in one
+    # compiled loop (bitwise-identical per band to a bandpass() call).
+    band_jobs = [
+        (audio, 2, (float(low_hz), float(min(high_hz, sr / 2.0 * 0.95))), "band", int(sr))
+        for low_hz, high_hz, _centre in RENDER_BANDS
+    ]
+    band_signals = zero_phase_batch(band_jobs)
     band_db = np.empty((len(RENDER_BANDS), n_frames))
-    for i, (low_hz, high_hz, _centre) in enumerate(RENDER_BANDS):
-        high_hz = min(high_hz, sr / 2.0 * 0.95)
-        band_audio = bandpass(audio, low_hz, high_hz, sr, order=2)
-        frames = frame_signal(band_audio, frame_len, hop_len)[:n_frames]
-        energy = (frames**2).mean(axis=1)
+    for i, band_audio in enumerate(band_signals):
+        # Square once per sample, then take the strided frame view: with
+        # 2.5x frame overlap this squares 126k samples instead of 312k,
+        # and squaring commutes with the gather so the per-frame mean sees
+        # identical inputs (same reduction order, same bits).
+        sq = band_audio * band_audio
+        frames = np.lib.stride_tricks.sliding_window_view(sq, frame_len)[
+            ::hop_len
+        ][:n_frames]
+        energy = frames.mean(axis=1)
         band_db[i] = 10.0 * np.log10(np.maximum(energy, 10.0 ** (_FLOOR_DB / 10.0)))
     total_power = (10.0 ** (band_db / 10.0)).sum(axis=0)
     total_db = 10.0 * np.log10(np.maximum(total_power, 10.0 ** (_FLOOR_DB / 10.0)))
@@ -134,8 +147,20 @@ def delta_features(trace: SweepTrace, reference: SweepTrace) -> np.ndarray:
     d_tot = trace.total_db[mapping] - reference.total_db
     d_tot = d_tot - d_tot.mean()
 
+    # All seven degree-1 fits share the same abscissa, so the Vandermonde
+    # matrix, column scaling and rcond that ``np.polyfit`` would rebuild on
+    # every call are hoisted here; the per-call ``lstsq`` then follows
+    # polyfit's exact remaining steps, making each fit bitwise-identical to
+    # ``np.polyfit(a, values, deg=1)``.
+    a_fit = a + 0.0
+    lhs = np.vander(a_fit, 2)
+    scale = np.sqrt((lhs * lhs).sum(axis=0))
+    lhs /= scale
+    rcond = len(a_fit) * np.finfo(a_fit.dtype).eps
+
     def trend(values: np.ndarray) -> tuple[float, float]:
-        coeffs = np.polyfit(a, values, deg=1)
+        c, _ = lstsq_1rhs(lhs, values + 0.0, rcond=rcond)
+        coeffs = (c.T / scale).T
         fitted = np.polyval(coeffs, a)
         return float(coeffs[0]), float(np.std(values - fitted))
 

@@ -59,6 +59,57 @@ class RecoveredTrajectory:
         return float(self.headings[-1] - self.headings[0])
 
 
+class IncrementalCircleFit:
+    """Kåsa circle fit maintained as running sums over streamed points.
+
+    The batch :func:`repro.physics.geometry.fit_circle_2d` solves
+    ``[x, y, 1]·s = x² + y²`` by least squares over all points at once.
+    The same solution is determined by the 3×3 normal equations
+    ``AᵀA·s = Aᵀb``, whose entries are plain sums over the points — so a
+    streaming consumer can fold points in chunk by chunk in O(1) memory
+    and solve on demand.  The normal-equation route is algebraically
+    identical but numerically different from the batch SVD solve; on the
+    well-conditioned arcs the recovery pipeline fits, the two agree to
+    ~1e-9 relative (pinned in ``tests/test_vectorized_kernels.py``).
+    """
+
+    def __init__(self) -> None:
+        self._ata = np.zeros((3, 3))
+        self._atb = np.zeros(3)
+        self.n = 0
+
+    def update(self, x: np.ndarray, y: np.ndarray) -> "IncrementalCircleFit":
+        """Fold a chunk of points into the running sums."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=float))
+        if x.shape != y.shape or x.ndim != 1:
+            raise ConfigurationError("x and y must be 1-D arrays of equal length")
+        if x.size == 0:
+            return self
+        a = np.column_stack([x, y, np.ones_like(x)])
+        b = x**2 + y**2
+        self._ata += a.T @ a
+        self._atb += a.T @ b
+        self.n += x.size
+        return self
+
+    def solve(self) -> tuple[float, float, float]:
+        """Current ``(cx, cy, r)`` estimate over every point seen so far."""
+        if self.n < 3:
+            raise ConfigurationError("circle fitting needs at least three points")
+        try:
+            sol = np.linalg.solve(self._ata, self._atb)
+        except np.linalg.LinAlgError as exc:
+            raise ConfigurationError(
+                "points are collinear; circle fit is degenerate"
+            ) from exc
+        cx, cy = sol[0] / 2.0, sol[1] / 2.0
+        r_sq = sol[2] + cx**2 + cy**2
+        if r_sq <= 0:
+            raise ConfigurationError("circle fit produced a non-positive radius")
+        return float(cx), float(cy), float(np.sqrt(r_sq))
+
+
 def _sweep_window(headings: np.ndarray, times: np.ndarray) -> slice:
     """Locate the sweep: the window where the heading is actively turning."""
     rate = np.abs(np.gradient(headings, times))

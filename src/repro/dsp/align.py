@@ -39,26 +39,39 @@ def dtw_path(
     n, m = r.size, q.size
     band = max(int(band_fraction * max(n, m)), abs(n - m) + 2)
 
-    cost = np.full((n, m), np.inf)
-    dist = (r[:, None] - q[None, :]) ** 2
-    cost[0, 0] = dist[0, 0]
-    for i in range(n):
+    # The DP runs over native Python floats: every cell update is the same
+    # IEEE-754 double add/compare the ndarray version performed, so costs
+    # (and therefore paths and downstream scores) are bitwise unchanged,
+    # but per-cell work drops from numpy scalar boxing to list indexing.
+    inf = float("inf")
+    dist = ((r[:, None] - q[None, :]) ** 2).tolist()
+    cost = [[inf] * m for _ in range(n)]
+    cost[0][0] = dist[0][0]
+    # First row: only left-neighbour moves are reachable.
+    row0, drow0 = cost[0], dist[0]
+    for j in range(1, min(m, band + 1)):
+        prev = row0[j - 1]
+        if prev != inf:
+            row0[j] = drow0[j] + prev
+    for i in range(1, n):
         j_lo = max(0, int(i * m / n) - band)
         j_hi = min(m, int(i * m / n) + band + 1)
+        row = cost[i]
+        up = cost[i - 1]
+        drow = dist[i]
         for j in range(j_lo, j_hi):
-            if i == 0 and j == 0:
-                continue
-            best = np.inf
-            if i > 0:
-                best = min(best, cost[i - 1, j])
+            best = up[j]
             if j > 0:
-                best = min(best, cost[i, j - 1])
-            if i > 0 and j > 0:
-                best = min(best, cost[i - 1, j - 1])
-            if np.isfinite(best):
-                cost[i, j] = dist[i, j] + best
+                v = row[j - 1]
+                if v < best:
+                    best = v
+                v = up[j - 1]
+                if v < best:
+                    best = v
+            if best != inf:
+                row[j] = drow[j] + best
 
-    if not np.isfinite(cost[n - 1, m - 1]):
+    if cost[n - 1][m - 1] == inf:
         raise SignalError("DTW band too narrow for these sequences")
 
     # Backtrack.
@@ -67,11 +80,11 @@ def dtw_path(
     while i > 0 or j > 0:
         candidates = []
         if i > 0 and j > 0:
-            candidates.append((cost[i - 1, j - 1], i - 1, j - 1))
+            candidates.append((cost[i - 1][j - 1], i - 1, j - 1))
         if i > 0:
-            candidates.append((cost[i - 1, j], i - 1, j))
+            candidates.append((cost[i - 1][j], i - 1, j))
         if j > 0:
-            candidates.append((cost[i, j - 1], i, j - 1))
+            candidates.append((cost[i][j - 1], i, j - 1))
         _, i, j = min(candidates, key=lambda c: c[0])
         path_r.append(i)
         path_q.append(j)

@@ -172,6 +172,10 @@ class MFCCExtractor:
             ceps = np.column_stack([ceps, energy])
         return ceps
 
+    def stream(self, block_frames: int | None = None) -> "StreamingMFCC":
+        """A :class:`StreamingMFCC` session bound to this configuration."""
+        return StreamingMFCC(self, block_frames)
+
     def extract_with_cmvn(self, waveform: np.ndarray) -> np.ndarray:
         """MFCCs with per-utterance cepstral mean/variance normalisation.
 
@@ -183,3 +187,108 @@ class MFCCExtractor:
         mean = feats.mean(axis=0, keepdims=True)
         std = feats.std(axis=0, keepdims=True)
         return (feats - mean) / np.where(std > 1e-8, std, 1.0)
+
+
+class StreamingMFCC:
+    """Incremental MFCC extraction over arbitrary-size audio chunks.
+
+    ``push`` buffers samples in a bounded ring buffer and runs the
+    spectral stage as soon as ``block_frames`` complete frames are
+    available, so peak memory is the block — not the capture.
+    ``finalize`` pads the tail exactly like whole-utterance framing,
+    processes the remaining partial block, and computes deltas over the
+    full cepstral matrix.
+
+    The per-chunk pre-emphasis carries the previous chunk's last raw
+    sample, so every ``y[n] = x[n] − a·x[n−1]`` sees the same operands as
+    the one-shot pass; blocks are cut at the same frame boundaries the
+    batch ``chunk_frames`` path uses.  The result is **bitwise-identical**
+    to ``MFCCExtractor(..., chunk_frames=block_frames).extract(x)`` on the
+    concatenated signal, regardless of how the pushes split it (pinned in
+    ``tests/test_vectorized_kernels.py``).
+    """
+
+    def __init__(self, extractor: MFCCExtractor, block_frames: int | None = None):
+        self.extractor = extractor
+        self.block_frames = int(
+            block_frames or extractor.chunk_frames or 256
+        )
+        if self.block_frames <= 0:
+            raise ConfigurationError("block_frames must be positive")
+        self._carry: float | None = None  # last raw sample of previous push
+        self._pre = np.empty(0)  # pre-emphasised samples from _offset on
+        self._offset = 0  # global sample index of _pre[0]
+        self._next_frame = 0  # first not-yet-emitted frame index
+        self._blocks: list[np.ndarray] = []
+        self._total = 0
+        self._finalized = False
+
+    def push(self, chunk: np.ndarray) -> None:
+        """Consume the next chunk of the waveform."""
+        if self._finalized:
+            raise SignalError("push after finalize")
+        x = np.asarray(chunk, dtype=float)
+        if x.ndim != 1:
+            raise SignalError("push expects a 1-D chunk")
+        if x.size == 0:
+            return
+        # Same elementwise y[n] = x[n] − a·x[n−1] the one-shot pass runs;
+        # the first sample of the stream passes through unchanged.
+        coeff = self.extractor.preemphasis_coefficient
+        if self._carry is None:
+            pre = np.append(x[0], x[1:] - coeff * x[:-1])
+        else:
+            prev = np.concatenate([[self._carry], x[:-1]])
+            pre = x - coeff * prev
+        self._carry = float(x[-1])
+        self._total += x.size
+        self._pre = np.concatenate([self._pre, pre])
+        self._drain(final=False)
+
+    def _drain(self, final: bool) -> None:
+        ext = self.extractor
+        length, hop = ext._frame_length, ext._hop_length
+        block = self.block_frames
+        while True:
+            avail_end = self._offset + self._pre.size
+            if avail_end < length:
+                break
+            n_ready = (avail_end - length) // hop + 1 - self._next_frame
+            if n_ready < block and not (final and n_ready > 0):
+                break
+            count = min(n_ready, block)
+            local = self._next_frame * hop - self._offset
+            windows = np.lib.stride_tricks.sliding_window_view(self._pre, length)
+            frames = np.ascontiguousarray(windows[local::hop][:count])
+            self._blocks.append(ext._frames_to_ceps(frames))
+            self._next_frame += count
+            # Ring-buffer trim: nothing before the next frame's start is
+            # ever read again.
+            keep_from = self._next_frame * hop
+            if keep_from > self._offset:
+                self._pre = self._pre[keep_from - self._offset :]
+                self._offset = keep_from
+
+    def finalize(self) -> np.ndarray:
+        """Flush the tail and return the full feature matrix."""
+        if self._finalized:
+            raise SignalError("finalize called twice")
+        self._finalized = True
+        ext = self.extractor
+        length, hop = ext._frame_length, ext._hop_length
+        if self._total < length:
+            raise SignalError(
+                f"waveform ({self._total} samples) shorter than one frame "
+                f"({length})"
+            )
+        # Zero-pad the tail exactly as frame_signal(pad=True) would.
+        remainder = (self._total - length) % hop
+        if remainder:
+            self._pre = np.pad(self._pre, (0, hop - remainder))
+        self._drain(final=True)
+        ceps = np.vstack(self._blocks) if len(self._blocks) > 1 else self._blocks[0]
+        if ext.append_deltas:
+            d1 = delta(ceps)
+            d2 = delta(d1)
+            ceps = np.column_stack([ceps, d1, d2])
+        return sanitize.check_array("mel.mfcc", ceps)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.filters import lowpass
+from repro.dsp.filters import lowpass, zero_phase_batch
 from repro.errors import SignalError
 from repro.physics.acoustics import SPEED_OF_SOUND
 
@@ -56,24 +56,165 @@ def iq_demodulate(
         raise SignalError("lowpass_hz must lie inside (0, Nyquist)")
     if chunk_size is not None and chunk_size <= 0:
         raise SignalError("chunk_size must be positive")
+    # The mixer is evaluated as separate cos/sin rails: ``exp(i·w)`` for a
+    # pure-imaginary argument is computed by the C library as
+    # ``(cos w, sin w)`` with ``exp(±0)=1``, so mixing with ``cos``/``sin``
+    # of the same phase grid is bitwise-identical to the complex
+    # exponential while skipping the complex temporaries.
     if chunk_size is None or x.size <= chunk_size:
         t = np.arange(x.size) / sample_rate
-        mixed = x * np.exp(-2.0j * np.pi * carrier_hz * t)
-        i = lowpass(mixed.real, lowpass_hz, sample_rate)
-        q = lowpass(mixed.imag, lowpass_hz, sample_rate)
-        return i + 1.0j * q
+        w = (-2.0 * np.pi * carrier_hz) * t
+        i, q = zero_phase_batch(
+            [
+                (x * np.cos(w), 4, float(lowpass_hz), "low", int(sample_rate)),
+                (x * np.sin(w), 4, float(lowpass_hz), "low", int(sample_rate)),
+            ]
+        )
+        return _assemble_complex(i, q)
     out = np.empty(x.size, dtype=complex)
     for start in range(0, x.size, chunk_size):
         end = min(start + chunk_size, x.size)
         ctx_start = max(0, start - CHUNK_OVERLAP)
         ctx_end = min(x.size, end + CHUNK_OVERLAP)
         t = np.arange(ctx_start, ctx_end) / sample_rate
-        mixed = x[ctx_start:ctx_end] * np.exp(-2.0j * np.pi * carrier_hz * t)
-        i = lowpass(mixed.real, lowpass_hz, sample_rate)
-        q = lowpass(mixed.imag, lowpass_hz, sample_rate)
+        w = (-2.0 * np.pi * carrier_hz) * t
+        seg = x[ctx_start:ctx_end]
+        i, q = zero_phase_batch(
+            [
+                (seg * np.cos(w), 4, float(lowpass_hz), "low", int(sample_rate)),
+                (seg * np.sin(w), 4, float(lowpass_hz), "low", int(sample_rate)),
+            ]
+        )
         keep = slice(start - ctx_start, start - ctx_start + (end - start))
-        out[start:end] = i[keep] + 1.0j * q[keep]
+        out[start:end] = _assemble_complex(i[keep], q[keep])
     return out
+
+
+def _assemble_complex(i: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """``i + 1.0j * q`` without the complex temporaries.
+
+    Componentwise the original expression computes ``real = i + q*0.0``
+    and ``imag = 0.0 + q*1.0``; writing those same operations into the
+    output's component views keeps every rounding (including signed-zero
+    edge cases) identical while skipping two full-size complex arrays.
+    """
+    out = np.empty(i.shape, dtype=complex)
+    np.add(i, q * 0.0, out=out.real)
+    np.add(q * 1.0, 0.0, out=out.imag)
+    return out
+
+
+class StreamingIQDemodulator:
+    """Incremental IQ demodulation over a bounded ring buffer.
+
+    ``push`` accepts arbitrary-size chunks and returns baseband samples as
+    soon as their :data:`CHUNK_OVERLAP` right-context has arrived;
+    ``finalize`` flushes the tail.  Internally the raw buffer is trimmed
+    to the context window, so peak memory is ``chunk_size + 2·overlap``
+    samples regardless of capture length.
+
+    The mixing grid uses global sample indices and each emitted chunk
+    reproduces the exact context/filter calls of
+    :func:`iq_demodulate`'s chunked path, so the concatenated output is
+    **bitwise-identical** to
+    ``iq_demodulate(x, ..., chunk_size=chunk_size)`` on the concatenated
+    signal, however the pushes split it (pinned in
+    ``tests/test_vectorized_kernels.py``).
+    """
+
+    def __init__(
+        self,
+        carrier_hz: float,
+        sample_rate: int,
+        lowpass_hz: float = 400.0,
+        chunk_size: int = 65536,
+    ):
+        if not 0.0 < carrier_hz < sample_rate / 2.0:
+            raise SignalError("carrier must lie inside (0, Nyquist)")
+        if not 0.0 < lowpass_hz < sample_rate / 2.0:
+            raise SignalError("lowpass_hz must lie inside (0, Nyquist)")
+        if chunk_size <= 0:
+            raise SignalError("chunk_size must be positive")
+        self.carrier_hz = float(carrier_hz)
+        self.sample_rate = int(sample_rate)
+        self.lowpass_hz = float(lowpass_hz)
+        self.chunk_size = int(chunk_size)
+        self._buf = np.empty(0)
+        self._buf_start = 0  # global sample index of _buf[0]
+        self._emitted = 0  # next output sample (a chunk_size multiple)
+        self._finalized = False
+
+    def _demod_span(self, start: int, end: int, total: int) -> np.ndarray:
+        """One output span, exactly as iq_demodulate's chunked loop."""
+        ctx_start = max(0, start - CHUNK_OVERLAP)
+        ctx_end = min(total, end + CHUNK_OVERLAP)
+        t = np.arange(ctx_start, ctx_end) / self.sample_rate
+        w = (-2.0 * np.pi * self.carrier_hz) * t
+        seg = self._buf[ctx_start - self._buf_start : ctx_end - self._buf_start]
+        i, q = zero_phase_batch(
+            [
+                (seg * np.cos(w), 4, self.lowpass_hz, "low", self.sample_rate),
+                (seg * np.sin(w), 4, self.lowpass_hz, "low", self.sample_rate),
+            ]
+        )
+        keep = slice(start - ctx_start, start - ctx_start + (end - start))
+        return _assemble_complex(i[keep], q[keep])
+
+    def push(self, chunk: np.ndarray) -> np.ndarray:
+        """Consume samples; return whatever baseband became final."""
+        if self._finalized:
+            raise SignalError("push after finalize")
+        x = np.asarray(chunk, dtype=float)
+        if x.ndim != 1:
+            raise SignalError("push expects a 1-D chunk")
+        if x.size:
+            self._buf = np.concatenate([self._buf, x])
+        buffered = self._buf_start + self._buf.size
+        spans = []
+        # A span is final once its full right-context has arrived; with
+        # more signal still to come, ctx_end never clips, matching the
+        # one-shot's min(x.size, end + overlap).
+        while self._emitted + self.chunk_size + CHUNK_OVERLAP <= buffered:
+            start = self._emitted
+            end = start + self.chunk_size
+            spans.append(self._demod_span(start, end, end + CHUNK_OVERLAP))
+            self._emitted = end
+            keep_from = end - CHUNK_OVERLAP  # next span's ctx_start
+            if keep_from > self._buf_start:
+                self._buf = self._buf[keep_from - self._buf_start :]
+                self._buf_start = keep_from
+        if not spans:
+            return np.empty(0, dtype=complex)
+        return spans[0] if len(spans) == 1 else np.concatenate(spans)
+
+    def finalize(self) -> np.ndarray:
+        """Flush the remaining baseband samples."""
+        if self._finalized:
+            raise SignalError("finalize called twice")
+        self._finalized = True
+        total = self._buf_start + self._buf.size
+        if total == 0:
+            raise SignalError("iq_demodulate expects a non-empty 1-D signal")
+        if self._emitted == 0 and total <= self.chunk_size:
+            # Short captures take the whole-signal path, like the one-shot.
+            t = np.arange(total) / self.sample_rate
+            w = (-2.0 * np.pi * self.carrier_hz) * t
+            i, q = zero_phase_batch(
+                [
+                    (self._buf * np.cos(w), 4, self.lowpass_hz, "low", self.sample_rate),
+                    (self._buf * np.sin(w), 4, self.lowpass_hz, "low", self.sample_rate),
+                ]
+            )
+            return _assemble_complex(i, q)
+        spans = []
+        while self._emitted < total:
+            start = self._emitted
+            end = min(start + self.chunk_size, total)
+            spans.append(self._demod_span(start, end, total))
+            self._emitted = end
+        if not spans:
+            return np.empty(0, dtype=complex)
+        return spans[0] if len(spans) == 1 else np.concatenate(spans)
 
 
 def estimate_static_phasor(

@@ -77,8 +77,11 @@ def frame_signal(
         if remainder:
             x = np.pad(x, (0, hop_length - remainder))
     n_frames = 1 + (x.size - frame_length) // hop_length
-    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
-    return x[idx]
+    windows = np.lib.stride_tricks.sliding_window_view(x, frame_length)
+    # Strided view + copy gathers the same samples as the fancy-index
+    # version but without materialising the index matrix; returning a
+    # fresh contiguous array keeps callers free to mutate frames.
+    return np.ascontiguousarray(windows[:: hop_length][:n_frames])
 
 
 def rms(x: np.ndarray) -> float:

@@ -1,0 +1,46 @@
+"""Thin fast paths over numpy.linalg for serving-path hot loops.
+
+``np.linalg.lstsq`` spends roughly half its time in Python argument
+marshalling for the small systems the pipeline solves dozens of times per
+request (3-column circle fits, 2-column level trends).  The helper below
+calls the underlying LAPACK gufunc directly with the same dtype signature
+the wrapper would have chosen, so the solution bits are identical; when
+the private gufunc module is unavailable it degrades to the public API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # numpy-private LAPACK gufuncs; layout is stable across 1.22+/2.x.
+    from numpy.linalg import _umath_linalg as _ul
+
+    _gufunc_lstsq = _ul.lstsq
+except (ImportError, AttributeError):  # pragma: no cover - depends on numpy
+    _gufunc_lstsq = None
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def lstsq_1rhs(
+    a: np.ndarray, b: np.ndarray, rcond: float | None = None
+) -> tuple[np.ndarray, int]:
+    """Least-squares solve for one right-hand side: ``(solution, rank)``.
+
+    Bitwise-identical to ``np.linalg.lstsq(a, b, rcond=rcond)[0::2]`` for
+    2-D float64 ``a`` and 1-D float64 ``b``; ``rcond=None`` resolves to
+    the wrapper's default ``eps * max(m, n)``.
+    """
+    if rcond is None:
+        rcond = _EPS * max(a.shape)
+    if (
+        _gufunc_lstsq is None
+        or a.dtype != np.float64
+        or b.dtype != np.float64
+        or a.ndim != 2
+        or b.ndim != 1
+    ):
+        sol, _, rank, _ = np.linalg.lstsq(a, b, rcond=rcond)
+        return sol, int(rank)
+    x, _, rank, _ = _gufunc_lstsq(a, b[:, None], rcond, signature="ddd->ddid")
+    return x[:, 0], int(rank)

@@ -1,0 +1,152 @@
+"""Optional compiled trilinear-gather kernel for field grids.
+
+Trilinear interpolation over a precomputed field grid is eight scattered
+gathers plus a handful of multiply-adds per query point.  numpy's fancy
+indexing materialises each gather as a full temporary — eight (n, 3)
+allocations per call — which leaves the "fast" grid path slower than the
+vectorised analytic dipole it is meant to replace.  The C loop below
+does the whole cell lookup + lerp chain per point in registers, with no
+temporaries, and also classifies each point as inside/outside the grid
+box so the caller can route outside points to the analytic fallback.
+
+The operation order replicates :meth:`FieldGrid.field_at_many`'s numpy
+lerp chain exactly (``c00 = v000*(1-fx) + v100*fx`` …), compiled with
+``-ffp-contract=off``, so kernel and numpy fallback produce bitwise
+identical fields (pinned in ``tests/test_fieldgrid.py``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.ckernel import load_library
+
+_C_SOURCE = r"""
+/* Trilinear interpolation over a (nx, ny, nz, 3) C-contiguous grid.
+
+   For each of the n query points:
+   - compute fractional cell coordinates r = (pos - lo) / spacing;
+   - if the point is outside [0, n-1] on any axis, set inside[p] = 0 and
+     leave out[p] untouched (caller fills it analytically);
+   - otherwise interpolate with the same lerp chain as the numpy path:
+       c00 = v000*(1-fx) + v100*fx; ... ; out = c0*(1-fz) + c1*fz.
+*/
+void trilinear_many(const double *v, long nx, long ny, long nz,
+                    double lox, double loy, double loz, double spacing,
+                    const double *pos, long n, double *out,
+                    unsigned char *inside) {
+    const long sx = ny * nz * 3;
+    const long sy = nz * 3;
+    for (long p = 0; p < n; p++) {
+        const double rx = (pos[3 * p + 0] - lox) / spacing;
+        const double ry = (pos[3 * p + 1] - loy) / spacing;
+        const double rz = (pos[3 * p + 2] - loz) / spacing;
+        if (!(rx >= 0.0 && rx <= (double)(nx - 1) &&
+              ry >= 0.0 && ry <= (double)(ny - 1) &&
+              rz >= 0.0 && rz <= (double)(nz - 1))) {
+            inside[p] = 0;
+            continue;
+        }
+        inside[p] = 1;
+        long ix = (long)rx; if (ix > nx - 2) ix = nx - 2;
+        long iy = (long)ry; if (iy > ny - 2) iy = ny - 2;
+        long iz = (long)rz; if (iz > nz - 2) iz = nz - 2;
+        const double fx = rx - (double)ix;
+        const double fy = ry - (double)iy;
+        const double fz = rz - (double)iz;
+        const double gx = 1.0 - fx;
+        const double gy = 1.0 - fy;
+        const double gz = 1.0 - fz;
+        const double *b = v + ix * sx + iy * sy + iz * 3;
+        for (int c = 0; c < 3; c++) {
+            const double c00 = b[c] * gx + b[sx + c] * fx;
+            const double c01 = b[3 + c] * gx + b[sx + 3 + c] * fx;
+            const double c10 = b[sy + c] * gx + b[sx + sy + c] * fx;
+            const double c11 = b[sy + 3 + c] * gx + b[sx + sy + 3 + c] * fx;
+            const double c0 = c00 * gy + c10 * fy;
+            const double c1 = c01 * gy + c11 * fy;
+            out[3 * p + c] = c0 * gz + c1 * fz;
+        }
+    }
+}
+"""
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+
+
+def get_kernel() -> ctypes.CDLL | None:
+    """The compiled kernel, building it on first call; None if unavailable."""
+    global _lib, _load_attempted
+    if not _load_attempted:
+        _load_attempted = True
+        try:
+            lib = load_library("gridk", _C_SOURCE)
+            if lib is not None:
+                lib.trilinear_many.argtypes = [
+                    ctypes.c_void_p,
+                    ctypes.c_long,
+                    ctypes.c_long,
+                    ctypes.c_long,
+                    ctypes.c_double,
+                    ctypes.c_double,
+                    ctypes.c_double,
+                    ctypes.c_double,
+                    ctypes.c_void_p,
+                    ctypes.c_long,
+                    ctypes.c_void_p,
+                    ctypes.c_void_p,
+                ]
+                lib.trilinear_many.restype = None
+            _lib = lib
+        except Exception:  # pragma: no cover - defensive: never break callers
+            _lib = None
+    return _lib
+
+
+def kernel_available() -> bool:
+    return get_kernel() is not None
+
+
+def trilinear_many(
+    values: np.ndarray,
+    lo: np.ndarray,
+    spacing: float,
+    positions: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpolate ``(n, 3)`` positions; returns ``(out, inside_mask)``.
+
+    ``out`` rows where ``inside_mask`` is False are uninitialised — the
+    caller must fill them from the analytic source.  Raises
+    ``RuntimeError`` if the kernel is unavailable; gate on
+    :func:`kernel_available`.
+    """
+    lib = get_kernel()
+    if lib is None:  # pragma: no cover - exercised via fallback tests
+        raise RuntimeError("compiled trilinear kernel unavailable")
+    if values.ndim != 4 or values.shape[3] != 3:
+        raise ValueError("values must have shape (nx, ny, nz, 3)")
+    pos = np.ascontiguousarray(positions, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("positions must have shape (n, 3)")
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    n = pos.shape[0]
+    out = np.empty((n, 3))
+    inside = np.zeros(n, dtype=np.uint8)
+    lib.trilinear_many(
+        v.ctypes.data,
+        v.shape[0],
+        v.shape[1],
+        v.shape[2],
+        float(lo[0]),
+        float(lo[1]),
+        float(lo[2]),
+        float(spacing),
+        pos.ctypes.data,
+        n,
+        out.ctypes.data,
+        inside.ctypes.data,
+    )
+    return out, inside.astype(bool)

@@ -205,7 +205,9 @@ def fit_circle_2d(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
     a = np.column_stack([x, y, np.ones_like(x)])
     b = x**2 + y**2
     try:
-        sol, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        from repro.ml.linalg import lstsq_1rhs
+
+        sol, rank = lstsq_1rhs(a, b, rcond=None)
     except np.linalg.LinAlgError as exc:  # pragma: no cover - lstsq rarely raises
         raise ConfigurationError("circle fit failed") from exc
     if rank < 3:

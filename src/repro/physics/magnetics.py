@@ -127,7 +127,9 @@ class MagneticDipole(FieldSource):
         # B(r) = µ0/(4π) · (3(m·r̂)r̂ − m) / r³, in µT because MU0 is in µT·m/A.
         return (MU0 / (4.0 * np.pi)) * (3.0 * np.dot(m, r_hat) * r_hat - m) / r**3
 
-    def field_at_many(self, positions: np.ndarray, times: np.ndarray = None) -> np.ndarray:
+    def field_at_many(
+        self, positions: np.ndarray, times: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Batched :meth:`field_at` (the dipole field is time-invariant)."""
         pos = np.atleast_2d(np.asarray(positions, dtype=float))
         r_vec = pos - self.position
@@ -241,7 +243,9 @@ class ShieldedDipole(FieldSource):
         leaked = self.dipole.field_at(position) / self.shield.shielding_factor
         return leaked + self._induced.field_at(position)
 
-    def field_at_many(self, positions: np.ndarray, times: np.ndarray = None) -> np.ndarray:
+    def field_at_many(
+        self, positions: np.ndarray, times: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         leaked = self.dipole.field_at_many(positions) / self.shield.shielding_factor
         return leaked + self._induced.field_at_many(positions)
 

@@ -53,15 +53,29 @@ class OrientationFilter:
         """
         mag_heading = heading_from_series(magnetometer)
         mag_times = magnetometer.times
-        headings = np.empty(len(gyroscope))
+        # The unwrap and the interpolation are loop-invariant per timestamp:
+        # hoisting them out of the recurrence is bitwise-identical (np.interp
+        # evaluates each query point independently) and turns an accidental
+        # O(n_gyro * n_mag) inner recompute into one vectorized pass.
+        mag_interp = np.interp(
+            gyroscope.times, mag_times, np.unwrap(mag_heading)
+        )
+        gyro_times = gyroscope.times.tolist()
+        yaw_rate = gyroscope.values[:, 1].tolist()
+        mag_list = mag_interp.tolist()
+        gain = self.magnetometer_gain
+        pi = np.pi
+        two_pi = 2.0 * np.pi
+        headings = np.empty(len(gyro_times))
         heading = float(initial_heading)
-        prev_t = gyroscope.times[0]
-        for i, t in enumerate(gyroscope.times):
-            dt = float(t - prev_t)
-            heading += float(gyroscope.values[i, 1]) * dt
-            mag_h = float(np.interp(t, mag_times, np.unwrap(mag_heading)))
-            error = float(_wrap_angle(np.array([mag_h - heading]))[0])
-            heading += self.magnetometer_gain * dt * error if dt > 0 else 0.0
+        prev_t = gyro_times[0]
+        for i, t in enumerate(gyro_times):
+            dt = t - prev_t
+            heading += yaw_rate[i] * dt
+            # Same floor-mod wrap as :func:`_wrap_angle`, on native floats:
+            # Python's ``%`` and ``np.mod`` agree bitwise for float64.
+            error = (mag_list[i] - heading + pi) % two_pi - pi
+            heading += gain * dt * error if dt > 0 else 0.0
             headings[i] = heading
             prev_t = t
         return headings

@@ -86,10 +86,19 @@ class _BatchEntry:
     under it.
     """
 
-    __slots__ = ("capture", "done", "result", "error", "batch_span_id", "batch_size")
+    __slots__ = (
+        "capture",
+        "claimed",
+        "done",
+        "result",
+        "error",
+        "batch_span_id",
+        "batch_size",
+    )
 
-    def __init__(self, capture: SensorCapture):
+    def __init__(self, capture: SensorCapture, claimed: str):
         self.capture = capture
+        self.claimed = claimed
         self.done = threading.Event()
         self.result: Optional[ComponentResult] = None
         self.error: Optional[BaseException] = None
@@ -107,16 +116,25 @@ class _Bucket:
         self.full = threading.Event()
 
 
-class _IdentityBatcher:
-    """Leader/follower micro-batching of same-speaker identity scoring.
+#: Shared-bucket key used when cross-speaker batching is enabled: every
+#: concurrent request gathers in one bucket regardless of claimed speaker.
+_CROSS_BUCKET = "\x00cross"
 
-    The first request to arrive for a claimed speaker becomes the batch
-    leader: it waits up to ``window_s`` (or until ``max_batch`` peers have
-    gathered), then scores the whole bucket with
-    :meth:`IdentityVerifier.verify_batch` and hands each follower its
-    result.  If batch scoring fails as a whole, every entry falls back to
-    the sequential scorer so per-request semantics (including raised
-    errors) match the sequential server exactly.
+
+class _IdentityBatcher:
+    """Leader/follower micro-batching of identity scoring.
+
+    The first request to arrive for a bucket becomes the batch leader: it
+    waits up to ``window_s`` (or until ``max_batch`` peers have gathered),
+    then scores the whole bucket and hands each follower its result.  By
+    default a bucket holds one claimed speaker and scoring runs through
+    :meth:`IdentityVerifier.verify_batch`; with ``cross_speaker=True``
+    every concurrent request shares a single bucket and the batch runs
+    through :meth:`IdentityVerifier.verify_multi`, which fuses the UBM
+    likelihood pass across *all* users' frames instead of one speaker's.
+    If batch scoring fails as a whole, every entry falls back to the
+    sequential scorer so per-request semantics (including raised errors)
+    match the sequential server exactly.
     """
 
     def __init__(
@@ -126,31 +144,34 @@ class _IdentityBatcher:
         max_batch: int,
         metrics: MetricsRegistry,
         tracer: Tracer = NULL_TRACER,
+        cross_speaker: bool = False,
     ):
         self._identity = identity
         self._window_s = window_s
         self._max_batch = max_batch
         self._metrics = metrics
         self._tracer = tracer
+        self._cross_speaker = cross_speaker
         self._lock = threading.Lock()
         self._buckets: Dict[str, _Bucket] = {}  # guarded-by: _lock
 
     def score(
         self, claimed: str, capture: SensorCapture, span: Optional[Span] = None
     ) -> ComponentResult:
-        entry = _BatchEntry(capture)
+        entry = _BatchEntry(capture, claimed)
+        key = _CROSS_BUCKET if self._cross_speaker else claimed
         with self._lock:
-            bucket = self._buckets.get(claimed)
+            bucket = self._buckets.get(key)
             leader = bucket is None
             if leader:
-                bucket = self._buckets[claimed] = _Bucket()
+                bucket = self._buckets[key] = _Bucket()
             bucket.entries.append(entry)
             if len(bucket.entries) >= self._max_batch:
                 bucket.full.set()
         if leader:
             bucket.full.wait(self._window_s)
             with self._lock:
-                self._buckets.pop(claimed, None)
+                self._buckets.pop(key, None)
                 entries = list(bucket.entries)
             self._run_batch(claimed, entries)
         else:
@@ -169,28 +190,36 @@ class _IdentityBatcher:
         return entry.result
 
     def _run_batch(self, claimed: str, entries: List[_BatchEntry]) -> None:
+        distinct = len({e.claimed for e in entries})
         self._metrics.increment("identity_batches")
         self._metrics.observe("identity_batch_size", len(entries))
+        self._metrics.observe("identity_batch_speakers", distinct)
         if len(entries) > 1:
             self._metrics.increment("identity_batched_requests", len(entries))
-        with self._tracer.span(
-            "identity.batch",
-            attrs=(
-                {"batch_size": len(entries), "claimed_speaker": claimed}
-                if self._tracer.enabled
-                else None
-            ),
-        ) as batch_span:
+        if distinct > 1:
+            self._metrics.increment("identity_cross_batches")
+        attrs: Optional[Dict[str, object]] = None
+        if self._tracer.enabled:
+            attrs = {"batch_size": len(entries), "distinct_speakers": distinct}
+            if not self._cross_speaker:
+                attrs["claimed_speaker"] = claimed
+        with self._tracer.span("identity.batch", attrs=attrs) as batch_span:
             try:
-                results = self._identity.verify_batch(
-                    [e.capture for e in entries], claimed
-                )
+                if self._cross_speaker:
+                    results = self._identity.verify_multi(
+                        [e.capture for e in entries],
+                        [e.claimed for e in entries],
+                    )
+                else:
+                    results = self._identity.verify_batch(
+                        [e.capture for e in entries], claimed
+                    )
                 for e, result in zip(entries, results):
                     e.result = result
             except BaseException:  # noqa: BLE001 - refuse collective failure
                 for e in entries:
                     try:
-                        e.result = self._identity.verify(e.capture, claimed)
+                        e.result = self._identity.verify(e.capture, e.claimed)
                     except BaseException as exc:  # noqa: BLE001 - per entry
                         e.error = exc
             finally:
@@ -249,6 +278,7 @@ class Gateway:
             self.config.max_batch,
             self.metrics,
             tracer=self.tracer,
+            cross_speaker=self.config.cross_speaker_batching,
         )
         self._queue: (
             "queue.Queue[Optional[Tuple[bytes, Future, float, Optional[Span]]]]"

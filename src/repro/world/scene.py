@@ -163,8 +163,16 @@ def simulate_capture(
     voice_sample_rate: int,
     rng: np.random.Generator,
     pilot: bool = True,
+    use_field_grids: bool = False,
 ) -> SensorCapture:
-    """Render one verification attempt into sensor streams."""
+    """Render one verification attempt into sensor streams.
+
+    ``use_field_grids=True`` swaps time-invariant magnetic sources for
+    precomputed trilinear-interpolated grids (see
+    :mod:`repro.physics.fieldgrid`).  That path is an approximation — it
+    is for large simulation sweeps only and must never feed captures whose
+    decisions are pinned bitwise.
+    """
     voice_waveform = np.asarray(voice_waveform, dtype=float)
     if voice_waveform.ndim != 1 or voice_waveform.size == 0:
         raise SignalError("voice_waveform must be a non-empty 1-D array")
@@ -252,6 +260,10 @@ def simulate_capture(
     drive = lambda t, _t=env_times, _e=envelope: np.interp(t, _t, _e)
     field_sources = list(environment.field_sources())
     field_sources.extend(source.magnetic_sources(drive))
+    if use_field_grids:
+        from repro.physics.fieldgrid import grid_wrap_sources
+
+        field_sources = grid_wrap_sources(field_sources, path.positions)
     magnetometer = phone.magnetometer.sample(path, field_sources, rng)
 
     # --- Inertial sensors ---------------------------------------------------

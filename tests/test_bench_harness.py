@@ -1,0 +1,82 @@
+"""Bench harness diff: grep-able speedup rows and drift detection."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import harness  # noqa: E402
+
+
+def _write(path: Path, name: str, medians: dict, checksums: dict | None = None):
+    doc = {
+        "schema_version": 1,
+        "name": name,
+        "latency": {
+            label: {"n": 10, "median_ms": ms, "p95_ms": ms * 1.5, "mean_ms": ms}
+            for label, ms in medians.items()
+        },
+    }
+    if checksums:
+        doc["decision_checksums"] = checksums
+    (path / f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    base = tmp_path / "baselines"
+    res = tmp_path / "results"
+    base.mkdir()
+    res.mkdir()
+    return base, res
+
+
+def test_speedup_rows_geomean_best_worst(dirs):
+    base, res = dirs
+    _write(base, "pipeline", {"genuine": 90.0, "rejected": 40.0})
+    _write(res, "pipeline", {"genuine": 30.0, "rejected": 20.0})
+    rows = harness.speedup_rows(res, base)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.startswith("BENCH-SPEEDUP pipeline ")
+    # geomean of 3.0x and 2.0x = sqrt(6) ~ 2.45x
+    assert "geomean 2.45x over 2 medians" in row
+    assert "best genuine 3.00x" in row
+    assert "worst rejected 2.00x" in row
+
+
+def test_speedup_rows_skip_missing_results(dirs):
+    base, res = dirs
+    _write(base, "only_baseline", {"x": 10.0})
+    assert harness.speedup_rows(res, base) == []
+
+
+def test_speedup_rows_greppable_prefix(dirs):
+    base, res = dirs
+    for name in ("alpha", "beta"):
+        _write(base, name, {"m": 10.0})
+        _write(res, name, {"m": 10.0})
+    rows = harness.speedup_rows(res, base)
+    assert all(r.startswith("BENCH-SPEEDUP ") for r in rows)
+    assert len(rows) == 2
+
+
+def test_diff_command_prints_speedup_and_gates_on_drift(dirs, capsys):
+    base, res = dirs
+    _write(base, "gw", {"m": 10.0}, checksums={"sequential": "aaa"})
+    _write(res, "gw", {"m": 5.0}, checksums={"sequential": "bbb"})
+    rc = harness.main(["diff", "--results", str(res), "--baselines", str(base)])
+    out = capsys.readouterr().out
+    assert rc == 1  # checksum drift is a hard failure
+    assert "BENCH-SPEEDUP gw geomean 2.00x" in out
+    assert "decision checksum drift" in out
+
+
+def test_diff_command_ok_when_checksums_match(dirs, capsys):
+    base, res = dirs
+    _write(base, "gw", {"m": 10.0}, checksums={"sequential": "aaa"})
+    _write(res, "gw", {"m": 5.0}, checksums={"sequential": "aaa"})
+    assert harness.main(["diff", "--results", str(res), "--baselines", str(base)]) == 0

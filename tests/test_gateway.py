@@ -113,6 +113,112 @@ class TestGatewayEquivalence:
         assert [b.passed for b in batched] == [s.passed for s in sequential]
 
 
+class TestCrossSpeakerBatching:
+    """Cross-request batching over *different* claimed speakers."""
+
+    def test_llr_score_multi_bitwise_equals_sequential(self, small_world):
+        """llr_score_multi == llr_score per utterance, mixed claims."""
+        from repro.asv.scoring import llr_score, llr_score_multi
+
+        verifier = small_world.system.identity.verifier
+        u0, u1 = sorted(small_world.users)
+        rng = np.random.default_rng(11)
+        feats = [
+            rng.standard_normal((n, verifier.ubm.gmm.means_.shape[1]))
+            for n in (40, 25, 60, 33)
+        ]
+        models = [verifier._speaker_models[u] for u in (u0, u1, u0, u1)]
+        fused = llr_score_multi(models, verifier.ubm.gmm, feats)
+        sequential = [
+            llr_score(m, verifier.ubm.gmm, f) for m, f in zip(models, feats)
+        ]
+        assert fused == sequential  # bitwise, not approx
+        assert llr_score_multi([], verifier.ubm.gmm, []) == []
+        with pytest.raises(ValueError):
+            llr_score_multi(models[:2], verifier.ubm.gmm, feats[:3])
+
+    def test_verify_multi_bitwise_equals_sequential(
+        self, small_world, world_genuine_capture, world_replay_capture
+    ):
+        """IdentityVerifier.verify_multi == verify, mixed claims/captures."""
+        identity = small_world.system.identity
+        u0, u1 = sorted(small_world.users)
+        captures = [world_genuine_capture, world_replay_capture] * 2
+        claims = [u0, u1, u1, u0]
+        fused = identity.verify_multi(captures, claims)
+        sequential = [
+            identity.verify(c, claimed) for c, claimed in zip(captures, claims)
+        ]
+        assert [f.score for f in fused] == [s.score for s in sequential]
+        assert [f.passed for f in fused] == [s.passed for s in sequential]
+        assert [f.detail for f in fused] == [s.detail for s in sequential]
+
+    def test_verify_multi_unknown_claim_raises(
+        self, small_world, world_genuine_capture, world_user
+    ):
+        identity = small_world.system.identity
+        with pytest.raises(ConfigurationError):
+            identity.verify_multi(
+                [world_genuine_capture, world_genuine_capture],
+                [world_user, "nobody"],
+            )
+
+    def test_gateway_cross_batching_bitwise_equals_sequential(
+        self, small_world, request_frames, sequential_decisions
+    ):
+        """The knob on: one shared bucket stacks both speakers' requests,
+        decisions still bitwise-equal the sequential server."""
+        config = GatewayConfig(
+            request_workers=10,
+            batch_window_s=5.0,
+            max_batch=10,
+            cross_speaker_batching=True,
+        )
+        with Gateway(small_world.system, config) as gateway:
+            decision_frames = gateway.handle_many(request_frames)
+            metrics = gateway.metrics_summary()
+        decisions = [decode_decision(f) for f in decision_frames]
+        for got, expected in zip(decisions, sequential_decisions):
+            assert got == expected
+        counters = metrics["counters"]
+        # The burst claims 2 speakers; at least one batch mixed them.
+        assert counters["identity_cross_batches"] >= 1
+        assert metrics["histograms"]["identity_batch_speakers"]["max"] >= 2
+        # Cross-speaker bucketing needs fewer batches than per-speaker
+        # bucketing could ever achieve for a 10-request 2-speaker burst.
+        assert counters["identity_batches"] < 10
+
+    def test_cross_batch_fallback_isolates_bad_claim(
+        self, small_world, world_genuine_capture, world_user
+    ):
+        """A batch poisoned by an un-enrolled claim falls back to the
+        sequential scorer: peers still score, the bad request errors."""
+        config = GatewayConfig(
+            request_workers=4,
+            batch_window_s=5.0,
+            max_batch=2,
+            cross_speaker_batching=True,
+        )
+        good_frame = encode_request(
+            world_genuine_capture, world_user, request_id="good"
+        )
+        bad_frame = encode_request(
+            world_genuine_capture, "nobody", request_id="bad"
+        )
+        with Gateway(small_world.system, config) as gateway:
+            good = gateway.submit(good_frame)
+            bad = gateway.submit(bad_frame)
+            with pytest.raises(ConfigurationError):
+                bad.result(timeout=60.0)
+            decision = decode_decision(good.result(timeout=60.0))
+        server = VerificationServer(small_world.system)
+        try:
+            expected = decode_decision(server.handle(good_frame))
+        finally:
+            server.close()
+        assert decision == expected
+
+
 class TestSoundFieldCache:
     def test_rehydrated_model_scores_bitwise_equal(
         self, small_world, world_user, world_genuine_capture

@@ -126,6 +126,61 @@ def test_threaded_gateway_matches_sequential(
     )
 
 
+def test_cross_speaker_batching_matches_sequential(
+    small_world, frames, sequential_decisions
+):
+    """Batching enabled across speakers: the whole golden matrix plus the
+    randomized draws must still decide bitwise-identically.
+
+    Every golden cell claims the same victim, so frames claiming the
+    *other* enrolled speaker are interleaved in front — with a long
+    window and a deep batch, concurrent requests claiming different
+    speakers land in shared identity batches (one fused UBM pass), which
+    is exactly the regime where a non-row-independent kernel would
+    drift."""
+    other = sorted(small_world.users)[1]
+    extra_frames = []
+    for i in range(6):
+        rng = np.random.default_rng(9100 + i)
+        env_name = ENVIRONMENTS[i % len(ENVIRONMENTS)]
+        capture, _ = build_cell(small_world, env_name, "genuine", rng)
+        extra_frames.append(
+            encode_request(capture, other, request_id=f"cross-{i}")
+        )
+    server = VerificationServer(small_world.system)
+    try:
+        extra_expected = [
+            decode_decision(server.handle(f)) for f in extra_frames
+        ]
+    finally:
+        server.close()
+    mixed_frames, expected = [], []
+    for i, frame in enumerate(frames):
+        if i < len(extra_frames):
+            mixed_frames.append(extra_frames[i])
+            expected.append(extra_expected[i])
+        mixed_frames.append(frame)
+        expected.append(sequential_decisions[i])
+
+    config = GatewayConfig(
+        request_workers=8,
+        batch_window_s=5.0,
+        max_batch=8,
+        cross_speaker_batching=True,
+    )
+    with Gateway(small_world.system, config) as gw:
+        batched = [decode_decision(f) for f in gw.handle_many(mixed_frames)]
+        summary = gw.metrics_summary()
+    assert batched == expected
+    for ours, ref in zip(batched, expected):
+        assert decision_fingerprint(ours) == decision_fingerprint(ref)
+    assert decisions_checksum(batched) == decisions_checksum(expected)
+    # The harness only proves something if cross-speaker batches formed.
+    counters = summary["counters"]
+    assert counters["identity_cross_batches"] >= 1
+    assert summary["histograms"]["identity_batch_speakers"]["max"] >= 2
+
+
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 def test_sharded_strict_matches_sequential(
     small_world, frames, sequential_decisions, shards, tmp_path
