@@ -1,0 +1,153 @@
+"""Adversarial score-descent: attack-success rates and query budgets.
+
+The EXPERIMENTS.md headline in bench form: over a pool of rejected
+impostor starts (the attacker's best mimic estimates of the victim), the
+black-box NES attacker flips the **stock GMM-only** decision for most
+starts within the query budget, while the **full cascade** rejects every
+staged replay of the same audio.  CI diffs the flip/accept counters and
+the decision checksum — a drop in GMM flips or a single cascade accept
+is drift, not noise, because every draw is seeded.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+from harness import write_bench
+
+from repro.attacks import HumanMimicAttack, ScoreDescentAttack
+from repro.devices import Loudspeaker, get_loudspeaker
+from repro.experiments.world import make_trajectory
+from repro.server import decisions_checksum
+from repro.voice.profiles import random_profile
+from repro.world.environments import quiet_room_environment
+from repro.world.scene import simulate_capture
+
+#: Attacker-profile seeds scanned for rejected starts.
+START_SEEDS = (2016, 2017, 2018, 2019, 2020, 2021)
+PROBE_SEED = 43
+
+
+def _rejected_starts(world):
+    """Mimic-estimate attempts the stock ASV rejects (the attack pool)."""
+    victim = sorted(world.users)[0]
+    account = world.user(victim)
+    verifier = world.system.identity.verifier
+    threshold = world.system.config.asv_threshold
+    pool = []
+    for seed in START_SEEDS:
+        rng = np.random.default_rng(seed)
+        attacker = random_profile(f"adv{seed}", rng)
+        attempt = HumanMimicAttack(attacker).prepare(
+            account.enrolment_waveforms[:3], account.passphrase, victim, rng
+        )
+        features = verifier.features(attempt.waveform)
+        if verifier.verify_features(victim, features) < threshold:
+            pool.append((seed, attempt, features))
+    return victim, verifier, threshold, pool
+
+
+def _run_adversarial(world):
+    victim, verifier, threshold, pool = _rejected_starts(world)
+    rows = []
+    descent_times = []
+    for seed, attempt, features in pool:
+        attack = ScoreDescentAttack()
+        t0 = time.perf_counter()
+        _, trace = attack.perturb_features(
+            lambda f: verifier.verify_features(victim, f),
+            features,
+            threshold,
+            np.random.default_rng(PROBE_SEED),
+        )
+        descent_times.append(time.perf_counter() - t0)
+
+        staged = ScoreDescentAttack(
+            loudspeaker=Loudspeaker(get_loudspeaker("Logitech LS21"), np.zeros(3)),
+            epsilon=0.05,
+            sigma=0.01,
+            step_size=0.02,
+            population=3,
+            iterations=4,
+            max_queries=40,
+        ).prepare(
+            attempt.waveform,
+            attempt.sample_rate,
+            victim,
+            lambda w: verifier.verify(victim, w),
+            threshold,
+            np.random.default_rng(PROBE_SEED),
+        )
+        capture = simulate_capture(
+            world.phone,
+            staged.source,
+            quiet_room_environment(seed=0),
+            make_trajectory(0.05),
+            staged.waveform,
+            staged.sample_rate,
+            np.random.default_rng(PROBE_SEED),
+        )
+        report = world.system.verify_cascade(capture, victim, strict=True)
+        rows.append(
+            {
+                "seed": seed,
+                "initial_llr": trace.initial_score,
+                "best_llr": trace.best_score,
+                "queries": trace.queries,
+                "gmm_flipped": trace.flipped,
+                "cascade_accepted": report.accepted,
+                "cascade_components": {
+                    name: result.passed
+                    for name, result in report.components.items()
+                },
+            }
+        )
+    return rows, descent_times
+
+
+def test_adversarial_success_rates(benchmark, bench_world):
+    (rows, descent_times) = benchmark.pedantic(
+        _run_adversarial, args=(bench_world,), rounds=1, iterations=1
+    )
+    assert rows, "no rejected impostor starts found — attack pool is empty"
+    flips = sum(r["gmm_flipped"] for r in rows)
+    accepts = sum(r["cascade_accepted"] for r in rows)
+    emit(
+        "Adversarial score descent (GMM-only vs full cascade)",
+        [
+            f"seed {r['seed']}: LLR {r['initial_llr']:.2f} -> {r['best_llr']:.2f} "
+            f"({r['queries']} queries)  GMM flipped={r['gmm_flipped']}  "
+            f"cascade accepted={r['cascade_accepted']}"
+            for r in rows
+        ]
+        + [f"flip rate {flips}/{len(rows)}, cascade accepts {accepts}/{len(rows)}"],
+    )
+    # The acceptance-criterion pins, at bench scale.
+    assert flips >= len(rows) // 2, "descent stopped flipping the stock ASV"
+    assert accepts == 0, "full cascade accepted an adversarial replay"
+    write_bench(
+        "adversarial",
+        latencies={"descent": descent_times},
+        counters={
+            "starts": len(rows),
+            "gmm_flips": flips,
+            "gmm_flip_rate_pct": 100.0 * flips / len(rows),
+            "cascade_accepts": accepts,
+            "mean_queries": float(np.mean([r["queries"] for r in rows])),
+            "max_queries": float(max(r["queries"] for r in rows)),
+        },
+        decision_checksums={
+            "adversarial_pool": decisions_checksum(
+                [
+                    {
+                        "seed": r["seed"],
+                        "gmm_flipped": bool(r["gmm_flipped"]),
+                        "cascade_accepted": bool(r["cascade_accepted"]),
+                        "components": r["cascade_components"],
+                    }
+                    for r in rows
+                ]
+            )
+        },
+        extra={"rows": rows, "probe_seed": PROBE_SEED},
+    )

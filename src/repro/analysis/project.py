@@ -36,6 +36,8 @@ CONFIG_FIELD_TOKENS: Mapping[str, Tuple[str, ...]] = {
     "asv_threshold": ("asv", "llr"),
     "soundfield_threshold": ("soundfield",),
     "distance_margin": ("margin",),
+    "magliveness_corr_threshold": ("magliveness", "corr"),
+    "magliveness_min_fluctuation_ut": ("magliveness", "fluctuation"),
 }
 
 #: Same shape for module-level constants in ``repro/constants.py``.
@@ -134,6 +136,8 @@ FALLBACK_CONSTANTS: Tuple[PaperConstant, ...] = (
     PaperConstant("asv_threshold", 0.5, CONFIG_FIELD_TOKENS["asv_threshold"]),
     PaperConstant("soundfield_threshold", -1.5, CONFIG_FIELD_TOKENS["soundfield_threshold"]),
     PaperConstant("distance_margin", 1.4, CONFIG_FIELD_TOKENS["distance_margin"]),
+    PaperConstant("magliveness_corr_threshold", 0.35, CONFIG_FIELD_TOKENS["magliveness_corr_threshold"]),
+    PaperConstant("magliveness_min_fluctuation_ut", 0.02, CONFIG_FIELD_TOKENS["magliveness_min_fluctuation_ut"]),
     PaperConstant("DEFAULT_SAMPLE_RATE_HZ", 16000.0, PHYSICAL_CONSTANT_TOKENS["DEFAULT_SAMPLE_RATE_HZ"]),
     PaperConstant("PILOT_BAND_MIN_HZ", 16000.0, PHYSICAL_CONSTANT_TOKENS["PILOT_BAND_MIN_HZ"]),
 )

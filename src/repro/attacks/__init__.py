@@ -18,8 +18,15 @@ Discussion-section attacks (§VII):
 
 - :mod:`repro.attacks.soundtube` — a plastic tube that distances the
   loudspeaker from the phone while piping sound to it.
+
+Cross-paper expansion (beyond the 2017 adversary model):
+
+- :mod:`repro.attacks.adversarial` — gradient-free score-descent
+  perturbation of the ASV back-end (*Breaking Security-Critical Voice
+  Authentication*, S&P 2023), feature- and waveform-domain.
 """
 
+from repro.attacks.adversarial import AttackTrace, ScoreDescentAttack
 from repro.attacks.base import AttackAttempt
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.morphing import MorphingAttack
@@ -29,6 +36,8 @@ from repro.attacks.soundtube import SoundTubeAttack, TubeSource
 
 __all__ = [
     "AttackAttempt",
+    "AttackTrace",
+    "ScoreDescentAttack",
     "ReplayAttack",
     "MorphingAttack",
     "SynthesisAttack",

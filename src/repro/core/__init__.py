@@ -31,6 +31,7 @@ from repro.core.decision import (
 from repro.core.trajectory_recovery import RecoveredTrajectory, recover_trajectory
 from repro.core.distance import DistanceVerifier
 from repro.core.soundfield import SoundFieldVerifier, soundfield_features
+from repro.core.magliveness import LivenessSignature, MagneticLivenessDetector
 from repro.core.magnetic import LoudspeakerDetector, MagneticSignature
 from repro.core.identity import IdentityVerifier, extract_voice
 from repro.core.calibration import AdaptiveCalibrator
@@ -39,7 +40,8 @@ from repro.core.dualmic import (
     distance_from_sld,
     sound_level_difference,
 )
-from repro.core.pipeline import CascadeStats, DefenseSystem
+from repro.core.pipeline import ALL_COMPONENTS, CascadeStats, DefenseSystem
+from repro.core.continuous import ContinuousSession, SessionReport, WindowVerdict
 
 __all__ = [
     "DEFAULT_STAGE_POLICIES",
@@ -58,7 +60,10 @@ __all__ = [
     "DistanceVerifier",
     "SoundFieldVerifier",
     "soundfield_features",
+    "ALL_COMPONENTS",
+    "LivenessSignature",
     "LoudspeakerDetector",
+    "MagneticLivenessDetector",
     "MagneticSignature",
     "IdentityVerifier",
     "extract_voice",
@@ -67,4 +72,7 @@ __all__ = [
     "distance_from_sld",
     "sound_level_difference",
     "DefenseSystem",
+    "ContinuousSession",
+    "SessionReport",
+    "WindowVerdict",
 ]

@@ -38,7 +38,16 @@ from repro.core.decision import ComponentResult
 from repro.errors import ConfigurationError
 
 #: Paper order (Fig. 4) — used for strict runs and to break cost ties.
-PAPER_ORDER: Tuple[str, ...] = ("distance", "soundfield", "magnetic", "identity")
+#: ``magliveness`` (the optional MagLive-style fifth stage, off by
+#: default) slots after the Fig. 4 stages so the paper's ordering is
+#: untouched for the four-component system.
+PAPER_ORDER: Tuple[str, ...] = (
+    "distance",
+    "soundfield",
+    "magnetic",
+    "identity",
+    "magliveness",
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,10 @@ class StagePolicy:
 #: distance 36 ms, soundfield 52 ms.
 DEFAULT_STAGE_POLICIES: Dict[str, StagePolicy] = {
     "magnetic": StagePolicy("magnetic", cost_ms=0.2, reject_margin=0.25),
+    #: The liveness correlation low-passes the capture audio once, so it
+    #: costs a little more than the pure-magnetometer stage but is still
+    #: orders cheaper than any acoustic stage.
+    "magliveness": StagePolicy("magliveness", cost_ms=0.9, reject_margin=0.25),
     "identity": StagePolicy("identity", cost_ms=12.0, reject_margin=1.0),
     "distance": StagePolicy("distance", cost_ms=36.0, reject_margin=0.02),
     "soundfield": StagePolicy("soundfield", cost_ms=52.0, reject_margin=1.5),
@@ -81,6 +94,10 @@ def pass_boundary(name: str, config: DefenseConfig) -> float:
     if name == "distance":
         return -(config.distance_threshold_m * config.distance_margin)
     if name == "magnetic":
+        return -1.0
+    if name == "magliveness":
+        # Same normalised-strength convention as the magnetic stage:
+        # score = -strength, strength >= 1 rejects.
         return -1.0
     if name == "soundfield":
         return config.soundfield_threshold

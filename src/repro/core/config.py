@@ -56,6 +56,21 @@ class DefenseConfig:
     #: inside the magnetometer's reliable range.
     distance_margin: float = 1.4
 
+    #: MagLive-style liveness (arxiv 2404.01106): |Pearson r| between the
+    #: detrended magnetometer magnitude and the detrended audio playback
+    #: envelope above which a voice coil is declared.  A loudspeaker's
+    #: coil drive *is* the playback envelope, so the recorded field
+    #: fluctuation tracks the recorded audio envelope; a human source has
+    #: no such coupling.  Only consulted by the optional fifth cascade
+    #: component (off by default).
+    magliveness_corr_threshold: float = 0.35
+
+    #: Noise-floor gate of the magliveness correlation (µT RMS of the
+    #: detrended field magnitude).  Below this the fluctuation is ambient
+    #: noise and its correlation with the envelope is spurious, so the
+    #: component reports zero detection strength.
+    magliveness_min_fluctuation_ut: float = 0.02
+
     def __post_init__(self) -> None:
         if self.distance_threshold_m <= 0:
             raise ConfigurationError("distance_threshold_m must be positive")
@@ -65,6 +80,14 @@ class DefenseConfig:
             raise ConfigurationError("need at least 2 angle bins")
         if self.distance_margin <= 0:
             raise ConfigurationError("distance_margin must be positive")
+        if not 0.0 < self.magliveness_corr_threshold <= 1.0:
+            raise ConfigurationError(
+                "magliveness_corr_threshold must be in (0, 1]"
+            )
+        if self.magliveness_min_fluctuation_ut < 0:
+            raise ConfigurationError(
+                "magliveness_min_fluctuation_ut must be non-negative"
+            )
 
     def with_sensitivity(self, scale: float) -> "DefenseConfig":
         """Scale the magnetometer thresholds (adaptive thresholding §VII).
@@ -147,6 +170,12 @@ class GatewayConfig:
     #: kills the handling shard mid-request).  Test-only; never enable
     #: in production configs.
     chaos_hooks: bool = False
+    #: A/B flag for the MagLive-style fifth cascade component
+    #: (:mod:`repro.core.magliveness`).  Off by default so the frozen
+    #: four-stage golden decisions are untouched; when set, the gateway
+    #: (threaded *and* sharded — applied before shards fork) extends the
+    #: system's enabled components with ``"magliveness"``.
+    enable_magliveness: bool = False
 
     def __post_init__(self) -> None:
         if self.request_workers <= 0:

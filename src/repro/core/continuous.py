@@ -1,0 +1,245 @@
+"""Continuous-verification session mode (Zhang et al., arxiv 2106.01840).
+
+One-shot verification authenticates a single pass-phrase utterance and
+stops.  A continuous session keeps re-scoring a **rolling window** over a
+long utterance stream, so a post-authentication hijack — splicing in a
+replay, or handing the phone to another voice — is caught at the window
+where the stream stops sounding like the claimed speaker.
+
+The session reuses the kernel tier's streaming front-ends rather than
+re-running batch extraction per window:
+
+- audio flows through :class:`repro.dsp.mel.StreamingMFCC`; each hop the
+  session :meth:`~repro.dsp.mel.StreamingMFCC.poll`\\ s the newly
+  completed cepstral frames (the spectral stage runs **once** per frame,
+  not once per overlapping window) and applies the window-level
+  post-processing — Δ/ΔΔ and CMVN over the window, exactly the batch
+  recipe — before scoring it with the claimed speaker's GMM;
+- the optional ranging-pilot monitor flows through
+  :class:`repro.dsp.phase.StreamingIQDemodulator`: a vanished pilot
+  means the phone stopped emitting/hearing its own ranging tone;
+- pushed magnetometer samples keep a rolling Mt-style anomaly check
+  against the session's opening baseline.
+
+The identity channel is the decision-maker; magnetic and pilot levels
+ride along as per-window evidence so callers can apply their own policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import DefenseSystem
+from repro.dsp.mel import delta
+from repro.dsp.phase import StreamingIQDemodulator
+from repro.errors import ConfigurationError
+
+#: Default rolling-window geometry (seconds).  Windows must hold enough
+#: frames for stable CMVN; 1.2 s ≈ 120 cepstral frames.
+DEFAULT_WINDOW_S = 1.2
+DEFAULT_HOP_S = 0.6
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """One rolling window's verdict and evidence."""
+
+    index: int
+    start_s: float
+    end_s: float
+    llr: float
+    passed: bool
+    #: Rolling magnetic anomaly ratio (|ΔB|/Mt) over the window; ``None``
+    #: when no magnetometer samples were pushed.
+    magnetic_strength: Optional[float] = None
+    #: Mean |baseband| of the pilot monitor during the window; ``None``
+    #: when the pilot channel is not configured.
+    pilot_level: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Summary of a finalized continuous session."""
+
+    verdicts: Tuple[WindowVerdict, ...]
+    accepted: bool
+    first_rejection: Optional[int]
+
+    @property
+    def windows(self) -> int:
+        return len(self.verdicts)
+
+
+@dataclass
+class ContinuousSession:
+    """Rolling re-verification of one claimed speaker over a stream.
+
+    Push 16 kHz (ASV-rate) audio chunks with :meth:`push_audio`; every
+    completed hop emits a :class:`WindowVerdict`.  The session scores
+    windows with the *same* enrolled models and threshold the one-shot
+    identity component uses, so a window verdict is directly comparable
+    to a one-shot ASV verdict on that window's audio.
+    """
+
+    system: DefenseSystem
+    claimed_speaker: str
+    window_s: float = DEFAULT_WINDOW_S
+    hop_s: float = DEFAULT_HOP_S
+    #: Configure to monitor the phone's ranging pilot: the capture-rate
+    #: audio is pushed via :meth:`push_pilot` and demodulated at this
+    #: carrier.
+    pilot_hz: Optional[float] = None
+    pilot_sample_rate: Optional[int] = None
+    _ceps: Optional[np.ndarray] = field(init=False, repr=False, default=None)
+    _verdicts: List[WindowVerdict] = field(init=False, repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        verifier = self.system.identity.verifier
+        extractor = verifier.extractor
+        frame_hop_s = extractor.hop_ms / 1000.0
+        self._window_frames = int(round(self.window_s / frame_hop_s))
+        self._hop_frames = int(round(self.hop_s / frame_hop_s))
+        if self._window_frames < 8:
+            raise ConfigurationError("window_s too short for stable CMVN")
+        if not 0 < self._hop_frames <= self._window_frames:
+            raise ConfigurationError("need 0 < hop_s <= window_s")
+        # Spectral stage streams at hop granularity: a block completes
+        # exactly when the next hop's frames are all available.
+        self._stream = extractor.stream(block_frames=self._hop_frames)
+        self._frame_hop_s = frame_hop_s
+        self._next_window_start = 0
+        self._verifier = verifier
+        self._iq: Optional[StreamingIQDemodulator] = None
+        if self.pilot_hz is not None:
+            if self.pilot_sample_rate is None:
+                raise ConfigurationError(
+                    "pilot_sample_rate required with pilot_hz"
+                )
+            # Emit baseband at session-hop granularity so the pilot
+            # level tracks the stream instead of the 64k default block.
+            self._iq = StreamingIQDemodulator(
+                self.pilot_hz,
+                self.pilot_sample_rate,
+                chunk_size=max(1024, int(self.pilot_sample_rate * self.hop_s)),
+            )
+        self._pilot_level: Optional[float] = None
+        self._mag_times = np.empty(0)
+        self._mag_magnitudes = np.empty(0)
+        self._mag_baseline: Optional[float] = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Stream inputs
+    # ------------------------------------------------------------------
+    def push_audio(self, chunk: np.ndarray) -> List[WindowVerdict]:
+        """Consume the next ASV-rate audio chunk; returns new verdicts."""
+        if self._finalized:
+            raise ConfigurationError("push_audio after finalize")
+        self._stream.push(np.asarray(chunk, dtype=float))
+        return self._drain_windows()
+
+    def push_pilot(self, chunk: np.ndarray) -> None:
+        """Consume capture-rate audio for the pilot-presence monitor."""
+        if self._iq is None:
+            raise ConfigurationError("session was built without pilot_hz")
+        baseband = self._iq.push(np.asarray(chunk, dtype=float))
+        if baseband.size:
+            self._pilot_level = float(np.mean(np.abs(baseband)))
+
+    def push_magnetometer(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Consume magnetometer samples (``(n,)`` times, ``(n, 3)`` µT)."""
+        magnitudes = np.linalg.norm(
+            np.atleast_2d(np.asarray(values, dtype=float)), axis=1
+        )
+        self._mag_times = np.concatenate([self._mag_times, np.asarray(times, dtype=float)])
+        self._mag_magnitudes = np.concatenate([self._mag_magnitudes, magnitudes])
+        if self._mag_baseline is None and self._mag_magnitudes.size >= 8:
+            self._mag_baseline = float(np.median(self._mag_magnitudes[:8]))
+
+    # ------------------------------------------------------------------
+    # Window machinery
+    # ------------------------------------------------------------------
+    def _drain_windows(self) -> List[WindowVerdict]:
+        new = self._stream.poll()
+        if new.size:
+            self._ceps = (
+                new if self._ceps is None else np.vstack([self._ceps, new])
+            )
+        out: List[WindowVerdict] = []
+        while (
+            self._ceps is not None
+            and self._ceps.shape[0] >= self._next_window_start + self._window_frames
+        ):
+            start = self._next_window_start
+            stop = start + self._window_frames
+            out.append(self._score_window(start, stop))
+            self._next_window_start += self._hop_frames
+        return out
+
+    def _score_window(self, start: int, stop: int) -> WindowVerdict:
+        assert self._ceps is not None
+        window = self._ceps[start:stop]
+        feats = window
+        if self._verifier.extractor.append_deltas:
+            d1 = delta(window)
+            d2 = delta(d1)
+            feats = np.column_stack([window, d1, d2])
+        mean = feats.mean(axis=0, keepdims=True)
+        std = feats.std(axis=0, keepdims=True)
+        feats = (feats - mean) / np.where(std > 1e-8, std, 1.0)
+        llr = self._verifier.verify_features(self.claimed_speaker, feats)
+        start_s = start * self._frame_hop_s
+        end_s = stop * self._frame_hop_s
+        verdict = WindowVerdict(
+            index=len(self._verdicts),
+            start_s=start_s,
+            end_s=end_s,
+            llr=llr,
+            passed=llr >= self.system.config.asv_threshold,
+            magnetic_strength=self._magnetic_strength(start_s, end_s),
+            pilot_level=self._pilot_level,
+        )
+        self._verdicts.append(verdict)
+        return verdict
+
+    def _magnetic_strength(
+        self, start_s: float, end_s: float
+    ) -> Optional[float]:
+        if self._mag_baseline is None:
+            return None
+        mask = (self._mag_times >= start_s) & (self._mag_times < end_s)
+        if not np.any(mask):
+            return None
+        anomaly = float(
+            np.max(np.abs(self._mag_magnitudes[mask] - self._mag_baseline))
+        )
+        return anomaly / self.system.config.magnetic_threshold_ut
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finalize(self) -> SessionReport:
+        """Flush the tail (any last partial-hop window is dropped) and
+        summarise the session."""
+        if self._finalized:
+            raise ConfigurationError("finalize called twice")
+        self._finalized = True
+        if self._iq is not None:
+            baseband = self._iq.finalize()
+            if baseband.size:
+                self._pilot_level = float(np.mean(np.abs(baseband)))
+        # finalize() pads the tail and completes the last blocks; windows
+        # that now fit entirely in real+padded frames are still scored.
+        self._stream.finalize()
+        self._drain_windows()
+        first_rejection = next(
+            (v.index for v in self._verdicts if not v.passed), None
+        )
+        return SessionReport(
+            verdicts=tuple(self._verdicts),
+            accepted=first_rejection is None and bool(self._verdicts),
+            first_rejection=first_rejection,
+        )

@@ -39,6 +39,7 @@ from repro.core.decision import (
 )
 from repro.core.distance import DistanceVerifier
 from repro.core.identity import IdentityVerifier
+from repro.core.magliveness import MagneticLivenessDetector
 from repro.core.magnetic import LoudspeakerDetector
 from repro.core.soundfield import SoundFieldVerifier
 from repro.errors import ConfigurationError
@@ -50,6 +51,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 
 #: Pipeline order, matching Fig. 4.
 COMPONENT_ORDER = ("distance", "soundfield", "magnetic", "identity")
+
+#: Every component the system can run: the four Fig. 4 stages plus the
+#: optional MagLive-style liveness stage (off by default — enabling it
+#: changes decisions, so it must be an explicit deployment choice; see
+#: ``GatewayConfig.enable_magliveness``).
+ALL_COMPONENTS = COMPONENT_ORDER + ("magliveness",)
 
 
 @dataclass
@@ -119,10 +126,11 @@ class DefenseSystem:
         init=False, repr=False, default_factory=SoundFieldCacheStats
     )
     magnetic: LoudspeakerDetector = field(init=False, repr=False)
+    magliveness: MagneticLivenessDetector = field(init=False, repr=False)
     identity: IdentityVerifier = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        unknown = set(self.enabled_components) - set(COMPONENT_ORDER)
+        unknown = set(self.enabled_components) - set(ALL_COMPONENTS)
         if unknown:
             raise ConfigurationError(f"unknown components: {sorted(unknown)}")
         if self.soundfield_cache_capacity < 1:
@@ -131,6 +139,7 @@ class DefenseSystem:
         self._stats_lock = threading.Lock()
         self.distance = DistanceVerifier(self.config)
         self.magnetic = LoudspeakerDetector(self.config)
+        self.magliveness = MagneticLivenessDetector(self.config)
         self.identity = IdentityVerifier(
             self.config,
             backend=self.backend,
@@ -148,6 +157,7 @@ class DefenseSystem:
         self.tracer = tracer
         self.distance.tracer = tracer
         self.magnetic.tracer = tracer
+        self.magliveness.tracer = tracer
         self.identity.tracer = tracer
         with self._soundfield_lock:
             for verifier in self._soundfield_cache.values():
@@ -273,7 +283,26 @@ class DefenseSystem:
             for verifier in self._soundfield_cache.values():
                 verifier.config = config
         self.magnetic.config = config
+        self.magliveness.config = config
         self.identity.config = config
+        return self
+
+    def enable_component(self, name: str) -> "DefenseSystem":
+        """Add one of :data:`ALL_COMPONENTS` to the enabled set.
+
+        Idempotent; the enabled tuple keeps the canonical
+        :data:`ALL_COMPONENTS` ordering so strict runs stay paper-ordered.
+        Used by the serving gateways to apply the
+        ``GatewayConfig.enable_magliveness`` A/B flag before any request
+        (and, for the sharded tier, before any shard forks).
+        """
+        if name not in ALL_COMPONENTS:
+            raise ConfigurationError(f"unknown component {name!r}")
+        if name not in self.enabled_components:
+            wanted = set(self.enabled_components) | {name}
+            self.enabled_components = tuple(
+                n for n in ALL_COMPONENTS if n in wanted
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -316,6 +345,8 @@ class DefenseSystem:
             return self.distance.verify(capture)
         if name == "magnetic":
             return self.magnetic.verify(capture)
+        if name == "magliveness":
+            return self.magliveness.verify(capture)
         if name == "soundfield":
             if claimed_speaker is None:
                 raise ConfigurationError(
@@ -347,7 +378,7 @@ class DefenseSystem:
         results: Dict[str, ComponentResult] = {}
         rejected = False
         with self.tracer.span("verify") as root:
-            for name in COMPONENT_ORDER:
+            for name in ALL_COMPONENTS:
                 if name not in self.enabled_components:
                     continue
                 if cascade and rejected:
@@ -394,7 +425,7 @@ class DefenseSystem:
             )
         if strict:
             order = tuple(
-                n for n in COMPONENT_ORDER if n in self.enabled_components
+                n for n in ALL_COMPONENTS if n in self.enabled_components
             )
         else:
             order = self.cascade_plan.order(self.enabled_components)

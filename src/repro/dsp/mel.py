@@ -220,6 +220,7 @@ class StreamingMFCC:
         self._offset = 0  # global sample index of _pre[0]
         self._next_frame = 0  # first not-yet-emitted frame index
         self._blocks: list[np.ndarray] = []
+        self._polled = 0  # blocks already handed out by poll()
         self._total = 0
         self._finalized = False
 
@@ -268,6 +269,26 @@ class StreamingMFCC:
             if keep_from > self._offset:
                 self._pre = self._pre[keep_from - self._offset :]
                 self._offset = keep_from
+
+    def poll(self) -> np.ndarray:
+        """Cepstral frames completed since the last :meth:`poll`.
+
+        Returns the newly finished spectral-stage blocks (pre-delta,
+        pre-CMVN — window-level post-processing is the caller's job; see
+        :class:`repro.core.continuous.ContinuousSession`) stacked into a
+        ``(frames, ceps)`` matrix, or an empty ``(0, d)`` matrix when no
+        block completed.  Polling does not disturb :meth:`finalize`: the
+        full matrix is still returned there, deltas computed over the
+        whole utterance.
+        """
+        width = self.extractor.n_ceps + (
+            1 if self.extractor.append_energy else 0
+        )
+        if self._polled >= len(self._blocks):
+            return np.empty((0, width))
+        new = np.vstack(self._blocks[self._polled :])
+        self._polled = len(self._blocks)
+        return new
 
     def finalize(self) -> np.ndarray:
         """Flush the tail and return the full feature matrix."""

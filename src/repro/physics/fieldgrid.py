@@ -31,6 +31,7 @@ better — the worst case sits on the cell diagonals nearest the shell).
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -201,13 +202,22 @@ class FieldGrid:
 
 
 class GridCache:
-    """Process-level content-addressed cache of :class:`FieldGrid` objects."""
+    """Process-level content-addressed cache of :class:`FieldGrid` objects.
+
+    Thread-safe: lookups, counter updates, and FIFO eviction happen under
+    one lock (sharded gateways simulate captures from worker threads).
+    The expensive :meth:`FieldGrid.build` runs *outside* the lock, so two
+    threads missing the same key may both build — the second insert is
+    discarded in favour of the first, and both callers get a consistent
+    grid; grids are deterministic, so which build wins is unobservable.
+    """
 
     def __init__(self, max_entries: int = 64):
         self._grids: Dict[str, FieldGrid] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
     def get(
         self,
@@ -217,30 +227,40 @@ class GridCache:
         spacing: float = DEFAULT_SPACING,
     ) -> FieldGrid:
         key = grid_key(source, lo, hi, spacing)
-        grid = self._grids.get(key)
-        if grid is not None:
-            self.hits += 1
-            return grid
-        self.misses += 1
-        grid = FieldGrid.build(source, lo, hi, spacing)
-        if len(self._grids) >= self.max_entries:
-            # Drop the oldest entry (insertion order) — sweep workloads
-            # cycle through a handful of geometries, so simple FIFO is fine.
-            self._grids.pop(next(iter(self._grids)))
-        self._grids[key] = grid
-        return grid
+        with self._lock:
+            grid = self._grids.get(key)
+            if grid is not None:
+                self.hits += 1
+                return grid
+            self.misses += 1
+        built = FieldGrid.build(source, lo, hi, spacing)
+        with self._lock:
+            existing = self._grids.get(key)
+            if existing is not None:
+                # Lost a build race; serve the first-inserted grid so all
+                # callers of this key share one object.
+                return existing
+            if len(self._grids) >= self.max_entries:
+                # Drop the oldest entry (insertion order) — sweep workloads
+                # cycle through a handful of geometries, so simple FIFO is
+                # fine.
+                self._grids.pop(next(iter(self._grids)))
+            self._grids[key] = built
+        return built
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._grids),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._grids),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def clear(self) -> None:
-        self._grids.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._grids.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Shared process-level cache used by the scene simulator's opt-in path.

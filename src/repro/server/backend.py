@@ -74,6 +74,8 @@ def machine_detection_jobs(
         jobs["distance"] = lambda: system.distance.verify(capture)
     if "magnetic" in enabled:
         jobs["magnetic"] = lambda: system.magnetic.verify(capture)
+    if "magliveness" in enabled:
+        jobs["magliveness"] = lambda: system.magliveness.verify(capture)
     if "soundfield" in enabled and claimed is not None:
         jobs["soundfield"] = lambda: system.soundfield_for(claimed).verify(capture)
     return jobs

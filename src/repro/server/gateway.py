@@ -253,6 +253,11 @@ class Gateway:
     ):
         self.system = system
         self.config = config or GatewayConfig()
+        if self.config.enable_magliveness:
+            # A/B flag for the MagLive-style fifth stage: applied once,
+            # before any request worker starts, so every request this
+            # gateway serves sees the same component set.
+            self.system.enable_component("magliveness")
         self.metrics = MetricsRegistry(window=self.config.metrics_window)
         #: Request tracer; the shared no-op by default, so serving pays
         #: nothing until a real tracer is attached.  An enabled tracer is
@@ -773,6 +778,11 @@ class ShardedGateway:
     ):
         self.system = system
         self.config = config if config is not None else GatewayConfig(shards=1)
+        if self.config.enable_magliveness:
+            # Applied to the parent's system BEFORE the shards fork, so
+            # every shard inherits the extended component set and the
+            # cross-mode decision equivalence holds with the flag on.
+            self.system.enable_component("magliveness")
         if self.config.shards < 1:
             raise ConfigurationError(
                 "ShardedGateway needs GatewayConfig(shards >= 1); "

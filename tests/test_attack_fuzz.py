@@ -1,0 +1,159 @@
+"""Property-based fuzzing of the attack parameter space (seeded, no deps).
+
+One hundred randomly-drawn-but-valid attack configurations (round-robin
+across the six attack families) must each produce a well-formed
+:class:`~repro.attacks.base.AttackAttempt` — finite 1-D audio, positive
+sample rate, string-only metadata — with the runtime sanitizers armed
+and silent.  The score-descent family is fuzzed against a synthetic
+quadratic oracle, so budget projection and query accounting are checked
+without a world in the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.attacks import (
+    AttackAttempt,
+    HumanMimicAttack,
+    MorphingAttack,
+    ReplayAttack,
+    ScoreDescentAttack,
+    SoundTubeAttack,
+    SynthesisAttack,
+)
+from repro.devices import TABLE_IV_LOUDSPEAKERS, Loudspeaker
+from repro.voice import Synthesizer, random_profile
+
+N_CONFIGS = 100
+FAMILIES = (
+    "replay",
+    "soundtube",
+    "human_mimic",
+    "morphing",
+    "synthesis",
+    "adversarial",
+)
+FUZZ_SEED = 4242
+SR = 16000
+
+
+@pytest.fixture(scope="module")
+def stolen():
+    """Two short stolen recordings of a synthetic victim (shared)."""
+    rng = np.random.default_rng(606)
+    victim = random_profile("fuzz-victim", rng)
+    synth = Synthesizer(SR)
+    waves = [synth.synthesize_digits(victim, "31", rng).waveform for _ in range(2)]
+    return waves
+
+
+def _speaker(rng):
+    spec = TABLE_IV_LOUDSPEAKERS[int(rng.integers(len(TABLE_IV_LOUDSPEAKERS)))]
+    return Loudspeaker(spec, np.zeros(3))
+
+
+def _digits(rng):
+    return "".join(str(int(d)) for d in rng.integers(0, 10, size=2))
+
+
+def _check_attempt(attempt, family):
+    assert isinstance(attempt, AttackAttempt)
+    assert attempt.attack_type == family
+    assert attempt.target_speaker == "fuzz-victim"
+    wave = attempt.waveform
+    assert wave.ndim == 1 and wave.size > 0
+    assert np.isfinite(wave).all()
+    assert attempt.sample_rate > 0
+    assert attempt.source is not None
+    for key, value in attempt.metadata.items():
+        assert isinstance(key, str) and isinstance(value, str)
+
+
+def _prepare(family, rng, stolen):
+    if family == "replay":
+        attack = ReplayAttack(_speaker(rng))
+        scale = float(rng.uniform(0.2, 1.5))
+        return attack.prepare(stolen[0] * scale, SR, "fuzz-victim")
+    if family == "soundtube":
+        attack = SoundTubeAttack(
+            _speaker(rng),
+            tube_length_m=float(rng.uniform(0.1, 0.6)),
+            tube_radius_m=float(rng.uniform(0.005, 0.03)),
+        )
+        return attack.prepare(stolen[0], SR, "fuzz-victim")
+    if family == "human_mimic":
+        attack = HumanMimicAttack(
+            random_profile(f"imitator-{rng.integers(1 << 16)}", rng),
+            fidelity=float(rng.uniform(0.0, 1.0)),
+            formant_limit=float(rng.uniform(0.0, 0.1)),
+            effort_variability=float(rng.uniform(0.0, 2.0)),
+        )
+        return attack.prepare(stolen, _digits(rng), "fuzz-victim", rng)
+    if family == "morphing":
+        attack = MorphingAttack(
+            _speaker(rng),
+            random_profile(f"morpher-{rng.integers(1 << 16)}", rng),
+            fidelity=float(rng.uniform(0.0, 1.0)),
+            artifact_bandwidth=float(rng.uniform(1.0, 2.0)),
+        )
+        return attack.prepare(stolen, _digits(rng), "fuzz-victim", rng)
+    if family == "synthesis":
+        attack = SynthesisAttack(
+            _speaker(rng),
+            synthetic_jitter=float(rng.uniform(0.0, 0.01)),
+            synthetic_shimmer=float(rng.uniform(0.0, 0.02)),
+        )
+        return attack.prepare(stolen, _digits(rng), "fuzz-victim", rng)
+    raise AssertionError(family)
+
+
+@pytest.mark.parametrize("case", range(N_CONFIGS))
+def test_random_valid_config_produces_wellformed_output(case, stolen):
+    family = FAMILIES[case % len(FAMILIES)]
+    rng = np.random.default_rng(FUZZ_SEED + case)
+    with sanitize.activated():
+        if family == "adversarial":
+            _fuzz_score_descent(rng)
+        else:
+            _check_attempt(_prepare(family, rng, stolen), family)
+
+
+def _fuzz_score_descent(rng):
+    """Random optimiser config vs a concave quadratic score surface."""
+    dim = int(rng.integers(4, 24))
+    target = rng.standard_normal(dim)
+    oracle = lambda x: -float(np.sum((np.asarray(x) - target) ** 2))
+    attack = ScoreDescentAttack(
+        epsilon=float(rng.uniform(0.1, 2.0)),
+        l2_budget=float(rng.uniform(0.5, 5.0)) if rng.random() < 0.5 else None,
+        sigma=float(rng.uniform(0.01, 0.5)),
+        step_size=float(rng.uniform(0.01, 1.0)),
+        population=int(rng.integers(1, 8)),
+        iterations=int(rng.integers(1, 10)),
+        max_queries=int(rng.integers(10, 300)),
+        margin=float(rng.uniform(0.0, 0.5)),
+        momentum=float(rng.uniform(0.0, 0.99)),
+    )
+    x0 = np.zeros(dim)
+    threshold = float(rng.uniform(-5.0, 0.0))
+    best, trace = attack.descend(oracle, x0, threshold, rng)
+    assert best.shape == x0.shape
+    assert np.isfinite(best).all()
+    assert float(np.max(np.abs(best - x0))) <= attack.epsilon + 1e-9
+    if attack.l2_budget is not None:
+        assert float(np.linalg.norm(best - x0)) <= attack.l2_budget + 1e-9
+    assert 1 <= trace.queries <= attack.max_queries
+    assert 0 <= trace.iterations <= attack.iterations
+    assert len(trace.score_path) == trace.iterations
+    assert np.isfinite(trace.best_score)
+    assert trace.best_score >= trace.initial_score
+    # The quadratic bowl is easy: a couple of iterations must improve on
+    # the start unless the run stopped immediately.
+    if trace.iterations >= 2 and attack.sigma < attack.epsilon:
+        assert trace.best_score > trace.initial_score
+
+
+def test_fuzz_covers_every_family():
+    covered = {FAMILIES[case % len(FAMILIES)] for case in range(N_CONFIGS)}
+    assert covered == set(FAMILIES)

@@ -13,6 +13,8 @@ import numpy as np
 import pytest
 
 from repro.attacks import HumanMimicAttack, ReplayAttack, SoundTubeAttack
+from repro.core import ALL_COMPONENTS
+from repro.core.pipeline import COMPONENT_ORDER
 from repro.devices import Loudspeaker, get_loudspeaker
 from repro.experiments.world import make_trajectory
 from repro.voice.profiles import random_profile
@@ -116,3 +118,38 @@ def test_fuzz_covers_both_outcomes(fuzz_reports):
     assert any(
         cascade.early_exit_stage is not None for _, _, cascade in fuzz_reports
     ), "fuzz set never triggered an early exit"
+
+
+def test_default_runs_have_exactly_four_components(fuzz_reports):
+    """MagLive stays opt-in: no fuzz scene grew a fifth stage."""
+    for label, strict, _ in fuzz_reports:
+        assert set(strict.components) == set(COMPONENT_ORDER), label
+
+
+@pytest.mark.parametrize("scene_index", range(N_SCENES))
+def test_fifth_component_is_a_pure_extension(small_world, scene_index):
+    """Re-running a fuzz scene with magliveness enabled must (a) leave the
+    original four components' scores bitwise unchanged and (b) combine as
+    strict-AND: five-stage accept ⇔ four-stage accept ∧ magliveness pass.
+    With the A/B flag off (the default), decisions are therefore
+    untouched — the acceptance criterion for shipping the stage dark."""
+    rng = np.random.default_rng(FUZZ_SEED + scene_index)
+    label, capture, claimed = _random_scene(small_world, rng)
+    system = small_world.system
+    baseline = system.verify_cascade(capture, claimed, strict=True)
+    original = system.enabled_components
+    try:
+        system.enable_component("magliveness")
+        extended = system.verify_cascade(capture, claimed, strict=True)
+    finally:
+        system.enabled_components = original
+    assert set(extended.components) == set(ALL_COMPONENTS), label
+    for name in COMPONENT_ORDER:
+        assert (
+            extended.components[name].score == baseline.components[name].score
+        ), (label, name)
+        assert (
+            extended.components[name].passed == baseline.components[name].passed
+        ), (label, name)
+    maglive_passed = extended.components["magliveness"].passed
+    assert extended.accepted == (baseline.accepted and maglive_passed), label

@@ -1,0 +1,177 @@
+"""Continuous-verification sessions over long utterance streams.
+
+A rolling window re-scores the stream with the enrolled models: a
+genuine stream stays accepted end-to-end, a mid-stream splice of another
+voice is flagged at the windows that cover it, and the streaming
+front-end makes the verdicts independent of how the audio is chunked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import ContinuousSession
+from repro.errors import ConfigurationError
+from repro.voice.profiles import random_profile
+
+CHUNK = 4000
+SR = 16000
+
+
+@pytest.fixture(scope="module")
+def voices(small_world):
+    """(victim, genuine1, genuine2, intruder) waveforms at ASV rate."""
+    victim = sorted(small_world.users)[0]
+    account = small_world.user(victim)
+    rng = np.random.default_rng(77)
+    gen1 = small_world.synthesizer.synthesize_digits(
+        account.profile, account.passphrase, rng
+    ).waveform
+    gen2 = small_world.synthesizer.synthesize_digits(
+        account.profile, account.passphrase, rng
+    ).waveform
+    intruder_profile = random_profile("intruder", np.random.default_rng(1005))
+    intruder = small_world.synthesizer.synthesize_digits(
+        intruder_profile, account.passphrase, rng
+    ).waveform
+    return victim, gen1, gen2, intruder
+
+
+def _run(system, victim, stream, chunk=CHUNK, **kwargs):
+    session = ContinuousSession(system, victim, **kwargs)
+    for i in range(0, stream.size, chunk):
+        session.push_audio(stream[i : i + chunk])
+    return session.finalize()
+
+
+def test_genuine_stream_stays_accepted(small_world, voices):
+    victim, gen1, gen2, _ = voices
+    report = _run(small_world.system, victim, np.concatenate([gen1, gen2]))
+    assert report.windows > 4
+    assert report.accepted
+    assert report.first_rejection is None
+    assert all(v.passed for v in report.verdicts)
+    # Windows tile the stream at the configured hop.
+    for a, b in zip(report.verdicts, report.verdicts[1:]):
+        assert b.start_s - a.start_s == pytest.approx(0.6)
+    assert report.verdicts[0].end_s - report.verdicts[0].start_s == pytest.approx(1.2)
+
+
+def test_spliced_intruder_is_flagged_at_covering_windows(small_world, voices):
+    victim, gen1, gen2, intruder = voices
+    stream = np.concatenate([gen1, intruder, gen2])
+    report = _run(small_world.system, victim, stream)
+    assert not report.accepted
+    assert report.first_rejection is not None
+    first = report.verdicts[report.first_rejection]
+    # The first rejecting window overlaps the spliced segment.
+    splice_start = gen1.size / SR
+    splice_end = (gen1.size + intruder.size) / SR
+    assert first.end_s > splice_start and first.start_s < splice_end
+    # Windows fully before the splice all pass.
+    for verdict in report.verdicts[: report.first_rejection]:
+        assert verdict.passed
+    # And the stream recovers after the intruder leaves.
+    assert report.verdicts[-1].passed
+
+
+def test_verdicts_are_chunking_invariant(small_world, voices):
+    """The streaming front-end guarantees the same cepstra whatever the
+    push sizes — so window LLRs must be bitwise identical."""
+    victim, gen1, _, intruder = voices
+    stream = np.concatenate([gen1, intruder])
+    a = _run(small_world.system, victim, stream, chunk=CHUNK)
+    b = _run(small_world.system, victim, stream, chunk=977)
+    c = _run(small_world.system, victim, stream, chunk=stream.size)
+    llrs_a = [v.llr for v in a.verdicts]
+    assert [v.llr for v in b.verdicts] == llrs_a
+    assert [v.llr for v in c.verdicts] == llrs_a
+    assert a.accepted == b.accepted == c.accepted
+
+
+def test_window_scores_match_one_shot_asv_scale(small_world, voices):
+    """Window LLRs live on the same scale as the one-shot identity stage:
+    genuine windows sit far above the intruder's."""
+    victim, gen1, gen2, intruder = voices
+    genuine = _run(small_world.system, victim, np.concatenate([gen1, gen2]))
+    hijacked = _run(small_world.system, victim, np.concatenate([gen1, intruder, gen2]))
+    worst_genuine = min(v.llr for v in genuine.verdicts)
+    best_intruder = min(v.llr for v in hijacked.verdicts)
+    assert worst_genuine > small_world.system.config.asv_threshold
+    assert best_intruder < small_world.system.config.asv_threshold < worst_genuine
+
+
+def test_magnetometer_channel_reports_anomaly(small_world, voices):
+    victim, gen1, gen2, _ = voices
+    stream = np.concatenate([gen1, gen2])
+    session = ContinuousSession(small_world.system, victim)
+    # Rolling magnetometer: steady 40 µT baseline, a coil-like spike
+    # landing inside the second half of the stream.
+    n = int(stream.size / SR * 100)
+    times = np.arange(n) / 100.0
+    values = np.zeros((n, 3))
+    values[:, 2] = 40.0
+    spike = (times > 2.0) & (times < 2.5)
+    values[spike, 2] += 5 * small_world.system.config.magnetic_threshold_ut
+    session.push_magnetometer(times, values)
+    for i in range(0, stream.size, CHUNK):
+        session.push_audio(stream[i : i + CHUNK])
+    report = session.finalize()
+    assert any(
+        v.magnetic_strength is not None for v in report.verdicts
+    ), "magnetometer evidence missing"
+    # Windows covering the spike report strength > 1; quiet windows ~0.
+    covering = [
+        v.magnetic_strength
+        for v in report.verdicts
+        if v.magnetic_strength is not None and v.start_s < 2.5 and v.end_s > 2.0
+    ]
+    quiet = [
+        v.magnetic_strength
+        for v in report.verdicts
+        if v.magnetic_strength is not None and (v.end_s <= 2.0 or v.start_s >= 2.5)
+    ]
+    assert covering and max(covering) > 1.0
+    assert quiet and max(quiet) < 0.5
+
+
+def test_pilot_monitor_tracks_tone_presence(small_world, voices):
+    victim, gen1, _, _ = voices
+    session = ContinuousSession(
+        small_world.system, victim, pilot_hz=1000.0, pilot_sample_rate=8000
+    )
+    t = np.arange(16000) / 8000.0
+    session.push_pilot(np.sin(2 * np.pi * 1000.0 * t))
+    for i in range(0, gen1.size, CHUNK):
+        session.push_audio(gen1[i : i + CHUNK])
+    report = session.finalize()
+    levels = [v.pilot_level for v in report.verdicts if v.pilot_level is not None]
+    # A clean unit tone demodulates to |baseband| ≈ 0.5.
+    assert levels and levels[-1] > 0.1
+
+
+def test_pilot_channel_requires_configuration(small_world, voices):
+    victim = voices[0]
+    session = ContinuousSession(small_world.system, victim)
+    with pytest.raises(ConfigurationError):
+        session.push_pilot(np.zeros(100))
+    with pytest.raises(ConfigurationError):
+        ContinuousSession(small_world.system, victim, pilot_hz=1000.0)
+
+
+def test_lifecycle_errors(small_world, voices):
+    victim, gen1, gen2, _ = voices
+    session = ContinuousSession(small_world.system, victim)
+    session.push_audio(np.concatenate([gen1, gen2]))
+    session.finalize()
+    with pytest.raises(ConfigurationError):
+        session.finalize()
+    with pytest.raises(ConfigurationError):
+        session.push_audio(gen1)
+
+
+def test_geometry_validation(small_world, voices):
+    victim = voices[0]
+    with pytest.raises(ConfigurationError):
+        ContinuousSession(small_world.system, victim, window_s=0.05)
+    with pytest.raises(ConfigurationError):
+        ContinuousSession(small_world.system, victim, hop_s=2.0, window_s=1.0)

@@ -1,0 +1,131 @@
+"""GridCache under concurrent access: no torn reads, coherent counters.
+
+The sharded gateway simulates captures from worker threads, and sweep
+studies fan out scene builds across a pool — both hit the process-level
+:data:`repro.physics.fieldgrid.GRID_CACHE` concurrently.  The regression
+here drives a shared cache from many threads with two geometries that
+content-hash to different keys and asserts the invariants a torn
+dict/counter update would break:
+
+- every call returns the correct grid for its key (bounds, spacing, and
+  interpolated values all match a single-threaded build);
+- all callers of one key share one grid object (no duplicate entries);
+- ``hits + misses == calls`` and the entry count never exceeds
+  ``max_entries``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.physics.fieldgrid import FieldGrid, GridCache, grid_key
+from repro.physics.magnetics import MagneticDipole
+
+LO = np.array([-0.1, -0.1, -0.1])
+HI = np.array([0.1, 0.1, 0.1])
+SPACING = 0.02
+
+SOURCES = (
+    MagneticDipole(np.zeros(3), np.array([0.0, 0.0, 0.09])),
+    MagneticDipole(np.zeros(3), np.array([0.0, 0.05, 0.0])),
+)
+
+
+@pytest.fixture()
+def reference_grids():
+    """Single-threaded ground truth, one grid per geometry."""
+    return [FieldGrid.build(s, LO, HI, SPACING) for s in SOURCES]
+
+
+def test_sources_hash_to_different_keys():
+    keys = {grid_key(s, LO, HI, SPACING) for s in SOURCES}
+    assert len(keys) == len(SOURCES)
+
+
+def test_concurrent_get_returns_correct_grids(reference_grids):
+    cache = GridCache(max_entries=8)
+    n_threads, calls_per_thread = 8, 50
+    probe = np.array([[0.03, 0.02, 0.04], [-0.05, 0.01, -0.02]])
+    errors = []
+    results = [[] for _ in range(n_threads)]
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid):
+        barrier.wait()  # maximise interleaving on the first (miss) calls
+        try:
+            for i in range(calls_per_thread):
+                source = SOURCES[(tid + i) % len(SOURCES)]
+                grid = cache.get(source, LO, HI, SPACING)
+                results[tid].append(((tid + i) % len(SOURCES), grid))
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+    # Every returned grid matches the single-threaded build for its key.
+    by_source = [set(), set()]
+    for rows in results:
+        for source_index, grid in rows:
+            by_source[source_index].add(id(grid))
+            reference = reference_grids[source_index]
+            np.testing.assert_array_equal(grid.values, reference.values)
+            got, inside = grid.field_at_many(probe)
+            want, _ = reference.field_at_many(probe)
+            assert inside.all()
+            np.testing.assert_array_equal(got, want)
+    # All callers of one geometry shared a single cached object.
+    for ids in by_source:
+        assert len(ids) == 1
+
+    stats = cache.stats()
+    total_calls = n_threads * calls_per_thread
+    assert stats["hits"] + stats["misses"] == total_calls
+    assert stats["entries"] == len(SOURCES)
+    # Duplicate builds can race on the first miss, but only the winning
+    # insert may survive; at least one miss per geometry is guaranteed.
+    assert len(SOURCES) <= stats["misses"] <= total_calls
+
+
+def test_concurrent_eviction_keeps_entry_bound(reference_grids):
+    """A max_entries=1 cache thrashed from two threads never overflows."""
+    cache = GridCache(max_entries=1)
+    n_threads, calls_per_thread = 4, 25
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid):
+        barrier.wait()
+        try:
+            for i in range(calls_per_thread):
+                source = SOURCES[(tid + i) % len(SOURCES)]
+                grid = cache.get(source, LO, HI, SPACING)
+                np.testing.assert_array_equal(
+                    grid.values, reference_grids[(tid + i) % len(SOURCES)].values
+                )
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats["entries"] <= 1
+    assert stats["hits"] + stats["misses"] == n_threads * calls_per_thread
+
+
+def test_clear_resets_counters_atomically():
+    cache = GridCache(max_entries=4)
+    cache.get(SOURCES[0], LO, HI, SPACING)
+    cache.get(SOURCES[0], LO, HI, SPACING)
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+    cache.clear()
+    assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}

@@ -1,0 +1,102 @@
+"""Degenerate-input coverage for the fused scoring paths.
+
+``llr_score_multi`` is the kernel behind cross-request batched identity
+scoring; its bitwise-equality contract with per-entry :func:`llr_score`
+must hold at the edges the serving path can actually produce: an empty
+utterance batch (idle gateway tick), a single-frame MFCC matrix (a
+capture trimmed to one hop by VAD), and a batch where every entry claims
+the same speaker (one popular account — the grouping path collapses to
+one model group).
+"""
+
+import numpy as np
+import pytest
+
+from repro.asv.gmm import DiagonalGMM
+from repro.asv.scoring import llr_score, llr_score_batch, llr_score_multi
+
+DIM = 6
+
+
+@pytest.fixture(scope="module")
+def models():
+    """Two small speaker GMMs and a UBM, fitted on synthetic clusters."""
+    rng = np.random.default_rng(90)
+    background = rng.standard_normal((600, DIM))
+    speaker_a = rng.standard_normal((300, DIM)) * 0.8 + 1.0
+    speaker_b = rng.standard_normal((300, DIM)) * 1.2 - 1.0
+    ubm = DiagonalGMM(4, seed=1).fit(background)
+    model_a = DiagonalGMM(4, seed=2).fit(speaker_a)
+    model_b = DiagonalGMM(4, seed=3).fit(speaker_b)
+    return model_a, model_b, ubm
+
+
+def _utterances(rng, lengths):
+    return [rng.standard_normal((n, DIM)) for n in lengths]
+
+
+def test_empty_batch_returns_empty(models):
+    model_a, _, ubm = models
+    assert llr_score_multi([], ubm, []) == []
+    assert llr_score_batch(model_a, ubm, []) == []
+
+
+def test_mismatched_lengths_raise(models):
+    model_a, _, ubm = models
+    with pytest.raises(ValueError):
+        llr_score_multi([model_a], ubm, [])
+
+
+def test_single_frame_utterances_match_sequential(models):
+    """One-frame matrices (VAD can trim a capture that far) score
+    bitwise-identically to the per-entry path."""
+    model_a, model_b, ubm = models
+    rng = np.random.default_rng(91)
+    feats = _utterances(rng, [1, 1, 1, 1])
+    claims = [model_a, model_b, model_a, model_b]
+    fused = llr_score_multi(claims, ubm, feats)
+    sequential = [llr_score(m, ubm, f) for m, f in zip(claims, feats)]
+    assert fused == sequential  # bitwise, not approx
+    assert all(np.isfinite(fused))
+
+
+def test_mixed_single_and_long_frames_match_sequential(models):
+    model_a, model_b, ubm = models
+    rng = np.random.default_rng(92)
+    feats = _utterances(rng, [1, 40, 1, 7, 120])
+    claims = [model_b, model_a, model_a, model_b, model_a]
+    fused = llr_score_multi(claims, ubm, feats)
+    sequential = [llr_score(m, ubm, f) for m, f in zip(claims, feats)]
+    assert fused == sequential
+
+
+def test_all_identical_speakers_collapse_to_one_group(models):
+    """Every entry claiming the same model object exercises the one-group
+    path and must equal both the sequential and the single-model batch
+    kernels bitwise."""
+    model_a, _, ubm = models
+    rng = np.random.default_rng(93)
+    feats = _utterances(rng, [5, 1, 33, 17])
+    claims = [model_a] * len(feats)
+    fused = llr_score_multi(claims, ubm, feats)
+    sequential = [llr_score(model_a, ubm, f) for f in feats]
+    batched = llr_score_batch(model_a, ubm, feats)
+    assert fused == sequential
+    assert batched == sequential
+
+
+def test_equal_models_different_objects_stay_separate_groups(models):
+    """Grouping is by object identity: two structurally-equal model
+    *objects* form two groups, and scores still match the sequential
+    path bitwise."""
+    model_a, _, ubm = models
+    rng = np.random.default_rng(90)
+    rng.standard_normal((600, DIM))  # skip the background draw
+    clone = DiagonalGMM(4, seed=2).fit(rng.standard_normal((300, DIM)) * 0.8 + 1.0)
+    assert clone is not model_a
+    feats = _utterances(np.random.default_rng(94), [8, 8])
+    fused = llr_score_multi([model_a, clone], ubm, feats)
+    sequential = [
+        llr_score(m, ubm, f) for m, f in zip([model_a, clone], feats)
+    ]
+    assert fused == sequential
