@@ -176,6 +176,10 @@ class GatewayConfig:
     #: (threaded *and* sharded — applied before shards fork) extends the
     #: system's enabled components with ``"magliveness"``.
     enable_magliveness: bool = False
+    #: Latency SLO boundary: a request completing faster counts as a
+    #: good event, slower as a bad one (``slo_latency_good``/``_bad``
+    #: counters, consumed by :mod:`repro.obs.slo`'s burn-rate engine).
+    slo_latency_threshold_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.request_workers <= 0:
@@ -198,3 +202,7 @@ class GatewayConfig:
             raise ConfigurationError("shard_queue_depth must be positive")
         if self.health_check_interval_s <= 0:
             raise ConfigurationError("health_check_interval_s must be positive")
+        if self.slo_latency_threshold_s <= 0:
+            raise ConfigurationError(
+                "slo_latency_threshold_s must be positive"
+            )

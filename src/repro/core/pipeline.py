@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.analysis import sanitize
 from repro.asv.verifier import VerifierBackend
-from repro.core.cascade import CascadePlan
+from repro.core.cascade import CascadePlan, stage_scope
 from repro.core.config import DefenseConfig
 from repro.core.decision import (
     ComponentResult,
@@ -321,7 +321,8 @@ class DefenseSystem:
         carry the verdict and the component's evidence mapping.
         """
         with self.tracer.span(f"stage.{name}") as span:
-            result = self._dispatch_component(name, capture, claimed_speaker)
+            with stage_scope(name):
+                result = self._dispatch_component(name, capture, claimed_speaker)
             if self.tracer.enabled:
                 span.set_attrs(
                     {

@@ -14,8 +14,30 @@ names:
   Prometheus text exposition of a metrics registry;
 - :mod:`repro.obs.drift` — rolling + P²-sketched per-stage score
   statistics with threshold-crossing :class:`DriftAlert`\\ s.
+
+The ISSUE-9 operational tier adds four more:
+
+- :mod:`repro.obs.profiler` — statistical thread-stack sampling with
+  per-cascade-stage attribution and collapsed-stack output;
+- :mod:`repro.obs.slo` — declarative objectives with multi-window
+  burn-rate alerting over the metrics registry;
+- :mod:`repro.obs.events` — tail-sampled per-request wide events;
+- :mod:`repro.obs.abuse` — per-speaker query-rate and score-trend
+  probe detection (red-teamed against :mod:`repro.attacks.adversarial`);
+- :mod:`repro.obs.console` — the ``python -m repro.obs.console`` ops
+  view over gateway telemetry.
 """
 
+from repro.obs.abuse import AbuseAlert, AbuseDetector
+from repro.obs.events import WideEvent, WideEventRecorder
+from repro.obs.profiler import StackSampler
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOEngine,
+    SLObjective,
+    default_objectives,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -29,9 +51,11 @@ from repro.obs.exporters import (
     AuditJsonlExporter,
     JsonlRotatingWriter,
     TraceJsonlExporter,
+    escape_label_value,
     parse_prometheus,
     prometheus_exposition,
     read_jsonl,
+    unescape_label_value,
 )
 from repro.obs.drift import DriftAlert, DriftMonitor, DriftRegistry, P2Quantile
 
@@ -54,4 +78,16 @@ __all__ = [
     "DriftMonitor",
     "DriftRegistry",
     "P2Quantile",
+    "AbuseAlert",
+    "AbuseDetector",
+    "WideEvent",
+    "WideEventRecorder",
+    "StackSampler",
+    "BurnWindow",
+    "SLOEngine",
+    "SLObjective",
+    "DEFAULT_WINDOWS",
+    "default_objectives",
+    "escape_label_value",
+    "unescape_label_value",
 ]

@@ -1,0 +1,209 @@
+"""One structured *wide event* per request, with tail sampling.
+
+A wide event is the single canonical-log-line record observability
+vendors converge on: everything known about one request in one flat
+row — decision, stage scores, latency, queue wait, shard, trace id —
+so an incident responder greps one file instead of joining traces,
+audit rows, and histograms.
+
+Emitting every event at full traffic would drown the disk with healthy
+accepts, so the recorder applies **tail sampling** (decide after the
+outcome is known, not before):
+
+- every **rejection** is kept (they are the paper's whole point);
+- every **slow** request is kept (duration >= ``slow_threshold_s``);
+- every request completing while an **alert probe** fires (SLO burn or
+  an abuse detector) is kept — the traffic surrounding an incident is
+  exactly what post-mortems need;
+- accepted, fast, quiet requests are head-sampled 1-in-``head_rate``.
+
+Events optionally stream to a :class:`~repro.obs.exporters.JsonlRotatingWriter`
+(the CI artifact) and always land in a bounded in-memory ring for the
+ops console.  The recorder is also where histogram **exemplars** come
+from: the serving path passes the kept event's trace id into
+``metrics.observe(..., exemplar=...)`` so a latency bucket in the
+Prometheus exposition links to a real request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import JsonlRotatingWriter
+
+__all__ = ["WideEvent", "WideEventRecorder"]
+
+
+@dataclass
+class WideEvent:
+    """Everything known about one served request, flat."""
+
+    request_id: str
+    trace_id: str
+    claimed_speaker: Optional[str]
+    mode: str
+    decision: str  # "accept" | "reject"
+    duration_s: float
+    queue_wait_s: float = 0.0
+    early_exit_stage: Optional[str] = None
+    shard_id: Optional[int] = None
+    stage_scores: Dict[str, float] = field(default_factory=dict)
+    stage_statuses: Dict[str, str] = field(default_factory=dict)
+    wall_ts: float = field(default_factory=time.time)
+    keep_reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "claimed_speaker": self.claimed_speaker,
+            "mode": self.mode,
+            "decision": self.decision,
+            "duration_s": self.duration_s,
+            "queue_wait_s": self.queue_wait_s,
+            "early_exit_stage": self.early_exit_stage,
+            "shard_id": self.shard_id,
+            "stage_scores": dict(self.stage_scores),
+            "stage_statuses": dict(self.stage_statuses),
+            "wall_ts": self.wall_ts,
+            "keep_reason": self.keep_reason,
+        }
+
+    @classmethod
+    def from_record_row(
+        cls,
+        row: Dict[str, object],
+        duration_s: float,
+        queue_wait_s: float = 0.0,
+        shard_id: Optional[int] = None,
+    ) -> "WideEvent":
+        """Build from a :meth:`DecisionRecord.to_dict` row (the shard →
+        parent provenance payload, so sharded serving gets wide events
+        without a second cross-process message)."""
+        stages = row.get("stages", []) or []
+        return cls(
+            request_id=str(row.get("request_id", "")),
+            trace_id=str(row.get("trace_id", "")),
+            claimed_speaker=(
+                str(row["claimed_speaker"])
+                if row.get("claimed_speaker") is not None
+                else None
+            ),
+            mode=str(row.get("mode", "")),
+            decision=str(row.get("decision", "")),
+            duration_s=duration_s,
+            queue_wait_s=queue_wait_s,
+            early_exit_stage=(
+                str(row["early_exit_stage"])
+                if row.get("early_exit_stage") is not None
+                else None
+            ),
+            shard_id=shard_id,
+            stage_scores={
+                str(s["name"]): float(s["score"])
+                for s in stages  # type: ignore[union-attr]
+                if s.get("score") is not None
+            },
+            stage_statuses={
+                str(s["name"]): str(s["status"])
+                for s in stages  # type: ignore[union-attr]
+            },
+        )
+
+
+class WideEventRecorder:
+    """Tail-sampling sink for :class:`WideEvent` rows."""
+
+    def __init__(
+        self,
+        path: Optional[object] = None,
+        slow_threshold_s: float = 0.25,
+        head_rate: int = 10,
+        alert_probe: Optional[Callable[[], bool]] = None,
+        ring_size: int = 256,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 3,
+    ):
+        if slow_threshold_s <= 0:
+            raise ConfigurationError("slow_threshold_s must be positive")
+        if head_rate < 1:
+            raise ConfigurationError("head_rate must be >= 1")
+        if ring_size < 1:
+            raise ConfigurationError("ring_size must be >= 1")
+        self.slow_threshold_s = slow_threshold_s
+        self.head_rate = head_rate
+        self._alert_probe = alert_probe
+        self._writer = (
+            JsonlRotatingWriter(path, max_bytes, backups)  # type: ignore[arg-type]
+            if path is not None
+            else None
+        )
+        self._lock = threading.Lock()
+        self._seen = 0  # guarded-by: _lock
+        self._kept = 0  # guarded-by: _lock
+        self._reasons: Dict[str, int] = {}  # guarded-by: _lock
+        self._recent: Deque[WideEvent] = deque(maxlen=ring_size)  # guarded-by: _lock
+
+    def record(self, event: WideEvent) -> Optional[str]:
+        """Apply the sampling policy; returns the keep reason (``None``
+        = dropped).  The decision order is precedence: a slow rejection
+        reports ``"reject"``."""
+        reason = self._decide(event)
+        with self._lock:
+            self._seen += 1
+            if reason is None:
+                return None
+            self._kept += 1
+            self._reasons[reason] = self._reasons.get(reason, 0) + 1
+            event.keep_reason = reason
+            self._recent.append(event)
+            writer = self._writer
+        if writer is not None:
+            writer.write(event.to_dict())
+        return reason
+
+    def _decide(self, event: WideEvent) -> Optional[str]:
+        if event.decision != "accept":
+            return "reject"
+        if event.duration_s >= self.slow_threshold_s:
+            return "slow"
+        if self._alert_probe is not None and self._alert_probe():
+            return "alert"
+        with self._lock:
+            # 1-in-N head sampling of healthy accepts, counted over
+            # *seen* traffic so the kept share is predictable.
+            if self._seen % self.head_rate == 0:
+                return "head"
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def recent(self, n: int = 20) -> List[WideEvent]:
+        with self._lock:
+            rows = list(self._recent)
+        return rows[-n:]
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "seen": self._seen,
+                "kept": self._kept,
+                "kept_ratio": self._kept / self._seen if self._seen else 0.0,
+                "reasons": dict(self._reasons),
+                "slow_threshold_s": self.slow_threshold_s,
+                "head_rate": self.head_rate,
+            }
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+    def __enter__(self) -> "WideEventRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -37,6 +37,8 @@ __all__ = [
     "read_jsonl",
     "prometheus_exposition",
     "parse_prometheus",
+    "escape_label_value",
+    "unescape_label_value",
 ]
 
 
@@ -62,6 +64,19 @@ class JsonlRotatingWriter:
         self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._size = self.path.stat().st_size if self.path.exists() else 0
+        if self._size > 0:
+            # Crash recovery: a process killed mid-write leaves a
+            # truncated trailing line.  The partial row is unrecoverable
+            # (it was never durable), so drop it: truncate back to the
+            # last complete line and the file stays valid JSONL
+            # end-to-end — no reader ever trips over mid-file garbage.
+            with open(self.path, "rb") as probe:
+                data = probe.read()
+            if not data.endswith(b"\n"):
+                keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(keep)
+                self._size = keep
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def write(self, obj: object) -> None:
@@ -102,13 +117,27 @@ class JsonlRotatingWriter:
 
 
 def read_jsonl(path: os.PathLike) -> List[dict]:
-    """Load every row of a JSONL file (rotation backups not included)."""
-    rows: List[dict] = []
+    """Load every row of a JSONL file (rotation backups not included).
+
+    A truncated **trailing** line — what a crash mid-write (or
+    mid-rotate) leaves behind — is silently skipped: every complete row
+    before it is still returned.  Corruption anywhere *else* in the file
+    still raises, so a genuinely damaged log fails loudly.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line))
+        lines = fh.read().splitlines()
+    rows: List[dict] = []
+    last_index = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == last_index:
+                break  # torn tail from a crash mid-write: skip it
+            raise
     return rows
 
 
@@ -190,6 +219,51 @@ def _sanitize(name: str) -> str:
     return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote, and newline must be escaped (in that order, so the
+    escapes themselves survive)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(c)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping: only backslash and newline (no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _help_text(name: str) -> str:
+    """A one-line HELP string derived from the series name."""
+    if name.endswith("_total"):
+        return f"Monotonic count of {name[: -len('_total')]} events."
+    if name.endswith("_s") or name.endswith("_seconds"):
+        return f"Distribution of {name} (seconds)."
+    return f"Distribution of {name}."
+
+
 def prometheus_exposition(
     registry: "MetricsRegistry", prefix: str = "repro"
 ) -> str:
@@ -197,72 +271,179 @@ def prometheus_exposition(
 
     Counters become ``<prefix>_<name>_total`` counters; histograms become
     summaries (``{quantile=...}``, ``_sum``, ``_count``) named
-    ``<prefix>_<name>``.  Uptime and both throughput readings (lifetime
-    and windowed — see
+    ``<prefix>_<name>``, plus cumulative ``<prefix>_<name>_bucket``
+    series over the fixed bounds in
+    :data:`~repro.server.metrics.LATENCY_BUCKET_BOUNDS_S`.  A bucket
+    with a recorded **exemplar** gets an OpenMetrics-style suffix
+    (``# {trace_id="..."} value timestamp``) linking the bucket to a
+    real request's trace.  Every series carries ``# HELP``/``# TYPE``
+    lines, and label values are escaped (exemplar labels are
+    client-supplied ids, so quotes/backslashes/newlines must survive the
+    round trip).  Uptime and both throughput readings (lifetime and
+    windowed — see
     :meth:`~repro.server.metrics.MetricsRegistry.windowed_throughput`)
     are exported as gauges.
     """
     lines: List[str] = []
-    summary = registry.summary()
-    counters: Dict[str, int] = summary["counters"]  # type: ignore[assignment]
+
+    def declare(metric: str, kind: str) -> None:
+        lines.append(f"# HELP {metric} {_escape_help(_help_text(metric))}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    snap = registry.snapshot()
+    counters: Dict[str, int] = snap["counters"]  # type: ignore[assignment]
     for name in sorted(counters):
         metric = f"{prefix}_{_sanitize(name)}_total"
-        lines.append(f"# TYPE {metric} counter")
+        declare(metric, "counter")
         lines.append(f"{metric} {counters[name]}")
-    histograms: Dict[str, Dict[str, float]] = summary["histograms"]  # type: ignore[assignment]
+    from repro.server.metrics import LATENCY_BUCKET_BOUNDS_S  # lazy: obs < server
+
+    histograms: Dict[str, Dict[str, object]] = snap["histograms"]  # type: ignore[assignment]
     for name in sorted(histograms):
-        stats = histograms[name]
+        state = histograms[name]
+        count = int(state["count"])  # type: ignore[arg-type]
+        total = float(state["sum"])  # type: ignore[arg-type]
+        recent = state["recent"]  # type: ignore[assignment]
         metric = f"{prefix}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} summary")
+        declare(metric, "summary")
         for label, pct in _QUANTILES:
-            value = stats.get(f"p{int(pct)}", 0.0)
+            value = _window_percentile(recent, pct)  # type: ignore[arg-type]
             lines.append(f'{metric}{{quantile="{label}"}} {_fmt(value)}')
-        lines.append(f"{metric}_sum {_fmt(stats['mean'] * stats['count'])}")
-        lines.append(f"{metric}_count {int(stats['count'])}")
-        lines.append(f"# TYPE {metric}_min gauge")
-        lines.append(f"{metric}_min {_fmt(stats['min'])}")
-        lines.append(f"# TYPE {metric}_max gauge")
-        lines.append(f"{metric}_max {_fmt(stats['max'])}")
-    lines.append(f"# TYPE {prefix}_uptime_seconds gauge")
+        lines.append(f"{metric}_sum {_fmt(total)}")
+        lines.append(f"{metric}_count {count}")
+        declare(f"{metric}_bucket", "histogram")
+        exemplars = {
+            int(k): v
+            for k, v in dict(state.get("exemplars", {})).items()  # type: ignore[arg-type]
+        }
+        cumulative = 0
+        bucket_counts = list(state.get("buckets", ()))  # type: ignore[arg-type]
+        for idx, bucket_count in enumerate(bucket_counts):
+            cumulative += int(bucket_count)
+            le = (
+                _fmt(LATENCY_BUCKET_BOUNDS_S[idx])
+                if idx < len(LATENCY_BUCKET_BOUNDS_S)
+                else "+Inf"
+            )
+            sample = f'{metric}_bucket{{le="{le}"}} {cumulative}'
+            row = exemplars.get(idx)
+            if row is not None:
+                value, label_text, wall = row
+                sample += (
+                    f' # {{trace_id="{escape_label_value(str(label_text))}"}}'
+                    f" {_fmt(float(value))} {_fmt(float(wall))}"
+                )
+            lines.append(sample)
+        hist_min = state["min"]
+        hist_max = state["max"]
+        declare(f"{metric}_min", "gauge")
+        lines.append(
+            f"{metric}_min {_fmt(float(hist_min) if count else 0.0)}"  # type: ignore[arg-type]
+        )
+        declare(f"{metric}_max", "gauge")
+        lines.append(
+            f"{metric}_max {_fmt(float(hist_max) if count else 0.0)}"  # type: ignore[arg-type]
+        )
+    declare(f"{prefix}_uptime_seconds", "gauge")
     lines.append(f"{prefix}_uptime_seconds {_fmt(registry.uptime_s)}")
-    lines.append(f"# TYPE {prefix}_throughput_rps gauge")
+    declare(f"{prefix}_throughput_rps", "gauge")
     lines.append(f"{prefix}_throughput_rps {_fmt(registry.throughput())}")
-    lines.append(f"# TYPE {prefix}_windowed_throughput_rps gauge")
+    declare(f"{prefix}_windowed_throughput_rps", "gauge")
     lines.append(
         f"{prefix}_windowed_throughput_rps {_fmt(registry.windowed_throughput())}"
     )
     return "\n".join(lines) + "\n"
 
 
+def _window_percentile(recent: List[float], pct: float) -> float:
+    if not recent:
+        return 0.0
+    import numpy as np
+
+    return float(np.percentile(np.asarray(recent, dtype=float), pct))
+
+
 def _fmt(value: float) -> str:
     return repr(float(value))
+
+
+def _split_labels(name_part: str, raw: str) -> Tuple[str, str]:
+    """Split ``name{labels}`` label-aware: a quoted label value may
+    contain spaces, braces, and escaped quotes."""
+    if "{" not in name_part:
+        return name_part, ""
+    name, rest = name_part.split("{", 1)
+    if not rest.endswith("}"):
+        raise ConfigurationError(f"bad exposition line: {raw!r}")
+    return name, "{" + rest
 
 
 def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
     """Parse text-format exposition into ``{metric: {labelset: value}}``.
 
     The label set key is the raw ``{...}`` string (empty string for
-    unlabelled samples).  Raises :class:`~repro.errors.ConfigurationError`
-    on malformed lines, so exporter regressions fail loudly.
+    unlabelled samples).  ``# HELP``/``# TYPE`` comments and exemplar
+    suffixes (``# {...} value ts``) are tolerated — the former skipped,
+    the latter stripped — and quoted label values may contain escaped
+    quotes, backslashes, newlines, and spaces.  Raises
+    :class:`~repro.errors.ConfigurationError` on malformed lines, so
+    exporter regressions fail loudly.
     """
     metrics: Dict[str, Dict[str, float]] = {}
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
+        sample = _strip_exemplar(line)
+        name_part, value_part = _split_sample(sample, raw)
         try:
-            name_part, value_part = line.rsplit(" ", 1)
             value = float(value_part)
         except ValueError as exc:
             raise ConfigurationError(f"bad exposition line: {raw!r}") from exc
-        if "{" in name_part:
-            if not name_part.endswith("}"):
-                raise ConfigurationError(f"bad exposition line: {raw!r}")
-            name, labels = name_part.split("{", 1)
-            labels = "{" + labels
-        else:
-            name, labels = name_part, ""
+        name, labels = _split_labels(name_part, raw)
         if not name or not name.replace("_", "").replace(":", "").isalnum():
             raise ConfigurationError(f"bad metric name in line: {raw!r}")
         metrics.setdefault(name, {})[labels] = value
     return metrics
+
+
+def _strip_exemplar(line: str) -> str:
+    """Drop an OpenMetrics exemplar suffix (``... # {labels} v ts``).
+
+    The ``#`` of an exemplar sits outside any quoted label value, so a
+    quote-aware scan finds it even when the sample's own labels contain
+    escaped ``#`` or quote characters."""
+    in_quotes = False
+    escaped = False
+    for i, c in enumerate(line):
+        if escaped:
+            escaped = False
+            continue
+        if c == "\\":
+            escaped = True
+        elif c == '"':
+            in_quotes = not in_quotes
+        elif c == "#" and not in_quotes:
+            return line[:i].rstrip()
+    return line
+
+
+def _split_sample(sample: str, raw: str) -> Tuple[str, str]:
+    """Split ``name{labels} value`` at the value — label-value aware
+    (the last space *outside quotes* separates the value)."""
+    in_quotes = False
+    escaped = False
+    split_at = -1
+    for i, c in enumerate(sample):
+        if escaped:
+            escaped = False
+            continue
+        if c == "\\":
+            escaped = True
+        elif c == '"':
+            in_quotes = not in_quotes
+        elif c == " " and not in_quotes:
+            split_at = i
+    if split_at < 0:
+        raise ConfigurationError(f"bad exposition line: {raw!r}")
+    return sample[:split_at].rstrip(), sample[split_at + 1 :]

@@ -1,0 +1,228 @@
+"""Low-overhead statistical profiler with cascade-stage attribution.
+
+``py-spy``-style wall-clock sampling, in process: a daemon thread wakes
+every ``interval_s``, grabs every thread's current frame via
+``sys._current_frames()`` (one C-level call under the GIL — the profiled
+threads are never interrupted), and folds each stack into a counter
+keyed by the **collapsed stack** string Brendan Gregg's flamegraph tools
+consume (``outer;...;inner``, one line per stack with a sample count).
+
+What a generic sampler cannot see is *which cascade stage* a thread was
+serving — the verify call sites are identical across stages.  The
+profiler therefore registers a :func:`~repro.core.cascade.stage_scope`
+hook: stage entry/exit maintains a ``thread-id → stage-name`` map
+(plain dict writes, atomic under the GIL — the sampling thread only
+reads), and each sample of a thread inside a stage is prefixed with a
+synthetic ``stage:<name>`` frame.  ``stage_report()`` then answers
+"where does the time go, by stage?" without any per-sample work on the
+serving path: the serving overhead is one dict write on stage entry and
+one delete on exit, which is why the gateway bench can gate the armed
+profiler at <5% (``benchmarks/test_obs_tier.py``).
+
+The sampler is wall-clock: a thread blocked on a lock or a pipe counts
+toward the stack holding it, which is exactly what a latency
+investigation wants.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from types import FrameType, TracebackType
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StackSampler", "collapse_frame"]
+
+#: thread ident -> active cascade stage name.  Written by serving
+#: threads (via _StageMark), read by the sampler thread; individual dict
+#: get/set/del are atomic under the GIL so no lock is needed — a sample
+#: racing a stage transition lands on one side or the other, which is
+#: within a statistical profiler's error budget anyway.
+_ACTIVE_STAGES: Dict[int, str] = {}
+
+
+class _StageMark:
+    """Context manager marking the current thread as inside a stage."""
+
+    __slots__ = ("_name", "_ident", "_outer")
+
+    def __init__(self, name: str):
+        self._name = name
+        self._ident = 0
+        self._outer: Optional[str] = None
+
+    def __enter__(self) -> "_StageMark":
+        self._ident = threading.get_ident()
+        self._outer = _ACTIVE_STAGES.get(self._ident)
+        _ACTIVE_STAGES[self._ident] = self._name
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self._outer is None:
+            _ACTIVE_STAGES.pop(self._ident, None)
+        else:
+            # Nested stages (a stage calling into another's helper)
+            # restore the outer attribution instead of dropping it.
+            _ACTIVE_STAGES[self._ident] = self._outer
+
+
+def _stage_hook(name: str) -> _StageMark:
+    return _StageMark(name)
+
+
+def collapse_frame(
+    frame: Optional[FrameType], max_depth: int
+) -> str:
+    """Render one thread's stack as a collapsed-stack string
+    (``outermost;...;innermost``), bounded at ``max_depth`` frames."""
+    parts: List[str] = []
+    while frame is not None and len(parts) < max_depth:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class StackSampler:
+    """Periodic whole-process stack sampler.
+
+    Usage::
+
+        with StackSampler(interval_s=0.005) as profiler:
+            serve_traffic()
+        print(profiler.collapsed())      # flamegraph.pl input
+        print(profiler.stage_report())   # samples per cascade stage
+
+    ``start()`` registers the stage-attribution hook with the cascade
+    (``stop()`` removes it), so per-stage numbers only exist while a
+    sampler runs and an idle process pays nothing.
+    """
+
+    def __init__(self, interval_s: float = 0.005, max_depth: int = 48):
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if max_depth <= 0:
+            raise ConfigurationError("max_depth must be positive")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}  # guarded-by: _lock
+        self._stage_samples: Dict[str, int] = {}  # guarded-by: _lock
+        self._samples = 0  # guarded-by: _lock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ConfigurationError("sampler is already running")
+        # Lazy import: obs must not depend on core at module level
+        # (import-layering rule); the hook registry lives with the
+        # cascade because that is where stages are defined.
+        from repro.core.cascade import register_stage_hook
+
+        register_stage_hook(_stage_hook)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="stack-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        from repro.core.cascade import unregister_stage_hook
+
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        unregister_stage_hook(_stage_hook)
+
+    def __enter__(self) -> "StackSampler":
+        self.start()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample_once(own_ident)
+
+    def _sample_once(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        rows: List[Tuple[str, Optional[str]]] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            stack = collapse_frame(frame, self.max_depth)
+            if not stack:
+                continue
+            stage = _ACTIVE_STAGES.get(ident)
+            if stage is not None:
+                stack = f"stage:{stage};{stack}"
+            rows.append((stack, stage))
+        # Fold outside the frames loop so the (cheap) lock is held once
+        # per tick, not once per thread.
+        with self._lock:
+            self._samples += 1
+            for stack, stage in rows:
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                if stage is not None:
+                    self._stage_samples[stage] = (
+                        self._stage_samples.get(stage, 0) + 1
+                    )
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Sampling ticks taken so far."""
+        with self._lock:
+            return self._samples
+
+    def collapsed(self) -> str:
+        """Flamegraph-format output: ``stack count`` per line, sorted by
+        count descending (ties alphabetical, so output is stable)."""
+        with self._lock:
+            counts = dict(self._counts)
+        rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join(f"{stack} {count}" for stack, count in rows)
+
+    def stage_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-cascade-stage sample counts and share of stage samples."""
+        with self._lock:
+            stages = dict(self._stage_samples)
+        total = sum(stages.values())
+        return {
+            name: {
+                "samples": float(count),
+                "share": count / total if total else 0.0,
+            }
+            for name, count in sorted(stages.items())
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time state (for telemetry frames / artifacts)."""
+        with self._lock:
+            return {
+                "samples": self._samples,
+                "interval_s": self.interval_s,
+                "stacks": dict(self._counts),
+                "stages": dict(self._stage_samples),
+            }

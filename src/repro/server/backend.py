@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.cascade import stage_scope
 from repro.core.decision import ComponentResult
 from repro.core.pipeline import DefenseSystem
 from repro.server.metrics import MetricsRegistry, RequestStats
@@ -64,6 +65,20 @@ def cascade_split(
     return gates, order[len(gates) :]
 
 
+def _staged(
+    name: str, fn: Callable[[], ComponentResult]
+) -> Callable[[], ComponentResult]:
+    """Wrap a component job so it executes inside the cascade's
+    :func:`~repro.core.cascade.stage_scope` (per-stage profiler
+    attribution), whichever scheduler thread picks it up."""
+
+    def run() -> ComponentResult:
+        with stage_scope(name):
+            return fn()
+
+    return run
+
+
 def machine_detection_jobs(
     system: DefenseSystem, capture: SensorCapture, claimed: Optional[str]
 ) -> Dict[str, Callable[[], ComponentResult]]:
@@ -71,13 +86,21 @@ def machine_detection_jobs(
     enabled = system.enabled_components
     jobs: Dict[str, Callable[[], ComponentResult]] = {}
     if "distance" in enabled:
-        jobs["distance"] = lambda: system.distance.verify(capture)
+        jobs["distance"] = _staged(
+            "distance", lambda: system.distance.verify(capture)
+        )
     if "magnetic" in enabled:
-        jobs["magnetic"] = lambda: system.magnetic.verify(capture)
+        jobs["magnetic"] = _staged(
+            "magnetic", lambda: system.magnetic.verify(capture)
+        )
     if "magliveness" in enabled:
-        jobs["magliveness"] = lambda: system.magliveness.verify(capture)
+        jobs["magliveness"] = _staged(
+            "magliveness", lambda: system.magliveness.verify(capture)
+        )
     if "soundfield" in enabled and claimed is not None:
-        jobs["soundfield"] = lambda: system.soundfield_for(claimed).verify(capture)
+        jobs["soundfield"] = _staged(
+            "soundfield", lambda: system.soundfield_for(claimed).verify(capture)
+        )
     return jobs
 
 
@@ -135,7 +158,10 @@ class VerificationServer:
         t_detection = time.perf_counter()
 
         if "identity" in self.system.enabled_components and claimed is not None:
-            results["identity"] = self.system.identity.verify(capture, claimed)
+            with stage_scope("identity"):
+                results["identity"] = self.system.identity.verify(
+                    capture, claimed
+                )
         t_identity = time.perf_counter()
 
         accepted = all(r.passed for r in results.values())

@@ -39,14 +39,18 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import sanitize
+from repro.core.cascade import stage_scope
 from repro.core.config import GatewayConfig
 from repro.core.decision import ComponentResult
 from repro.core.identity import IdentityVerifier
 from repro.core.pipeline import DefenseSystem
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.abuse import AbuseDetector
 from repro.obs.drift import DriftRegistry
+from repro.obs.events import WideEvent, WideEventRecorder
 from repro.obs.exporters import AuditJsonlExporter, prometheus_exposition
 from repro.obs.provenance import DecisionRecord
+from repro.obs.slo import SLOEngine
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.server.backend import (
     cascade_order,
@@ -75,6 +79,13 @@ __all__ = [
     "ShardedGateway",
     "create_gateway",
 ]
+
+
+def _events_section(recorder: WideEventRecorder) -> Dict[str, object]:
+    """The ``events`` telemetry payload: stats + the recent kept rows."""
+    section = recorder.stats()
+    section["recent"] = [e.to_dict() for e in recorder.recent()]
+    return section
 
 
 class _BatchEntry:
@@ -203,7 +214,7 @@ class _IdentityBatcher:
             attrs = {"batch_size": len(entries), "distinct_speakers": distinct}
             if not self._cross_speaker:
                 attrs["claimed_speaker"] = claimed
-        with self._tracer.span("identity.batch", attrs=attrs) as batch_span:
+        with self._tracer.span("identity.batch", attrs=attrs) as batch_span, stage_scope("identity"):
             try:
                 if self._cross_speaker:
                     results = self._identity.verify_multi(
@@ -250,6 +261,9 @@ class Gateway:
         tracer: Optional[Tracer] = None,
         drift: Optional[DriftRegistry] = None,
         audit: Optional[AuditJsonlExporter] = None,
+        slo: Optional[SLOEngine] = None,
+        abuse: Optional[AbuseDetector] = None,
+        events: Optional[WideEventRecorder] = None,
     ):
         self.system = system
         self.config = config or GatewayConfig()
@@ -259,6 +273,21 @@ class Gateway:
             # gateway serves sees the same component set.
             self.system.enable_component("magliveness")
         self.metrics = MetricsRegistry(window=self.config.metrics_window)
+        #: SLO burn-rate engine (evaluated at scrape time; per-request
+        #: cost is two counter bumps for the latency objective).
+        self.slo = slo if slo is not None else SLOEngine()
+        #: Per-speaker probe detection (sticky flags, never decisions).
+        self.abuse = abuse if abuse is not None else AbuseDetector()
+        #: Tail-sampled wide events; in-memory by default, pass a
+        #: recorder with a path to persist JSONL.
+        self.events = (
+            events
+            if events is not None
+            else WideEventRecorder(
+                slow_threshold_s=self.config.slo_latency_threshold_s,
+                alert_probe=lambda: self.abuse.has_alerts,
+            )
+        )
         #: Request tracer; the shared no-op by default, so serving pays
         #: nothing until a real tracer is attached.  An enabled tracer is
         #: also pushed into the system's components, so DSP kernel spans
@@ -422,6 +451,56 @@ class Gateway:
         for name, result in results.items():
             self.drift.record(name, result.score)  # non-finite are filtered
 
+    def _observe_request(
+        self,
+        duration_s: float,
+        accepted: bool,
+        results: Dict[str, ComponentResult],
+        claimed: Optional[str],
+        request_id: Optional[str],
+        root: Optional[Span],
+        mode: str,
+        skipped: Tuple[str, ...] = (),
+        early_exit: Optional[str] = None,
+    ) -> None:
+        """Per-request telemetry fan-out: latency SLO counters, abuse
+        observation, the tail-sampled wide event, and the ``total_s``
+        observation (with an exemplar trace id when the event was kept,
+        so Prometheus buckets link to real requests)."""
+        self.metrics.increment(
+            "slo_latency_good"
+            if duration_s < self.config.slo_latency_threshold_s
+            else "slo_latency_bad"
+        )
+        identity = results.get("identity")
+        self.abuse.observe(
+            claimed, identity.score if identity is not None else None
+        )
+        statuses = {
+            name: ("pass" if r.passed else "reject")
+            for name, r in results.items()
+        }
+        for name in skipped:
+            statuses[name] = "skipped"
+        event = WideEvent(
+            request_id=request_id or "",
+            trace_id=root.trace_id if root is not None else "",
+            claimed_speaker=claimed,
+            mode=mode,
+            decision="accept" if accepted else "reject",
+            duration_s=duration_s,
+            early_exit_stage=early_exit,
+            stage_scores={n: r.score for n, r in results.items()},
+            stage_statuses=statuses,
+        )
+        kept = self.events.record(event)
+        exemplar = (
+            (event.trace_id or event.request_id or None)
+            if kept is not None
+            else None
+        )
+        self.metrics.observe("total_s", duration_s, exemplar=exemplar)
+
     def _finalize(
         self,
         root: Optional[Span],
@@ -525,9 +604,12 @@ class Gateway:
         self.metrics.observe("detection_s", t_detection - t_decoded)
         self.metrics.observe("identity_s", t_identity - t_detection)
         self.metrics.observe("encode_s", t_done - t_identity)
-        self.metrics.observe("total_s", t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
+        self._observe_request(
+            t_done - t0, accepted, results, claimed, request_id, root,
+            mode="strict",
+        )
         self._finalize(root, accepted, results, claimed, request_id, mode="strict")
         future.set_result(decision_frame)
 
@@ -647,9 +729,12 @@ class Gateway:
         t_done = time.perf_counter()
 
         self.metrics.observe("decode_s", t_decoded - t0)
-        self.metrics.observe("total_s", t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
+        self._observe_request(
+            t_done - t0, accepted, results, claimed, request_id, root,
+            mode="cascade", skipped=skipped, early_exit=early_exit,
+        )
         self._finalize(
             root,
             accepted,
@@ -681,6 +766,12 @@ class Gateway:
                     "stages": self.drift.snapshot(),
                     "alerts": [str(a) for a in self.drift.alerts()],
                 }
+            elif section == "slo":
+                telemetry["slo"] = self.slo.evaluate(self.metrics)
+            elif section == "abuse":
+                telemetry["abuse"] = self.abuse.snapshot()
+            elif section == "events":
+                telemetry["events"] = _events_section(self.events)
             # Unknown sections are omitted so old clients can probe.
         self.metrics.increment("telemetry_scrapes")
         return encode_telemetry_response(telemetry, request_id)
@@ -775,6 +866,9 @@ class ShardedGateway:
         tracer: Optional[Tracer] = None,
         drift: Optional[DriftRegistry] = None,
         audit: Optional[AuditJsonlExporter] = None,
+        slo: Optional[SLOEngine] = None,
+        abuse: Optional[AbuseDetector] = None,
+        events: Optional[WideEventRecorder] = None,
     ):
         self.system = system
         self.config = config if config is not None else GatewayConfig(shards=1)
@@ -794,6 +888,22 @@ class ShardedGateway:
         #: shards (scorer state must not cross the fork boundary).
         self.drift = drift if drift is not None else DriftRegistry()
         self.audit = audit
+        #: SLO engine evaluates over the *merged* registry at scrape
+        #: time; the per-request latency counters live in the shards
+        #: (where ``total_s`` is measured), so merging never
+        #: double-counts.
+        self.slo = slo if slo is not None else SLOEngine()
+        #: Abuse detection runs parent-side: the parent sees the whole
+        #: query stream per speaker regardless of shard placement.
+        self.abuse = abuse if abuse is not None else AbuseDetector()
+        self.events = (
+            events
+            if events is not None
+            else WideEventRecorder(
+                slow_threshold_s=self.config.slo_latency_threshold_s,
+                alert_probe=lambda: self.abuse.has_alerts,
+            )
+        )
         self.router = ConsistentHashRouter(self.config.shards)
         # Fork the shards FIRST, while this process is still
         # single-threaded: forking after the collector/monitor threads
@@ -966,9 +1076,23 @@ class ShardedGateway:
                 entry = self._pending.pop(seq, None)
             if entry is None:
                 return  # already failed closed by the crash handler
-            self.metrics.observe(
-                "shard_rtt_s", time.monotonic() - entry.submitted_at
-            )
+            rtt = time.monotonic() - entry.submitted_at
+            exemplar: Optional[str] = None
+            if record_row:
+                identity_score: Optional[float] = None
+                for stage in record_row.get("stages", []) or ():
+                    if stage.get("name") == "identity":
+                        identity_score = stage.get("score")
+                        break
+                self.abuse.observe(entry.claimed, identity_score)
+                event = WideEvent.from_record_row(
+                    record_row, duration_s=rtt, shard_id=shard_id
+                )
+                if self.events.record(event) is not None:
+                    exemplar = (
+                        event.trace_id or event.request_id or None
+                    )
+            self.metrics.observe("shard_rtt_s", rtt, exemplar=exemplar)
             self.metrics.increment("requests_collected")
             if span_rows:
                 self.tracer.ingest(span_rows)
@@ -1077,6 +1201,20 @@ class ShardedGateway:
             self.tracer.end(entry.root, status="error")
         self.metrics.increment("requests_failed_closed")
         self.metrics.increment("rejected")
+        self.events.record(
+            WideEvent(
+                request_id=entry.request_id,
+                trace_id=(
+                    entry.root.trace_id if entry.root is not None else ""
+                ),
+                claimed_speaker=entry.claimed,
+                mode="sharded",
+                decision="reject",
+                duration_s=time.monotonic() - entry.submitted_at,
+                shard_id=shard_id,
+                stage_statuses={"shard": "error"},
+            )
+        )
         entry.future.set_result(frame)
 
     def kill_shard(self, shard_id: int) -> None:
@@ -1144,6 +1282,16 @@ class ShardedGateway:
                     "stages": self.drift.snapshot(),
                     "alerts": [str(a) for a in self.drift.alerts()],
                 }
+            elif section == "slo":
+                # Evaluated over the merged registry: the latency
+                # good/bad events live in the shards' rings, and
+                # windowed_count over their sorted union equals a
+                # single registry that saw everything.
+                telemetry["slo"] = self.slo.evaluate(merged)
+            elif section == "abuse":
+                telemetry["abuse"] = self.abuse.snapshot()
+            elif section == "events":
+                telemetry["events"] = _events_section(self.events)
         self.metrics.increment("telemetry_scrapes")
         return encode_telemetry_response(telemetry, request_id)
 
@@ -1211,11 +1359,30 @@ def create_gateway(
     tracer: Optional[Tracer] = None,
     drift: Optional[DriftRegistry] = None,
     audit: Optional[AuditJsonlExporter] = None,
+    slo: Optional[SLOEngine] = None,
+    abuse: Optional[AbuseDetector] = None,
+    events: Optional[WideEventRecorder] = None,
 ) -> Union[Gateway, "ShardedGateway"]:
     """The serving tier a config asks for: ``shards=0`` → threaded
     :class:`Gateway`, ``shards>=1`` → :class:`ShardedGateway`."""
     if config is not None and config.shards > 0:
         return ShardedGateway(
-            system, config, tracer=tracer, drift=drift, audit=audit
+            system,
+            config,
+            tracer=tracer,
+            drift=drift,
+            audit=audit,
+            slo=slo,
+            abuse=abuse,
+            events=events,
         )
-    return Gateway(system, config, tracer=tracer, drift=drift, audit=audit)
+    return Gateway(
+        system,
+        config,
+        tracer=tracer,
+        drift=drift,
+        audit=audit,
+        slo=slo,
+        abuse=abuse,
+        events=events,
+    )

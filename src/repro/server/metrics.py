@@ -11,15 +11,35 @@ gateway and read off p50/p95 per stage.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Cumulative-bucket upper bounds (seconds) used for the Prometheus
+#: ``_bucket{le=...}`` exposition and for exemplar attachment.  The
+#: final implicit bucket is ``+Inf``.  The decade-ish spacing matches
+#: the serving path's dynamic range: 0.2 ms magnetometer rejections up
+#: to multi-second timeout tails.
+LATENCY_BUCKET_BOUNDS_S: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
 
 
 @dataclass
@@ -38,6 +58,10 @@ class Histogram:
     Aggregates (count, sum, min, max) cover every recorded sample;
     percentiles are computed over a sliding window of the most recent
     ``window`` samples, which bounds memory for a long-lived gateway.
+    Fixed cumulative buckets (:data:`LATENCY_BUCKET_BOUNDS_S`) cover the
+    whole stream and can carry one **exemplar** each — the trace id of a
+    real request that landed in that bucket, the hook a Grafana panel
+    uses to jump from a latency spike to its trace.
     """
 
     def __init__(self, window: int = 4096):
@@ -49,14 +73,21 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._buckets = [0] * (len(LATENCY_BUCKET_BOUNDS_S) + 1)
+        #: bucket index -> (value, exemplar label, wall-clock ts)
+        self._exemplars: Dict[int, Tuple[float, str, float]] = {}
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
         self._samples[self._count % self._window] = value
         self._count += 1
         self._sum += value
         self._min = min(self._min, value)
         self._max = max(self._max, value)
+        idx = bisect.bisect_left(LATENCY_BUCKET_BOUNDS_S, value)
+        self._buckets[idx] += 1
+        if exemplar is not None:
+            self._exemplars[idx] = (value, exemplar, time.time())
 
     def __len__(self) -> int:
         return self._count
@@ -88,6 +119,15 @@ class Histogram:
         filled = self._samples[: min(self._count, self._window)]
         return float(np.percentile(filled, p))
 
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Non-cumulative counts per bucket (last bucket is +Inf)."""
+        return tuple(self._buckets)
+
+    def exemplars(self) -> Dict[int, Tuple[float, str, float]]:
+        """Latest exemplar per bucket index: (value, label, wall ts)."""
+        return dict(self._exemplars)
+
     # -- cross-process merge -------------------------------------------
     def state_dict(self) -> Dict[str, object]:
         """Picklable full state: aggregates plus the recent window in
@@ -107,6 +147,10 @@ class Histogram:
             "min": self._min if self._count else None,
             "max": self._max if self._count else None,
             "recent": [float(v) for v in recent],
+            "buckets": list(self._buckets),
+            "exemplars": {
+                str(idx): list(row) for idx, row in self._exemplars.items()
+            },
         }
 
     def merge_state(self, state: Dict[str, object]) -> None:
@@ -132,6 +176,15 @@ class Histogram:
         kept = combined[-self._window :]
         self._samples[: len(kept)] = kept
         self._count += count
+        for idx, n in enumerate(state.get("buckets", ())):  # type: ignore[arg-type]
+            self._buckets[idx] += int(n)
+        for key, row in dict(state.get("exemplars", {})).items():  # type: ignore[arg-type]
+            idx = int(key)
+            value, label, wall = float(row[0]), str(row[1]), float(row[2])
+            ours_row = self._exemplars.get(idx)
+            # Keep the newest exemplar per bucket across the merge.
+            if ours_row is None or wall >= ours_row[2]:
+                self._exemplars[idx] = (value, label, wall)
 
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "Histogram":
@@ -165,12 +218,14 @@ class MetricsRegistry:
         self._started_at = time.monotonic()
 
     # -- histograms ----------------------------------------------------
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: Optional[str] = None
+    ) -> None:
         with self._lock:
             hist = self._histograms.get(name)
             if hist is None:
                 hist = self._histograms[name] = Histogram(self._window)
-            hist.record(value)
+            hist.record(value, exemplar=exemplar)
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -184,8 +239,14 @@ class MetricsRegistry:
         return _Timer(self, name)
 
     # -- counters ------------------------------------------------------
-    def increment(self, name: str, by: int = 1) -> None:
-        now = time.monotonic()
+    def increment(
+        self, name: str, by: int = 1, at: Optional[float] = None
+    ) -> None:
+        """Bump a counter, recording the increment event for windowed
+        rates.  ``at`` overrides the event timestamp (monotonic-clock
+        domain) — used by tests and replayed streams; live serving code
+        leaves it ``None``."""
+        now = time.monotonic() if at is None else float(at)
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + by
             events = self._events.get(name)
@@ -232,6 +293,42 @@ class MetricsRegistry:
             )
         span = min(window_s, max(now - self._started_at, 1e-9))
         return total / span
+
+    def windowed_count(
+        self,
+        counter_name: str,
+        window_s: float,
+        now: Optional[float] = None,
+    ) -> int:
+        """Sum of a counter's increments inside the last ``window_s``
+        seconds (monotonic-clock domain; ``now`` defaults to the current
+        monotonic time).
+
+        This is the primitive the SLO burn-rate math runs on.  It is a
+        pure function of the counter's event ring, so a merged N-shard
+        registry (whose rings are the sorted union of the shards') gives
+        the same answer as a single registry that saw every event —
+        evaluated at the same ``now``.  Bursts larger than
+        ``EVENT_WINDOW`` increments under-count, like
+        :meth:`windowed_throughput`.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if now is None:
+            now = time.monotonic()
+        cutoff = now - window_s
+        with self._lock:
+            events = self._events.get(counter_name)
+            if not events:
+                return 0
+            total = 0
+            # Newest-last ring: walk from the right, stop at the cutoff.
+            for ts, by in reversed(events):
+                if ts < cutoff:
+                    break
+                if ts <= now:
+                    total += by
+            return total
 
     def summary(self) -> Dict[str, object]:
         with self._lock:

@@ -297,7 +297,15 @@ def decisions_checksum(decisions: "Iterable[dict]") -> str:
 
 
 #: Telemetry sections a scrape may request.
-TELEMETRY_SECTIONS = ("summary", "prometheus", "stages", "drift")
+TELEMETRY_SECTIONS = (
+    "summary",
+    "prometheus",
+    "stages",
+    "drift",
+    "slo",
+    "abuse",
+    "events",
+)
 
 
 def encode_telemetry_request(

@@ -42,6 +42,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from repro.analysis import sanitize
+from repro.core.cascade import stage_scope
 from repro.core.config import GatewayConfig
 from repro.core.decision import ComponentResult
 from repro.core.pipeline import DefenseSystem
@@ -228,7 +229,8 @@ class ShardWorker:
         t_detection = time.perf_counter()
         if "identity" in self.system.enabled_components and claimed is not None:
             with self.tracer.span("stage.identity", parent=root) as ispan:
-                result = self.system.identity.verify(capture, claimed)
+                with stage_scope("identity"):
+                    result = self.system.identity.verify(capture, claimed)
                 ispan.set_attrs({"passed": result.passed, "score": result.score})
             results["identity"] = result
         t_identity = time.perf_counter()
@@ -241,7 +243,7 @@ class ShardWorker:
         self.metrics.observe("detection_s", t_detection - t_decoded)
         self.metrics.observe("identity_s", t_identity - t_detection)
         self.metrics.observe("encode_s", t_done - t_identity)
-        self.metrics.observe("total_s", t_done - t0)
+        self._observe_total(t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
         return out
@@ -266,7 +268,10 @@ class ShardWorker:
             with self.metrics.time(f"stage_{name}_s"):
                 if name == "identity":
                     with self.tracer.span("stage.identity", parent=root) as span:
-                        result = self.system.identity.verify(capture, claimed)
+                        with stage_scope("identity"):
+                            result = self.system.identity.verify(
+                                capture, claimed
+                            )
                         span.set_attrs(
                             {"passed": result.passed, "score": result.score}
                         )
@@ -339,10 +344,24 @@ class ShardWorker:
         )
         t_done = time.perf_counter()
         self.metrics.observe("decode_s", t_decoded - t0)
-        self.metrics.observe("total_s", t_done - t0)
+        self._observe_total(t_done - t0)
         self.metrics.increment("requests_completed")
         self.metrics.increment("accepted" if accepted else "rejected")
         return out
+
+    def _observe_total(self, duration_s: float) -> None:
+        """Record the request's wall time plus its latency-SLO verdict.
+
+        The good/bad counters live shard-side — where ``total_s`` is
+        measured — so the parent's merged registry sees each request's
+        verdict exactly once (:mod:`repro.obs.slo` reads the merged
+        event rings)."""
+        self.metrics.observe("total_s", duration_s)
+        self.metrics.increment(
+            "slo_latency_good"
+            if duration_s < self.config.slo_latency_threshold_s
+            else "slo_latency_bad"
+        )
 
     def close(self) -> None:
         self.scheduler.shutdown()

@@ -120,3 +120,104 @@ def test_windowed_throughput_rejects_bad_window():
 def test_windowed_throughput_of_unknown_counter_is_zero():
     registry = MetricsRegistry()
     assert registry.windowed_throughput("never_incremented") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Shard-merge order independence (property test)
+# ---------------------------------------------------------------------------
+
+
+def _random_shard_registry(rng: np.random.Generator, tag: int) -> MetricsRegistry:
+    """One shard's worth of random-but-seeded traffic."""
+    registry = MetricsRegistry()
+    for i in range(int(rng.integers(5, 40))):
+        name = rng.choice(["requests_completed", "accepted", "slo_latency_bad"])
+        registry.increment(str(name), at=float(rng.uniform(0.0, 500.0)))
+    for i in range(int(rng.integers(5, 40))):
+        # Distinct wall-ts exemplars so "keep the newest" has no ties.
+        registry.observe(
+            "total_s",
+            float(rng.uniform(0.001, 2.0)),
+            exemplar=f"trace-{tag}-{i}" if i % 5 == 0 else None,
+        )
+    for i in range(int(rng.integers(0, 20))):
+        registry.observe("stage_identity_s", float(rng.uniform(0.001, 0.05)))
+    return registry
+
+
+def _merge_view(snapshots, order):
+    parent = MetricsRegistry()
+    for idx in order:
+        parent.merge_snapshot(snapshots[idx])
+    return parent
+
+
+def _observables(registry: MetricsRegistry):
+    """Everything a scrape can see, normalised to be order-insensitive
+    where the underlying container is (the percentile window keeps a
+    set of samples whose *order* depends on merge order; their values
+    must not)."""
+    snap = registry.snapshot()
+    hists = {}
+    for name, state in snap["histograms"].items():
+        hists[name] = {
+            "count": state["count"],
+            "sum": pytest.approx(state["sum"]),
+            "min": state["min"],
+            "max": state["max"],
+            "buckets": state["buckets"],
+            "recent": sorted(state["recent"]),
+            "exemplars": state["exemplars"],
+        }
+    return {
+        "counters": snap["counters"],
+        "events": {k: sorted(v) for k, v in snap["events"].items()},
+        "histograms": hists,
+        "windowed": {
+            name: registry.windowed_count(name, 300.0, now=500.0)
+            for name in snap["counters"]
+        },
+        "stage_report": registry.stage_report(),
+    }
+
+
+def test_merge_snapshot_is_order_independent():
+    """Folding N shard snapshots in any order yields the same
+    observable state: counters, event rings, windowed counts, bucket
+    counts, exemplars, percentile-window contents, stage report."""
+    rng = np.random.default_rng(2024)
+    for trial in range(5):
+        shards = [
+            _random_shard_registry(rng, tag=trial * 10 + s) for s in range(4)
+        ]
+        snapshots = [s.snapshot() for s in shards]
+        orders = [list(rng.permutation(4)) for _ in range(3)]
+        views = [_observables(_merge_view(snapshots, o)) for o in orders]
+        assert views[0] == views[1] == views[2], orders
+
+
+def test_merge_snapshot_matches_a_single_registry_stream():
+    """Sharded-and-merged equals one registry that saw every event
+    (the cross-mode telemetry-parity invariant, minus sampling windows
+    that overflow)."""
+    single = MetricsRegistry()
+    shards = [MetricsRegistry() for _ in range(3)]
+    for i in range(120):
+        at = float(i)
+        single.increment("requests_completed", at=at)
+        shards[i % 3].increment("requests_completed", at=at)
+        single.observe("total_s", 0.001 * (i + 1))
+        shards[i % 3].observe("total_s", 0.001 * (i + 1))
+    parent = MetricsRegistry()
+    for shard in shards:
+        parent.merge_snapshot(shard.snapshot())
+    assert parent.counter("requests_completed") == 120
+    assert parent.windowed_count("requests_completed", 60.0, now=119.0) == (
+        single.windowed_count("requests_completed", 60.0, now=119.0)
+    )
+    merged_state = parent.snapshot()["histograms"]["total_s"]
+    single_state = single.snapshot()["histograms"]["total_s"]
+    assert merged_state["count"] == single_state["count"]
+    assert merged_state["sum"] == pytest.approx(single_state["sum"])
+    assert merged_state["buckets"] == single_state["buckets"]
+    assert sorted(merged_state["recent"]) == sorted(single_state["recent"])

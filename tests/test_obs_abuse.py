@@ -1,0 +1,258 @@
+"""Abuse detection red-teamed against the real score-descent attacker.
+
+The ISSUE-9 acceptance criteria pinned here:
+
+- the :class:`~repro.obs.abuse.AbuseDetector` flags the PR-8 NES
+  attacker (:class:`~repro.attacks.ScoreDescentAttack`) **before half of
+  its default 800-query budget** — at a realistic query cadence the rate
+  detector trips, and even an attacker slow enough to duck under the
+  rate threshold is caught by the score-trend detector;
+- **zero false positives** on the full 12x2 golden-decision matrix
+  traffic plus repeated genuine sessions (legitimate users re-try a few
+  times; their scores are i.i.d. around an operating point, not a
+  monotone climb).
+
+Plus the detector-mechanics unit tests: pinned-timestamp rate windows,
+sticky alerts, NaN hygiene, speaker eviction, and config validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks import ScoreDescentAttack
+from repro.errors import ConfigurationError
+from repro.obs import AbuseDetector
+
+from tests.test_adversarial import PROBE_SEED  # noqa: F401 (fixture deps)
+from tests.test_adversarial import asv_target, rejected_start  # noqa: F401
+from tests.test_golden_decisions import BASE_SEED, CELLS, build_cell
+
+
+class _ObservedOracle:
+    """Wrap the ASV oracle so every query also feeds the detector,
+    advancing a fake clock ``cadence_s`` per query (the detector works
+    in the monotonic-clock domain; ``at=`` pins it for determinism)."""
+
+    def __init__(self, oracle, detector, speaker, cadence_s):
+        self.oracle = oracle
+        self.detector = detector
+        self.speaker = speaker
+        self.cadence_s = cadence_s
+        self.queries = 0
+        self.first_alert_query = None
+
+    def __call__(self, features):
+        score = self.oracle(features)
+        self.queries += 1
+        alert = self.detector.observe(
+            self.speaker, float(score), at=self.queries * self.cadence_s
+        )
+        if alert is not None and self.first_alert_query is None:
+            self.first_alert_query = self.queries
+        return score
+
+
+def _descend(asv_target, rejected_start, detector, cadence_s):
+    victim, verifier, threshold = asv_target
+    _, features, _ = rejected_start
+    oracle = _ObservedOracle(
+        lambda f: verifier.verify_features(victim, f),
+        detector,
+        victim,
+        cadence_s,
+    )
+    attack = ScoreDescentAttack()
+    _, trace = attack.perturb_features(
+        oracle, features, threshold, np.random.default_rng(PROBE_SEED)
+    )
+    return oracle, attack, trace
+
+
+def test_fast_attacker_flagged_before_half_budget(asv_target, rejected_start):
+    """An attacker querying at ~1 Hz trips the rate detector well inside
+    half of the 800-query default budget."""
+    detector = AbuseDetector()
+    oracle, attack, trace = _descend(
+        asv_target, rejected_start, detector, cadence_s=1.0
+    )
+    victim = asv_target[0]
+    assert detector.has_alerts
+    assert victim in detector.flagged_speakers()
+    assert oracle.first_alert_query is not None
+    assert oracle.first_alert_query <= attack.max_queries // 2 == 400
+    # At 1 Hz the rate detector is the one that fires (45 in 60 s).
+    kinds = {a.kind for a in detector.alerts()}
+    assert "query_rate" in kinds
+    assert oracle.first_alert_query <= detector.rate_threshold
+
+
+def test_slow_attacker_caught_by_score_trend(asv_target, rejected_start):
+    """Backing off below the rate threshold does not help: the monotone
+    score climb gives the attacker away within half the budget."""
+    detector = AbuseDetector()
+    # 5 s/query -> 12-13 queries inside any 60 s window, far below the
+    # rate threshold of 45: only the trend detector can fire.
+    oracle, attack, trace = _descend(
+        asv_target, rejected_start, detector, cadence_s=5.0
+    )
+    victim = asv_target[0]
+    assert detector.has_alerts
+    assert {a.kind for a in detector.alerts()} == {"score_trend"}
+    assert victim in detector.flagged_speakers()
+    assert oracle.first_alert_query is not None
+    assert oracle.first_alert_query <= attack.max_queries // 2 == 400
+
+
+def test_zero_false_positives_on_golden_matrix_traffic(small_world):
+    """Every golden-matrix cell's identity score plus repeated genuine
+    sessions, at a human retry cadence: nothing may be flagged."""
+    detector = AbuseDetector()
+    now = 0.0
+    for i, (env_name, scenario) in enumerate(CELLS):
+        rng = np.random.default_rng(BASE_SEED + i)
+        capture, claimed = build_cell(small_world, env_name, scenario, rng)
+        report = small_world.system.verify_cascade(capture, claimed, strict=True)
+        score = report.components["identity"].score
+        now += 15.0  # one authentication attempt every 15 s
+        assert detector.observe(claimed, score, at=now) is None
+    # A legitimate user retrying a few times in a burst (fat-fingered
+    # passphrase, noisy room) also stays clean.
+    victim = sorted(small_world.users)[0]
+    verifier = small_world.system.identity.verifier
+    for k in range(6):
+        waveform = small_world.fresh_utterance(victim)
+        score = verifier.verify(victim, waveform)
+        now += 5.0
+        assert detector.observe(victim, score, at=now) is None
+    assert not detector.has_alerts
+    assert detector.alerts() == []
+    assert detector.flagged_speakers() == []
+
+
+# ---------------------------------------------------------------------------
+# Detector mechanics (pinned timestamps, no world needed)
+# ---------------------------------------------------------------------------
+
+
+def test_rate_detector_counts_only_inside_the_window():
+    detector = AbuseDetector(rate_window_s=60.0, rate_threshold=5)
+    # Four old probes, then a fresh burst: the stale ones must not count.
+    for i in range(4):
+        assert detector.observe("s", at=float(i)) is None
+    alert = None
+    for i in range(5):
+        alert = detector.observe("s", at=1000.0 + i)
+    assert alert is not None and alert.kind == "query_rate"
+    assert "5 verification attempts" in alert.detail
+    assert str(alert).startswith("[abuse:query_rate] speaker 's'")
+
+
+def test_rate_detector_fires_exactly_at_threshold():
+    detector = AbuseDetector(rate_window_s=60.0, rate_threshold=10)
+    alerts = [detector.observe("s", at=float(i)) for i in range(12)]
+    fired = [i for i, a in enumerate(alerts) if a is not None]
+    assert fired == [9]  # the 10th observation, and only that one (sticky)
+
+
+def test_trend_detector_flags_a_monotone_climb():
+    detector = AbuseDetector(rate_threshold=1000)  # rate can't fire
+    alert = None
+    for i in range(160):
+        got = detector.observe("s", score=-2.0 + 0.01 * i, at=i * 10.0)
+        alert = alert or got
+    assert alert is not None and alert.kind == "score_trend"
+    assert "climbing" in alert.detail
+
+
+def test_trend_detector_ignores_flat_noise():
+    """A noisy-but-flat genuine stream (sigma at the measured LLR noise
+    of the trained ASV) never flags, even over 400 observations of
+    sliding-window looks."""
+    detector = AbuseDetector(rate_threshold=1000)
+    rng = np.random.default_rng(7)
+    for i in range(400):
+        score = float(11.5 + 0.46 * rng.standard_normal())
+        assert detector.observe("s", score=score, at=i * 10.0) is None
+    assert not detector.has_alerts
+
+
+def test_alerts_are_sticky_and_deduplicated():
+    detector = AbuseDetector(rate_window_s=60.0, rate_threshold=3)
+    raised = [detector.observe("s", at=float(i)) for i in range(6)]
+    assert sum(a is not None for a in raised) == 1
+    # Backing off does not clear the flag.
+    assert detector.observe("s", at=10_000.0) is None
+    assert detector.has_alerts
+    assert detector.flagged_speakers() == ["s"]
+    assert len(detector.alerts()) == 1
+
+
+def test_non_finite_scores_are_dropped():
+    detector = AbuseDetector(rate_threshold=1000)
+    for i, bad in enumerate((math.nan, math.inf, -math.inf)):
+        assert detector.observe("s", score=bad, at=float(i)) is None
+    # A following clean climb still works (the junk never entered the
+    # trajectory, so the halves stay comparable).
+    for i in range(160):
+        detector.observe("s", score=0.01 * i, at=10.0 + i)
+    assert detector.has_alerts
+
+
+def test_none_speaker_is_ignored():
+    detector = AbuseDetector()
+    assert detector.observe(None, score=1.0) is None
+    assert detector.snapshot()["tracked_speakers"] == 0
+
+
+def test_eviction_bounds_state_and_spares_flagged_speakers():
+    detector = AbuseDetector(
+        rate_window_s=60.0, rate_threshold=3, max_speakers=4
+    )
+    # Flag one speaker, then churn many others through.
+    for i in range(3):
+        detector.observe("attacker", at=float(i))
+    assert detector.has_alerts
+    for j in range(20):
+        detector.observe(f"user-{j}", at=100.0 + j)
+    snap = detector.snapshot()
+    assert snap["tracked_speakers"] <= 4
+    assert snap["flagged_speakers"] == ["attacker"]
+
+
+def test_snapshot_shape():
+    detector = AbuseDetector(rate_window_s=60.0, rate_threshold=3)
+    for i in range(3):
+        detector.observe("s", score=0.1, at=float(i))
+    snap = detector.snapshot()
+    assert snap["flagged_speakers"] == ["s"]
+    row = snap["alerts"][0]
+    assert {"speaker", "kind", "detail", "at"} <= set(row)
+    assert set(snap["config"]) == {
+        "rate_window_s",
+        "rate_threshold",
+        "trajectory",
+        "min_trajectory",
+        "trend_concordance",
+        "trend_min_shift",
+        "trend_z",
+    }
+
+
+def test_config_validation():
+    for bad in (
+        {"rate_window_s": 0.0},
+        {"rate_threshold": 1},
+        {"min_trajectory": 2},
+        {"min_trajectory": 300},
+        {"trend_concordance": 0.5},
+        {"trend_concordance": 1.1},
+        {"trend_min_shift": -0.1},
+        {"trend_z": 0.0},
+        {"max_speakers": 0},
+    ):
+        with pytest.raises(ConfigurationError):
+            AbuseDetector(**bad)

@@ -1,0 +1,127 @@
+"""Ops console: pure rendering plus the ``--demo`` end-to-end path.
+
+``render_telemetry`` is a pure function (telemetry dict in, screen
+out), so most tests feed synthetic payloads.  One test drives the real
+``--demo`` path: build a tiny world, serve a genuine burst plus one
+replay, scrape the gateway, and render — covering the full
+``python -m repro.obs.console`` entry the README runbook documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.console import main, render_telemetry
+
+SYNTHETIC = {
+    "summary": {
+        "counters": {"requests_completed": 7, "accepted": 6, "rejected": 1},
+        "windowed_throughput_rps": 3.5,
+        "histograms": {"total_s": {"p50": 0.012, "p95": 0.040}},
+    },
+    "slo": {
+        "latency": {
+            "objective": 0.95,
+            "description": "",
+            "alerting": ["page"],
+            "windows": [
+                {
+                    "severity": "page",
+                    "short_s": 300.0,
+                    "long_s": 3600.0,
+                    "threshold": 14.4,
+                    "short_burn": 20.0,
+                    "long_burn": 15.0,
+                    "alerting": True,
+                }
+            ],
+        }
+    },
+    "abuse": {
+        "tracked_speakers": 3,
+        "flagged_speakers": ["mallory"],
+        "alerts": [
+            {
+                "speaker": "mallory",
+                "kind": "query_rate",
+                "detail": "52 attempts in 60s",
+                "at": 12.0,
+            }
+        ],
+    },
+    "stages": {
+        "identity": {"runs": 7, "skip_rate": 0.0, "p95_s": 0.009},
+        "soundfield": {"runs": 7, "skip_rate": 0.14, "p95_s": 0.004},
+    },
+    "events": {
+        "seen": 7,
+        "kept": 2,
+        "reasons": {"reject": 1, "head": 1},
+        "recent": [
+            {
+                "decision": "reject",
+                "claimed_speaker": "alice",
+                "duration_s": 0.02,
+                "keep_reason": "reject",
+                "request_id": "r-1",
+            }
+        ],
+    },
+}
+
+
+def test_render_covers_every_section():
+    screen = render_telemetry(SYNTHETIC)
+    assert "== repro gateway ==" in screen
+    assert "completed 7  accepted 6  rejected 1" in screen
+    assert "ALERT page" in screen
+    assert "FLAGGED" in screen and "mallory" in screen
+    assert "query_rate" in screen
+    assert "identity" in screen and "soundfield" in screen
+    assert "[reject] req=r-1" in screen
+    # Burn bar renders full (20x burn over a 14.4x threshold).
+    assert "[####################]" in screen
+
+
+def test_render_tolerates_missing_sections():
+    screen = render_telemetry({})
+    assert screen == "== repro gateway =="
+    partial = render_telemetry({"abuse": {"tracked_speakers": 0}})
+    assert "clean (0 speakers tracked)" in partial
+
+
+def test_render_is_pure():
+    before = json.loads(json.dumps(SYNTHETIC))
+    render_telemetry(SYNTHETIC)
+    assert SYNTHETIC == before
+
+
+def test_main_renders_a_saved_payload(tmp_path, capsys):
+    path = tmp_path / "telemetry.json"
+    path.write_text(json.dumps(SYNTHETIC), encoding="utf-8")
+    assert main(["--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== repro gateway ==" in out
+    assert "mallory" in out
+
+
+def test_main_requires_a_source():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_demo_serves_and_renders_real_telemetry(capsys):
+    """The full ``python -m repro.obs.console --demo`` path: a real
+    world, a real gateway, a real scrape."""
+    assert main(["--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "== repro gateway ==" in out
+    assert "-- slo burn rates --" in out
+    assert "-- abuse detection --" in out
+    assert "-- wide events (tail-sampled) --" in out
+    # The demo serves 7 requests: 6 genuine + 1 replay (rejected, so at
+    # least one tail-kept wide event must surface).
+    assert "completed 7" in out
+    assert "[reject]" in out

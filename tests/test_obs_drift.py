@@ -114,3 +114,42 @@ def test_registry_creates_monitors_per_stage_and_is_thread_safe():
     for stats in snapshot.values():
         assert stats["count"] == 200.0
     assert registry.alerts() == []  # nothing drifted
+
+
+def test_p2_quantile_exact_for_every_count_below_five():
+    """The pre-sketch phase returns numpy's percentile exactly, at
+    every count from 1 to 4 and for several p values."""
+    data = (4.0, 1.0, 3.0, 2.0)
+    for p in (0.25, 0.5, 0.95):
+        q = P2Quantile(p)
+        for n, x in enumerate(data, start=1):
+            q.update(x)
+            expected = float(np.percentile(data[:n], p * 100.0))
+            assert q.value == expected, (p, n)
+
+
+def test_p2_quantile_constant_stream_stays_exact():
+    """A constant stream must return the constant at every count —
+    including through the 5-sample switchover into the sketch, where
+    the parabolic interpolation sees zero-width marker gaps."""
+    for n_total in (3, 5, 6, 100):
+        q = P2Quantile(0.5)
+        for _ in range(n_total):
+            q.update(7.25)
+            assert q.value == 7.25
+        assert q.count == n_total
+
+
+def test_p2_quantile_constant_then_shift_recovers():
+    """After a long constant prefix the sketch still tracks a changed
+    stream instead of dividing by zero on collapsed markers."""
+    q = P2Quantile(0.5)
+    for _ in range(50):
+        q.update(1.0)
+    rng = np.random.default_rng(3)
+    tail = rng.normal(10.0, 0.5, 500)
+    for x in tail:
+        q.update(float(x))
+    assert np.isfinite(q.value)
+    # The estimate has clearly left the old constant toward the new mode.
+    assert q.value > 5.0

@@ -1,0 +1,170 @@
+"""Wide events: tail-sampling policy, JSONL persistence, exemplars.
+
+The sampling policy is precedence-ordered (reject > slow > alert >
+head-sampled accept) and decided *after* the outcome is known — that is
+what makes it tail sampling.  The recorder also feeds histogram
+exemplars: a kept event's trace id rides on the latency observation and
+surfaces in the Prometheus exposition as an OpenMetrics exemplar.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    WideEvent,
+    WideEventRecorder,
+    parse_prometheus,
+    prometheus_exposition,
+    read_jsonl,
+)
+from repro.server.metrics import MetricsRegistry
+
+
+def _event(decision="accept", duration_s=0.01, request_id="r1", **kw):
+    return WideEvent(
+        request_id=request_id,
+        trace_id=kw.pop("trace_id", "t-" + request_id),
+        claimed_speaker=kw.pop("claimed_speaker", "alice"),
+        mode=kw.pop("mode", "cascade"),
+        decision=decision,
+        duration_s=duration_s,
+        **kw,
+    )
+
+
+def test_rejections_are_always_kept():
+    recorder = WideEventRecorder(head_rate=1000)
+    for i in range(20):
+        reason = recorder.record(_event("reject", request_id=f"r{i}"))
+        assert reason == "reject"
+    assert recorder.stats()["kept"] == 20
+
+
+def test_slow_requests_are_kept_even_when_accepted():
+    recorder = WideEventRecorder(slow_threshold_s=0.25, head_rate=1000)
+    assert recorder.record(_event("accept", duration_s=0.3)) == "slow"
+    # Precedence: a slow rejection reports "reject".
+    assert recorder.record(_event("reject", duration_s=0.3)) == "reject"
+
+
+def test_alert_probe_keeps_surrounding_traffic():
+    alerting = [False]
+    recorder = WideEventRecorder(head_rate=1000, alert_probe=lambda: alerting[0])
+    # The very first accept is head-sampled (1-in-N starts at zero).
+    assert recorder.record(_event("accept")) == "head"
+    assert recorder.record(_event("accept")) is None
+    alerting[0] = True
+    assert recorder.record(_event("accept")) == "alert"
+    alerting[0] = False
+    assert recorder.record(_event("accept")) is None
+
+
+def test_healthy_accepts_are_head_sampled_one_in_n():
+    recorder = WideEventRecorder(head_rate=10)
+    reasons = [
+        recorder.record(_event("accept", request_id=f"r{i}")) for i in range(40)
+    ]
+    kept = [i for i, r in enumerate(reasons) if r == "head"]
+    assert len(kept) == 4  # 1-in-10 of 40, counted over seen traffic
+    stats = recorder.stats()
+    assert stats["seen"] == 40 and stats["kept"] == 4
+    assert stats["reasons"] == {"head": 4}
+    assert stats["kept_ratio"] == pytest.approx(0.1)
+
+
+def test_recent_ring_is_bounded_and_newest_last():
+    recorder = WideEventRecorder(ring_size=5)
+    for i in range(12):
+        recorder.record(_event("reject", request_id=f"r{i}"))
+    recent = recorder.recent(3)
+    assert [e.request_id for e in recent] == ["r9", "r10", "r11"]
+    assert len(recorder.recent(100)) == 5
+
+
+def test_kept_events_persist_as_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with WideEventRecorder(path=path, head_rate=1000) as recorder:
+        recorder.record(_event("reject", request_id="bad"))
+        recorder.record(_event("accept", request_id="fine"))  # dropped
+        recorder.record(_event("accept", duration_s=0.5, request_id="slow"))
+    rows = read_jsonl(path)
+    assert [r["request_id"] for r in rows] == ["bad", "slow"]
+    assert rows[0]["keep_reason"] == "reject"
+    assert rows[1]["keep_reason"] == "slow"
+    # Every row is full-fidelity: the whole wide event round-trips.
+    assert set(rows[0]) == set(_event().to_dict())
+
+
+def test_to_dict_is_json_ready():
+    event = _event(
+        "reject",
+        stage_scores={"identity": 1.5},
+        stage_statuses={"identity": "pass", "soundfield": "reject"},
+        early_exit_stage="soundfield",
+        shard_id=2,
+    )
+    row = json.loads(json.dumps(event.to_dict()))
+    assert row["stage_scores"] == {"identity": 1.5}
+    assert row["early_exit_stage"] == "soundfield"
+    assert row["shard_id"] == 2
+
+
+def test_from_record_row_parses_decision_provenance():
+    row = {
+        "request_id": "req-9",
+        "trace_id": "trace-9",
+        "claimed_speaker": "alice",
+        "mode": "cascade",
+        "decision": "reject",
+        "early_exit_stage": "soundfield",
+        "stages": [
+            {"name": "distance", "score": 0.01, "status": "pass"},
+            {"name": "soundfield", "score": -3.2, "status": "reject"},
+            {"name": "magnetic", "score": None, "status": "skipped"},
+        ],
+    }
+    event = WideEvent.from_record_row(row, duration_s=0.04, shard_id=1)
+    assert event.request_id == "req-9"
+    assert event.claimed_speaker == "alice"
+    assert event.shard_id == 1
+    assert event.duration_s == 0.04
+    assert event.stage_scores == {"distance": 0.01, "soundfield": -3.2}
+    assert event.stage_statuses["magnetic"] == "skipped"
+    assert event.early_exit_stage == "soundfield"
+
+
+def test_from_record_row_tolerates_missing_fields():
+    event = WideEvent.from_record_row({}, duration_s=0.0)
+    assert event.claimed_speaker is None
+    assert event.early_exit_stage is None
+    assert event.stage_scores == {}
+
+
+def test_exemplar_flows_into_the_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.observe("total_s", 0.012, exemplar="trace-abc")
+    registry.observe("total_s", 0.020)
+    text = prometheus_exposition(registry)
+    exemplar_lines = [
+        line
+        for line in text.splitlines()
+        if "_bucket" in line and '# {trace_id="trace-abc"}' in line
+    ]
+    assert exemplar_lines, text
+    # The parser tolerates (strips) exemplars and still reads the value.
+    parsed = parse_prometheus(text)
+    assert parsed["repro_total_s_count"][""] == 2.0
+
+
+def test_recorder_validation():
+    for bad in (
+        {"slow_threshold_s": 0.0},
+        {"head_rate": 0},
+        {"ring_size": 0},
+    ):
+        with pytest.raises(ConfigurationError):
+            WideEventRecorder(**bad)

@@ -1,0 +1,201 @@
+"""Exporter hardening: escaping round-trips and crash-safe JSONL.
+
+The ISSUE-9 satellite pins: Prometheus label-value escaping survives
+adversarial exemplar labels, every exported series carries HELP/TYPE,
+``parse_prometheus`` inverts ``prometheus_exposition`` including bucket
+and exemplar lines, and the rotating JSONL writer self-heals a torn
+tail left by a crash mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    JsonlRotatingWriter,
+    escape_label_value,
+    parse_prometheus,
+    prometheus_exposition,
+    read_jsonl,
+    unescape_label_value,
+)
+from repro.obs.exporters import _strip_exemplar
+from repro.server.metrics import LATENCY_BUCKET_BOUNDS_S, MetricsRegistry
+
+ADVERSARIAL_LABELS = (
+    'plain',
+    'with "quotes"',
+    "back\\slash",
+    "new\nline",
+    'all \\ of "them"\ntogether',
+    '\\"',
+    "trailing backslash\\",
+    "hash # inside",
+)
+
+
+@pytest.mark.parametrize("value", ADVERSARIAL_LABELS)
+def test_label_value_escaping_round_trips(value):
+    escaped = escape_label_value(value)
+    assert "\n" not in escaped  # the exposition stays line-oriented
+    assert unescape_label_value(escaped) == value
+
+
+def test_every_series_declares_help_and_type():
+    registry = MetricsRegistry()
+    registry.increment("requests_completed")
+    registry.observe("total_s", 0.02)
+    text = prometheus_exposition(registry)
+    declared = {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE")
+    }
+    sampled = set()
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        sampled.add(name)
+    for name in sampled:
+        # A summary's _sum/_count/quantile samples are declared under
+        # the family name; everything else is declared as itself.
+        family = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                family = name[: -len(suffix)]
+        assert family in declared, name
+    help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+    assert len(help_lines) == len(declared)
+
+
+def test_exposition_round_trips_through_the_parser():
+    registry = MetricsRegistry()
+    for i in range(20):
+        registry.increment("requests_completed")
+        registry.observe("total_s", 0.001 * (i + 1))
+    registry.increment("rejected", by=3)
+    parsed = parse_prometheus(prometheus_exposition(registry))
+    assert parsed["repro_requests_completed_total"][""] == 20.0
+    assert parsed["repro_rejected_total"][""] == 3.0
+    assert parsed["repro_total_s_count"][""] == 20.0
+    assert parsed["repro_total_s_sum"][""] == pytest.approx(0.21)
+    assert '{quantile="0.5"}' in parsed["repro_total_s"]
+    assert parsed["repro_uptime_seconds"][""] >= 0.0
+
+
+def test_bucket_lines_are_cumulative_and_end_at_inf():
+    registry = MetricsRegistry()
+    # One observation per bucket bound (just below it), plus one huge.
+    for bound in LATENCY_BUCKET_BOUNDS_S:
+        registry.observe("total_s", bound * 0.99)
+    registry.observe("total_s", 1e9)
+    parsed = parse_prometheus(prometheus_exposition(registry))
+    buckets = parsed["repro_total_s_bucket"]
+    values = list(buckets.values())
+    assert values == sorted(values)  # cumulative => monotone
+    inf_key = '{le="+Inf"}'
+    assert inf_key in buckets
+    assert buckets[inf_key] == len(LATENCY_BUCKET_BOUNDS_S) + 1.0
+
+
+def test_adversarial_exemplar_labels_survive_exposition():
+    for label in ADVERSARIAL_LABELS:
+        registry = MetricsRegistry()
+        registry.observe("total_s", 0.003, exemplar=label)
+        text = prometheus_exposition(registry)
+        # The parser must still read every sample (exemplars stripped).
+        parsed = parse_prometheus(text)
+        assert parsed["repro_total_s_count"][""] == 1.0
+        # And the exemplar label itself round-trips through the escape.
+        exemplar_line = next(
+            l for l in text.splitlines() if " # {trace_id=" in l
+        )
+        raw = exemplar_line.split('trace_id="', 1)[1]
+        raw = raw[: raw.rindex('"}')]
+        assert unescape_label_value(raw) == label
+
+
+def test_strip_exemplar_is_quote_aware():
+    line = 'm_bucket{le="0.005",id="has # hash"} 3 # {trace_id="t"} 0.001 1.0'
+    assert (
+        _strip_exemplar(line) == 'm_bucket{le="0.005",id="has # hash"} 3'
+    )
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("metric_without_value\n")
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("metric nan_is_fine_but_this_is_not a\n")
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("bad name 1.0\n")
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe JSONL
+# ---------------------------------------------------------------------------
+
+
+def test_writer_heals_a_torn_tail_on_reopen(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlRotatingWriter(path) as writer:
+        writer.write({"seq": 1})
+        writer.write({"seq": 2})
+    # Simulate a crash mid-write: a partial JSON fragment, no newline.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"seq": 3, "truncat')
+    # Reopening drops the torn fragment (it was never durable); new
+    # rows start clean and the file is valid JSONL end-to-end.
+    with JsonlRotatingWriter(path) as writer:
+        writer.write({"seq": 4})
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    assert raw_lines[-1] == json.dumps({"seq": 4}, sort_keys=True)
+    rows = read_jsonl(path)
+    assert [r["seq"] for r in rows] == [1, 2, 4]
+
+
+def test_read_jsonl_skips_only_a_truncated_trailing_line(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n{"b": 2}\n{"c": 3, "torn', encoding="utf-8")
+    assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+
+def test_read_jsonl_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\nGARBAGE\n{"b": 2}\n', encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path)
+
+
+def test_heal_drops_the_fragment_even_with_no_complete_lines(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"never finis', encoding="utf-8")
+    with JsonlRotatingWriter(path) as writer:
+        writer.write({"a": 1})
+    assert read_jsonl(path) == [{"a": 1}]
+
+
+def test_rotation_keeps_bounded_backups(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with JsonlRotatingWriter(path, max_bytes=64, backups=2) as writer:
+        for i in range(50):
+            writer.write({"i": i})
+    assert path.exists()
+    assert path.with_name("log.jsonl.1").exists()
+    assert path.with_name("log.jsonl.2").exists()
+    assert not path.with_name("log.jsonl.3").exists()
+    # The newest rows are in the live file, in order.
+    rows = read_jsonl(path)
+    assert rows == sorted(rows, key=lambda r: r["i"])
+    assert rows[-1]["i"] == 49
+
+
+def test_writer_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        JsonlRotatingWriter(tmp_path / "x.jsonl", max_bytes=0)
+    with pytest.raises(ConfigurationError):
+        JsonlRotatingWriter(tmp_path / "x.jsonl", backups=-1)

@@ -1,0 +1,143 @@
+"""Statistical profiler: sampling, collapsed stacks, stage attribution.
+
+The sampler must (a) see a busy thread's stack under its real function
+names, (b) attribute samples to the cascade stage the thread was
+serving via the :func:`~repro.core.cascade.stage_scope` hook it
+registers, and (c) leave zero global state behind after ``stop()`` —
+an idle process pays nothing, which is what the <5% overhead gate in
+``benchmarks/test_obs_tier.py`` relies on.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.cascade import (
+    _STAGE_HOOKS,
+    register_stage_hook,
+    stage_scope,
+    unregister_stage_hook,
+)
+from repro.errors import ConfigurationError
+from repro.obs import StackSampler
+from repro.obs.profiler import _ACTIVE_STAGES, _stage_hook, collapse_frame
+
+
+def _spin_with_a_recognizable_name(duration_s: float) -> int:
+    total = 0
+    deadline = time.monotonic() + duration_s
+    while time.monotonic() < deadline:
+        total += sum(range(200))
+    return total
+
+
+def test_sampler_sees_a_busy_thread():
+    with StackSampler(interval_s=0.001) as sampler:
+        _spin_with_a_recognizable_name(0.2)
+    assert sampler.samples > 10
+    collapsed = sampler.collapsed()
+    assert "_spin_with_a_recognizable_name" in collapsed
+    # flamegraph.pl format: "frame;frame;... count" per line.
+    line = next(
+        l for l in collapsed.splitlines()
+        if "_spin_with_a_recognizable_name" in l
+    )
+    stack, count = line.rsplit(" ", 1)
+    assert int(count) >= 1
+    assert ";" in stack and ":" in stack
+
+
+def test_stage_attribution_prefixes_samples():
+    with StackSampler(interval_s=0.001) as sampler:
+        with stage_scope("identity"):
+            _spin_with_a_recognizable_name(0.15)
+        with stage_scope("soundfield"):
+            _spin_with_a_recognizable_name(0.05)
+    report = sampler.stage_report()
+    assert set(report) == {"identity", "soundfield"}
+    assert report["identity"]["samples"] >= 1
+    shares = [row["share"] for row in report.values()]
+    assert sum(shares) == pytest.approx(1.0)
+    # identity got ~3x the wall time, so it must dominate.
+    assert report["identity"]["share"] > report["soundfield"]["share"]
+    assert "stage:identity;" in sampler.collapsed()
+
+
+def test_stage_marks_nest_and_restore():
+    register_stage_hook(_stage_hook)
+    try:
+        ident = threading.get_ident()
+        assert ident not in _ACTIVE_STAGES
+        with stage_scope("outer"):
+            assert _ACTIVE_STAGES[ident] == "outer"
+            with stage_scope("inner"):
+                assert _ACTIVE_STAGES[ident] == "inner"
+            assert _ACTIVE_STAGES[ident] == "outer"
+        assert ident not in _ACTIVE_STAGES
+    finally:
+        unregister_stage_hook(_stage_hook)
+
+
+def test_stop_unregisters_the_hook_and_clears_state():
+    before = list(_STAGE_HOOKS)
+    sampler = StackSampler(interval_s=0.001)
+    sampler.start()
+    assert _stage_hook in _STAGE_HOOKS
+    sampler.stop()
+    assert list(_STAGE_HOOKS) == before
+    # With no sampler running, stage_scope is the shared no-op and the
+    # stage map stays untouched.
+    with stage_scope("identity"):
+        assert threading.get_ident() not in _ACTIVE_STAGES
+    # stop() is idempotent.
+    sampler.stop()
+
+
+def test_sampler_skips_its_own_thread():
+    with StackSampler(interval_s=0.001) as sampler:
+        _spin_with_a_recognizable_name(0.1)
+    assert "profiler:_sample_once" not in sampler.collapsed()
+    assert "profiler:_run" not in sampler.collapsed()
+
+
+def test_collapse_frame_renders_outermost_first():
+    frame = sys._getframe()
+    collapsed = collapse_frame(frame, max_depth=48)
+    parts = collapsed.split(";")
+    assert parts[-1].endswith(":test_collapse_frame_renders_outermost_first")
+    # Depth bound: a single-frame render keeps only the innermost.
+    shallow = collapse_frame(frame, max_depth=1)
+    assert shallow == parts[-1]
+    assert collapse_frame(None, max_depth=4) == ""
+
+
+def test_snapshot_shape_and_double_start():
+    sampler = StackSampler(interval_s=0.001)
+    with sampler:
+        with pytest.raises(ConfigurationError):
+            sampler.start()
+        _spin_with_a_recognizable_name(0.05)
+    snap = sampler.snapshot()
+    assert set(snap) == {"samples", "interval_s", "stacks", "stages"}
+    assert snap["samples"] == sampler.samples
+    assert snap["interval_s"] == 0.001
+    assert isinstance(snap["stacks"], dict) and snap["stacks"]
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        StackSampler(interval_s=0.0)
+    with pytest.raises(ConfigurationError):
+        StackSampler(max_depth=0)
+
+
+def test_collapsed_counts_are_stable_sorted():
+    with StackSampler(interval_s=0.001) as sampler:
+        _spin_with_a_recognizable_name(0.1)
+    lines = sampler.collapsed().splitlines()
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts, reverse=True)

@@ -220,3 +220,105 @@ def test_telemetry_scrape_bypasses_the_request_queue(small_world):
         response = gateway.submit(encode_telemetry_request(("summary",)))
         assert response.done()  # resolved synchronously at submit time
         assert frame_kind(response.result()) == KIND_TELEMETRY_RESPONSE
+
+
+def test_scrape_includes_slo_abuse_and_events_sections(
+    small_world, world_user, world_genuine_capture, world_replay_capture
+):
+    with Gateway(small_world.system, GatewayConfig()) as gateway:
+        for _ in range(3):
+            gateway.handle(encode_request(world_genuine_capture, world_user))
+        gateway.handle(encode_request(world_replay_capture, world_user))
+        client = MobileClient(gateway)
+        telemetry = client.scrape_metrics(("summary", "slo", "abuse", "events"))
+    slo = telemetry["slo"]
+    assert set(slo) == {"latency", "availability", "errors"}
+    for status in slo.values():
+        severities = [row["severity"] for row in status["windows"]]
+        assert severities == ["page", "ticket"]
+    # Four clean requests: no SLO alert, no abuse flag.
+    assert all(status["alerting"] == [] for status in slo.values())
+    abuse = telemetry["abuse"]
+    assert abuse["flagged_speakers"] == []
+    assert abuse["tracked_speakers"] == 1  # one claimed speaker seen
+    events = telemetry["events"]
+    assert events["seen"] == 4
+    # Tail sampling kept the rejection (and possibly a head sample).
+    kept_reasons = {e["keep_reason"] for e in events["recent"]}
+    assert "reject" in kept_reasons
+    rejected = next(
+        e for e in events["recent"] if e["keep_reason"] == "reject"
+    )
+    assert rejected["decision"] == "reject"
+    assert rejected["claimed_speaker"] == world_user
+    assert rejected["duration_s"] > 0.0
+
+
+def test_latency_slo_counters_cover_every_completed_request(
+    small_world, world_user, world_genuine_capture
+):
+    with Gateway(small_world.system, GatewayConfig()) as gateway:
+        for _ in range(5):
+            gateway.handle(encode_request(world_genuine_capture, world_user))
+        good = gateway.metrics.counter("slo_latency_good")
+        bad = gateway.metrics.counter("slo_latency_bad")
+        completed = gateway.metrics.counter("requests_completed")
+    assert good + bad == completed == 5
+
+
+def test_served_exemplar_links_latency_bucket_to_a_kept_event(
+    small_world, world_user, world_replay_capture
+):
+    """A rejected request is tail-kept, so its id rides the total_s
+    histogram as an OpenMetrics exemplar in the exposition."""
+    with Gateway(small_world.system, GatewayConfig()) as gateway:
+        gateway.handle(
+            encode_request(
+                world_replay_capture, world_user, request_id="exemplar-req"
+            )
+        )
+        client = MobileClient(gateway)
+        telemetry = client.scrape_metrics(("prometheus",))
+    exposition = telemetry["prometheus"]
+    exemplar_lines = [
+        line
+        for line in exposition.splitlines()
+        if "repro_total_s_bucket" in line and "# {trace_id=" in line
+    ]
+    assert exemplar_lines, exposition
+    assert any("exemplar-req" in line for line in exemplar_lines)
+
+
+def test_sharded_scrape_carries_the_operational_sections(
+    small_world, world_user, world_genuine_capture, world_replay_capture
+):
+    """Sharded serving surfaces the same telemetry sections; wide
+    events are rebuilt from the shards' decision-record rows (no extra
+    cross-process message) and carry the owning shard id."""
+    from repro.server import ShardedGateway
+
+    config = GatewayConfig(shards=1)
+    with ShardedGateway(small_world.system, config) as gateway:
+        for _ in range(2):
+            gateway.handle(encode_request(world_genuine_capture, world_user))
+        gateway.handle(encode_request(world_replay_capture, world_user))
+        client = MobileClient(gateway)
+        telemetry = client.scrape_metrics(("summary", "slo", "abuse", "events"))
+    assert set(telemetry["slo"]) == {"latency", "availability", "errors"}
+    assert telemetry["abuse"]["tracked_speakers"] == 1
+    events = telemetry["events"]
+    assert events["seen"] == 3
+    rejected = next(
+        e for e in events["recent"] if e["keep_reason"] == "reject"
+    )
+    assert rejected["shard_id"] == 0
+    assert rejected["claimed_speaker"] == world_user
+    # The latency SLO counters live shard-side and arrive via the
+    # metrics merge: every completed request is counted exactly once.
+    summary = telemetry["summary"]
+    counters = summary["counters"]
+    assert (
+        counters.get("slo_latency_good", 0) + counters.get("slo_latency_bad", 0)
+        == counters["requests_completed"]
+        == 3
+    )

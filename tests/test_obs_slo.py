@@ -1,0 +1,188 @@
+"""SLO burn-rate engine: math, alert policy, and shard-merge parity.
+
+Everything runs on pinned monotonic-domain timestamps (``at=`` on the
+counter increments, ``now=`` on the evaluation) so the burn rates are
+exact fractions, and the headline ISSUE-9 pin — *a single registry that
+saw every event and a merged N-shard registry produce identical
+alerts* — is asserted bitwise, not approximately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOEngine,
+    SLObjective,
+    default_objectives,
+)
+from repro.server.metrics import MetricsRegistry
+
+#: One objective over simple counters, used by most tests: 99% of
+#: requests must be good => a 1% error budget, so burn = error_ratio x 100.
+SIMPLE = SLObjective(
+    name="simple",
+    objective=0.99,
+    bad_counters=("bad",),
+    total_counters=("good", "bad"),
+)
+
+#: A single fast window pair so tests control both horizons exactly.
+FAST = (BurnWindow(short_s=60.0, long_s=600.0, threshold=10.0, severity="page"),)
+
+
+def _feed(registry, name, times, now_base=0.0):
+    for t in times:
+        registry.increment(name, at=now_base + t)
+
+
+def test_burn_rate_is_error_ratio_over_budget():
+    registry = MetricsRegistry()
+    # 10 bad / 50 total inside the short window => ratio 0.2, budget
+    # 0.01, burn 20.0 — double the 10x threshold, so comfortably firing.
+    _feed(registry, "good", [1000.0 + i for i in range(40)])
+    _feed(registry, "bad", [1000.0 + i for i in range(10)])
+    engine = SLOEngine(objectives=(SIMPLE,), windows=FAST)
+    status = engine.evaluate(registry, now=1060.0)["simple"]
+    row = status["windows"][0]
+    assert row["short_burn"] == pytest.approx(20.0)
+    assert row["long_burn"] == pytest.approx(20.0)
+    assert row["alerting"] is True
+    assert status["alerting"] == ["page"]
+
+
+def test_alert_needs_short_and_long_window_together():
+    registry = MetricsRegistry()
+    # An old burst of errors: still inside the 600 s long window but
+    # outside the 60 s short window => no alert (the spike has passed).
+    _feed(registry, "bad", [100.0 + i for i in range(10)])
+    _feed(registry, "good", [100.0 + i for i in range(10)])
+    _feed(registry, "good", [600.0 + i for i in range(50)])
+    engine = SLOEngine(objectives=(SIMPLE,), windows=FAST)
+    status = engine.evaluate(registry, now=660.0)["simple"]
+    row = status["windows"][0]
+    assert row["long_burn"] >= 10.0
+    assert row["short_burn"] == 0.0
+    assert row["alerting"] is False
+    assert status["alerting"] == []
+    assert engine.alerts(registry, now=660.0) == []
+
+
+def test_fresh_spike_alerts_both_windows():
+    registry = MetricsRegistry()
+    # Sustained failure: bad events throughout the long window including
+    # the short window => both burns high => alert.
+    _feed(registry, "bad", [float(i * 10) for i in range(60)])
+    engine = SLOEngine(objectives=(SIMPLE,), windows=FAST)
+    status = engine.evaluate(registry, now=600.0)["simple"]
+    row = status["windows"][0]
+    assert row["short_burn"] == pytest.approx(100.0)
+    assert row["long_burn"] == pytest.approx(100.0)
+    assert status["alerting"] == ["page"]
+    alerts = engine.alerts(registry, now=600.0)
+    assert len(alerts) == 1 and alerts[0].startswith("page: simple burning")
+
+
+def test_no_traffic_means_no_burn():
+    registry = MetricsRegistry()
+    engine = SLOEngine(objectives=(SIMPLE,), windows=FAST)
+    status = engine.evaluate(registry, now=100.0)["simple"]
+    assert status["windows"][0]["short_burn"] == 0.0
+    assert status["windows"][0]["long_burn"] == 0.0
+    assert status["alerting"] == []
+
+
+def test_bad_counters_pool_across_failure_modes():
+    registry = MetricsRegistry()
+    pooled = SLObjective(
+        name="pooled",
+        objective=0.99,
+        bad_counters=("bad_a", "bad_b"),
+        total_counters=("good", "bad_a", "bad_b"),
+    )
+    _feed(registry, "good", [50.0 + i for i in range(48)])
+    _feed(registry, "bad_a", [50.0, 51.0])
+    _feed(registry, "bad_b", [52.0])
+    engine = SLOEngine(objectives=(pooled,), windows=FAST)
+    row = engine.evaluate(registry, now=100.0)["pooled"]["windows"][0]
+    # 3 bad / 51 total over a 1% budget.
+    assert row["short_burn"] == pytest.approx((3 / 51) / 0.01)
+
+
+def test_default_objectives_cover_the_gateway_counters():
+    names = {o.name for o in default_objectives()}
+    assert names == {"latency", "availability", "errors"}
+    latency = next(o for o in default_objectives() if o.name == "latency")
+    assert latency.bad_counters == ("slo_latency_bad",)
+    assert set(latency.total_counters) == {"slo_latency_good", "slo_latency_bad"}
+    # The stock engine uses the SRE-workbook window pairs.
+    assert SLOEngine().windows == DEFAULT_WINDOWS
+    assert [w.severity for w in DEFAULT_WINDOWS] == ["page", "ticket"]
+
+
+def test_merged_shards_alert_identically_to_single_registry():
+    """The ISSUE-9 parity pin: N shard registries merged into a parent
+    produce bit-identical burn rates and alerts to one registry that saw
+    every event — for a healthy, a degraded, and an idle traffic mix."""
+    single = MetricsRegistry()
+    shards = [MetricsRegistry() for _ in range(3)]
+    parent = MetricsRegistry()
+    # Interleave traffic across shards: shard i gets every 3rd event.
+    events = []
+    for i in range(90):
+        name = "bad" if i % 9 == 0 else "good"
+        events.append((name, 1000.0 + i * 2.0))
+    for i, (name, at) in enumerate(events):
+        single.increment(name, at=at)
+        shards[i % 3].increment(name, at=at)
+    for shard in shards:
+        parent.merge_snapshot(shard.snapshot())
+    engine = SLOEngine(objectives=(SIMPLE,), windows=DEFAULT_WINDOWS)
+    now = 1200.0
+    assert engine.evaluate(parent, now=now) == engine.evaluate(single, now=now)
+    assert engine.alerts(parent, now=now) == engine.alerts(single, now=now)
+    # Spot-check the numbers are real (not trivially all-zero).
+    page = engine.evaluate(single, now=now)["simple"]["windows"][0]
+    assert page["short_burn"] > 0.0
+
+
+def test_merge_parity_holds_under_alerting_burn():
+    single = MetricsRegistry()
+    shards = [MetricsRegistry() for _ in range(2)]
+    parent = MetricsRegistry()
+    for i in range(40):
+        at = 500.0 + i
+        single.increment("bad", at=at)
+        shards[i % 2].increment("bad", at=at)
+    for shard in shards:
+        parent.merge_snapshot(shard.snapshot())
+    engine = SLOEngine(objectives=(SIMPLE,), windows=FAST)
+    report_a = engine.evaluate(single, now=540.0)
+    report_b = engine.evaluate(parent, now=540.0)
+    assert report_a == report_b
+    assert report_a["simple"]["alerting"] == ["page"]
+
+
+def test_burn_window_validation():
+    for bad in (
+        {"short_s": 0.0, "long_s": 10.0, "threshold": 1.0, "severity": "page"},
+        {"short_s": 10.0, "long_s": 0.0, "threshold": 1.0, "severity": "page"},
+        {"short_s": 20.0, "long_s": 10.0, "threshold": 1.0, "severity": "page"},
+        {"short_s": 10.0, "long_s": 20.0, "threshold": 0.0, "severity": "page"},
+    ):
+        with pytest.raises(ConfigurationError):
+            BurnWindow(**bad)
+
+
+def test_objective_validation():
+    with pytest.raises(ConfigurationError):
+        SLObjective("x", 1.0, ("bad",), ("total",))
+    with pytest.raises(ConfigurationError):
+        SLObjective("x", 0.0, ("bad",), ("total",))
+    with pytest.raises(ConfigurationError):
+        SLObjective("x", 0.99, (), ("total",))
+    with pytest.raises(ConfigurationError):
+        SLObjective("x", 0.99, ("bad",), ())
