@@ -1,0 +1,436 @@
+"""Project-wide call graph: module index, qualified names, call resolution.
+
+The interprocedural rules (``taint-flow``) need to follow a value from a
+DSP kernel through the pipeline into a serving-layer verdict.  This
+module builds the structure they walk:
+
+- every function/method in the tree gets a stable qualified name,
+  ``<relpath>::<qualpath>`` (``server/gateway.py::Gateway._process``);
+- imports are resolved to project modules or recorded as *external*
+  dotted names (``np`` → ``numpy``), so a call site can be classified
+  precisely even through aliases;
+- attribute types are recovered from class-level annotations
+  (``distance: DistanceVerifier``) and ``self.attr = ClassName(...)``
+  constructor assignments, which is what makes ``self.distance.verify()``
+  resolvable;
+- method lookup walks resolvable base classes, and the whole graph is
+  cycle-safe: recursion shows up as a back-edge, never as infinite
+  traversal (the engines on top run to a fixpoint).
+
+The graph is *static and approximate* by design: dynamic dispatch
+through registries or callables stored in containers resolves to
+``None`` and the analyses treat such calls conservatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.engine import _SKIP_DIRS
+
+#: Import-map entry kinds.
+_KIND_MODULE = "mod"  # a project module (value: relpath)
+_KIND_OBJECT = "obj"  # a project function/class (value: qname)
+_KIND_EXTERNAL = "ext"  # anything else (value: external dotted name)
+
+
+@dataclass(frozen=True)
+class ImportTarget:
+    kind: str
+    value: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project tree."""
+
+    qname: str  #: ``relpath::qualpath``
+    relpath: str
+    qualpath: str  #: ``fn`` or ``Class.method``
+    cls: Optional[str]
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def param_names(self) -> List[str]:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        names.extend(p.arg for p in a.kwonlyargs)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    qname: str  #: ``relpath::ClassName``
+    relpath: str
+    name: str
+    node: ast.ClassDef
+    #: attr name -> class qname, from annotations / ctor assignments.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: base-class qnames that resolved inside the project.
+    bases: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    relpath: str
+    tree: ast.Module
+    #: local name -> import target.
+    imports: Dict[str, ImportTarget] = field(default_factory=dict)
+    #: local class name -> class qname.
+    classes: Dict[str, str] = field(default_factory=dict)
+    #: local qualpath -> function qname.
+    functions: Dict[str, str] = field(default_factory=dict)
+
+
+def attr_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _module_dotted_to_relpath(
+    dotted: str, index: Mapping[str, "ModuleInfo"]
+) -> Optional[str]:
+    """Map ``repro.asv.scoring`` to ``asv/scoring.py`` if it exists."""
+    parts = dotted.split(".")
+    for start in (1, 0) if parts and parts[0] == "repro" else (0,):
+        trimmed = parts[start:]
+        if not trimmed:
+            continue
+        base = "/".join(trimmed)
+        for cand in (base + ".py", base + "/__init__.py"):
+            if cand in index:
+                return cand
+    return None
+
+
+class CallGraph:
+    """The resolved project structure (see module docstring)."""
+
+    def __init__(self, anchor: Path) -> None:
+        self.anchor = anchor
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, anchor: Path, files: Sequence[Path]) -> "CallGraph":
+        graph = cls(anchor)
+        parsed: List[Tuple[str, ast.Module]] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8-sig")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, OSError, UnicodeDecodeError):
+                continue
+            try:
+                rel = str(path.relative_to(anchor)).replace("\\", "/")
+            except ValueError:
+                rel = path.name
+            parsed.append((rel, tree))
+            graph.modules[rel] = ModuleInfo(relpath=rel, tree=tree)
+        # Pass 1: definitions (classes, functions) — so imports in pass 2
+        # can resolve objects regardless of file order.
+        for rel, tree in parsed:
+            graph._index_definitions(rel, tree)
+        for rel, tree in parsed:
+            graph._index_imports(rel, tree)
+        for rel, tree in parsed:
+            graph._index_attr_types(rel, tree)
+        return graph
+
+    def _index_definitions(self, rel: str, tree: ast.Module) -> None:
+        mod = self.modules[rel]
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{rel}::{stmt.name}"
+                self.functions[qname] = FunctionInfo(
+                    qname=qname, relpath=rel, qualpath=stmt.name,
+                    cls=None, node=stmt,
+                )
+                mod.functions[stmt.name] = qname
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qname = f"{rel}::{stmt.name}"
+                self.classes[cls_qname] = ClassInfo(
+                    qname=cls_qname, relpath=rel, name=stmt.name, node=stmt
+                )
+                mod.classes[stmt.name] = cls_qname
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualpath = f"{stmt.name}.{sub.name}"
+                        qname = f"{rel}::{qualpath}"
+                        self.functions[qname] = FunctionInfo(
+                            qname=qname, relpath=rel, qualpath=qualpath,
+                            cls=stmt.name, node=sub,
+                        )
+                        mod.functions[qualpath] = qname
+
+    def _index_imports(self, rel: str, tree: ast.Module) -> None:
+        mod = self.modules[rel]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    dotted = alias.name if alias.asname else alias.name.split(".")[0]
+                    target_rel = _module_dotted_to_relpath(dotted, self.modules)
+                    if target_rel is not None:
+                        mod.imports[local] = ImportTarget(_KIND_MODULE, target_rel)
+                    else:
+                        mod.imports[local] = ImportTarget(_KIND_EXTERNAL, dotted)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = self._resolve_relative(rel, node.level, node.module)
+                else:
+                    base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{base}.{alias.name}" if base else alias.name
+                    target_rel = _module_dotted_to_relpath(dotted, self.modules)
+                    if target_rel is not None:
+                        mod.imports[local] = ImportTarget(_KIND_MODULE, target_rel)
+                        continue
+                    src_rel = _module_dotted_to_relpath(base, self.modules)
+                    if src_rel is not None:
+                        src = self.modules[src_rel]
+                        if alias.name in src.classes:
+                            mod.imports[local] = ImportTarget(
+                                _KIND_OBJECT, src.classes[alias.name]
+                            )
+                            continue
+                        if alias.name in src.functions:
+                            mod.imports[local] = ImportTarget(
+                                _KIND_OBJECT, src.functions[alias.name]
+                            )
+                            continue
+                    mod.imports[local] = ImportTarget(_KIND_EXTERNAL, dotted)
+
+    def _resolve_relative(self, rel: str, level: int, module: Optional[str]) -> str:
+        parts = rel.split("/")[:-1]  # package dirs of this module
+        if parts and parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        parts = parts[: len(parts) - (level - 1)] if level > 1 else parts
+        dotted = ".".join(parts)
+        if module:
+            dotted = f"{dotted}.{module}" if dotted else module
+        return dotted
+
+    def _index_attr_types(self, rel: str, tree: ast.Module) -> None:
+        mod = self.modules[rel]
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            info = self.classes[mod.classes[stmt.name]]
+            info.bases = tuple(
+                b for b in (self._resolve_class_expr(mod, base) for base in stmt.bases)
+                if b is not None
+            )
+            for sub in stmt.body:
+                if isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                    target_cls = self._resolve_annotation(mod, sub.annotation)
+                    if target_cls is not None:
+                        info.attr_types[sub.target.id] = target_cls
+            # self.attr = ClassName(...) in any method body.
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if isinstance(node.value, ast.Call):
+                        target_cls = self._resolve_class_expr(mod, node.value.func)
+                        if target_cls is not None:
+                            info.attr_types.setdefault(target.attr, target_cls)
+
+    def _resolve_class_expr(
+        self, mod: ModuleInfo, expr: ast.expr
+    ) -> Optional[str]:
+        """Class qname a name/attribute expression refers to, if any."""
+        chain = attr_chain(expr)
+        if chain is None:
+            # Subscripted annotations: Optional[X], Dict[str, X] — skip.
+            return None
+        head = chain[0]
+        if len(chain) == 1:
+            if head in mod.classes:
+                return mod.classes[head]
+            tgt = mod.imports.get(head)
+            if tgt is not None and tgt.kind == _KIND_OBJECT and tgt.value in self.classes:
+                return tgt.value
+            return None
+        tgt = mod.imports.get(head)
+        if tgt is not None and tgt.kind == _KIND_MODULE and len(chain) == 2:
+            other = self.modules[tgt.value]
+            return other.classes.get(chain[1])
+        return None
+
+    def _resolve_annotation(self, mod: ModuleInfo, ann: ast.expr) -> Optional[str]:
+        # Unwrap Optional["X"] / string annotations.
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            # Optional[X] → X; other containers are not single-typed.
+            chain = attr_chain(ann.value)
+            if chain and chain[-1] == "Optional":
+                return self._resolve_annotation(mod, ann.slice)
+            return None
+        return self._resolve_class_expr(mod, ann)
+
+    # -- queries -------------------------------------------------------
+    def module(self, relpath: str) -> Optional[ModuleInfo]:
+        return self.modules.get(relpath)
+
+    def external_dotted(
+        self, mod: ModuleInfo, chain: Tuple[str, ...]
+    ) -> Optional[str]:
+        """Full external dotted name of a chain (``np.float32`` →
+        ``numpy.float32``), else None."""
+        tgt = mod.imports.get(chain[0])
+        if tgt is not None and tgt.kind == _KIND_EXTERNAL:
+            return ".".join((tgt.value,) + chain[1:])
+        return None
+
+    def method_on(self, cls_qname: str, name: str) -> Optional[str]:
+        """Method qname on a class, walking resolvable bases (cycle-safe)."""
+        seen = set()
+        stack = [cls_qname]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            info = self.classes.get(cur)
+            if info is None:
+                continue
+            qname = f"{info.relpath}::{info.name}.{name}"
+            if qname in self.functions:
+                return qname
+            stack.extend(info.bases)
+        return None
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Project function qname a call resolves to, else None."""
+        mod = self.modules.get(caller.relpath)
+        if mod is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in mod.functions:
+                return mod.functions[name]
+            if name in mod.classes:
+                return self.method_on(mod.classes[name], "__init__")
+            tgt = mod.imports.get(name)
+            if tgt is not None and tgt.kind == _KIND_OBJECT:
+                if tgt.value in self.functions:
+                    return tgt.value
+                if tgt.value in self.classes:
+                    return self.method_on(tgt.value, "__init__")
+            return None
+        chain = attr_chain(func)
+        if chain is None:
+            return None
+        if chain[0] == "self" and caller.cls is not None:
+            cls_qname = f"{caller.relpath}::{caller.cls}"
+            if len(chain) == 2:
+                return self.method_on(cls_qname, chain[1])
+            if len(chain) == 3:
+                info = self.classes.get(cls_qname)
+                attr_cls = info.attr_types.get(chain[1]) if info else None
+                if attr_cls is not None:
+                    return self.method_on(attr_cls, chain[2])
+            return None
+        tgt = mod.imports.get(chain[0])
+        if tgt is not None and tgt.kind == _KIND_MODULE:
+            other = self.modules[tgt.value]
+            if len(chain) == 2:
+                if chain[1] in other.functions:
+                    return other.functions[chain[1]]
+                if chain[1] in other.classes:
+                    return self.method_on(other.classes[chain[1]], "__init__")
+            elif len(chain) == 3 and chain[1] in other.classes:
+                return self.method_on(other.classes[chain[1]], chain[2])
+        if tgt is not None and tgt.kind == _KIND_OBJECT and tgt.value in self.classes:
+            if len(chain) == 2:
+                return self.method_on(tgt.value, chain[1])
+        return None
+
+    def callees(self, qname: str) -> Tuple[str, ...]:
+        """Resolved project callees of one function (deduplicated)."""
+        info = self.functions.get(qname)
+        if info is None:
+            return ()
+        out: List[str] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                resolved = self.resolve_call(info, node)
+                if resolved is not None and resolved not in out:
+                    out.append(resolved)
+        return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# cached builder
+# ----------------------------------------------------------------------
+_CACHE: Dict[Tuple, CallGraph] = {}
+
+
+def _tree_signature(anchor: Path, files: Sequence[Path]) -> Tuple:
+    sig: List[Tuple[str, int, int]] = []
+    for path in files:
+        try:
+            st = path.stat()
+            sig.append((str(path), st.st_size, st.st_mtime_ns))
+        except OSError:
+            sig.append((str(path), -1, -1))
+    return (str(anchor), tuple(sig))
+
+
+def project_files(anchor: Path) -> List[Path]:
+    files: List[Path] = []
+    for path in sorted(anchor.rglob("*.py")):
+        if any(part in _SKIP_DIRS or part.endswith(".egg-info") for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def build_call_graph(anchor: Path) -> CallGraph:
+    """Build (or fetch the cached) call graph for a project tree."""
+    files = project_files(anchor)
+    key = _tree_signature(anchor, files)
+    graph = _CACHE.get(key)
+    if graph is None:
+        graph = CallGraph.build(anchor, files)
+        if len(_CACHE) >= 8:  # tests churn tmp trees; keep memory bounded
+            _CACHE.clear()
+        _CACHE[key] = graph
+    return graph

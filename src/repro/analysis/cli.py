@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include suppressed findings in the human report",
     )
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help=(
+            "treat bare/unused suppressions as blocking findings "
+            "instead of advisories (the CI setting)"
+        ),
+    )
     return parser
 
 
@@ -89,7 +97,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
 
     try:
-        reports = [run_analysis(Path(p), rule_ids) for p in args.paths]
+        reports = [
+            run_analysis(
+                Path(p), rule_ids, strict_suppressions=args.strict_suppressions
+            )
+            for p in args.paths
+        ]
     except ReproError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return EXIT_ERROR

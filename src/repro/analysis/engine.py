@@ -67,9 +67,18 @@ class ModuleContext:
         return False
 
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
-        """Build a finding, resolving any suppression on its line."""
+        """Build a finding, resolving any suppression on the statement.
+
+        The suppression comment may sit on any line of the flagged
+        statement's header span — the first line, a decorator line, or a
+        continuation line of a multi-line call — not just ``node.lineno``.
+        """
         line = getattr(node, "lineno", 0)
-        supp = self.suppressions.lookup(line, rule)
+        supp = None
+        for cand in _suppression_lines(node):
+            supp = self.suppressions.lookup(cand, rule)
+            if supp is not None:
+                break
         if supp is not None and supp.justification:
             return Finding(
                 rule=rule,
@@ -82,6 +91,30 @@ class ModuleContext:
         # A bare (unjustified) suppression does not silence anything; the
         # engine additionally reports it as its own finding.
         return Finding(rule=rule, path=self.relpath, line=line, message=message)
+
+
+def _suppression_lines(node: ast.AST) -> Iterable[int]:
+    """Candidate lines a suppression for ``node`` may live on.
+
+    ``node.lineno`` first (the historical behaviour), then the rest of
+    the statement span: for ``def``/``class`` that is decorator lines
+    plus the (possibly multi-line) header — *not* the body, so a
+    suppression inside a function never silences a finding on the
+    ``def`` itself; for other nodes it is ``lineno..end_lineno``.
+    """
+    lineno = getattr(node, "lineno", 0)
+    if not lineno:
+        return (0,)
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        start = min([d.lineno for d in node.decorator_list] + [lineno])
+        body_start = node.body[0].lineno if node.body else lineno + 1
+        end = max(lineno, body_start - 1)
+    else:
+        start = lineno
+        end = getattr(node, "end_lineno", None) or lineno
+    span = [lineno]
+    span.extend(n for n in range(start, end + 1) if n != lineno)
+    return span
 
 
 def _is_type_checking_test(test: ast.expr) -> bool:
@@ -124,7 +157,9 @@ def lint_anchor(root: Path) -> Path:
 def load_module(
     path: Path, root: Path, constants: Tuple[PaperConstant, ...]
 ) -> ModuleContext:
-    source = path.read_text(encoding="utf-8")
+    # utf-8-sig: tolerate a BOM (files written by Windows editors) —
+    # a leading U+FEFF would otherwise be a SyntaxError from ast.parse.
+    source = path.read_text(encoding="utf-8-sig")
     tree = ast.parse(source, filename=str(path))
     try:
         rel = str(path.relative_to(root)).replace("\\", "/")
@@ -143,8 +178,15 @@ def load_module(
 def run_analysis(
     root: "Path | str",
     rule_ids: Optional[Sequence[str]] = None,
+    strict_suppressions: bool = False,
 ) -> LintReport:
-    """Run the (selected) rules over every module under ``root``."""
+    """Run the (selected) rules over every module under ``root``.
+
+    ``strict_suppressions`` promotes the suppression-hygiene findings
+    (``bare-suppression``, ``unused-suppression``) from advisory to
+    blocking — the CI setting, so stale escapes fail the build instead
+    of accumulating as debt.
+    """
     # Importing the rules package registers the project rule set.
     import repro.analysis.rules  # noqa: F401  (import-for-effect)
 
@@ -152,6 +194,8 @@ def run_analysis(
     if not root.exists():
         raise ConfigurationError(f"lint root {str(root)!r} does not exist")
     rules: List[Rule] = RULE_REGISTRY.select(rule_ids)
+    selected = frozenset(r.id for r in rules)
+    running_all = rule_ids is None
     anchor = lint_anchor(root)
     constants = load_paper_constants(anchor)
     report = LintReport(rules_run=tuple(r.id for r in rules))
@@ -182,9 +226,17 @@ def run_analysis(
                         "suppression without justification: write "
                         "'# repro: ignore[<rule>]: <why this is safe>'"
                     ),
+                    advisory=not strict_suppressions,
                 )
             )
         for supp in ctx.suppressions.unused():
+            # Under a --rules subset, a suppression for an unselected
+            # rule is legitimately unused in *this* run — only report it
+            # when every rule it names actually ran ("*" counts as "all").
+            if not running_all and not (
+                set(supp.rules) - {"*"} and set(supp.rules) <= selected
+            ):
+                continue
             report.findings.append(
                 Finding(
                     rule="unused-suppression",
@@ -194,6 +246,7 @@ def run_analysis(
                         "suppression matches no finding "
                         f"(rules: {', '.join(supp.rules)}); remove it"
                     ),
+                    advisory=not strict_suppressions,
                 )
             )
     return report

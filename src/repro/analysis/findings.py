@@ -14,6 +14,11 @@ class Finding:
     ``suppressed`` findings were matched by a justified
     ``# repro: ignore[<rule>]`` comment: they do not fail the run but are
     counted in the report, so suppression debt stays visible.
+
+    ``advisory`` findings are reported but do not fail the run either —
+    the suppression-hygiene findings (``bare-suppression``,
+    ``unused-suppression``) are advisory by default and promoted to
+    blocking under ``--strict-suppressions``.
     """
 
     rule: str
@@ -22,6 +27,7 @@ class Finding:
     message: str
     suppressed: bool = False
     justification: str = ""
+    advisory: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -31,10 +37,15 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "justification": self.justification,
+            "advisory": self.advisory,
         }
 
     def render(self) -> str:
-        tag = " (suppressed)" if self.suppressed else ""
+        tag = ""
+        if self.suppressed:
+            tag = " (suppressed)"
+        elif self.advisory:
+            tag = " (advisory)"
         return f"{self.path}:{self.line}: [{self.rule}]{tag} {self.message}"
 
 
@@ -48,18 +59,30 @@ class LintReport:
 
     @property
     def active(self) -> List[Finding]:
-        """Findings that fail the run (not suppressed)."""
-        return [f for f in self.findings if not f.suppressed]
+        """Findings that fail the run (not suppressed, not advisory)."""
+        return [f for f in self.findings if not f.suppressed and not f.advisory]
 
     @property
     def suppressed(self) -> List[Finding]:
         return [f for f in self.findings if f.suppressed]
 
+    @property
+    def advisories(self) -> List[Finding]:
+        """Reported-but-non-blocking findings (suppression hygiene)."""
+        return [f for f in self.findings if f.advisory and not f.suppressed]
+
     def counts_by_rule(self) -> Dict[str, Dict[str, int]]:
         counts: Dict[str, Dict[str, int]] = {}
         for f in self.findings:
-            row = counts.setdefault(f.rule, {"active": 0, "suppressed": 0})
-            row["suppressed" if f.suppressed else "active"] += 1
+            row = counts.setdefault(
+                f.rule, {"active": 0, "suppressed": 0, "advisory": 0}
+            )
+            if f.suppressed:
+                row["suppressed"] += 1
+            elif f.advisory:
+                row["advisory"] += 1
+            else:
+                row["active"] += 1
         return counts
 
     @property
@@ -76,6 +99,7 @@ class LintReport:
             "rules_run": list(self.rules_run),
             "active_findings": len(self.active),
             "suppressed_findings": len(self.suppressed),
+            "advisory_findings": len(self.advisories),
             "counts_by_rule": self.counts_by_rule(),
             "findings": [f.to_dict() for f in ordered],
         }
@@ -87,6 +111,10 @@ class LintReport:
         lines: List[str] = []
         for f in sorted(
             self.active, key=lambda f: (f.path, f.line, f.rule, f.message)
+        ):
+            lines.append(f.render())
+        for f in sorted(
+            self.advisories, key=lambda f: (f.path, f.line, f.rule, f.message)
         ):
             lines.append(f.render())
         if verbose_suppressed:
@@ -107,9 +135,12 @@ class LintReport:
                 if row["suppressed"]
             )
             suppressed_note = f"; {len(self.suppressed)} suppressed ({per_rule})"
+        advisory_note = ""
+        if self.advisories:
+            advisory_note = f"; {len(self.advisories)} advisory"
         return (
             f"repro.analysis: {len(self.active)} finding(s) in "
-            f"{self.files_checked} file(s){suppressed_note}"
+            f"{self.files_checked} file(s){suppressed_note}{advisory_note}"
         )
 
 
@@ -123,6 +154,7 @@ def report_from_dict(row: Mapping[str, object]) -> LintReport:
             message=str(f["message"]),
             suppressed=bool(f.get("suppressed", False)),
             justification=str(f.get("justification", "")),
+            advisory=bool(f.get("advisory", False)),
         )
         for f in row.get("findings", [])  # type: ignore[union-attr]
     ]

@@ -1,0 +1,484 @@
+"""Eraser-style dynamic lockset race detector (armed via ``REPRO_SANITIZE``).
+
+The static ``guarded-by`` rule checks that annotated shared attributes
+are *lexically* accessed under their declared lock.  This module checks
+the same contract *dynamically*, the way Eraser (Savage et al., 1997)
+does, and — critically — cross-checks the annotations themselves
+against what actually happens at runtime, so annotation drift becomes a
+hard failure instead of silently rotting documentation:
+
+- every ``# guarded-by:``-declared lock on a registered instance is
+  wrapped in a :class:`TrackedLock` proxy that maintains a per-thread
+  held set;
+- the instance's class is swapped for a generated recording subclass:
+  attribute reads/writes update the Eraser state machine
+  (Virgin → Exclusive(first thread) → Shared / Shared-Modified) with a
+  per-attribute *candidate lockset* — the intersection of the locks
+  held at every shared-phase access;
+- an **annotated** attribute whose candidate set goes empty after a
+  shared-phase write is a *race* (recorded immediately);
+- at :func:`drain` time, an annotated attribute whose declared lock is
+  not in its observed candidate set is a *stale annotation*, and an
+  unannotated attribute that was consistently protected by one tracked
+  lock under real concurrency is a *missing annotation* — both are
+  findings, because a wrong annotation misleads both the static rule
+  and the next maintainer.
+
+Like :mod:`repro.analysis.sanitize` (whose ``REPRO_SANITIZE`` flag this
+module shares), everything is **off by default**: the production
+``__init__`` hooks call :func:`register`, which is a single flag check
+when disarmed — no subclass generation, no proxies, no overhead.
+
+Limits, by design: instrumentation is per-instance (registration-time
+``__class__`` swap), ``__slots__`` classes are skipped, and findings in
+forked shard children die with the child — the parent-side suites plus
+the shard arming counter cover the fork path.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis import sanitize
+from repro.errors import SanitizerError
+
+__all__ = [
+    "register",
+    "drain",
+    "findings",
+    "assert_clean",
+    "reset",
+    "TrackedLock",
+    "LockFinding",
+    "guarded_annotations",
+]
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?(\w+)")
+
+#: Declarations documented as deliberately lock-free (atomic reads of a
+#: bool/int, staleness acceptable) are exempt from the
+#: missing-annotation drift check.  The marker is the comment wording
+#: already used in the codebase, on the declaration or the line above.
+_LOCK_FREE_RE = re.compile(r"lock-?free", re.IGNORECASE)
+
+#: Attribute names never tracked: instrumentation internals and locks.
+_INFRA_PREFIX = "_lockset"
+
+
+@dataclass(frozen=True)
+class LockFinding:
+    """One dynamic race / annotation-drift observation."""
+
+    kind: str  #: ``race`` | ``stale-annotation`` | ``missing-annotation``
+    cls: str
+    attr: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.cls}.{self.attr}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# annotation parsing (runtime twin of the static rule's collector)
+# ----------------------------------------------------------------------
+_ANNOTATION_CACHE: Dict[type, Tuple[Dict[str, str], FrozenSet[str]]] = {}
+
+
+def _parse_annotations(cls: type) -> Tuple[Dict[str, str], FrozenSet[str]]:
+    """``(attr -> lock-attr, lock-free attrs)`` parsed from ``cls``.
+
+    Both annotation styles are recognised: ``self._x = ...  # guarded-by:
+    _lock`` inside a method and a dataclass-style class-level
+    declaration.  Classes whose source is unavailable (REPL, exec) have
+    no annotations.
+    """
+    cached = _ANNOTATION_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    out: Dict[str, str] = {}
+    lock_free: Set[str] = set()
+    for klass in reversed(cls.__mro__):
+        if klass in (object,):
+            continue
+        try:
+            source = textwrap.dedent(inspect.getsource(klass))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            continue
+        lines = source.splitlines()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            attr: Optional[str] = None
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr = target.attr
+                    break
+                if isinstance(target, ast.Name):
+                    attr = target.id
+                    break
+            if attr is None or not (1 <= node.lineno <= len(lines)):
+                continue
+            decl = lines[node.lineno - 1]
+            above = lines[node.lineno - 2] if node.lineno >= 2 else ""
+            m = _GUARDED_BY_RE.search(decl)
+            if m is not None:
+                out[attr] = m.group(1)
+            elif _LOCK_FREE_RE.search(decl) or (
+                above.lstrip().startswith("#") and _LOCK_FREE_RE.search(above)
+            ):
+                lock_free.add(attr)
+    result = (out, frozenset(lock_free))
+    _ANNOTATION_CACHE[cls] = result
+    return result
+
+
+def guarded_annotations(cls: type) -> Dict[str, str]:
+    """``attr -> lock-attr`` from ``# guarded-by:`` comments on ``cls``."""
+    return _parse_annotations(cls)[0]
+
+
+# ----------------------------------------------------------------------
+# tracked locks
+# ----------------------------------------------------------------------
+class TrackedLock:
+    """Proxy over a real lock that maintains the per-thread held set."""
+
+    def __init__(self, registry: "_Registry", inner: Any, name: str) -> None:
+        self._lockset_registry = registry
+        self._lockset_inner = inner
+        self._lockset_name = name
+
+    @property
+    def name(self) -> str:
+        return self._lockset_name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lockset_inner.acquire(blocking, timeout)
+        if acquired:
+            self._lockset_registry._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._lockset_registry._pop(self)
+        self._lockset_inner.release()
+
+    def locked(self) -> bool:
+        return bool(self._lockset_inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# per-attribute Eraser state
+# ----------------------------------------------------------------------
+@dataclass
+class _AttrState:
+    first_thread: int
+    shared: bool = False
+    modified_shared: bool = False
+    #: None = universe (no shared-phase access yet).
+    candidate: Optional[Set[TrackedLock]] = None
+    raced: bool = False
+    accesses: int = 0
+
+
+@dataclass
+class _InstanceState:
+    cls_name: str
+    #: attr -> declared lock attr name.
+    declared: Dict[str, str]
+    #: lock attr name -> proxy.
+    locks: Dict[str, TrackedLock]
+    #: attrs documented lock-free: exempt from missing-annotation drift.
+    lock_free: FrozenSet[str] = frozenset()
+    attrs: Dict[str, _AttrState] = field(default_factory=dict)
+
+
+class _Registry:
+    """Process-wide detector state (held sets, findings, instances)."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._states: List[_InstanceState] = []  # guarded-by: _lock
+        self._races: List[LockFinding] = []  # guarded-by: _lock
+
+    # -- held-set maintenance -----------------------------------------
+    def _held(self) -> List[TrackedLock]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = []
+        return held
+
+    def _push(self, lock: TrackedLock) -> None:
+        self._held().append(lock)
+
+    def _pop(self, lock: TrackedLock) -> None:
+        held = self._held()
+        # RLocks re-enter; remove the innermost matching acquisition.
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+
+    # -- the state machine --------------------------------------------
+    def _access(self, state: _InstanceState, attr: str, is_write: bool) -> None:
+        tid = threading.get_ident()
+        held = frozenset(self._held())
+        with self._lock:
+            ast_ = state.attrs.get(attr)
+            if ast_ is None:
+                ast_ = state.attrs[attr] = _AttrState(first_thread=tid)
+            ast_.accesses += 1
+            if not ast_.shared:
+                if tid == ast_.first_thread:
+                    return  # Exclusive: single-thread init is exempt
+                ast_.shared = True  # second thread: enter Shared
+            if is_write:
+                ast_.modified_shared = True
+            cand: Set[TrackedLock] = (
+                set(held)
+                if ast_.candidate is None
+                else ast_.candidate & held
+            )
+            ast_.candidate = cand
+            if (
+                ast_.modified_shared
+                and not cand
+                and not ast_.raced
+                and attr in state.declared
+            ):
+                ast_.raced = True
+                self._races.append(
+                    LockFinding(
+                        kind="race",
+                        cls=state.cls_name,
+                        attr=attr,
+                        detail=(
+                            f"shared-phase access with an empty lockset "
+                            f"(declared guarded-by: "
+                            f"{state.declared[attr]})"
+                        ),
+                    )
+                )
+
+    # -- registration --------------------------------------------------
+    def track(self, state: _InstanceState) -> None:
+        with self._lock:
+            self._states.append(state)
+
+    # -- reporting -----------------------------------------------------
+    def drain(self) -> List[LockFinding]:
+        """Races so far plus annotation-drift findings; clears state."""
+        with self._lock:
+            out = list(self._races)
+            self._races.clear()
+            states, self._states = self._states, []
+        for state in states:
+            for attr, ast_ in state.attrs.items():
+                if not ast_.shared or ast_.candidate is None:
+                    continue
+                declared_lock = state.locks.get(state.declared.get(attr, ""))
+                if attr in state.declared:
+                    if ast_.raced:
+                        continue  # already reported as a race
+                    if declared_lock is not None and declared_lock not in ast_.candidate:
+                        held_names = sorted(l.name for l in ast_.candidate)
+                        out.append(
+                            LockFinding(
+                                kind="stale-annotation",
+                                cls=state.cls_name,
+                                attr=attr,
+                                detail=(
+                                    f"declared guarded-by "
+                                    f"{state.declared[attr]} was never part "
+                                    f"of the observed lockset "
+                                    f"{held_names or '{}'} — fix the "
+                                    "annotation or the locking"
+                                ),
+                            )
+                        )
+                elif (
+                    ast_.modified_shared
+                    and ast_.candidate
+                    and attr not in state.lock_free
+                ):
+                    names = sorted(l.name for l in ast_.candidate)
+                    out.append(
+                        LockFinding(
+                            kind="missing-annotation",
+                            cls=state.cls_name,
+                            attr=attr,
+                            detail=(
+                                f"consistently protected by {names} under "
+                                "concurrency but carries no # guarded-by: "
+                                "annotation — declare it"
+                            ),
+                        )
+                    )
+        return out
+
+    def findings(self) -> List[LockFinding]:
+        """Peek at race findings recorded so far (no drift, no clear)."""
+        with self._lock:
+            return list(self._races)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._races.clear()
+            self._states.clear()
+        self._local = threading.local()
+
+
+_REGISTRY = _Registry()
+
+# ----------------------------------------------------------------------
+# instrumentation
+# ----------------------------------------------------------------------
+_SUBCLASS_CACHE: Dict[type, type] = {}
+
+
+def _is_lock_like(value: Any) -> bool:
+    """Duck-typed lock check: has ``acquire``/``release``, isn't tracked."""
+    if isinstance(value, TrackedLock):
+        return False
+    return callable(getattr(value, "acquire", None)) and callable(
+        getattr(value, "release", None)
+    )
+
+
+def _instrumented_subclass(cls: type) -> Optional[type]:
+    cached = _SUBCLASS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    if getattr(cls, "__slots__", None) is not None:
+        return None  # no instance dict to record through
+
+    class _Recorded(cls):  # type: ignore[misc, valid-type]
+        def __getattribute__(self, name: str) -> Any:
+            value = object.__getattribute__(self, name)
+            if name.startswith("__") or name.startswith(_INFRA_PREFIX):
+                return value
+            d = object.__getattribute__(self, "__dict__")
+            state = d.get("_lockset_state__")
+            if (
+                state is not None
+                and name in d
+                and name not in state.locks
+                and not callable(value)
+            ):
+                _REGISTRY._access(state, name, is_write=False)
+            return value
+
+        def __setattr__(self, name: str, value: Any) -> None:
+            object.__setattr__(self, name, value)
+            if name.startswith("__") or name.startswith(_INFRA_PREFIX):
+                return
+            state = object.__getattribute__(self, "__dict__").get(
+                "_lockset_state__"
+            )
+            if state is not None and name not in state.locks:
+                _REGISTRY._access(state, name, is_write=True)
+
+    _Recorded.__name__ = cls.__name__
+    _Recorded.__qualname__ = cls.__qualname__
+    _SUBCLASS_CACHE[cls] = _Recorded
+    return _Recorded
+
+
+def register(obj: Any, extra_locks: Optional[Mapping[str, Any]] = None) -> Any:
+    """Instrument ``obj`` for lockset tracking (no-op when disarmed).
+
+    Call at the end of ``__init__``/``__post_init__``, after the locks
+    and the guarded attributes exist.  Locks named by the class's
+    ``# guarded-by:`` annotations are wrapped in :class:`TrackedLock`
+    proxies in place; ``extra_locks`` adds locks the annotations do not
+    name.  Returns ``obj`` (for tail-call style).
+    """
+    if not sanitize.enabled():
+        return obj
+    cls = type(obj)
+    declared, lock_free = _parse_annotations(cls)
+    sub = _instrumented_subclass(cls)
+    if sub is None:
+        return obj
+    locks: Dict[str, TrackedLock] = {}
+    # Every lock-like attribute is proxied, not only the declared ones:
+    # an attribute guarded by the *wrong* lock must yield a nonempty
+    # candidate set so it surfaces as stale-annotation, not as a race.
+    lock_names = set(declared.values()) | set(extra_locks or ())
+    for attr_name, value in list(vars(obj).items()):
+        if _is_lock_like(value):
+            lock_names.add(attr_name)
+    for lock_name in sorted(lock_names):
+        inner = getattr(obj, lock_name, None)
+        if inner is None and extra_locks:
+            inner = extra_locks.get(lock_name)
+        if inner is None:
+            continue
+        if isinstance(inner, TrackedLock):
+            locks[lock_name] = inner
+            continue
+        if not _is_lock_like(inner):
+            continue
+        proxy = TrackedLock(
+            _REGISTRY, inner, f"{cls.__name__}.{lock_name}"
+        )
+        object.__setattr__(obj, lock_name, proxy)
+        locks[lock_name] = proxy
+    state = _InstanceState(
+        cls_name=cls.__name__,
+        declared=dict(declared),
+        locks=locks,
+        lock_free=lock_free,
+    )
+    object.__setattr__(obj, "_lockset_state__", state)
+    obj.__class__ = sub
+    _REGISTRY.track(state)
+    return obj
+
+
+# ----------------------------------------------------------------------
+# reporting API
+# ----------------------------------------------------------------------
+def drain() -> List[LockFinding]:
+    """All findings (races + annotation drift); clears detector state."""
+    return _REGISTRY.drain()
+
+
+def findings() -> List[LockFinding]:
+    """Race findings recorded so far, without draining."""
+    return _REGISTRY.findings()
+
+
+def reset() -> None:
+    """Discard all detector state (test isolation)."""
+    _REGISTRY.reset()
+
+
+def assert_clean() -> None:
+    """Raise :class:`SanitizerError` if any finding was recorded."""
+    found = drain()
+    if found:
+        rendered = "\n  ".join(f.render() for f in found)
+        raise SanitizerError(
+            f"lockset detector recorded {len(found)} finding(s):\n  {rendered}"
+        )

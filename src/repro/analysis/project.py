@@ -22,6 +22,7 @@ Everything repo-specific lives here, in data:
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
@@ -102,6 +103,110 @@ FORK_SAFE_MODULES: Tuple[str, ...] = (
 #: module that *defines* them and the constants module physical values
 #: live in.
 CONSTANT_HOME_FILES: Tuple[str, ...] = ("core/config.py", "constants.py")
+
+
+# ----------------------------------------------------------------------
+# determinism taint catalog (the taint-flow rule)
+# ----------------------------------------------------------------------
+#: Decision-path *sinks*: the functions that construct or score a
+#: verification verdict.  A nondeterminism source whose value reaches
+#: any of these (directly or through the call graph) breaks the
+#: bitwise-equivalence invariant the serving tiers are gated on.
+TAINT_SINKS: Mapping[str, Tuple[str, ...]] = {
+    "core/pipeline.py": (
+        "DefenseSystem.verify",
+        "DefenseSystem.verify_cascade",
+        "DefenseSystem.run_component",
+        "DefenseSystem._dispatch_component",
+    ),
+    "core/cascade.py": ("pass_boundary", "CascadePlan.confident_reject"),
+    "asv/scoring.py": (
+        "llr_score",
+        "llr_score_batch",
+        "llr_score_multi",
+        "zt_normalize",
+    ),
+    "server/gateway.py": (
+        "Gateway._process",
+        "Gateway._process_cascade",
+        "Gateway._finalize",
+        "_IdentityBatcher._run_batch",
+        "ShardedGateway._fail_closed",
+    ),
+    "server/shard.py": ("ShardWorker.process", "ShardWorker._finish"),
+}
+
+#: Wall-clock / ambient-state reads (resolved external dotted names).
+#: Any of these produces a value that differs run to run by definition.
+WALLCLOCK_CALLS: FrozenSet[str] = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.time_ns", "time.monotonic_ns", "time.perf_counter_ns",
+    "os.getenv", "os.environ.get",
+    "uuid.uuid1", "uuid.uuid4",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: Unseeded RNG constructors (the global-rng rule already bans the
+#: module-level numpy/random APIs; the taint engine additionally tracks
+#: an unseeded Generator's values into the sinks).
+RNG_CALLS: FrozenSet[str] = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+})
+
+#: dtype names whose cast *narrows* float precision — the cast itself is
+#: deterministic, but a narrowing on the decision path means the
+#: reference (float64) pipeline and the serving lane quantize at
+#: different points, which is exactly how bitwise divergence starts.
+NARROWING_DTYPES: FrozenSet[str] = frozenset({"float32", "float16", "half"})
+
+#: Call names that *absorb* telemetry values: a wall-clock read flowing
+#: into one of these is latency accounting, not decision arithmetic.
+TELEMETRY_CALL_NAMES: FrozenSet[str] = frozenset({
+    "observe", "increment", "record", "emit", "annotate",
+    "add_event", "set_gauge", "push_event", "record_event",
+})
+
+#: Modules whose whole job is telemetry: values passing through them
+#: never feed a verdict, so their functions absorb taint entirely (and
+#: generate none — a tracer *must* read the clock).
+TELEMETRY_MODULE_PACKAGES: FrozenSet[str] = frozenset({"obs"})
+TELEMETRY_MODULES: Tuple[str, ...] = (
+    "server/metrics.py",
+    "server/client.py",
+)
+
+#: Variable / parameter / keyword names that mark a value as telemetry:
+#: assigning a clock read to ``t0`` or passing it as ``duration_s=`` is
+#: the sanctioned latency-measurement idiom, not a decision input.
+_TELEMETRY_NAME_RE = re.compile(
+    r"(?:^t\d*$|^ts$|^now$|^t_|^at$"
+    r"|latenc|duration|elapsed|deadline|timeout|uptime|wall"
+    r"|timing|timestamp|started_at|submitted_at|created_at|age_s"
+    r"|^rtt|waited|request_id|trace|span|exemplar)",
+    re.IGNORECASE,
+)
+
+#: Order-fixing barriers: reducing through these makes the result
+#: independent of the producing iteration order.
+ORDER_BARRIER_CALLS: FrozenSet[str] = frozenset({"sorted", "fsum"})
+
+
+def is_telemetry_name(name: str) -> bool:
+    """Whether an identifier marks its value as telemetry-only."""
+    return bool(_TELEMETRY_NAME_RE.search(name))
+
+
+def is_telemetry_module(relpath: str) -> bool:
+    rel = relpath.replace("\\", "/")
+    return rel in TELEMETRY_MODULES or package_of(rel) in TELEMETRY_MODULE_PACKAGES
+
+
+def sink_functions(relpath: str) -> Tuple[str, ...]:
+    """Sink qualpaths declared for one module (empty for most)."""
+    return TAINT_SINKS.get(relpath.replace("\\", "/"), ())
 
 
 @dataclass(frozen=True)

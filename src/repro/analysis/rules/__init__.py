@@ -12,6 +12,7 @@ Importing this package registers every rule on
 ``global-seterr``   process-wide ``np.seterr`` mutation
 ``numeric-errstate`` unguarded ``np.log``/``np.divide`` in kernels
 ``layering``        module-level import against the architecture DAG
+``taint-flow``      nondeterminism source reaching a decision sink
 ================== ====================================================
 """
 
@@ -22,6 +23,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     determinism,
     layering,
     numerics,
+    taintflow,
     threading_rules,
 )
 
@@ -30,5 +32,6 @@ __all__ = [
     "determinism",
     "layering",
     "numerics",
+    "taintflow",
     "threading_rules",
 ]

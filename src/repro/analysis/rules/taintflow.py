@@ -1,0 +1,530 @@
+"""Interprocedural determinism taint analysis (``taint-flow``).
+
+The serving tiers are gated on one invariant: verification decisions are
+**bitwise identical** across execution modes (DESIGN.md §14).  This rule
+proves the invariant's preconditions at the source level by tracking
+*nondeterminism sources* through the project call graph into the
+*decision sinks*:
+
+sources
+    wall-clock/ambient reads (``time.*``, ``os.environ``, ``uuid``),
+    unseeded RNG constructors, float-narrowing dtype casts
+    (``np.float32``, ``.astype("float16")``, ``dtype=np.half``), and
+    order-sensitive float accumulation over unordered iterables
+    (``sum(d.values())``, ``+=`` inside ``for x in set``).
+
+sinks
+    the verdict-constructing functions declared in
+    :data:`repro.analysis.project.TAINT_SINKS` — the pipeline, the
+    cascade boundary, the LLR scorers, and the gateway/shard verdict
+    builders.
+
+barriers
+    ``sorted()`` / ``math.fsum`` fix the order (clear iteration-order
+    taint); values assigned to telemetry-named variables (``t0``,
+    ``duration_s``…), passed via telemetry-named parameters, or flowing
+    into the obs/metrics layers are latency accounting, not decision
+    arithmetic, and are absorbed.  Float narrowing has **no** barrier:
+    a narrowing on the decision path is either removed or explicitly
+    suppressed with a justification that it is mode-invariant.
+
+The engine computes per-function return-taint summaries over the
+:mod:`repro.analysis.callgraph` structure to a fixpoint (recursion is
+just a back-edge), then replays the sink functions recording which
+source sites reach a verdict.  Findings are attributed to the *source*
+line, so one suppression at the source covers every sink it reaches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    attr_chain,
+    build_call_graph,
+)
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    NARROWING_DTYPES,
+    ORDER_BARRIER_CALLS,
+    RNG_CALLS,
+    TAINT_SINKS,
+    TELEMETRY_CALL_NAMES,
+    WALLCLOCK_CALLS,
+    is_telemetry_module,
+    is_telemetry_name,
+)
+from repro.analysis.registry import RULE_REGISTRY
+
+#: Taint kinds.  ``iter-latent`` marks a loop variable drawn from an
+#: unordered iterable; it only becomes a reportable ``iter-order`` taint
+#: when it feeds an order-sensitive accumulation (``+=``).
+KIND_WALLCLOCK = "wallclock"
+KIND_RNG = "rng"
+KIND_DTYPE = "dtype-narrow"
+KIND_ITER = "iter-order"
+KIND_ITER_LATENT = "iter-latent"
+
+#: Constructors whose call *is* the verdict being built inside a sink.
+_DECISION_CONSTRUCTORS = frozenset({
+    "VerificationReport", "DecisionRecord", "ComponentResult", "Decision",
+    "encode_decision",
+})
+
+_REMEDIATION = {
+    KIND_WALLCLOCK: (
+        "route it through telemetry (metrics/trace) or drop it from the "
+        "decision inputs"
+    ),
+    KIND_RNG: "seed it from config so every mode draws the same stream",
+    KIND_DTYPE: (
+        "decision arithmetic is float64 end-to-end; keep the narrowing "
+        "off the decision path or suppress with a mode-invariance "
+        "justification"
+    ),
+    KIND_ITER: "fix the order first (sorted()) or reduce with math.fsum",
+}
+
+
+@dataclass(frozen=True)
+class TaintTag:
+    """One nondeterminism source site, carried through the dataflow."""
+
+    kind: str
+    relpath: str
+    line: int
+    detail: str
+
+
+def _real(tags: Iterable[TaintTag]) -> Set[TaintTag]:
+    return {t for t in tags if t.kind != KIND_ITER_LATENT}
+
+
+def _drop_kinds(tags: Iterable[TaintTag], kinds: FrozenSet[str]) -> Set[TaintTag]:
+    return {t for t in tags if t.kind not in kinds}
+
+
+def _is_narrowing_dtype_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in NARROWING_DTYPES
+    chain = attr_chain(node)
+    return chain is not None and chain[-1] in NARROWING_DTYPES
+
+
+def _unordered_iterable(node: ast.expr) -> Optional[str]:
+    """A human label when ``node`` iterates without a defined order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "values", "keys", "items"
+        ):
+            recv = attr_chain(func.value)
+            if recv is not None and any(is_telemetry_name(p) for p in recv):
+                return None  # latency maps are telemetry, not decisions
+            recv_txt = ".".join(recv) if recv else "<expr>"
+            return f"{recv_txt}.{func.attr}()"
+    if isinstance(node, ast.GeneratorExp) and node.generators:
+        return _unordered_iterable(node.generators[0].iter)
+    return None
+
+
+class _BodyAnalyzer:
+    """One intraprocedural pass over a function body.
+
+    Name-level, flow-insensitive-per-iteration: statements are executed
+    twice so taint introduced late in a loop body reaches uses earlier
+    in it.  ``self.*`` attribute state is not tracked across methods
+    (documented approximation); nested ``def`` bodies are folded into
+    the enclosing scope — closures share its names — with their returns
+    bound to the function's local name.
+    """
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        summaries: Dict[str, FrozenSet[TaintTag]],
+    ) -> None:
+        self.graph = graph
+        self.info = info
+        self.mod = graph.module(info.relpath)
+        self.summaries = summaries
+        self.env: Dict[str, Set[TaintTag]] = {}
+        self.ret: Set[TaintTag] = set()
+        self.record = False
+        #: (tag, context) pairs observed flowing into a verdict.
+        self.sink_hits: List[Tuple[TaintTag, str]] = []
+        self._ret_stack: List[Set[TaintTag]] = []
+
+    def run(self, record: bool = False) -> FrozenSet[TaintTag]:
+        self.record = record
+        for name in self.info.param_names():
+            self.env.setdefault(name, set())
+        for _ in range(2):
+            for stmt in self.info.node.body:
+                self._exec(stmt)
+        return frozenset(_real(self.ret))
+
+    # -- statements ----------------------------------------------------
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value) | self._eval(stmt.target)
+            # Latent order taint becomes real on accumulation: the
+            # reduction result now depends on the iteration order.
+            promoted = {
+                TaintTag(KIND_ITER, t.relpath, t.line, t.detail)
+                for t in taint
+                if t.kind == KIND_ITER_LATENT
+            }
+            self._assign(stmt.target, taint | promoted)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._eval(stmt.value)
+                target = self._ret_stack[-1] if self._ret_stack else self.ret
+                target |= taint
+                if self.record and not self._ret_stack:
+                    for tag in _real(taint):
+                        self.sink_hits.append((tag, "the returned verdict"))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self._eval(stmt.iter)
+            label = _unordered_iterable(stmt.iter)
+            if label is not None:
+                taint = taint | {
+                    TaintTag(
+                        KIND_ITER_LATENT,
+                        self.info.relpath,
+                        stmt.iter.lineno,
+                        f"for-loop over {label}",
+                    )
+                }
+            self._assign(stmt.target, taint)
+            for sub in stmt.body + stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taint)
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._exec(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._exec(sub)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Fold the closure into this scope; bind its return taint to
+            # its local name so `results = run_stage(x)` keeps flowing.
+            for p in stmt.args.args + stmt.args.kwonlyargs:
+                self.env.setdefault(p.arg, set())
+            nested_ret: Set[TaintTag] = set()
+            self._ret_stack.append(nested_ret)
+            try:
+                for sub in stmt.body:
+                    self._exec(sub)
+            finally:
+                self._ret_stack.pop()
+            self.env.setdefault(stmt.name, set()).update(nested_ret)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        # Delete / Pass / Import / Global / Nonlocal / ClassDef: no flow.
+
+    def _assign(self, target: ast.expr, taint: Set[TaintTag]) -> None:
+        if isinstance(target, ast.Name):
+            if is_telemetry_name(target.id):
+                # The latency-measurement idiom: `t0 = perf_counter()`.
+                taint = _drop_kinds(
+                    taint, frozenset({KIND_WALLCLOCK, KIND_RNG, KIND_ITER})
+                )
+            self.env.setdefault(target.id, set()).update(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, taint)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self._assign(base, taint)
+        # Attribute targets (self.x = …) are not tracked across methods.
+
+    # -- expressions ---------------------------------------------------
+    def _eval(self, node: Optional[ast.expr]) -> Set[TaintTag]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, ast.Subscript):
+            chain = attr_chain(node.value)
+            if chain is not None and self.mod is not None:
+                dotted = self.graph.external_dotted(self.mod, chain)
+                if dotted == "os.environ" or chain[-2:] == ("os", "environ"):
+                    return {
+                        TaintTag(
+                            KIND_WALLCLOCK,
+                            self.info.relpath,
+                            node.lineno,
+                            "os.environ[...]",
+                        )
+                    }
+            return self._eval(node.value) | self._eval(node.slice)
+        if isinstance(node, ast.NamedExpr):
+            taint = self._eval(node.value)
+            self._assign(node.target, taint)
+            return taint
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            taint: Set[TaintTag] = set()
+            for gen in node.generators:
+                iter_taint = self._eval(gen.iter)
+                self._assign(gen.target, iter_taint)
+                taint |= iter_taint
+                for cond in gen.ifs:
+                    taint |= self._eval(cond)
+            if isinstance(node, ast.DictComp):
+                taint |= self._eval(node.key) | self._eval(node.value)
+            else:
+                taint |= self._eval(node.elt)
+            return taint
+        # Generic expression: union over child expressions.
+        taint = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint |= self._eval(child)
+        return taint
+
+    def _sources_of_call(self, call: ast.Call) -> Set[TaintTag]:
+        tags: Set[TaintTag] = set()
+        func = call.func
+        chain = attr_chain(func)
+        dotted = (
+            self.graph.external_dotted(self.mod, chain)
+            if chain is not None and self.mod is not None
+            else None
+        )
+        here = self.info.relpath
+        if dotted in WALLCLOCK_CALLS:
+            tags.add(TaintTag(KIND_WALLCLOCK, here, call.lineno, dotted))
+        elif chain is not None and chain[-2:] == ("environ", "get"):
+            tags.add(TaintTag(KIND_WALLCLOCK, here, call.lineno, "os.environ.get"))
+        if dotted in RNG_CALLS:
+            seeded = bool(call.args) or any(
+                kw.arg == "seed" and not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                )
+                for kw in call.keywords
+            )
+            if not seeded:
+                tags.add(TaintTag(KIND_RNG, here, call.lineno, f"{dotted}()"))
+        # Float-narrowing casts.
+        if (
+            dotted is not None
+            and dotted.startswith("numpy")
+            and dotted.rsplit(".", 1)[-1] in NARROWING_DTYPES
+        ):
+            tags.add(TaintTag(KIND_DTYPE, here, call.lineno, f"{dotted} cast"))
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            if call.args and _is_narrowing_dtype_expr(call.args[0]):
+                tags.add(
+                    TaintTag(KIND_DTYPE, here, call.lineno, "narrowing .astype()")
+                )
+        for kw in call.keywords:
+            if kw.arg == "dtype" and _is_narrowing_dtype_expr(kw.value):
+                tags.add(
+                    TaintTag(KIND_DTYPE, here, call.lineno, "narrowing dtype= arg")
+                )
+        # Order-sensitive reduction over an unordered iterable.
+        if isinstance(func, ast.Name) and func.id == "sum" and len(call.args) >= 1:
+            shadowed = self.mod is not None and (
+                "sum" in self.mod.functions or "sum" in self.mod.imports
+            )
+            if not shadowed:
+                label = _unordered_iterable(call.args[0])
+                if label is not None:
+                    tags.add(
+                        TaintTag(KIND_ITER, here, call.lineno, f"sum() over {label}")
+                    )
+        return tags
+
+    def _eval_call(self, call: ast.Call) -> Set[TaintTag]:
+        func = call.func
+        chain = attr_chain(func)
+        sources = self._sources_of_call(call)
+
+        # Order barrier: sorted(...) / math.fsum(...) fix the order.
+        barrier_name = (
+            func.id if isinstance(func, ast.Name)
+            else chain[-1] if chain is not None
+            else None
+        )
+        if barrier_name in ORDER_BARRIER_CALLS:
+            taint: Set[TaintTag] = set()
+            for arg in call.args:
+                taint |= self._eval(arg)
+            for kw in call.keywords:
+                taint |= self._eval(kw.value)
+            return _drop_kinds(taint, frozenset({KIND_ITER, KIND_ITER_LATENT}))
+
+        resolved = (
+            self.graph.resolve_call(self.info, call)
+            if self.mod is not None
+            else None
+        )
+        if resolved is not None:
+            callee = self.graph.functions[resolved]
+            if is_telemetry_module(callee.relpath):
+                return set()  # metrics/trace absorb; they feed no verdict
+            params = callee.param_names()
+            if callee.cls is not None and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            taint = set(self.summaries.get(resolved, ()))
+            for idx, arg in enumerate(call.args):
+                arg_taint = self._eval(arg)
+                pname = params[idx] if idx < len(params) else ""
+                if pname and is_telemetry_name(pname):
+                    continue
+                taint |= arg_taint
+            for kw in call.keywords:
+                kw_taint = self._eval(kw.value)
+                if kw.arg is not None and is_telemetry_name(kw.arg):
+                    continue
+                taint |= kw_taint
+        else:
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in TELEMETRY_CALL_NAMES
+            ):
+                for arg in call.args:
+                    self._eval(arg)
+                return set()
+            taint = set()
+            if isinstance(func, ast.Attribute):
+                taint |= self._eval(func.value)  # receiver state flows out
+            for arg in call.args:
+                taint |= self._eval(arg)
+            for kw in call.keywords:
+                if kw.arg is not None and is_telemetry_name(kw.arg):
+                    continue
+                taint |= self._eval(kw.value)
+
+        taint = taint | sources
+        if self.record and chain is not None and chain[-1] in _DECISION_CONSTRUCTORS:
+            for tag in _real(taint):
+                self.sink_hits.append((tag, f"{chain[-1]}(...)"))
+        return taint
+
+
+class ProjectTaint:
+    """Whole-project fixpoint + sink replay (cached per call graph)."""
+
+    #: Fixpoint safety valve; taint sets grow monotonically over a
+    #: finite tag universe, so this only bounds pathological trees.
+    MAX_ROUNDS = 20
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: Dict[str, FrozenSet[TaintTag]] = {}
+        #: relpath -> [(line, message)], deduplicated and sorted.
+        self.findings: Dict[str, List[Tuple[int, str]]] = {}
+
+    def analyze(self) -> None:
+        for qname in self.graph.functions:
+            self.summaries[qname] = frozenset()
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for qname, info in self.graph.functions.items():
+                if is_telemetry_module(info.relpath):
+                    continue
+                new = _BodyAnalyzer(self.graph, info, self.summaries).run()
+                if new != self.summaries[qname]:
+                    self.summaries[qname] = new
+                    changed = True
+            if not changed:
+                break
+        self._collect_sink_findings()
+
+    def _collect_sink_findings(self) -> None:
+        seen: Dict[Tuple[str, int, str], Tuple[str, str]] = {}
+        for relpath, qualpaths in TAINT_SINKS.items():
+            for qualpath in qualpaths:
+                qname = f"{relpath}::{qualpath}"
+                info = self.graph.functions.get(qname)
+                if info is None:
+                    continue
+                analyzer = _BodyAnalyzer(self.graph, info, self.summaries)
+                analyzer.run(record=True)
+                for tag, via in analyzer.sink_hits:
+                    key = (tag.relpath, tag.line, tag.kind)
+                    if key not in seen:
+                        seen[key] = (tag.detail, f"{qualpath} [{relpath}]")
+        for (relpath, line, kind), (detail, sink) in seen.items():
+            message = (
+                f"nondeterminism source ({kind}: {detail}) reaches "
+                f"decision sink {sink}; {_REMEDIATION[kind]}"
+            )
+            self.findings.setdefault(relpath, []).append((line, message))
+        for rows in self.findings.values():
+            rows.sort()
+
+
+def _project_taint(graph: CallGraph) -> ProjectTaint:
+    cached = getattr(graph, "_taint_results", None)
+    if cached is None:
+        cached = ProjectTaint(graph)
+        cached.analyze()
+        graph._taint_results = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _SourceLoc:
+    """Shim node carrying only a line, for suppression resolution."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+
+
+@RULE_REGISTRY.register(
+    "taint-flow",
+    "nondeterminism source reaching a decision-path sink",
+)
+def check_taint_flow(ctx: ModuleContext) -> Iterable[Finding]:
+    anchor: Path = ctx.path
+    for _ in ctx.relpath.split("/"):
+        anchor = anchor.parent
+    graph = build_call_graph(anchor)
+    taint = _project_taint(graph)
+    for line, message in taint.findings.get(ctx.relpath, ()):
+        yield ctx.finding("taint-flow", _SourceLoc(line), message)

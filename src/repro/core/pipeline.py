@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis import sanitize
+from repro.analysis import lockset, sanitize
 from repro.asv.verifier import VerifierBackend
 from repro.core.cascade import CascadePlan, stage_scope
 from repro.core.config import DefenseConfig
@@ -147,6 +147,7 @@ class DefenseSystem:
             seed=self.seed,
         )
         self.set_tracer(self.tracer)
+        lockset.register(self)
 
     def set_tracer(self, tracer: Tracer) -> "DefenseSystem":
         """Install a tracer on the system and every component it owns.

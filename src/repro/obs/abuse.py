@@ -45,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.analysis import lockset
 from repro.errors import ConfigurationError
 
 __all__ = ["AbuseAlert", "AbuseDetector"]
@@ -110,6 +111,7 @@ class AbuseDetector:
         #: Lock-free fast-path flag for the wide-event alert probe: a
         #: bool read is atomic, and staleness of one request is fine.
         self._flagged = False
+        lockset.register(self)
 
     # -- ingestion -----------------------------------------------------
     def observe(

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis import lockset
 from repro.errors import ConfigurationError
 
 __all__ = ["P2Quantile", "DriftAlert", "DriftMonitor", "DriftRegistry"]
@@ -250,6 +251,7 @@ class DriftRegistry:
         self._z_threshold = z_threshold
         self._lock = threading.Lock()
         self._monitors: Dict[str, DriftMonitor] = {}  # guarded-by: _lock
+        lockset.register(self)
 
     def monitor(self, stage: str) -> DriftMonitor:
         with self._lock:

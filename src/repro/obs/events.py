@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.analysis import lockset
 from repro.errors import ConfigurationError
 from repro.obs.exporters import JsonlRotatingWriter
 
@@ -148,6 +149,7 @@ class WideEventRecorder:
         self._kept = 0  # guarded-by: _lock
         self._reasons: Dict[str, int] = {}  # guarded-by: _lock
         self._recent: Deque[WideEvent] = deque(maxlen=ring_size)  # guarded-by: _lock
+        lockset.register(self)
 
     def record(self, event: WideEvent) -> Optional[str]:
         """Apply the sampling policy; returns the keep reason (``None``

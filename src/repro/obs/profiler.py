@@ -31,6 +31,7 @@ import threading
 from types import FrameType, TracebackType
 from typing import Dict, List, Optional, Tuple, Type
 
+from repro.analysis import lockset
 from repro.errors import ConfigurationError
 
 __all__ = ["StackSampler", "collapse_frame"]
@@ -120,6 +121,7 @@ class StackSampler:
         self._samples = 0  # guarded-by: _lock
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        lockset.register(self)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:

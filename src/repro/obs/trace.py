@@ -28,6 +28,8 @@ import uuid
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis import lockset
+
 __all__ = [
     "Span",
     "Tracer",
@@ -135,7 +137,12 @@ class _SpanContext:
         self._tracer._push(self.span)
         return self.span
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
         if exc_type is not None:
             self.span.status = "error"
             self.span.set_attr("error", repr(exc))
@@ -161,6 +168,7 @@ class Tracer:
         self._roots: Dict[str, str] = {}  # guarded-by: _lock
         self._completed: "deque[List[Span]]" = deque(maxlen=max_completed)  # guarded-by: _lock
         self._listeners: List[Callable[[List[Span]], None]] = []  # guarded-by: _lock
+        lockset.register(self)
 
     # -- propagation ---------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -395,40 +403,64 @@ class NullTracer(Tracer):
     def __init__(self) -> None:  # no buffers, no lock
         pass
 
-    def span(self, name, parent=None, attrs=None):  # type: ignore[override]
+    def span(  # type: ignore[override]
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> "_NullSpanContext":
         return _NULL_CTX
 
-    def begin(self, name, attrs=None):  # type: ignore[override]
+    def begin(  # type: ignore[override]
+        self, name: str, attrs: Optional[Dict[str, object]] = None
+    ) -> "_NullSpan":
         return _NULL_SPAN
 
-    def child(self, parent, name, attrs=None):  # type: ignore[override]
+    def child(  # type: ignore[override]
+        self,
+        parent: Span,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> "_NullSpan":
         return _NULL_SPAN
 
-    def end(self, span, status=None) -> None:  # type: ignore[override]
+    def end(self, span: Span, status: Optional[str] = None) -> None:
         pass
 
-    def event(self, name, parent=None, attrs=None, status="ok"):  # type: ignore[override]
+    def event(  # type: ignore[override]
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        attrs: Optional[Dict[str, object]] = None,
+        status: str = "ok",
+    ) -> "_NullSpan":
         return _NULL_SPAN
 
-    def remote_child(self, trace_id, parent_span_id, name, attrs=None):  # type: ignore[override]
+    def remote_child(  # type: ignore[override]
+        self,
+        trace_id: str,
+        parent_span_id: str,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> "_NullSpan":
         return _NULL_SPAN
 
-    def take_trace(self, trace_id):  # type: ignore[override]
+    def take_trace(self, trace_id: str) -> List[Span]:
         return []
 
-    def ingest(self, rows) -> None:  # type: ignore[override]
+    def ingest(self, rows: List[Dict[str, object]]) -> None:
         pass
 
-    def current(self):  # type: ignore[override]
+    def current(self) -> Optional[Span]:
         return None
 
-    def add_listener(self, listener) -> None:  # type: ignore[override]
+    def add_listener(self, listener: Callable[[List[Span]], None]) -> None:
         pass
 
-    def remove_listener(self, listener) -> None:  # type: ignore[override]
+    def remove_listener(self, listener: Callable[[List[Span]], None]) -> None:
         pass
 
-    def drain_completed(self):  # type: ignore[override]
+    def drain_completed(self) -> List[List[Span]]:
         return []
 
 

@@ -36,9 +36,9 @@ import threading
 import time
 from concurrent.futures import Future
 from multiprocessing.connection import wait as _connection_wait
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis import sanitize
+from repro.analysis import lockset, sanitize
 from repro.core.cascade import stage_scope
 from repro.core.config import GatewayConfig
 from repro.core.decision import ComponentResult
@@ -165,6 +165,7 @@ class _IdentityBatcher:
         self._cross_speaker = cross_speaker
         self._lock = threading.Lock()
         self._buckets: Dict[str, _Bucket] = {}  # guarded-by: _lock
+        lockset.register(self)
 
     def score(
         self, claimed: str, capture: SensorCapture, span: Optional[Span] = None
@@ -319,6 +320,9 @@ class Gateway:
         ) = queue.Queue(maxsize=self.config.max_queue)
         self._lock = threading.Lock()
         self._closed = False  # guarded-by: _lock
+        # Instrument BEFORE the workers start: the lockset detector must
+        # see every cross-thread access from the first request on.
+        lockset.register(self)
         self._threads = [
             threading.Thread(
                 target=self._request_worker, name=f"gateway-worker-{i}", daemon=True
@@ -420,7 +424,9 @@ class Gateway:
         span.duration_s = duration_s
         span.start_wall -= duration_s
 
-    def _run_detection(self, jobs) -> Dict[str, ComponentResult]:
+    def _run_detection(
+        self, jobs: Dict[str, Callable[[], ComponentResult]]
+    ) -> Dict[str, ComponentResult]:
         """Scheduler fan-out + fail-closed folding for detection jobs."""
         job_results = self._scheduler.run_all(
             jobs,
@@ -434,12 +440,17 @@ class Gateway:
                 self.metrics.increment("component_retries", jr.attempts - 1)
         return collect_detection_results(job_results)
 
-    def _traced_job(self, name: str, fn, parent: Optional[Span]):
+    def _traced_job(
+        self,
+        name: str,
+        fn: Callable[[], ComponentResult],
+        parent: Optional[Span],
+    ) -> Callable[[], ComponentResult]:
         """Wrap a component job so its stage span opens in the *executing*
         thread — DSP kernel spans then nest under it via the thread-local
         stack even though the job runs on a scheduler worker."""
 
-        def call():
+        def call() -> ComponentResult:
             with self.tracer.span(f"stage.{name}", parent=parent) as span:
                 result = fn()
                 span.set_attrs({"passed": result.passed, "score": result.score})
@@ -667,14 +678,16 @@ class Gateway:
                 break
         if not skipped and tail:
 
-            def timed_job(name: str, fn):
+            def timed_job(
+                name: str, fn: Callable[[], ComponentResult]
+            ) -> Callable[[], ComponentResult]:
                 traced = (
                     self._traced_job(name, fn, root)
                     if self.tracer.enabled
                     else fn
                 )
 
-                def call():
+                def call() -> ComponentResult:
                     with self.metrics.time(f"stage_{name}_s"):
                         return traced()
 
@@ -924,6 +937,9 @@ class ShardedGateway:
         #: Set once every shard has exited during close(); the
         #: collector drains the remaining pipe messages, then returns.
         self._drain = threading.Event()
+        # Instrument before the collector/monitor threads exist, for the
+        # same reason the shards fork first: complete observation.
+        lockset.register(self)
         self._collector = threading.Thread(
             target=self._collect_loop, name="shard-collector", daemon=True
         )

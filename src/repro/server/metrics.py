@@ -20,6 +20,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import lockset
 from repro.errors import ConfigurationError
 
 #: Cumulative-bucket upper bounds (seconds) used for the Prometheus
@@ -216,6 +217,7 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}  # guarded-by: _lock
         self._events: Dict[str, Deque[Tuple[float, int]]] = {}  # guarded-by: _lock
         self._started_at = time.monotonic()
+        lockset.register(self)
 
     # -- histograms ----------------------------------------------------
     def observe(

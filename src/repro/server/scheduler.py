@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis import lockset
 from repro.errors import ComponentTimeoutError, ConfigurationError
 
 
@@ -97,6 +98,7 @@ class JobScheduler:
         self._started = False  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
         self._spawned = 0  # guarded-by: _lock
+        lockset.register(self)
 
     # ------------------------------------------------------------------
     # Worker pool

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis import sanitize
 from repro.core.cascade import stage_scope
@@ -143,11 +143,16 @@ class ShardWorker:
             )
         return out[0], out[1], spans
 
-    def _traced_job(self, name: str, fn, parent: Optional[Span]):
+    def _traced_job(
+        self,
+        name: str,
+        fn: Callable[[], ComponentResult],
+        parent: Optional[Span],
+    ) -> Callable[[], ComponentResult]:
         """Stage span opened in the executing thread (mirrors the
         threaded gateway), so kernel spans nest under it."""
 
-        def call():
+        def call() -> ComponentResult:
             with self.tracer.span(f"stage.{name}", parent=parent) as span:
                 result = fn()
                 span.set_attrs({"passed": result.passed, "score": result.score})
@@ -155,7 +160,9 @@ class ShardWorker:
 
         return call
 
-    def _run_detection(self, jobs) -> Dict[str, ComponentResult]:
+    def _run_detection(
+        self, jobs: Dict[str, Callable[[], ComponentResult]]
+    ) -> Dict[str, ComponentResult]:
         job_results = self.scheduler.run_all(
             jobs,
             timeout_s=self.config.component_timeout_s,
@@ -290,14 +297,16 @@ class ShardWorker:
                 break
         if not skipped and tail:
 
-            def timed_job(name: str, fn):
+            def timed_job(
+                name: str, fn: Callable[[], ComponentResult]
+            ) -> Callable[[], ComponentResult]:
                 traced = (
                     self._traced_job(name, fn, root)
                     if self.tracer.enabled and root is not None
                     else fn
                 )
 
-                def call():
+                def call() -> ComponentResult:
                     with self.metrics.time(f"stage_{name}_s"):
                         return traced()
 
@@ -389,7 +398,22 @@ def shard_main(
     """
     for writer in stray_writers:  # type: ignore[attr-defined]
         writer.close()
+    # Re-arm the sanitizers from the environment before any worker
+    # state exists: fork inherits the parent's in-process flag, but an
+    # explicit re-read keeps the child correct under any start method
+    # and lets tests arm the whole tree via the env alone.
+    if os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    ):
+        sanitize.enable()
     worker = ShardWorker(shard_id, system, config)
+    if sanitize.enabled():
+        # Visible proof that arming crossed the fork: the parent reads
+        # this counter back through the metrics control message.
+        worker.metrics.increment("sanitize_armed")
     send = result_conn.send  # type: ignore[attr-defined]
     try:
         while True:

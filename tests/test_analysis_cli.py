@@ -93,6 +93,7 @@ class TestSelfLint:
             "numeric-errstate",
             "layering",
             "fork-safety",
+            "taint-flow",
         }
         assert report.files_checked > 100
 

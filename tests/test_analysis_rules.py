@@ -14,13 +14,13 @@ import pytest
 from repro.analysis.engine import lint_anchor, run_analysis
 
 
-def lint_tree(tmp_path, files, rules=None):
+def lint_tree(tmp_path, files, rules=None, strict=False):
     """Write ``files`` (relpath -> source) under tmp_path and lint it."""
     for rel, source in files.items():
         path = tmp_path / rel
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(source), encoding="utf-8")
-    return run_analysis(tmp_path, rules)
+    return run_analysis(tmp_path, rules, strict_suppressions=strict)
 
 
 def rules_fired(report):
@@ -316,20 +316,34 @@ class TestLayeringRule:
 
 class TestSuppressionAccounting:
     def test_bare_suppression_is_a_finding_and_does_not_silence(self, tmp_path):
-        report = lint_tree(
-            tmp_path,
-            {"experiments/sweep.py": "DISTANCE_CUTOFF = 0.06  # repro: ignore[paper-constant]\n"},
-        )
+        files = {
+            "experiments/sweep.py": "DISTANCE_CUTOFF = 0.06  # repro: ignore[paper-constant]\n"
+        }
+        report = lint_tree(tmp_path, files)
         fired = rules_fired(report)
         assert "paper-constant" in fired  # not silenced
-        assert "bare-suppression" in fired
+        # Advisory by default: reported, does not fail the run by itself.
+        assert "bare-suppression" in {f.rule for f in report.advisories}
+        assert "bare-suppression" not in fired
+        # --strict-suppressions promotes it to blocking.
+        strict = lint_tree(tmp_path, files, strict=True)
+        assert "bare-suppression" in rules_fired(strict)
 
     def test_unused_suppression_is_a_finding(self, tmp_path):
-        report = lint_tree(
-            tmp_path,
-            {"voice/clean.py": "x = 1  # repro: ignore[global-rng]: historical\n"},
-        )
-        assert rules_fired(report) == {"unused-suppression"}
+        files = {"voice/clean.py": "x = 1  # repro: ignore[global-rng]: historical\n"}
+        report = lint_tree(tmp_path, files)
+        assert rules_fired(report) == set()
+        assert {f.rule for f in report.advisories} == {"unused-suppression"}
+        strict = lint_tree(tmp_path, files, strict=True)
+        assert rules_fired(strict) == {"unused-suppression"}
+        assert strict.exit_code == 1
+
+    def test_unused_suppression_not_reported_under_rule_subset(self, tmp_path):
+        # Under --rules the suppressed rule never ran, so the suppression
+        # is legitimately idle and must not be flagged as stale.
+        files = {"voice/clean.py": "x = 1  # repro: ignore[global-rng]: historical\n"}
+        report = lint_tree(tmp_path, files, rules=["paper-constant"], strict=True)
+        assert report.findings == []
 
     def test_wildcard_suppression_covers_all_rules(self, tmp_path):
         report = lint_tree(

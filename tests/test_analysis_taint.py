@@ -1,0 +1,239 @@
+"""Determinism taint analyzer: seeded flows, barriers, engine edges.
+
+The fixture trees replicate the project's sink relpaths
+(``asv/scoring.py``, ``core/pipeline.py``) under a tmp root, so the
+interprocedural engine resolves sinks exactly as it does on the real
+tree.  Every positive test seeds one nondeterminism source and asserts
+the finding lands on the *source* line; every negative test exercises a
+barrier or an absorption path that must keep the tree clean.
+"""
+
+import ast
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.engine import load_module, run_analysis
+from repro.analysis.project import load_paper_constants
+
+
+def lint(tmp_path, files, rules=("taint-flow",)):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return run_analysis(tmp_path, list(rules) if rules else None)
+
+
+def taint_findings(report):
+    return [f for f in report.active if f.rule == "taint-flow"]
+
+
+class TestSeededFlows:
+    def test_wallclock_reaches_sink_interprocedurally(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "import time\n"
+                    "\n"
+                    "def _skew():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "def llr_score(x):\n"
+                    "    return x + _skew()\n"
+                ),
+            },
+        )
+        (finding,) = taint_findings(report)
+        assert finding.line == 4  # the time.time() call, not the sink
+        assert "wallclock" in finding.message
+        assert "llr_score" in finding.message
+
+    def test_unseeded_rng_flagged_seeded_rng_clean(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def llr_score(x):\n"
+            "    rng = np.random.default_rng({seed})\n"
+            "    return x + rng.standard_normal()\n"
+        )
+        dirty = lint(tmp_path / "a", {"asv/scoring.py": source.format(seed="")})
+        assert [f.line for f in taint_findings(dirty)] == [4]
+        assert "rng" in taint_findings(dirty)[0].message
+        clean = lint(tmp_path / "b", {"asv/scoring.py": source.format(seed="7")})
+        assert taint_findings(clean) == []
+
+    def test_set_iteration_accumulation_is_order_taint(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "def llr_score(xs):\n"
+                    "    total = 0.0\n"
+                    "    for v in set(xs):\n"
+                    "        total += v\n"
+                    "    return total\n"
+                ),
+            },
+        )
+        (finding,) = taint_findings(report)
+        assert finding.line == 3
+        assert "iter-order" in finding.message
+
+    def test_dict_values_iteration_without_accumulation_is_clean(self, tmp_path):
+        # Latent order taint only becomes real on order-sensitive
+        # accumulation; building a list that is returned wholesale is
+        # not flagged (the consumer may sort it).
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "def llr_score(d):\n"
+                    "    out = [v for v in d.values()]\n"
+                    "    return out\n"
+                ),
+            },
+        )
+        assert taint_findings(report) == []
+
+    def test_narrowing_astype_reaches_class_sink(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "core/pipeline.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "class DefenseSystem:\n"
+                    "    def verify(self, scores):\n"
+                    "        squeezed = scores.astype(np.float32)\n"
+                    "        return float(squeezed.sum())\n"
+                ),
+            },
+        )
+        (finding,) = taint_findings(report)
+        assert finding.line == 5
+        assert "dtype-narrow" in finding.message
+        assert "DefenseSystem.verify" in finding.message
+
+
+class TestBarriersAndAbsorption:
+    def test_sorted_is_an_order_barrier(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "def llr_score(xs):\n"
+                    "    total = 0.0\n"
+                    "    for v in sorted(set(xs)):\n"
+                    "        total += v\n"
+                    "    return total\n"
+                ),
+            },
+        )
+        assert taint_findings(report) == []
+
+    def test_telemetry_name_launders_wallclock(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "import time\n"
+                    "\n"
+                    "def llr_score(x):\n"
+                    "    t0 = time.perf_counter()\n"
+                    "    duration_s = time.perf_counter() - t0\n"
+                    "    return x + 0.0 * 0\n"
+                ),
+            },
+        )
+        assert taint_findings(report) == []
+
+    def test_suppression_silences_the_source_line(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "import time\n"
+                    "\n"
+                    "def llr_score(x):\n"
+                    "    skew = time.time()  # repro: ignore[taint-flow]: fixture justification\n"
+                    "    return x + skew\n"
+                ),
+            },
+        )
+        assert taint_findings(report) == []
+        assert [f.rule for f in report.suppressed] == ["taint-flow"]
+
+
+class TestEngineEdgeCases:
+    def test_call_graph_recursion_terminates(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "asv/scoring.py": (
+                    "import time\n"
+                    "\n"
+                    "def _ping(n):\n"
+                    "    if n <= 0:\n"
+                    "        return time.time()\n"
+                    "    return _pong(n - 1)\n"
+                    "\n"
+                    "def _pong(n):\n"
+                    "    return _ping(n - 1)\n"
+                    "\n"
+                    "def llr_score(x):\n"
+                    "    return x + _ping(3)\n"
+                ),
+            },
+        )
+        # Mutual recursion reaches a fixpoint and the source still flows.
+        (finding,) = taint_findings(report)
+        assert finding.line == 5
+
+    def test_cyclic_imports_do_not_hang_the_graph(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg import b\n\ndef fa():\n    return b.fb()\n",
+                "pkg/b.py": "from pkg import a\n\ndef fb():\n    return 1\n",
+            },
+            rules=None,
+        )
+        graph = build_call_graph(tmp_path)
+        assert "pkg/a.py::fa" in graph.functions
+        assert report.exit_code in (0, 1)  # terminated; layering may fire
+
+    def test_bom_and_crlf_sources_are_parsed(self, tmp_path):
+        path = tmp_path / "mod.py"
+        source = "import numpy as np\r\nnp.random.seed(1)\r\n"
+        path.write_bytes(b"\xef\xbb\xbf" + source.encode("utf-8"))
+        report = run_analysis(tmp_path)
+        assert [f.rule for f in report.active] == ["global-rng"]
+
+    def test_suppression_on_multi_line_statement(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import numpy as np\n"
+            "np.random.seed(\n"
+            "    1\n"
+            ")  # repro: ignore[global-rng]: fixture spans three lines\n"
+        )
+        report = run_analysis(tmp_path)
+        assert report.active == []
+        assert [f.rule for f in report.suppressed] == ["global-rng"]
+
+    def test_suppression_on_decorated_def_covers_decorator_lines(self, tmp_path):
+        # Unit-level: a finding anchored on a decorated def must honour a
+        # suppression written on the decorator line (the statement the
+        # reader sees first).
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "@property  # repro: ignore[fake-rule]: decorator-line suppression\n"
+            "def prop(self):\n"
+            "    return 1\n"
+        )
+        ctx = load_module(path, tmp_path, load_paper_constants(tmp_path))
+        node = ctx.tree.body[0]
+        assert isinstance(node, ast.FunctionDef)
+        finding = ctx.finding("fake-rule", node, "anchored on the def")
+        assert finding.suppressed
+        assert finding.justification == "decorator-line suppression"

@@ -1,0 +1,267 @@
+"""Dynamic lockset race detector: seeded races, drift, production paths.
+
+The fixture classes live in this module so ``inspect.getsource`` can
+recover their ``# guarded-by:`` annotations, exactly as it does for the
+production classes.  Accesses are staged main-thread-then-worker so the
+Eraser state machine provably leaves its Exclusive (single-thread
+initialisation) phase — worker thread idents can be reused after a
+join, but the main thread's never is.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockset, sanitize
+from repro.errors import SanitizerError
+from repro.server.metrics import MetricsRegistry
+from repro.server.scheduler import JobScheduler
+
+
+@pytest.fixture(autouse=True)
+def _armed():
+    lockset.reset()
+    with sanitize.activated():
+        yield
+    lockset.reset()
+
+
+def run_thread(fn, *args):
+    t = threading.Thread(target=fn, args=args)
+    t.start()
+    t.join()
+
+
+class LockedCounter:
+    """The contract holds: every access under the declared lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        lockset.register(self)
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+
+class RacyCounter:
+    """Seeded true positive: a write path that skips the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        lockset.register(self)
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_unlocked(self):
+        self._count += 1
+
+
+class StaleAnnotated:
+    """Annotation names ``_lock_a``; the code consistently uses ``_lock_b``."""
+
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self._val = 0  # guarded-by: _lock_a
+        lockset.register(self)
+
+    def bump(self):
+        with self._lock_b:
+            self._val += 1
+
+
+class LockFreeFlag:
+    """The documented lock-free pattern: written under lock, read bare."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: Lock-free fast-path flag (atomic bool read; staleness fine).
+        self._flag = False
+        lockset.register(self)
+
+    def raise_flag(self):
+        with self._lock:
+            self._flag = True
+
+
+class Unannotated:
+    """Consistently guarded shared attr with no declaration at all."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+        lockset.register(self)
+
+    def bump(self):
+        with self._lock:
+            self._n += 1
+
+
+class ReentrantHolder:
+    """RLock reentry must keep the lock in the held set throughout."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._depth = 0  # guarded-by: _lock
+        lockset.register(self)
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            self._depth += 1
+
+
+class TestAnnotationParsing:
+    def test_method_and_classlevel_styles(self):
+        assert lockset.guarded_annotations(RacyCounter) == {"_count": "_lock"}
+        assert lockset.guarded_annotations(MetricsRegistry) == {
+            "_histograms": "_lock",
+            "_counters": "_lock",
+            "_events": "_lock",
+        }
+
+    def test_dataclass_field_annotations(self):
+        from repro.core.pipeline import DefenseSystem
+
+        parsed = lockset.guarded_annotations(DefenseSystem)
+        assert parsed["cascade_stats"] == "_stats_lock"
+        assert parsed["_soundfield_cache"] == "_soundfield_lock"
+
+
+class TestDetector:
+    def test_clean_class_stays_clean(self):
+        c = LockedCounter()
+        c.bump()
+        for _ in range(3):
+            run_thread(c.bump)
+        assert lockset.drain() == []
+        assert c._count == 4
+
+    def test_seeded_race_is_caught(self):
+        c = RacyCounter()
+        c.bump()  # main thread: Exclusive phase
+        run_thread(c.bump)  # second thread: Shared, candidate={_lock}
+        run_thread(c.bump_unlocked)  # empty intersection -> race
+        found = lockset.drain()
+        assert [f.kind for f in found] == ["race"]
+        assert found[0].cls == "RacyCounter" and found[0].attr == "_count"
+        assert "_lock" in found[0].detail
+
+    def test_race_reported_once_per_attr(self):
+        c = RacyCounter()
+        c.bump()
+        for _ in range(5):
+            run_thread(c.bump_unlocked)
+        assert len(lockset.drain()) == 1
+
+    def test_single_thread_init_is_exempt(self):
+        c = RacyCounter()
+        for _ in range(10):
+            c.bump_unlocked()  # all main-thread: Exclusive, no finding
+        assert lockset.drain() == []
+
+    def test_stale_annotation_is_drift_not_race(self):
+        s = StaleAnnotated()
+        s.bump()
+        run_thread(s.bump)
+        found = lockset.drain()
+        assert [f.kind for f in found] == ["stale-annotation"]
+        assert "_lock_a" in found[0].detail and "_lock_b" in found[0].detail
+
+    def test_missing_annotation_is_reported(self):
+        u = Unannotated()
+        u.bump()
+        run_thread(u.bump)
+        found = lockset.drain()
+        assert [f.kind for f in found] == ["missing-annotation"]
+        assert found[0].attr == "_n"
+
+    def test_lock_free_marker_exempts_missing_annotation(self):
+        f = LockFreeFlag()
+        f.raise_flag()
+        run_thread(f.raise_flag)
+        assert lockset.drain() == []
+
+    def test_rlock_reentry_keeps_lock_held(self):
+        r = ReentrantHolder()
+        r.outer()
+        run_thread(r.outer)
+        assert lockset.drain() == []
+
+    def test_assert_clean_raises_with_rendered_findings(self):
+        c = RacyCounter()
+        c.bump()
+        run_thread(c.bump_unlocked)
+        with pytest.raises(SanitizerError, match=r"RacyCounter\._count"):
+            lockset.assert_clean()
+        lockset.assert_clean()  # drained: now clean
+
+    def test_drain_clears_state(self):
+        c = RacyCounter()
+        c.bump()
+        run_thread(c.bump_unlocked)
+        assert lockset.drain() and lockset.drain() == []
+
+
+class TestArming:
+    def test_disarmed_register_is_a_noop(self):
+        sanitize.disable()
+        c = LockedCounter()
+        assert type(c) is LockedCounter
+        assert "_lockset_state__" not in vars(c)
+        assert isinstance(c._lock, type(threading.Lock()))
+
+    def test_armed_register_swaps_class_and_wraps_locks(self):
+        c = LockedCounter()
+        assert type(c).__name__ == "LockedCounter"  # cosmetic name kept
+        assert type(c) is not LockedCounter
+        assert isinstance(c, LockedCounter)
+        assert isinstance(c._lock, lockset.TrackedLock)
+
+
+class TestProductionPaths:
+    def test_metrics_registry_hammered_is_clean(self):
+        m = MetricsRegistry()
+        m.increment("hits")
+
+        def hammer():
+            for i in range(100):
+                m.increment("hits")
+                m.observe("latency", 0.001 * i)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.snapshot()["counters"]["hits"] == 401
+        lockset.assert_clean()
+
+    def test_scheduler_lifecycle_is_clean(self):
+        sched = JobScheduler(workers=3)
+        outs = sched.run_all({f"j{i}": (lambda i=i: i * 2) for i in range(8)})
+        assert len(outs) == 8
+        sched.shutdown()
+        lockset.assert_clean()
+
+    def test_abuse_detector_lock_free_flag_is_exempt(self):
+        from repro.obs.abuse import AbuseDetector
+
+        detector = AbuseDetector(rate_threshold=2, rate_window_s=60.0)
+
+        def probe():
+            for i in range(10):
+                detector.observe(f"spk-{i % 2}", score=0.1 * i)
+            assert detector.has_alerts  # bare read of the lock-free flag
+
+        probe()
+        run_thread(probe)
+        lockset.assert_clean()

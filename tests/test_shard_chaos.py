@@ -151,6 +151,33 @@ def test_sigkill_with_requests_in_flight_fails_them_closed(
         assert decode_decision(gateway.handle(good)) == baseline
 
 
+def test_sanitize_arming_propagates_to_forked_shards(
+    small_world, chaos_frames, monkeypatch
+):
+    """Every forked worker must re-arm from the environment and say so.
+
+    The ``sanitize_armed`` counter is bumped once per worker at startup,
+    so the merged registry reading exactly ``shards`` proves the arming
+    crossed the fork into every child — which is what makes the lockset
+    and NaN sanitizers live on the sharded serving path.
+    """
+    from repro.analysis import lockset, sanitize
+
+    good, _, _ = chaos_frames
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    lockset.reset()
+    with sanitize.activated():
+        with ShardedGateway(
+            small_world.system, GatewayConfig(shards=2)
+        ) as gateway:
+            assert decode_decision(gateway.handle(good))["accepted"]
+            summary = gateway.metrics_summary()
+            assert summary["counters"]["sanitize_armed"] == 2
+        # The parent-side instrumented classes saw real traffic; the
+        # detector must have nothing to report.
+        lockset.assert_clean()
+
+
 def test_chaos_hooks_off_ignores_poisoned_metadata(small_world, chaos_frames):
     """The chaos hook must be dark in production configs."""
     good, boom, _ = chaos_frames
